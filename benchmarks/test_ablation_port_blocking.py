@@ -1,0 +1,48 @@
+"""Ablation — collateral damage of port-based blocking (Section 2.2.2).
+
+The paper argues that port-based censorship is impractical against I2P:
+routers pick arbitrary ports in 9000–31000 (TCP and UDP), so blocking that
+range also blocks many unrelated services, while blocking UDP/123 (NTP) to
+starve I2P of time sync would break NTP for everyone.  This benchmark
+quantifies how widely the simulated network's listening ports are spread.
+"""
+
+import random
+
+from repro.sim import I2PPopulation, PopulationConfig
+from repro.transport import I2P_PORT_RANGE, is_possible_i2p_port
+
+from .conftest import bench_seed
+
+
+def _listening_ports():
+    population = I2PPopulation(
+        PopulationConfig(target_daily_population=2000, horizon_days=1, seed=bench_seed() + 3)
+    )
+    view = population.day_view(0)
+    return [s.port for s in view.snapshots if s.has_valid_ip]
+
+
+def test_ablation_port_blocking(benchmark):
+    ports = benchmark(_listening_ports)
+    low, high = I2P_PORT_RANGE
+    span = high - low + 1
+    distinct = len(set(ports))
+    buckets = {}
+    for port in ports:
+        buckets[(port - low) // 2000] = buckets.get((port - low) // 2000, 0) + 1
+    largest_bucket_share = max(buckets.values()) / len(ports)
+    print()
+    print(f"routers with public ports: {len(ports)}")
+    print(f"distinct ports in use: {distinct}")
+    print(f"port range that must be blocked: {low}-{high} ({span} ports)")
+    print(f"largest 2000-port bucket holds {largest_bucket_share:.1%} of routers")
+
+    # Every router listens inside the documented range.
+    assert all(is_possible_i2p_port(p) for p in ports)
+    # Ports are spread widely: no narrow sub-range captures the network, so
+    # a censor must block the entire 22,001-port range (huge collateral
+    # damage) to achieve port-based blocking.
+    assert distinct > 0.5 * len(ports)
+    assert largest_bucket_share < 0.25
+    assert span > 20_000

@@ -1,0 +1,57 @@
+"""Ablation — reseed-server blocking and manual reseeding (Section 6.1).
+
+Not a numbered figure in the paper, but Section 6.1 argues that (a) reseed
+servers are a single point of blockage for *new* clients and (b) the
+``i2pseeds.su3`` manual-reseed mechanism restores bootstrap for users who
+obtain the file through a secondary channel.  This benchmark quantifies
+both claims on the simulated network.
+"""
+
+import random
+
+from repro.core import reseed_blocking_curve, simulate_reseed_blocking
+from repro.core.usability import client_netdb_from_dayview
+from repro.sim import DEFAULT_RESEED_SERVERS, I2PPopulation, PopulationConfig
+
+from .conftest import bench_seed
+
+
+def _routerinfos():
+    population = I2PPopulation(
+        PopulationConfig(target_daily_population=800, horizon_days=2, seed=bench_seed() + 11)
+    )
+    view = population.day_view(0)
+    return client_netdb_from_dayview(population, view, size=400, rng=random.Random(2))
+
+
+def test_ablation_reseed_blocking(benchmark):
+    routerinfos = _routerinfos()
+    figure = benchmark.pedantic(
+        lambda: reseed_blocking_curve(
+            routerinfos, clients=150, manual_reseed_share=0.3, seed=bench_seed()
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(figure.to_text(float_format=".1f"))
+
+    plain = figure.get("no manual reseed")
+    manual = [s for name, s in figure.series.items() if name != "no manual reseed"][0]
+    total_servers = len(DEFAULT_RESEED_SERVERS)
+
+    # No blocking: everyone bootstraps.
+    assert plain.y_at(0) == 100.0
+    # Full blocking without manual reseeding: bootstrap is impossible.
+    assert plain.y_at(total_servers) == 0.0
+    # Manual reseeding rescues roughly the share of clients that obtain a file.
+    assert 15.0 < manual.y_at(total_servers) < 50.0
+    # Partial blocking is leaky: blocking half the servers still lets many in.
+    assert plain.y_at(total_servers // 2) > 50.0
+
+    # Spot-check the underlying simulation outcome object.
+    outcome = simulate_reseed_blocking(
+        routerinfos, blocked_servers=total_servers, clients=100,
+        manual_reseed_share=0.3, seed=bench_seed(),
+    )
+    assert outcome.manual_reseed_successes == outcome.bootstrap_successes

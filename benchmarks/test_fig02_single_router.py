@@ -1,0 +1,39 @@
+"""Figure 2 — peers observed by a single high-end router (floodfill vs
+non-floodfill mode), Section 4.1.
+
+Paper result: a single 8 MB/s router observes roughly 15–16K of the ~32K
+daily peers in either mode, with the non-floodfill phase slightly ahead of
+the floodfill phase.
+"""
+
+from repro.core import single_router_experiment
+
+from .conftest import bench_scale, bench_seed
+
+
+def test_figure_02_single_router(benchmark):
+    figure = benchmark.pedantic(
+        lambda: single_router_experiment(
+            days_per_mode=5, scale=bench_scale(), seed=bench_seed()
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(figure.to_text(float_format=".0f"))
+
+    floodfill = figure.get("floodfill")
+    non_floodfill = figure.get("non-floodfill")
+    ground_truth = 30_500 * bench_scale()
+
+    # Both modes observe a large fraction (roughly half) of the network.
+    for observed in floodfill.ys + non_floodfill.ys:
+        assert 0.3 * ground_truth < observed < 0.8 * ground_truth
+    # Daily counts are stable within each 5-day phase (no strong trend).
+    for series in (floodfill, non_floodfill):
+        assert max(series.ys) - min(series.ys) < 0.2 * ground_truth
+    # The non-floodfill phase observes at least as much as the floodfill
+    # phase at full monitor bandwidth (Figure 2's ordering).
+    assert sum(non_floodfill.ys) / len(non_floodfill.ys) >= 0.9 * (
+        sum(floodfill.ys) / len(floodfill.ys)
+    )

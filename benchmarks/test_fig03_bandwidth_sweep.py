@@ -1,0 +1,45 @@
+"""Figure 3 — observed peers vs shared bandwidth (7 floodfill + 7
+non-floodfill routers), Section 4.2.
+
+Paper result: floodfill routers observe 1.5–2K more peers than
+non-floodfill routers below ~2 MB/s; the ordering flips above ~2 MB/s; the
+union of each floodfill/non-floodfill pair is larger than either individual
+view (≈17–18K of ~32K).
+"""
+
+from repro.core import bandwidth_sweep
+
+from .conftest import bench_scale, bench_seed
+
+BANDWIDTHS = (128, 256, 1000, 2000, 3000, 4000, 5000)
+
+
+def test_figure_03_bandwidth_sweep(benchmark):
+    figure = benchmark.pedantic(
+        lambda: bandwidth_sweep(
+            bandwidths_kbps=BANDWIDTHS, days=3, scale=bench_scale(), seed=bench_seed()
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(figure.to_text(float_format=".0f"))
+
+    floodfill = figure.get("floodfill")
+    non_floodfill = figure.get("non-floodfill")
+    both = figure.get("both")
+
+    # Low bandwidth: floodfill observes more peers than non-floodfill.
+    assert floodfill.y_at(128) > non_floodfill.y_at(128)
+    assert floodfill.y_at(256) > non_floodfill.y_at(256)
+    # High bandwidth: the ordering flips (crossover below 5 MB/s).
+    assert non_floodfill.y_at(5000) > floodfill.y_at(5000)
+    # The combined pair always dominates each individual mode.
+    for bandwidth in BANDWIDTHS:
+        assert both.y_at(bandwidth) >= floodfill.y_at(bandwidth)
+        assert both.y_at(bandwidth) >= non_floodfill.y_at(bandwidth)
+    # The combined view varies much less across the sweep than the
+    # non-floodfill view does (the paper reports it as roughly constant).
+    both_spread = (max(both.ys) - min(both.ys)) / max(both.ys)
+    nff_spread = (max(non_floodfill.ys) - min(non_floodfill.ys)) / max(non_floodfill.ys)
+    assert both_spread < nff_spread

@@ -1,0 +1,42 @@
+"""Figure 4 — cumulative peers observed by operating 1–40 routers,
+Section 4.3.
+
+Paper result: the cumulative number of observed peers grows roughly
+logarithmically with the number of monitoring routers, reaching ~32K at 40
+routers; 20 routers already cover 95.5 % of that total, and each router
+beyond ~35 only contributes another 10–30 peers.
+"""
+
+from repro.core import router_count_sweep
+
+from .conftest import bench_scale, bench_seed
+
+
+def test_figure_04_router_count(benchmark):
+    figure, result = benchmark.pedantic(
+        lambda: router_count_sweep(
+            max_routers=40, days=5, scale=bench_scale(), seed=bench_seed()
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(figure.to_text(float_format=".0f"))
+    print(f"mean daily ground-truth population: {result.mean_daily_online:.0f}")
+
+    series = figure.get("cumulative observed")
+    assert len(series.points) == 40
+    assert series.is_monotonic_nondecreasing()
+
+    total_at_40 = series.y_at(40)
+    # Twenty routers already observe ~95 % of what forty routers observe.
+    assert series.y_at(20) / total_at_40 > 0.93
+    # Rapid growth up to ~20 routers, then convergence.
+    assert series.y_at(5) / total_at_40 > 0.75
+    gains = [b - a for a, b in zip(series.ys, series.ys[1:])]
+    assert gains[0] > gains[-1] * 3
+    # The marginal router beyond 35 adds only a sliver of the population.
+    late_gain = total_at_40 - series.y_at(35)
+    assert late_gain < 0.01 * total_at_40
+    # Forty routers cover the vast majority of the daily population.
+    assert total_at_40 / result.mean_daily_online > 0.85

@@ -1,0 +1,36 @@
+"""Figure 5 — number of unique peers and IP addresses per day, Section 5.1.
+
+Paper result: ~30.5K daily peers, stable over the campaign; the number of
+unique IP addresses is *lower* than the number of peers because ~15K peers
+per day publish no valid address; IPv6 addresses are a small minority.
+"""
+
+import numpy as np
+
+from repro.core import daily_population_figure, summarize_population
+
+
+def test_figure_05_population(benchmark, main_campaign, scale):
+    figure = benchmark.pedantic(
+        lambda: daily_population_figure(main_campaign.log), rounds=1, iterations=1
+    )
+    summary = summarize_population(main_campaign.log)
+    print()
+    print(figure.to_text(float_format=".0f"))
+    print(f"mean daily peers: {summary.mean_daily_peers:.0f} "
+          f"(scaled paper value ≈ {30_500 * scale:.0f})")
+
+    routers = figure.get("routers")
+    all_ips = figure.get("all IP")
+    ipv4 = figure.get("IPv4")
+    ipv6 = figure.get("IPv6")
+
+    # Unique IPs are fewer than unique peers every single day.
+    for day in routers.xs:
+        assert all_ips.y_at(day) < routers.y_at(day)
+        assert ipv6.y_at(day) < ipv4.y_at(day)
+    # The daily population is stable (low relative dispersion).
+    values = np.asarray(routers.ys)
+    assert values.std() / values.mean() < 0.10
+    # The observed population lands near the scaled paper value.
+    assert 0.7 * 30_500 * scale < summary.mean_daily_peers < 1.1 * 30_500 * scale

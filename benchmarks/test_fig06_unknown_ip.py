@@ -1,0 +1,38 @@
+"""Figure 6 — peers with unknown IP addresses, Section 5.1.
+
+Paper result: >15K unknown-IP peers per day, of which ~14K are firewalled
+(introducers present) and ~4K hidden (no address block), with ~2.6K peers
+per day flipping between the two states.
+"""
+
+from repro.core import summarize_population, unknown_ip_figure
+
+
+def test_figure_06_unknown_ip(benchmark, main_campaign):
+    figure = benchmark.pedantic(
+        lambda: unknown_ip_figure(main_campaign.log), rounds=1, iterations=1
+    )
+    summary = summarize_population(main_campaign.log)
+    print()
+    print(figure.to_text(float_format=".0f"))
+    print(
+        "daily means: "
+        f"unknown-IP={summary.mean_daily_unknown_ip_peers:.0f}, "
+        f"firewalled={summary.mean_daily_firewalled:.0f}, "
+        f"hidden={summary.mean_daily_hidden:.0f}, "
+        f"overlap={summary.mean_daily_overlap:.0f}"
+    )
+
+    # Roughly half of the daily peers have unknown IPs.
+    assert 0.35 < summary.unknown_ip_share < 0.65
+    # Firewalled peers dominate the unknown-IP group (≈14K vs ≈4K).
+    assert summary.mean_daily_firewalled > 2.5 * summary.mean_daily_hidden
+    # A non-trivial group flips between firewalled and hidden.
+    assert summary.mean_daily_overlap > 0
+    assert summary.mean_daily_overlap < summary.mean_daily_hidden * 1.5
+    # Per-day identity: unknown-IP = firewalled + hidden.
+    unknown = figure.get("unknown-IP")
+    firewalled = figure.get("firewalled")
+    hidden = figure.get("hidden")
+    for day in unknown.xs:
+        assert abs(unknown.y_at(day) - (firewalled.y_at(day) + hidden.y_at(day))) < 1e-6

@@ -1,0 +1,38 @@
+"""Figure 8 — number of IP addresses peers are associated with,
+Section 5.2.2.
+
+Paper result: 45 % of known-IP peers kept a single address over the
+three-month campaign while 55 % were associated with two or more; a small
+group of 460 peers (0.65 %) accumulated more than one hundred addresses.
+"""
+
+from repro.core import ip_churn, ip_churn_figure
+
+from .conftest import bench_days
+
+
+def test_figure_08_ip_churn(benchmark, main_campaign):
+    figure = benchmark.pedantic(
+        lambda: ip_churn_figure(main_campaign.log, max_addresses=16),
+        rounds=1,
+        iterations=1,
+    )
+    summary = ip_churn(main_campaign.log)
+    print()
+    print(figure.to_text(float_format=".1f"))
+    print(
+        f"known-IP peers: {summary.known_ip_peers}; "
+        f"single-IP share: {summary.single_ip_share:.1%} (paper 45%); "
+        f"multi-IP share: {summary.multi_ip_share:.1%} (paper 55%); "
+        f">100 addresses: {summary.peers_over_100_ips} (paper 460 over 90 days)"
+    )
+
+    counts = figure.get("observed peers")
+    # Peers with exactly one address form the single largest bucket.
+    assert counts.y_at(1) == max(counts.ys)
+    # A substantial fraction of peers rotates addresses.  The paper's 55 %
+    # is reached over 90 days; shorter campaigns see proportionally less.
+    minimum_multi_share = 0.30 if bench_days() >= 30 else 0.15
+    assert summary.multi_ip_share > minimum_multi_share
+    # The single/multi split is a partition of the known-IP peers.
+    assert summary.single_ip_peers + summary.multi_ip_peers == summary.known_ip_peers

@@ -1,0 +1,31 @@
+"""Figure 9 — capacity distribution of I2P peers, Section 5.3.1.
+
+Paper result (daily averages): L ≈ 21K (the default tier dominates),
+N ≈ 9K, P ≈ 2.1K, X ≈ 1.8K, O ≈ 875, M ≈ 400, K ≈ 360.
+"""
+
+from repro.core import capacity_figure, flag_distribution
+
+
+def test_figure_09_capacity(benchmark, main_campaign):
+    distribution = benchmark.pedantic(
+        lambda: flag_distribution(main_campaign.log), rounds=1, iterations=1
+    )
+    figure = capacity_figure(main_campaign.log)
+    print()
+    print(figure.to_text(float_format=".0f"))
+    print("daily averages per tier:",
+          {tier: round(value) for tier, value in distribution.items()})
+
+    # L dominates, N is second, and the remaining tiers trail off
+    # (P > X > O > M ~ K), matching the paper's ordering.
+    assert distribution["L"] == max(distribution.values())
+    assert distribution["N"] == sorted(distribution.values())[-2]
+    assert distribution["L"] > 2 * distribution["N"]
+    assert distribution["P"] > distribution["O"]
+    assert distribution["X"] > distribution["O"]
+    assert distribution["O"] > distribution["M"]
+    # The default tier accounts for roughly two thirds of the network.
+    total = sum(distribution.values())
+    assert 0.55 < distribution["L"] / total < 0.80
+    assert 0.18 < distribution["N"] / total < 0.35

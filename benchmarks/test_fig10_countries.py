@@ -1,0 +1,49 @@
+"""Figure 10 — top-20 countries where I2P peers reside, Section 5.3.2.
+
+Paper result: the United States leads, and the top six countries (US, RU,
+GB, FR, CA, AU) contribute more than 40 % of the observed peers; the
+top-20 countries exceed 60 %, the remainder coming from ~200 other
+countries; ~30 countries with poor press-freedom scores contribute a
+combined ≈6K peers, led by China, then Singapore and Turkey.
+"""
+
+from repro.core import (
+    country_distribution,
+    country_figure,
+    press_freedom_summary,
+    summarize_geography,
+)
+
+
+def test_figure_10_countries(benchmark, main_campaign):
+    figure = benchmark.pedantic(
+        lambda: country_figure(main_campaign.log, top_n=20), rounds=1, iterations=1
+    )
+    summary = summarize_geography(main_campaign.log)
+    press = press_freedom_summary(main_campaign.log)
+    print()
+    print(figure.to_text(float_format=".1f"))
+    print("top-10 countries:", country_distribution(main_campaign.log).most_common(10))
+    print(f"top-6 share: {summary.top6_share:.1%} (paper >40%)")
+    print(f"top-20 share: {summary.top20_share:.1%} (paper >60%)")
+    print(
+        f"poor press-freedom: {press['countries']} countries, "
+        f"{press['total_peers']} peers, top {press['top']} "
+        "(paper: 30 countries, ≈6K peers, led by CN/SG/TR)"
+    )
+
+    counts = country_distribution(main_campaign.log)
+    ordered = [code for code, _ in counts.most_common()]
+    # The United States hosts the most peers; the paper's other top-six
+    # countries all appear near the top of the ranking.
+    assert ordered[0] == "US"
+    assert {"RU", "GB", "FR", "CA", "AU"} <= set(ordered[:10])
+    # Concentration: top-6 > ~40 %, top-20 > ~60 %, long tail of countries.
+    assert summary.top6_share > 0.33
+    assert summary.top20_share > 0.55
+    assert summary.countries_observed > 80
+    # Poor-press-freedom group exists and is led by China.
+    assert press["countries"] >= 15
+    assert press["top"][0][0] == "CN"
+    cumulative = figure.get("cumulative percentage")
+    assert cumulative.is_monotonic_nondecreasing()

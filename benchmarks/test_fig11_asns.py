@@ -1,0 +1,31 @@
+"""Figure 11 — top-20 autonomous systems where I2P peers reside,
+Section 5.3.2.
+
+Paper result: AS7922 (Comcast Cable Communications) leads with >8K peers;
+the top-20 ASes together account for more than 30 % of the observed peers.
+"""
+
+from repro.core import asn_distribution, asn_figure
+
+
+def test_figure_11_asns(benchmark, main_campaign):
+    figure = benchmark.pedantic(
+        lambda: asn_figure(main_campaign.log, top_n=20), rounds=1, iterations=1
+    )
+    counts = asn_distribution(main_campaign.log)
+    print()
+    print(figure.to_text(float_format=".1f"))
+    print("top-10 ASes:", counts.most_common(10))
+
+    total = sum(counts.values())
+    ranked = counts.most_common(20)
+    # Comcast (AS7922) is the single largest origin AS.
+    assert ranked[0][0] == 7922
+    # Its share is in the mid-single-digit percent range (paper ≈6 %).
+    assert 0.02 < ranked[0][1] / total < 0.15
+    # The top-20 ASes jointly exceed ~30 % of observed peers.
+    top20_share = sum(count for _, count in ranked) / total
+    assert top20_share > 0.30
+    cumulative = figure.get("cumulative percentage")
+    assert cumulative.is_monotonic_nondecreasing()
+    assert cumulative.ys[-1] > 30.0

@@ -1,0 +1,36 @@
+"""Figure 12 — number of autonomous systems in which multi-IP peers reside,
+Section 5.3.2.
+
+Paper result: more than 80 % of peers are only ever seen in a single AS;
+8.4 % appear in more than ten ASes (routers operated behind VPNs or Tor),
+with extremes of 39 ASes and 25 countries for a single peer.
+"""
+
+from repro.core import asn_span, asn_span_figure
+
+
+def test_figure_12_asn_span(benchmark, main_campaign):
+    spans = benchmark.pedantic(
+        lambda: asn_span(main_campaign.log), rounds=1, iterations=1
+    )
+    figure = asn_span_figure(main_campaign.log, max_asns=10)
+    total = sum(spans.values())
+    single_share = spans.get(1, 0) / total
+    over_ten_share = sum(count for n, count in spans.items() if n > 10) / total
+    max_span = max(spans)
+    print()
+    print(figure.to_text(float_format=".1f"))
+    print(
+        f"single-AS share: {single_share:.1%} (paper >80%); "
+        f">10 ASes: {over_ten_share:.2%} (paper 8.4%); "
+        f"max ASes for one peer: {max_span} (paper 39)"
+    )
+
+    # The vast majority of peers stay within one AS.
+    assert single_share > 0.70
+    # A small but real group of peers hops across many ASes.
+    assert sum(count for n, count in spans.items() if n >= 2) > 0
+    assert max_span >= 3
+    counts = figure.get("observed peers")
+    assert counts.y_at(1) == max(counts.ys)
+    assert sum(figure.get("percentage").ys) > 99.0

@@ -1,0 +1,68 @@
+"""Figure 14 — timed-out requests and page-load latency under blocking,
+Section 6.2.3.
+
+Paper result: eepsite page loads take ~3.4 s without blocking; a 65 %
+blocking rate already pushes the load time above 20 s with ~40 % of
+requests timing out; 70–90 % blocking gives >40 s loads and >60 %
+timeouts; above 90 % practically every request times out (HTTP 504).
+"""
+
+import random
+
+from repro.core import client_netdb_from_dayview, usability_curve
+from repro.sim import I2PPopulation, PopulationConfig
+
+from .conftest import bench_scale, bench_seed
+
+BLOCKING_RATES = (
+    0.0, 0.65, 0.67, 0.69, 0.71, 0.73, 0.75, 0.77, 0.79, 0.81,
+    0.83, 0.85, 0.87, 0.89, 0.91, 0.93, 0.95, 0.97,
+)
+
+
+def _build_client_netdb():
+    population = I2PPopulation(
+        PopulationConfig(
+            target_daily_population=max(400, int(30_500 * bench_scale() * 0.5)),
+            horizon_days=2,
+            seed=bench_seed() + 7,
+        )
+    )
+    view = population.day_view(0)
+    size = min(800, max(200, view.online_count // 3))
+    return client_netdb_from_dayview(population, view, size=size, rng=random.Random(1))
+
+
+def _mean_over(series, low, high):
+    values = [y for x, y in series.points if low <= x <= high]
+    return sum(values) / len(values)
+
+
+def test_figure_14_usability(benchmark):
+    netdb = _build_client_netdb()
+    figure = benchmark.pedantic(
+        lambda: usability_curve(
+            netdb, blocking_rates=BLOCKING_RATES, fetches_per_rate=25, seed=13
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(figure.to_text(float_format=".1f"))
+
+    timeouts = figure.get("timed out requests (%)")
+    latency = figure.get("page load time (s)")
+
+    # Baseline: a few seconds, no timeouts (paper: 3.4 s).
+    assert latency.y_at(0.0) < 8.0
+    assert timeouts.y_at(0.0) == 0.0
+    # 65 % blocking already causes long page loads and visible timeouts
+    # (paper: >20 s and ~40 % timeouts).
+    assert latency.y_at(65.0) > 15.0
+    assert timeouts.y_at(65.0) >= 10.0
+    # 70–90 % blocking: heavy degradation (paper: >40 s, >60 % timeouts).
+    assert _mean_over(latency, 71.0, 89.0) > 30.0
+    assert _mean_over(timeouts, 71.0, 89.0) > 35.0
+    # Above 90 % the network is effectively unusable (paper: 95–100 %).
+    assert _mean_over(timeouts, 91.0, 97.0) > 70.0
+    assert _mean_over(latency, 91.0, 97.0) > 45.0

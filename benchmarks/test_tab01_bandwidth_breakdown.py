@@ -1,0 +1,51 @@
+"""Table 1 — percentage of routers per bandwidth tier, by group, plus the
+floodfill-based population extrapolation of Section 5.3.1.
+
+Paper results:
+
+* the overall network and both reachability groups are dominated by the
+  default ``L`` tier with ``N`` second, while the *floodfill* group is
+  dominated by ``N``;
+* ~8.8 % of observed peers carry the floodfill flag, but ~29 % of them are
+  manually enabled K/L/M routers that do not meet the automatic-promotion
+  requirement, leaving ≈1,917 qualified floodfills;
+* dividing by the official ~6 % automatic-floodfill share estimates the
+  population at ≈31,950 — close to the ~30.5K observed daily peers.
+"""
+
+from repro.core import (
+    bandwidth_breakdown,
+    estimate_population,
+    render_table1,
+)
+
+
+def test_table_01_bandwidth_breakdown(benchmark, main_campaign):
+    breakdown = benchmark.pedantic(
+        lambda: bandwidth_breakdown(main_campaign.log), rounds=1, iterations=1
+    )
+    estimate = estimate_population(main_campaign.log)
+    print()
+    print(render_table1(main_campaign.log))
+    print()
+    for key, value in estimate.as_dict().items():
+        print(f"{key}: {value:.3f}")
+
+    total = breakdown["total"]
+    floodfill = breakdown["floodfill"]
+    # Network-wide: L dominates, N second (same as Figure 9).
+    assert total["L"] == max(total.values())
+    assert total["N"] == sorted(total.values())[-2]
+    # Floodfill group: N dominates and L's share collapses versus the total.
+    assert floodfill["N"] == max(floodfill.values())
+    assert floodfill["N"] > total["N"]
+    assert floodfill["L"] < total["L"]
+    # High-bandwidth tiers (P/X) are over-represented among floodfills.
+    assert floodfill["P"] > total["P"]
+    assert floodfill["X"] > total["X"]
+
+    # Extrapolation: ~9 % floodfills, a majority of them qualified, and the
+    # resulting estimate close to the observed daily population.
+    assert 0.05 < estimate.observed_floodfill_share < 0.15
+    assert 0.55 < estimate.qualified_share_of_floodfills < 0.9
+    assert 0.8 < estimate.estimate_to_observed_ratio < 1.6

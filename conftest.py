@@ -1,0 +1,13 @@
+"""Repository-level pytest configuration.
+
+Makes ``src/`` importable even when the package has not been installed
+(e.g. a fresh clone in a fully offline environment), so ``pytest tests/``
+and ``pytest benchmarks/`` work out of the box.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

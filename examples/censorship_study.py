@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Censorship-resistance study: blocking, usability, reseeds, and bridges.
+
+Walks through the paper's Section 6 and Section 7.1 end to end on the
+simulated network:
+
+1. run the 20-router measurement campaign (the censor's infrastructure and
+   the victim client);
+2. compute the address-based blocking rates for 1–20 censor routers under
+   1/5/10/20/30-day blacklist windows (Figure 13);
+3. simulate eepsite page loads under increasing blocking rates (Figure 14);
+4. evaluate reseed-server blocking and manual reseeding (Section 6.1);
+5. quantify the bridge pool of newly joined + firewalled peers (Section 7.1).
+
+Run::
+
+    python examples/censorship_study.py [--days 20] [--scale 0.05]
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro.core import (
+    blocking_assessment,
+    blocking_curve,
+    bridge_pool_summary,
+    bridge_survival_curve,
+    client_netdb_from_dayview,
+    render_figure,
+    reseed_blocking_curve,
+    run_main_campaign,
+    usability_curve,
+)
+from repro.sim import I2PPopulation, PopulationConfig
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--days", type=int, default=20)
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=2018)
+    parser.add_argument("--fetches", type=int, default=10, help="page loads per blocking rate")
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv if argv is not None else sys.argv[1:])
+
+    # ------------------------------------------------------------------ #
+    # 1. The measurement campaign doubles as the censor's infrastructure.
+    # ------------------------------------------------------------------ #
+    print("== Running measurement campaign (censor + victim) ==")
+    result = run_main_campaign(days=args.days, scale=args.scale, seed=args.seed)
+
+    # ------------------------------------------------------------------ #
+    # 2. Figure 13: blocking rate vs number of censor routers.
+    # ------------------------------------------------------------------ #
+    print("\n== Figure 13: address-based blocking ==")
+    figure13 = blocking_curve(result, windows=(1, 5, 10, 20, 30))
+    print(render_figure(figure13, float_format=".1f"))
+    headline = blocking_assessment(result, router_count=10, window_days=5)
+    print(
+        f"\nHeadline: 10 censor routers with a 5-day blacklist block "
+        f"{headline.rate:.1%} of the victim's {headline.victim_ip_count} known peer IPs."
+    )
+
+    # ------------------------------------------------------------------ #
+    # 3. Figure 14: usability under blocking.
+    # ------------------------------------------------------------------ #
+    print("\n== Figure 14: eepsite usability under blocking ==")
+    population = I2PPopulation(
+        PopulationConfig(
+            target_daily_population=max(500, int(30_500 * args.scale * 0.5)),
+            horizon_days=2,
+            seed=args.seed + 1,
+        )
+    )
+    view = population.day_view(0)
+    netdb = client_netdb_from_dayview(
+        population, view, size=min(600, view.online_count // 2), rng=random.Random(args.seed)
+    )
+    figure14 = usability_curve(
+        netdb,
+        blocking_rates=(0.0, 0.65, 0.71, 0.77, 0.83, 0.89, 0.93, 0.97),
+        fetches_per_rate=args.fetches,
+        seed=args.seed,
+    )
+    print(render_figure(figure14, float_format=".1f"))
+
+    # ------------------------------------------------------------------ #
+    # 4. Section 6.1: reseed-server blocking and manual reseeding.
+    # ------------------------------------------------------------------ #
+    print("\n== Section 6.1: reseed-server blocking ==")
+    reseed_figure = reseed_blocking_curve(
+        netdb, clients=150, manual_reseed_share=0.3, seed=args.seed
+    )
+    print(render_figure(reseed_figure, float_format=".1f"))
+
+    # ------------------------------------------------------------------ #
+    # 5. Section 7.1: bridges from new + firewalled peers.
+    # ------------------------------------------------------------------ #
+    print("\n== Section 7.1: bridge candidates ==")
+    pool = bridge_pool_summary(result, censor_routers=10, blacklist_window_days=5)
+    print(
+        f"online known-IP peers: {pool.total_online_known_ip}, "
+        f"unblocked: {pool.unblocked_known_ip} ({pool.unblocked_share:.1%}), "
+        f"of which newly joined: {pool.unblocked_newly_joined}"
+    )
+    print(
+        f"firewalled peers (unblockable by address): {pool.firewalled_pool} "
+        "— candidates for sustainable bridges"
+    )
+    survival = bridge_survival_curve(result, censor_routers=10, horizon_days=6)
+    print(render_figure(survival, float_format=".1f"))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

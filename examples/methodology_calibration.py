@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Methodology calibration: how many routers, in which mode, at what
+bandwidth?
+
+Reproduces the paper's Section 4 experiments that decide the measurement
+setup used for the main campaign:
+
+* Figure 2 — a single high-end router run in floodfill and then
+  non-floodfill mode;
+* Figure 3 — seven floodfill + seven non-floodfill routers across a shared
+  bandwidth sweep from 128 KB/s to 5 MB/s;
+* Figure 4 — the cumulative number of peers observed when operating 1–40
+  routers, which motivates the choice of 20 routers for the main campaign.
+
+Run::
+
+    python examples/methodology_calibration.py [--scale 0.05]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import (
+    bandwidth_sweep,
+    render_figure,
+    router_count_sweep,
+    single_router_experiment,
+)
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=2018)
+    parser.add_argument("--max-routers", type=int, default=40)
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv if argv is not None else sys.argv[1:])
+
+    print("== Figure 2: single high-end router, floodfill vs non-floodfill ==")
+    figure2 = single_router_experiment(days_per_mode=5, scale=args.scale, seed=args.seed)
+    print(render_figure(figure2, float_format=".0f"))
+
+    print("\n== Figure 3: shared-bandwidth sweep (7 + 7 routers) ==")
+    figure3 = bandwidth_sweep(days=3, scale=args.scale, seed=args.seed)
+    print(render_figure(figure3, float_format=".0f"))
+    both = figure3.get("both")
+    print(
+        "\nObservation: the combined floodfill + non-floodfill view stays "
+        f"within [{min(both.ys):.0f}, {max(both.ys):.0f}] peers across the sweep, "
+        "so running both modes matters more than raw bandwidth."
+    )
+
+    print("\n== Figure 4: cumulative peers vs number of routers ==")
+    figure4, result = router_count_sweep(
+        max_routers=args.max_routers, days=5, scale=args.scale, seed=args.seed
+    )
+    print(render_figure(figure4, float_format=".0f"))
+    series = figure4.get("cumulative observed")
+    total = series.ys[-1]
+    twenty = series.y_at(min(20, args.max_routers))
+    print(
+        f"\n20 routers observe {twenty:.0f} peers = {twenty / total:.1%} of the "
+        f"{total:.0f} peers observed by {args.max_routers} routers "
+        "(the paper reports 95.5%), so 20 routers are sufficient."
+    )
+    print(
+        f"Ground-truth daily population in this run: {result.mean_daily_online:.0f} peers."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that editable installs (``pip install -e .``) work in fully offline
+environments where the ``wheel`` package needed for PEP 660 editable wheels
+may not be available.
+"""
+
+from setuptools import setup
+
+setup(
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

@@ -1,0 +1,30 @@
+"""repro — reproduction of "An Empirical Study of the I2P Anonymity Network
+and its Censorship Resistance" (Hoang et al., IMC 2018).
+
+The package is organised in four layers:
+
+* :mod:`repro.netdb` — the I2P network-database substrate (RouterInfos,
+  LeaseSets, routing keys, Kademlia, floodfill behaviour);
+* :mod:`repro.transport` — NTCP/NTCP2 flow shapes, SSU introducers, ports;
+* :mod:`repro.sim` — the network simulator (message-level engine for small
+  networks and a calibrated statistical population/observation model for
+  paper-scale campaigns);
+* :mod:`repro.core` — the paper's contribution: the measurement pipeline
+  (monitoring routers, campaigns, population/churn/capacity/geography
+  analyses) and the censorship-resistance analyses (address-based blocking,
+  usability under blocking, reseed blocking, bridge strategies).
+
+Quickstart
+----------
+>>> from repro.core import run_main_campaign, summarize_population
+>>> result = run_main_campaign(days=10, scale=0.05)
+>>> summary = summarize_population(result.log)
+>>> summary.mean_daily_peers > 0
+True
+"""
+
+from . import analysis, core, netdb, sim, transport
+
+__version__ = "1.0.0"
+
+__all__ = ["analysis", "core", "netdb", "sim", "transport", "__version__"]

@@ -1,0 +1,46 @@
+"""Generic analysis toolkit: statistics, ASCII tables, figure series."""
+
+from .export import (
+    figure_to_csv,
+    figure_to_json,
+    figure_to_rows,
+    summary_to_json,
+    write_figure_csv,
+    write_figure_json,
+)
+from .series import FigureData, FigureSeries
+from .stats import (
+    SummaryStats,
+    bootstrap_mean_ci,
+    cdf_points,
+    cumulative_share,
+    histogram,
+    percentile,
+    share,
+    summarize,
+    survival_points,
+)
+from .tables import format_kv, format_percent, format_table
+
+__all__ = [
+    "figure_to_csv",
+    "figure_to_json",
+    "figure_to_rows",
+    "summary_to_json",
+    "write_figure_csv",
+    "write_figure_json",
+    "FigureData",
+    "FigureSeries",
+    "SummaryStats",
+    "bootstrap_mean_ci",
+    "cdf_points",
+    "cumulative_share",
+    "histogram",
+    "percentile",
+    "share",
+    "summarize",
+    "survival_points",
+    "format_kv",
+    "format_percent",
+    "format_table",
+]

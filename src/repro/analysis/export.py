@@ -1,0 +1,95 @@
+"""Export helpers: serialise figures and summaries to CSV / JSON.
+
+The paper publishes only aggregate statistics (see its ethics section);
+this module provides the equivalent "publishable artefact" layer for the
+reproduction: every regenerated figure/table can be dumped to disk in a
+machine-readable form for plotting or archival, without exposing anything
+but the aggregates themselves.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .series import FigureData
+
+__all__ = [
+    "figure_to_rows",
+    "figure_to_csv",
+    "figure_to_json",
+    "write_figure_csv",
+    "write_figure_json",
+    "summary_to_json",
+]
+
+PathLike = Union[str, Path]
+
+
+def figure_to_rows(figure: FigureData) -> List[Dict[str, Optional[float]]]:
+    """Flatten a figure into one dict per x value, one key per series."""
+    xs = sorted({x for series in figure.series.values() for x in series.xs})
+    rows: List[Dict[str, Optional[float]]] = []
+    for x in xs:
+        row: Dict[str, Optional[float]] = {figure.x_label: x}
+        for name, series in figure.series.items():
+            row[name] = series.y_at(x)
+        rows.append(row)
+    return rows
+
+
+def figure_to_csv(figure: FigureData) -> str:
+    """Render a figure as CSV text (header row + one row per x value)."""
+    rows = figure_to_rows(figure)
+    buffer = io.StringIO()
+    fieldnames = [figure.x_label] + list(figure.series.keys())
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def figure_to_json(figure: FigureData, indent: int = 2) -> str:
+    """Render a figure (metadata + series) as a JSON document."""
+    payload = {
+        "figure_id": figure.figure_id,
+        "title": figure.title,
+        "x_label": figure.x_label,
+        "y_label": figure.y_label,
+        "notes": list(figure.notes),
+        "series": {
+            name: [{"x": x, "y": y} for x, y in series.points]
+            for name, series in figure.series.items()
+        },
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def write_figure_csv(figure: FigureData, path: PathLike) -> Path:
+    """Write a figure to ``path`` as CSV; returns the resolved path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(figure_to_csv(figure), encoding="utf-8")
+    return target
+
+
+def write_figure_json(figure: FigureData, path: PathLike) -> Path:
+    """Write a figure to ``path`` as JSON; returns the resolved path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(figure_to_json(figure), encoding="utf-8")
+    return target
+
+
+def summary_to_json(summary: Dict[str, object], indent: int = 2) -> str:
+    """Serialise a flat summary dict (e.g. ``PopulationSummary.as_dict()``)."""
+    def _default(value: object) -> object:
+        if isinstance(value, (set, frozenset, tuple)):
+            return sorted(value) if isinstance(value, (set, frozenset)) else list(value)
+        return str(value)
+
+    return json.dumps(summary, indent=indent, sort_keys=True, default=_default)

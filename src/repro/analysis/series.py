@@ -1,0 +1,94 @@
+"""Figure-series containers.
+
+The benchmark harness regenerates each paper figure as one or more named
+series of (x, y) points.  :class:`FigureSeries` keeps the data, and
+:class:`FigureData` groups the series belonging to one figure together with
+enough metadata to render a readable text report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .tables import format_table
+
+__all__ = ["FigureSeries", "FigureData"]
+
+
+@dataclass
+class FigureSeries:
+    """One named series of (x, y) points."""
+
+    name: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((float(x), float(y)))
+
+    @property
+    def xs(self) -> List[float]:
+        return [p[0] for p in self.points]
+
+    @property
+    def ys(self) -> List[float]:
+        return [p[1] for p in self.points]
+
+    def y_at(self, x: float) -> Optional[float]:
+        """The y value recorded at exactly ``x`` (None if absent)."""
+        for px, py in self.points:
+            if px == x:
+                return py
+        return None
+
+    def final(self) -> Optional[Tuple[float, float]]:
+        return self.points[-1] if self.points else None
+
+    def is_monotonic_nondecreasing(self) -> bool:
+        ys = self.ys
+        return all(b >= a - 1e-12 for a, b in zip(ys, ys[1:]))
+
+
+@dataclass
+class FigureData:
+    """All the series reproducing one paper figure."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: Dict[str, FigureSeries] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def new_series(self, name: str) -> FigureSeries:
+        if name in self.series:
+            raise ValueError(f"series {name!r} already exists")
+        created = FigureSeries(name=name)
+        self.series[name] = created
+        return created
+
+    def get(self, name: str) -> FigureSeries:
+        return self.series[name]
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def to_text(self, float_format: str = ".2f") -> str:
+        """Render the figure data as an aligned text table."""
+        xs: List[float] = sorted({x for s in self.series.values() for x in s.xs})
+        headers = [self.x_label] + list(self.series.keys())
+        rows: List[List[object]] = []
+        for x in xs:
+            row: List[object] = [x]
+            for series in self.series.values():
+                row.append(series.y_at(x))
+            rows.append(row)
+        text = format_table(
+            headers,
+            rows,
+            float_format=float_format,
+            title=f"{self.figure_id}: {self.title} ({self.y_label})",
+        )
+        if self.notes:
+            text += "\n" + "\n".join(f"note: {n}" for n in self.notes)
+        return text

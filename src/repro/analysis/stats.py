@@ -1,0 +1,159 @@
+"""Statistical helpers used by the measurement analyses and benchmarks."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SummaryStats",
+    "summarize",
+    "percentile",
+    "cdf_points",
+    "survival_points",
+    "histogram",
+    "bootstrap_mean_ci",
+    "share",
+    "cumulative_share",
+]
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Basic summary statistics of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    p95: float
+    maximum: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "p25": self.p25,
+            "median": self.median,
+            "p75": self.p75,
+            "p95": self.p95,
+            "max": self.maximum,
+        }
+
+
+def summarize(values: Sequence[float]) -> SummaryStats:
+    """Compute summary statistics; raises on an empty sample."""
+    if len(values) == 0:
+        raise ValueError("cannot summarize an empty sample")
+    array = np.asarray(list(values), dtype=float)
+    return SummaryStats(
+        count=int(array.size),
+        mean=float(array.mean()),
+        std=float(array.std(ddof=0)),
+        minimum=float(array.min()),
+        p25=float(np.percentile(array, 25)),
+        median=float(np.percentile(array, 50)),
+        p75=float(np.percentile(array, 75)),
+        p95=float(np.percentile(array, 95)),
+        maximum=float(array.max()),
+    )
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0–100) of a sample."""
+    if not 0 <= q <= 100:
+        raise ValueError("percentile must be within [0, 100]")
+    if len(values) == 0:
+        raise ValueError("cannot take the percentile of an empty sample")
+    return float(np.percentile(np.asarray(list(values), dtype=float), q))
+
+
+def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as sorted (value, cumulative fraction) points."""
+    if len(values) == 0:
+        return []
+    array = np.sort(np.asarray(list(values), dtype=float))
+    n = array.size
+    return [(float(v), (i + 1) / n) for i, v in enumerate(array)]
+
+def survival_points(
+    values: Sequence[float], thresholds: Sequence[float]
+) -> List[Tuple[float, float]]:
+    """Fraction of the sample that is >= each threshold (survival curve).
+
+    This is the form of Figure 7 in the paper: the percentage of peers seen
+    in the network for at least *n* days.
+    """
+    if len(values) == 0:
+        return [(float(t), 0.0) for t in thresholds]
+    array = np.asarray(list(values), dtype=float)
+    n = array.size
+    return [(float(t), float((array >= t).sum()) / n) for t in thresholds]
+
+
+def histogram(
+    values: Sequence[float], bin_edges: Sequence[float]
+) -> List[Tuple[float, float, int]]:
+    """Histogram as (low_edge, high_edge, count) triples."""
+    if len(bin_edges) < 2:
+        raise ValueError("at least two bin edges are required")
+    array = np.asarray(list(values), dtype=float)
+    counts, edges = np.histogram(array, bins=np.asarray(list(bin_edges), dtype=float))
+    return [
+        (float(edges[i]), float(edges[i + 1]), int(counts[i]))
+        for i in range(len(counts))
+    ]
+
+
+def bootstrap_mean_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 1_000,
+    seed: int = 0,
+) -> Tuple[float, float, float]:
+    """Bootstrap confidence interval for the mean: (mean, low, high)."""
+    if len(values) == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    array = np.asarray(list(values), dtype=float)
+    rng = np.random.default_rng(seed)
+    means = np.empty(resamples)
+    for i in range(resamples):
+        sample = rng.choice(array, size=array.size, replace=True)
+        means[i] = sample.mean()
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(array.mean()),
+        float(np.quantile(means, alpha)),
+        float(np.quantile(means, 1.0 - alpha)),
+    )
+
+
+def share(counts: Dict[str, float]) -> Dict[str, float]:
+    """Normalise a mapping of counts to shares that sum to 1."""
+    total = float(sum(counts.values()))
+    if total <= 0:
+        return {key: 0.0 for key in counts}
+    return {key: value / total for key, value in counts.items()}
+
+
+def cumulative_share(ordered_counts: Sequence[float]) -> List[float]:
+    """Cumulative share (0–1) of an already-ordered sequence of counts."""
+    total = float(sum(ordered_counts))
+    if total <= 0:
+        return [0.0 for _ in ordered_counts]
+    cumulative: List[float] = []
+    running = 0.0
+    for value in ordered_counts:
+        running += value
+        cumulative.append(running / total)
+    return cumulative

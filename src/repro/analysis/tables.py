@@ -1,0 +1,78 @@
+"""Plain-text tables for benchmark and example output.
+
+Every benchmark regenerating a paper table or figure prints its rows/series
+through these helpers, so the output is uniform, diff-able, and easy to
+compare against the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+__all__ = ["format_table", "format_kv", "format_percent"]
+
+Cell = Union[str, int, float, None]
+
+
+def _render_cell(cell: Cell, float_format: str) -> str:
+    if cell is None:
+        return ""
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        return format(cell, float_format)
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    float_format: str = ".2f",
+    title: Optional[str] = None,
+) -> str:
+    """Render an ASCII table with aligned columns."""
+    if not headers:
+        raise ValueError("a table needs at least one column")
+    rendered_rows: List[List[str]] = [
+        [_render_cell(cell, float_format) for cell in row] for row in rows
+    ]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError("every row must have one cell per header")
+    widths = [len(str(h)) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), sum(widths) + 2 * (len(widths) - 1)))
+    lines.append(render_line([str(h) for h in headers]))
+    lines.append(render_line(["-" * w for w in widths]))
+    for row in rendered_rows:
+        lines.append(render_line(row))
+    return "\n".join(lines)
+
+
+def format_kv(pairs: Dict[str, Cell], title: Optional[str] = None) -> str:
+    """Render key/value pairs, one per line, aligned on the separator."""
+    if not pairs:
+        return title or ""
+    width = max(len(str(key)) for key in pairs)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    for key, value in pairs.items():
+        rendered = _render_cell(value, ".3f")
+        lines.append(f"{str(key).ljust(width)} : {rendered}")
+    return "\n".join(lines)
+
+
+def format_percent(fraction: float, decimals: int = 1) -> str:
+    """Format a 0–1 fraction as a percentage string."""
+    return f"{fraction * 100:.{decimals}f}%"

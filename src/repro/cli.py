@@ -1,0 +1,181 @@
+"""Command-line interface for the I2P measurement reproduction.
+
+Three subcommands mirror the three stages of the paper:
+
+``repro measure``
+    Run the main measurement campaign (Section 5) and print the campaign
+    summary report; optionally export every regenerated figure to a
+    directory as CSV/JSON.
+
+``repro calibrate``
+    Run the methodology experiments of Section 4 (Figures 2–4).
+
+``repro censor``
+    Run the censorship analyses of Section 6 (Figures 13–14) on top of a
+    fresh campaign.
+
+Installed as the ``repro`` console script (see ``pyproject.toml``), and also
+runnable as ``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .analysis.export import write_figure_csv, write_figure_json
+from .analysis.series import FigureData
+from .core import (
+    bandwidth_sweep,
+    blocking_curve,
+    capacity_figure,
+    client_netdb_from_dayview,
+    country_figure,
+    asn_figure,
+    asn_span_figure,
+    daily_population_figure,
+    ip_churn_figure,
+    longevity_figure,
+    render_campaign_summary,
+    render_figure,
+    render_table1,
+    router_count_sweep,
+    run_main_campaign,
+    single_router_experiment,
+    unknown_ip_figure,
+    usability_curve,
+)
+from .sim import I2PPopulation, PopulationConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the IMC'18 I2P measurement & censorship study",
+    )
+    parser.add_argument("--seed", type=int, default=2018, help="random seed")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.05,
+        help="population scale relative to the paper's ~30.5K daily peers",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    measure = subparsers.add_parser(
+        "measure", help="run the Section 5 main campaign and print the summary"
+    )
+    measure.add_argument("--days", type=int, default=20, help="campaign days (paper: 90)")
+    measure.add_argument(
+        "--export-dir",
+        type=Path,
+        default=None,
+        help="directory to write every regenerated figure as CSV and JSON",
+    )
+
+    calibrate = subparsers.add_parser(
+        "calibrate", help="run the Section 4 methodology experiments (Figures 2-4)"
+    )
+    calibrate.add_argument("--max-routers", type=int, default=40)
+
+    censor = subparsers.add_parser(
+        "censor", help="run the Section 6 censorship analyses (Figures 13-14)"
+    )
+    censor.add_argument("--days", type=int, default=20)
+    censor.add_argument("--fetches", type=int, default=10)
+    return parser
+
+
+def _export_figures(figures: Sequence[FigureData], export_dir: Path) -> List[Path]:
+    written: List[Path] = []
+    for figure in figures:
+        written.append(write_figure_csv(figure, export_dir / f"{figure.figure_id}.csv"))
+        written.append(write_figure_json(figure, export_dir / f"{figure.figure_id}.json"))
+    return written
+
+
+def _cmd_measure(args: argparse.Namespace) -> int:
+    result = run_main_campaign(days=args.days, scale=args.scale, seed=args.seed)
+    print(render_campaign_summary(result))
+    print()
+    print(render_table1(result.log))
+    print()
+    print(render_figure(blocking_curve(result), ".1f"))
+    figures = [
+        daily_population_figure(result.log),
+        unknown_ip_figure(result.log),
+        longevity_figure(result.log),
+        ip_churn_figure(result.log),
+        capacity_figure(result.log),
+        country_figure(result.log),
+        asn_figure(result.log),
+        asn_span_figure(result.log),
+        blocking_curve(result),
+    ]
+    if args.export_dir is not None:
+        written = _export_figures(figures, args.export_dir)
+        print(f"\nexported {len(written)} files to {args.export_dir}")
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    print(render_figure(single_router_experiment(scale=args.scale, seed=args.seed), ".0f"))
+    print()
+    print(render_figure(bandwidth_sweep(scale=args.scale, seed=args.seed), ".0f"))
+    print()
+    figure4, result = router_count_sweep(
+        max_routers=args.max_routers, scale=args.scale, seed=args.seed
+    )
+    print(render_figure(figure4, ".0f"))
+    print(f"\nmean daily ground-truth population: {result.mean_daily_online:.0f}")
+    return 0
+
+
+def _cmd_censor(args: argparse.Namespace) -> int:
+    result = run_main_campaign(days=args.days, scale=args.scale, seed=args.seed)
+    print(render_figure(blocking_curve(result), ".1f"))
+    population = I2PPopulation(
+        PopulationConfig(
+            target_daily_population=max(500, int(30_500 * args.scale * 0.5)),
+            horizon_days=2,
+            seed=args.seed + 1,
+        )
+    )
+    view = population.day_view(0)
+    netdb = client_netdb_from_dayview(
+        population,
+        view,
+        size=min(600, max(50, view.online_count // 2)),
+        rng=random.Random(args.seed),
+    )
+    figure14 = usability_curve(
+        netdb,
+        blocking_rates=(0.0, 0.65, 0.71, 0.77, 0.83, 0.89, 0.95),
+        fetches_per_rate=args.fetches,
+        seed=args.seed,
+    )
+    print()
+    print(render_figure(figure14, ".1f"))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "measure":
+        return _cmd_measure(args)
+    if args.command == "calibrate":
+        return _cmd_calibrate(args)
+    if args.command == "censor":
+        return _cmd_censor(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

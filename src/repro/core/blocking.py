@@ -1,0 +1,167 @@
+"""Probabilistic address-based blocking model (Section 6.2, Figure 13).
+
+The model has two sides:
+
+* a **censor** operating *k* monitoring routers inside the network.  Every
+  peer IP address the censor observes is added to a blacklist; the blacklist
+  can retain addresses for a configurable number of days (the paper
+  evaluates windows of 1, 5, 10, 20, and 30 days);
+* a **victim**: a long-term, stable I2P client whose netDb contains the
+  RouterInfos (and therefore the peer IPs) it needs to build tunnels.
+
+The *blocking rate* is the fraction of the victim's known peer IPs that
+also appear in the censor's blacklist — precisely the paper's metric
+("the rate of peer IP addresses seen in the netDb of the victim, which can
+also be found in the netDb of routers that are controlled by the censor").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..analysis.series import FigureData
+from .campaign import CampaignResult
+from .monitor import MonitoringRouter
+
+__all__ = [
+    "BlockingAssessment",
+    "blocking_rate",
+    "censor_blacklist",
+    "victim_known_ips",
+    "blocking_assessment",
+    "blocking_curve",
+]
+
+
+def blocking_rate(censor_ips: Set[str], victim_ips: Set[str]) -> float:
+    """Fraction of the victim's known peer IPs covered by the censor."""
+    if not victim_ips:
+        return 0.0
+    return len(censor_ips & victim_ips) / len(victim_ips)
+
+
+def censor_blacklist(
+    monitors: Sequence[MonitoringRouter],
+    router_count: int,
+    evaluation_day: int,
+    window_days: int,
+) -> Set[str]:
+    """The censor's blacklist using its first ``router_count`` routers and a
+    ``window_days``-day retention window ending on ``evaluation_day``."""
+    if router_count <= 0:
+        raise ValueError("router_count must be positive")
+    if router_count > len(monitors):
+        raise ValueError(
+            f"censor has only {len(monitors)} routers, requested {router_count}"
+        )
+    blacklist: Set[str] = set()
+    for monitor in monitors[:router_count]:
+        blacklist.update(monitor.ips_in_window(evaluation_day, window_days))
+    return blacklist
+
+
+def victim_known_ips(
+    victim: MonitoringRouter, evaluation_day: int, history_days: int = 7
+) -> Set[str]:
+    """The peer IPs present in the victim's netDb on the evaluation day.
+
+    A stable client accumulates RouterInfos over its recent participation;
+    ``history_days`` bounds how far back entries are retained (RouterInfos
+    of long-gone peers are eventually dropped from the netDb).
+    """
+    return victim.ips_in_window(evaluation_day, history_days)
+
+
+@dataclass(frozen=True)
+class BlockingAssessment:
+    """One evaluated censor configuration."""
+
+    router_count: int
+    window_days: int
+    evaluation_day: int
+    censor_ip_count: int
+    victim_ip_count: int
+    blocked_ip_count: int
+    rate: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "router_count": self.router_count,
+            "window_days": self.window_days,
+            "evaluation_day": self.evaluation_day,
+            "censor_ip_count": self.censor_ip_count,
+            "victim_ip_count": self.victim_ip_count,
+            "blocked_ip_count": self.blocked_ip_count,
+            "rate": self.rate,
+        }
+
+
+def blocking_assessment(
+    result: CampaignResult,
+    router_count: int,
+    window_days: int = 1,
+    evaluation_day: Optional[int] = None,
+    victim_history_days: int = 2,
+) -> BlockingAssessment:
+    """Evaluate one (router count, blacklist window) censor configuration."""
+    if result.victim is None:
+        raise ValueError("the campaign was run without a victim client")
+    if evaluation_day is None:
+        evaluation_day = len(result.log.daily) - 1
+    censor_ips = censor_blacklist(
+        result.monitors, router_count, evaluation_day, window_days
+    )
+    victim_ips = victim_known_ips(result.victim, evaluation_day, victim_history_days)
+    blocked = censor_ips & victim_ips
+    return BlockingAssessment(
+        router_count=router_count,
+        window_days=window_days,
+        evaluation_day=evaluation_day,
+        censor_ip_count=len(censor_ips),
+        victim_ip_count=len(victim_ips),
+        blocked_ip_count=len(blocked),
+        rate=blocking_rate(censor_ips, victim_ips),
+    )
+
+
+def blocking_curve(
+    result: CampaignResult,
+    router_counts: Optional[Sequence[int]] = None,
+    windows: Sequence[int] = (1, 5, 10, 20, 30),
+    evaluation_day: Optional[int] = None,
+    victim_history_days: int = 2,
+) -> FigureData:
+    """Figure 13: blocking rate vs censor routers, one series per window."""
+    if result.victim is None:
+        raise ValueError("the campaign was run without a victim client")
+    if router_counts is None:
+        router_counts = list(range(1, len(result.monitors) + 1))
+    if evaluation_day is None:
+        evaluation_day = len(result.log.daily) - 1
+    max_window = max(windows)
+    if evaluation_day + 1 < max_window:
+        # Not enough history for the longest window; windows simply use
+        # whatever history exists (same behaviour as a censor that started
+        # collecting late).
+        pass
+
+    figure = FigureData(
+        figure_id="figure_13",
+        title="Blocking rates under different blacklist time windows",
+        x_label="routers under censor control",
+        y_label="blocking rate (%)",
+    )
+    victim_ips = victim_known_ips(result.victim, evaluation_day, victim_history_days)
+    figure.add_note(
+        f"victim netDb: {len(victim_ips)} peer IPs "
+        f"(history window {victim_history_days} days, evaluation day {evaluation_day + 1})"
+    )
+    for window in windows:
+        series = figure.new_series(f"{window} day" + ("s" if window > 1 else ""))
+        for count in router_counts:
+            censor_ips = censor_blacklist(
+                result.monitors, count, evaluation_day, window
+            )
+            series.add(count, blocking_rate(censor_ips, victim_ips) * 100.0)
+    return figure

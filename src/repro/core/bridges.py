@@ -1,0 +1,186 @@
+"""Bridge strategies for censored users (Section 7.1).
+
+The paper's discussion proposes helping censored users with I2P-style
+"bridges": the peer IPs the censor has *not* yet blacklisted are
+predominantly newly joined peers, and firewalled peers cannot be blocked by
+address at all.  The analyses here quantify both observations on top of a
+finished measurement campaign:
+
+* what fraction of the peers that appeared on a given day escaped the
+  censor's blacklist, split by peer age (newly joined vs long-lived);
+* how long a newly joined peer remains unblocked ("bridge survival") as the
+  censor keeps monitoring;
+* how large the pool of firewalled peers (unblockable by address) is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..analysis.series import FigureData
+from .blocking import censor_blacklist
+from .campaign import CampaignResult
+from .monitor import ObservationLog
+
+__all__ = [
+    "BridgePoolSummary",
+    "bridge_pool_summary",
+    "bridge_survival_curve",
+]
+
+
+@dataclass(frozen=True)
+class BridgePoolSummary:
+    """Composition of the candidate bridge pool on one evaluation day."""
+
+    evaluation_day: int
+    censor_routers: int
+    blacklist_window_days: int
+    total_online_known_ip: int
+    unblocked_known_ip: int
+    unblocked_newly_joined: int
+    unblocked_long_lived: int
+    firewalled_pool: int
+
+    @property
+    def unblocked_share(self) -> float:
+        if self.total_online_known_ip == 0:
+            return 0.0
+        return self.unblocked_known_ip / self.total_online_known_ip
+
+    @property
+    def new_peer_share_of_unblocked(self) -> float:
+        if self.unblocked_known_ip == 0:
+            return 0.0
+        return self.unblocked_newly_joined / self.unblocked_known_ip
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "evaluation_day": self.evaluation_day,
+            "censor_routers": self.censor_routers,
+            "blacklist_window_days": self.blacklist_window_days,
+            "total_online_known_ip": self.total_online_known_ip,
+            "unblocked_known_ip": self.unblocked_known_ip,
+            "unblocked_newly_joined": self.unblocked_newly_joined,
+            "unblocked_long_lived": self.unblocked_long_lived,
+            "firewalled_pool": self.firewalled_pool,
+            "unblocked_share": self.unblocked_share,
+            "new_peer_share_of_unblocked": self.new_peer_share_of_unblocked,
+        }
+
+
+def _log_peer_age_days(log: ObservationLog, peer_id: bytes, day: int) -> Optional[int]:
+    aggregate = log.peers.get(peer_id)
+    if aggregate is None:
+        return None
+    return day - aggregate.first_day
+
+
+def bridge_pool_summary(
+    result: CampaignResult,
+    censor_routers: int = 10,
+    blacklist_window_days: int = 5,
+    evaluation_day: Optional[int] = None,
+    new_peer_age_days: int = 2,
+) -> BridgePoolSummary:
+    """Quantify the unblocked / firewalled bridge pool on one day.
+
+    The candidate pool is assessed against the *union* of all monitoring
+    observations for that day (the best available approximation of the
+    daily online population), while the censor uses only its first
+    ``censor_routers`` routers and its blacklist window.
+    """
+    if evaluation_day is None:
+        evaluation_day = len(result.log.daily) - 1
+    blacklist = censor_blacklist(
+        result.monitors, censor_routers, evaluation_day, blacklist_window_days
+    )
+
+    total_known_ip = 0
+    unblocked = 0
+    unblocked_new = 0
+    unblocked_old = 0
+    firewalled_pool = 0
+    day_stats = result.log.daily[evaluation_day]
+    firewalled_pool = day_stats.firewalled_peers
+
+    for peer_id, aggregate in result.log.peers.items():
+        if evaluation_day not in aggregate.days_observed:
+            continue
+        if not aggregate.has_known_ip:
+            continue
+        total_known_ip += 1
+        peer_ips = aggregate.ipv4_addresses | aggregate.ipv6_addresses
+        if peer_ips & blacklist:
+            continue
+        unblocked += 1
+        age = _log_peer_age_days(result.log, peer_id, evaluation_day)
+        if age is not None and age <= new_peer_age_days:
+            unblocked_new += 1
+        else:
+            unblocked_old += 1
+
+    return BridgePoolSummary(
+        evaluation_day=evaluation_day,
+        censor_routers=censor_routers,
+        blacklist_window_days=blacklist_window_days,
+        total_online_known_ip=total_known_ip,
+        unblocked_known_ip=unblocked,
+        unblocked_newly_joined=unblocked_new,
+        unblocked_long_lived=unblocked_old,
+        firewalled_pool=firewalled_pool,
+    )
+
+
+def bridge_survival_curve(
+    result: CampaignResult,
+    censor_routers: int = 10,
+    blacklist_window_days: int = 30,
+    cohort_day: Optional[int] = None,
+    horizon_days: int = 10,
+) -> FigureData:
+    """How long newly joined peers stay unblocked as the censor keeps watching.
+
+    The cohort is the set of peers first observed on ``cohort_day``; for
+    each subsequent day the curve reports the fraction of the cohort whose
+    addresses are still absent from the censor's blacklist.
+    """
+    if cohort_day is None:
+        cohort_day = max(0, len(result.log.daily) - horizon_days - 1)
+    last_day = min(len(result.log.daily) - 1, cohort_day + horizon_days)
+
+    cohort: List[bytes] = [
+        peer_id
+        for peer_id, aggregate in result.log.peers.items()
+        if aggregate.first_day == cohort_day and aggregate.has_known_ip
+    ]
+    figure = FigureData(
+        figure_id="ablation_bridges",
+        title="Survival of newly joined peers as censorship bridges",
+        x_label="days since first observation",
+        y_label="fraction still unblocked (%)",
+    )
+    series = figure.new_series("new-peer bridges unblocked")
+    if not cohort:
+        figure.add_note("empty cohort: no newly joined peers on the cohort day")
+        return figure
+
+    for day in range(cohort_day, last_day + 1):
+        blacklist = censor_blacklist(
+            result.monitors, censor_routers, day, blacklist_window_days
+        )
+        surviving = 0
+        for peer_id in cohort:
+            aggregate = result.log.peers[peer_id]
+            peer_ips = aggregate.ipv4_addresses | aggregate.ipv6_addresses
+            if not (peer_ips & blacklist):
+                surviving += 1
+        series.add(day - cohort_day, surviving / len(cohort) * 100.0)
+    figure.add_note(
+        f"cohort: {len(cohort)} peers first observed on day {cohort_day + 1}; "
+        f"censor: {censor_routers} routers, {blacklist_window_days}-day blacklist"
+    )
+    return figure

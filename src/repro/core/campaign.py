@@ -1,0 +1,351 @@
+"""Measurement campaigns: the paper's methodology experiments (Section 4)
+and the three-month main campaign (Section 5).
+
+Every experiment here mirrors one of the paper's methodology steps:
+
+* :func:`single_router_experiment` — Figure 2: a single high-end router run
+  for five days in floodfill mode and five days in non-floodfill mode.
+* :func:`bandwidth_sweep` — Figure 3: seven floodfill and seven
+  non-floodfill routers with shared bandwidths from 128 KB/s to 5 MB/s.
+* :func:`router_count_sweep` — Figure 4: cumulative peers observed while
+  operating 1–40 routers.
+* :func:`run_main_campaign` — the 20-router (10 + 10) campaign whose
+  observations feed Figures 5–12 and the censorship analyses.
+
+All experiments accept a ``scale`` parameter that shrinks the synthetic
+population proportionally (1.0 reproduces the paper's ~30.5K daily peers);
+analyses report shares as well as absolute counts so results remain
+comparable across scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.series import FigureData
+from ..sim.observation import (
+    MonitorMode,
+    MonitorSpec,
+    ObservationModel,
+    standard_monitor_fleet,
+)
+from ..sim.population import DayView, I2PPopulation, PopulationConfig
+from ..sim.rng import derive_seed
+from .monitor import MonitoringRouter, ObservationLog
+
+__all__ = [
+    "FULL_SCALE_DAILY_POPULATION",
+    "CampaignConfig",
+    "CampaignResult",
+    "MeasurementCampaign",
+    "scaled_population_config",
+    "single_router_experiment",
+    "bandwidth_sweep",
+    "router_count_sweep",
+    "run_main_campaign",
+]
+
+#: Daily population of the paper's measurement (Section 5.1).
+FULL_SCALE_DAILY_POPULATION = 30_500
+
+#: The shared bandwidth the paper configures on its monitoring routers
+#: (8 MB/s, the limit of the router's built-in bloom filter).
+MONITOR_BANDWIDTH_KBPS = 8_000.0
+
+
+def scaled_population_config(
+    scale: float = 1.0, days: int = 90, seed: int = 2018
+) -> PopulationConfig:
+    """A population config whose daily population is ``scale`` × full size."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return PopulationConfig(
+        target_daily_population=max(200, int(round(FULL_SCALE_DAILY_POPULATION * scale))),
+        horizon_days=days,
+        seed=seed,
+    )
+
+
+@dataclass
+class CampaignConfig:
+    """Configuration of one measurement campaign."""
+
+    population: PopulationConfig
+    monitors: List[MonitorSpec]
+    days: int
+    seed: int = 2018
+    collect_daily_ips: bool = False
+    collect_daily_peers: bool = False
+    include_victim_client: bool = False
+    victim_bandwidth_kbps: float = 256.0
+
+    def __post_init__(self) -> None:
+        if self.days <= 0:
+            raise ValueError("a campaign needs at least one day")
+        if self.days > self.population.horizon_days:
+            raise ValueError("campaign days exceed the population horizon")
+        if not self.monitors:
+            raise ValueError("a campaign needs at least one monitoring router")
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced."""
+
+    config: CampaignConfig
+    population: I2PPopulation
+    monitors: List[MonitoringRouter]
+    victim: Optional[MonitoringRouter]
+    log: ObservationLog
+    #: Per day: cumulative union sizes when adding monitors in fleet order.
+    cumulative_union_by_day: List[List[int]]
+    #: Ground-truth daily online population (from the simulator).
+    daily_online_population: List[int]
+
+    @property
+    def mean_daily_online(self) -> float:
+        if not self.daily_online_population:
+            return 0.0
+        return float(np.mean(self.daily_online_population))
+
+    def mean_cumulative_union(self) -> List[float]:
+        """Cumulative-union curve averaged over campaign days (Figure 4)."""
+        if not self.cumulative_union_by_day:
+            return []
+        array = np.asarray(self.cumulative_union_by_day, dtype=float)
+        return [float(x) for x in array.mean(axis=0)]
+
+    def coverage_of_population(self) -> float:
+        """Observed unique peers / mean daily ground-truth population."""
+        if self.mean_daily_online == 0:
+            return 0.0
+        return self.log.mean_daily_observed() / self.mean_daily_online
+
+
+class MeasurementCampaign:
+    """Runs a monitor fleet against a synthetic population, day by day."""
+
+    def __init__(self, config: CampaignConfig) -> None:
+        self.config = config
+        self.population = I2PPopulation(config=config.population)
+        self.observation_model = ObservationModel(
+            seed=derive_seed(config.seed, "observation")
+        )
+        self.monitors = [
+            MonitoringRouter(
+                spec=spec,
+                collect_daily_ips=config.collect_daily_ips,
+                collect_daily_peers=config.collect_daily_peers,
+            )
+            for spec in config.monitors
+        ]
+        self.victim: Optional[MonitoringRouter] = None
+        if config.include_victim_client:
+            self.victim = MonitoringRouter(
+                spec=MonitorSpec(
+                    "victim-client", MonitorMode.CLIENT, config.victim_bandwidth_kbps
+                ),
+                collect_daily_ips=True,
+                collect_daily_peers=True,
+            )
+        self.log = ObservationLog()
+
+    def run(self, days: Optional[int] = None) -> CampaignResult:
+        days = self.config.days if days is None else days
+        cumulative_union_by_day: List[List[int]] = []
+        daily_online: List[int] = []
+        monitor_specs = [m.spec for m in self.monitors]
+        for view in self.population.iter_days(0, days):
+            daily_online.append(view.online_count)
+            exposure = self.observation_model.day_exposure(view)
+            observations = self.observation_model.observe_day(
+                view, monitor_specs, exposure=exposure
+            )
+            union_indices: set = set()
+            for monitor, indices in zip(self.monitors, observations):
+                monitor.record_day(view, indices)
+                union_indices.update(int(i) for i in indices)
+            cumulative_union_by_day.append(
+                ObservationModel.cumulative_union_sizes(observations)
+            )
+            self.log.record_day(view, union_indices)
+            if self.victim is not None:
+                victim_obs = self.observation_model.observe_day(
+                    view, [self.victim.spec], exposure=exposure
+                )[0]
+                self.victim.record_day(view, victim_obs)
+        return CampaignResult(
+            config=self.config,
+            population=self.population,
+            monitors=self.monitors,
+            victim=self.victim,
+            log=self.log,
+            cumulative_union_by_day=cumulative_union_by_day,
+            daily_online_population=daily_online,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Methodology experiments (Section 4)
+# --------------------------------------------------------------------------- #
+def single_router_experiment(
+    days_per_mode: int = 5,
+    scale: float = 1.0,
+    seed: int = 2018,
+    shared_kbps: float = MONITOR_BANDWIDTH_KBPS,
+) -> FigureData:
+    """Figure 2: one high-end router, floodfill then non-floodfill mode."""
+    total_days = days_per_mode * 2
+    figure = FigureData(
+        figure_id="figure_02",
+        title="Peers observed by a single high-end router",
+        x_label="day",
+        y_label="observed peers",
+    )
+    floodfill_series = figure.new_series("floodfill")
+    non_floodfill_series = figure.new_series("non-floodfill")
+
+    config = CampaignConfig(
+        population=scaled_population_config(scale, days=total_days, seed=seed),
+        monitors=[MonitorSpec("single-ff", MonitorMode.FLOODFILL, shared_kbps)],
+        days=total_days,
+        seed=seed,
+    )
+    # One population, one router; mode switches halfway, exactly like the
+    # paper's 10-day calibration run.
+    population = I2PPopulation(config=config.population)
+    model = ObservationModel(seed=derive_seed(seed, "figure2"))
+    for view in population.iter_days(0, total_days):
+        day = view.day
+        if day < days_per_mode:
+            spec = MonitorSpec("single-ff", MonitorMode.FLOODFILL, shared_kbps)
+        else:
+            spec = MonitorSpec("single-nff", MonitorMode.NON_FLOODFILL, shared_kbps)
+        observed = model.observe_day(view, [spec])[0]
+        if day < days_per_mode:
+            floodfill_series.add(day + 1, len(observed))
+        else:
+            non_floodfill_series.add(day + 1, len(observed))
+    figure.add_note(
+        f"population scale={scale:g} (daily ground truth ≈ "
+        f"{config.population.target_daily_population})"
+    )
+    return figure
+
+
+def bandwidth_sweep(
+    bandwidths_kbps: Sequence[float] = (128, 256, 1000, 2000, 3000, 4000, 5000),
+    days: int = 3,
+    scale: float = 1.0,
+    seed: int = 2018,
+) -> FigureData:
+    """Figure 3: observed peers vs shared bandwidth, per mode and combined."""
+    figure = FigureData(
+        figure_id="figure_03",
+        title="Observed peers vs shared bandwidth (7 floodfill + 7 non-floodfill)",
+        x_label="shared bandwidth (KB/s)",
+        y_label="observed peers",
+    )
+    both = figure.new_series("both")
+    floodfill_series = figure.new_series("floodfill")
+    non_floodfill_series = figure.new_series("non-floodfill")
+
+    monitors: List[MonitorSpec] = []
+    for bandwidth in bandwidths_kbps:
+        monitors.append(MonitorSpec(f"ff-{int(bandwidth)}", MonitorMode.FLOODFILL, bandwidth))
+        monitors.append(
+            MonitorSpec(f"nff-{int(bandwidth)}", MonitorMode.NON_FLOODFILL, bandwidth)
+        )
+    config = CampaignConfig(
+        population=scaled_population_config(scale, days=days, seed=seed),
+        monitors=monitors,
+        days=days,
+        seed=seed,
+        collect_daily_peers=True,
+    )
+    result = MeasurementCampaign(config).run()
+
+    by_name = {monitor.name: monitor for monitor in result.monitors}
+    for bandwidth in bandwidths_kbps:
+        ff = by_name[f"ff-{int(bandwidth)}"]
+        nff = by_name[f"nff-{int(bandwidth)}"]
+        ff_mean = ff.mean_daily_observed()
+        nff_mean = nff.mean_daily_observed()
+        union_sizes = [
+            len(ff_day | nff_day)
+            for ff_day, nff_day in zip(ff.daily_peer_sets, nff.daily_peer_sets)
+        ]
+        floodfill_series.add(bandwidth, ff_mean)
+        non_floodfill_series.add(bandwidth, nff_mean)
+        both.add(bandwidth, float(np.mean(union_sizes)) if union_sizes else 0.0)
+    figure.add_note(
+        f"population scale={scale:g}; daily ground truth ≈ "
+        f"{config.population.target_daily_population}"
+    )
+    return figure
+
+
+def router_count_sweep(
+    max_routers: int = 40,
+    days: int = 5,
+    scale: float = 1.0,
+    seed: int = 2018,
+    shared_kbps: float = MONITOR_BANDWIDTH_KBPS,
+) -> Tuple[FigureData, CampaignResult]:
+    """Figure 4: cumulative observed peers when operating 1..N routers."""
+    if max_routers < 1:
+        raise ValueError("max_routers must be at least 1")
+    floodfill_count = max_routers // 2
+    non_floodfill_count = max_routers - floodfill_count
+    monitors = standard_monitor_fleet(floodfill_count, non_floodfill_count, shared_kbps)
+    config = CampaignConfig(
+        population=scaled_population_config(scale, days=days, seed=seed),
+        monitors=monitors,
+        days=days,
+        seed=seed,
+    )
+    result = MeasurementCampaign(config).run()
+
+    figure = FigureData(
+        figure_id="figure_04",
+        title="Cumulative peers observed by operating 1..N routers",
+        x_label="routers under our control",
+        y_label="observed peers",
+    )
+    series = figure.new_series("cumulative observed")
+    for count, value in enumerate(result.mean_cumulative_union(), start=1):
+        series.add(count, value)
+    figure.add_note(
+        f"mean daily ground-truth population = {result.mean_daily_online:.0f}"
+    )
+    return figure, result
+
+
+# --------------------------------------------------------------------------- #
+# Main campaign (Section 5)
+# --------------------------------------------------------------------------- #
+def run_main_campaign(
+    days: int = 90,
+    scale: float = 1.0,
+    seed: int = 2018,
+    floodfill_monitors: int = 10,
+    non_floodfill_monitors: int = 10,
+    collect_daily_ips: bool = True,
+    include_victim_client: bool = True,
+) -> CampaignResult:
+    """Run the paper's main 20-router campaign (Figures 5–12, Section 6)."""
+    monitors = standard_monitor_fleet(
+        floodfill_monitors, non_floodfill_monitors, MONITOR_BANDWIDTH_KBPS
+    )
+    config = CampaignConfig(
+        population=scaled_population_config(scale, days=days, seed=seed),
+        monitors=monitors,
+        days=days,
+        seed=seed,
+        collect_daily_ips=collect_daily_ips,
+        include_victim_client=include_victim_client,
+    )
+    return MeasurementCampaign(config).run()

@@ -1,0 +1,216 @@
+"""Capacity-flag analysis: Figure 9, Table 1, and the floodfill-based
+population extrapolation of Section 5.3.1.
+
+The paper analyses the capacity field of every observed RouterInfo:
+
+* Figure 9 — the average number of daily peers per bandwidth tier, with
+  ``L`` (the default) dominating and ``N`` second;
+* Table 1 — the percentage of routers in each bandwidth tier, broken down
+  by group (floodfill / reachable / unreachable / total), showing that the
+  floodfill group is dominated by ``N`` rather than ``L``;
+* the extrapolation — K/L/M-flagged floodfills cannot have been promoted
+  automatically (the minimum requirement is an ``N`` rating), so they are
+  "unqualified"; scaling the count of qualified floodfills by the ~6 %
+  automatic-floodfill share published by the I2P project yields an
+  independent estimate of the total network size (≈31,950 in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..analysis.series import FigureData
+from ..netdb.routerinfo import BandwidthTier, QUALIFIED_FLOODFILL_TIERS
+from .monitor import ObservationLog, PeerObservationAggregate
+
+__all__ = [
+    "OFFICIAL_AUTO_FLOODFILL_SHARE",
+    "FloodfillEstimate",
+    "flag_distribution",
+    "capacity_figure",
+    "bandwidth_breakdown",
+    "bandwidth_breakdown_table",
+    "estimate_population",
+]
+
+#: Share of automatically promoted floodfill routers reported on the
+#: official I2P website at the time of the study (Section 5.3.1).
+OFFICIAL_AUTO_FLOODFILL_SHARE = 0.06
+
+_TIER_ORDER = [t.value for t in BandwidthTier.ordered()]
+_QUALIFIED_TIERS = {t.value for t in QUALIFIED_FLOODFILL_TIERS}
+
+
+# --------------------------------------------------------------------------- #
+# Figure 9
+# --------------------------------------------------------------------------- #
+def flag_distribution(log: ObservationLog) -> Dict[str, float]:
+    """Average number of daily observed peers per primary bandwidth tier."""
+    means = log.mean_daily_tier_counts()
+    return {tier: means.get(tier, 0.0) for tier in _TIER_ORDER}
+
+
+def capacity_figure(log: ObservationLog) -> FigureData:
+    """Figure 9: capacity distribution of I2P peers (daily averages)."""
+    distribution = flag_distribution(log)
+    figure = FigureData(
+        figure_id="figure_09",
+        title="Capacity distribution of I2P peers",
+        x_label="tier index (K..X)",
+        y_label="observed peers (daily average)",
+    )
+    series = figure.new_series("observed peers")
+    for position, tier in enumerate(_TIER_ORDER):
+        series.add(position, distribution[tier])
+    figure.add_note("tier order: " + ", ".join(_TIER_ORDER))
+    dominant = max(distribution, key=distribution.get) if distribution else "?"
+    figure.add_note(f"dominant tier: {dominant}")
+    return figure
+
+
+# --------------------------------------------------------------------------- #
+# Table 1
+# --------------------------------------------------------------------------- #
+def _peer_groups(aggregate: PeerObservationAggregate) -> List[str]:
+    groups = ["total"]
+    if aggregate.floodfill_days > 0:
+        groups.append("floodfill")
+    if aggregate.reachable_days > 0:
+        groups.append("reachable")
+    if aggregate.unreachable_days > 0:
+        groups.append("unreachable")
+    return groups
+
+
+def bandwidth_breakdown(log: ObservationLog) -> Dict[str, Dict[str, float]]:
+    """Table 1: percentage of routers per advertised bandwidth flag, per group.
+
+    A peer contributes to every flag it ever advertised (P/X routers also
+    advertise O for backwards compatibility), so columns may sum to more
+    than 100 % — exactly the caveat the paper explains below Table 1.
+    Returns ``{group: {tier_letter: percentage}}`` for the groups
+    ``floodfill``, ``reachable``, ``unreachable``, and ``total``.
+    """
+    groups = ("floodfill", "reachable", "unreachable", "total")
+    counts: Dict[str, Dict[str, int]] = {g: {t: 0 for t in _TIER_ORDER} for g in groups}
+    totals: Dict[str, int] = {g: 0 for g in groups}
+    for aggregate in log.peers.values():
+        advertised = {tier for tier in aggregate.advertised_flag_days}
+        for group in _peer_groups(aggregate):
+            totals[group] += 1
+            for tier in advertised:
+                if tier in counts[group]:
+                    counts[group][tier] += 1
+    breakdown: Dict[str, Dict[str, float]] = {}
+    for group in groups:
+        total = totals[group]
+        breakdown[group] = {
+            tier: (counts[group][tier] / total * 100.0) if total else 0.0
+            for tier in _TIER_ORDER
+        }
+    return breakdown
+
+
+def bandwidth_breakdown_table(log: ObservationLog) -> List[List[object]]:
+    """Table 1 rows: [tier, floodfill %, reachable %, unreachable %, total %]."""
+    breakdown = bandwidth_breakdown(log)
+    rows: List[List[object]] = []
+    for tier in _TIER_ORDER:
+        rows.append(
+            [
+                tier,
+                breakdown["floodfill"][tier],
+                breakdown["reachable"][tier],
+                breakdown["unreachable"][tier],
+                breakdown["total"][tier],
+            ]
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Floodfill-based population estimate
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class FloodfillEstimate:
+    """The Section 5.3.1 extrapolation from floodfills to network size."""
+
+    observed_floodfills: int
+    observed_floodfill_share: float
+    qualified_floodfills: int
+    qualified_share_of_floodfills: float
+    auto_floodfill_share: float
+    estimated_population: float
+    observed_daily_peers: float
+
+    @property
+    def estimate_to_observed_ratio(self) -> float:
+        if self.observed_daily_peers == 0:
+            return 0.0
+        return self.estimated_population / self.observed_daily_peers
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "observed_floodfills": self.observed_floodfills,
+            "observed_floodfill_share": self.observed_floodfill_share,
+            "qualified_floodfills": self.qualified_floodfills,
+            "qualified_share_of_floodfills": self.qualified_share_of_floodfills,
+            "auto_floodfill_share": self.auto_floodfill_share,
+            "estimated_population": self.estimated_population,
+            "observed_daily_peers": self.observed_daily_peers,
+            "estimate_to_observed_ratio": self.estimate_to_observed_ratio,
+        }
+
+
+def estimate_population(
+    log: ObservationLog,
+    auto_floodfill_share: float = OFFICIAL_AUTO_FLOODFILL_SHARE,
+) -> FloodfillEstimate:
+    """Estimate the network size from the qualified-floodfill count.
+
+    The calculation mirrors the paper: count the average number of daily
+    floodfill peers, determine which fraction of them is *qualified*
+    (dominant tier N or better — K/L/M floodfills must have been enabled
+    manually), and divide the qualified count by the official ~6 %
+    automatic-floodfill share.
+    """
+    if not 0 < auto_floodfill_share < 1:
+        raise ValueError("auto_floodfill_share must be in (0, 1)")
+    if not log.daily:
+        raise ValueError("the observation log contains no recorded days")
+
+    mean_daily_floodfills = log.mean_daily("floodfill_peers")
+    mean_daily_peers = log.mean_daily("observed_peers")
+
+    floodfill_aggregates = [
+        aggregate for aggregate in log.peers.values() if aggregate.floodfill_days > 0
+    ]
+    if floodfill_aggregates:
+        qualified = sum(
+            1
+            for aggregate in floodfill_aggregates
+            if (aggregate.dominant_tier() or "L") in _QUALIFIED_TIERS
+        )
+        qualified_share = qualified / len(floodfill_aggregates)
+    else:
+        qualified = 0
+        qualified_share = 0.0
+
+    qualified_daily = mean_daily_floodfills * qualified_share
+    estimated_population = (
+        qualified_daily / auto_floodfill_share if auto_floodfill_share else 0.0
+    )
+    return FloodfillEstimate(
+        observed_floodfills=int(round(mean_daily_floodfills)),
+        observed_floodfill_share=(
+            mean_daily_floodfills / mean_daily_peers if mean_daily_peers else 0.0
+        ),
+        qualified_floodfills=int(round(qualified_daily)),
+        qualified_share_of_floodfills=qualified_share,
+        auto_floodfill_share=auto_floodfill_share,
+        estimated_population=estimated_population,
+        observed_daily_peers=mean_daily_peers,
+    )

@@ -1,0 +1,212 @@
+"""Churn and longevity analysis: Figures 7 and 8 of the paper.
+
+Figure 7 — *peer longevity*: for each number of days *n*, the percentage of
+observed peers that were seen in the network for at least *n* days, both
+*continuously* (a run of consecutive observed days of length ≥ n) and
+*intermittently* (the span between first and last observation ≥ n).  The
+paper reports 56.36 % / 73.93 % for n > 7 days and 20.03 % / 31.15 % for
+n > 30 days.
+
+Figure 8 — *IP address churn*: the distribution of how many distinct IP
+addresses each known-IP peer was associated with over the campaign
+(45 % exactly one, 55 % two or more, and a small group with more than one
+hundred addresses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.series import FigureData
+from .monitor import ObservationLog, PeerObservationAggregate
+
+__all__ = [
+    "LongevitySummary",
+    "IpChurnSummary",
+    "longevity",
+    "longevity_figure",
+    "ip_churn",
+    "ip_churn_figure",
+]
+
+
+@dataclass(frozen=True)
+class LongevitySummary:
+    """Longevity percentages at the thresholds the paper highlights."""
+
+    total_peers: int
+    continuous_over_7_days: float
+    intermittent_over_7_days: float
+    continuous_over_30_days: float
+    intermittent_over_30_days: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "total_peers": self.total_peers,
+            "continuous_over_7_days": self.continuous_over_7_days,
+            "intermittent_over_7_days": self.intermittent_over_7_days,
+            "continuous_over_30_days": self.continuous_over_30_days,
+            "intermittent_over_30_days": self.intermittent_over_30_days,
+        }
+
+
+@dataclass(frozen=True)
+class IpChurnSummary:
+    """IP-address churn statistics over known-IP peers."""
+
+    known_ip_peers: int
+    single_ip_peers: int
+    multi_ip_peers: int
+    peers_over_100_ips: int
+
+    @property
+    def single_ip_share(self) -> float:
+        if self.known_ip_peers == 0:
+            return 0.0
+        return self.single_ip_peers / self.known_ip_peers
+
+    @property
+    def multi_ip_share(self) -> float:
+        if self.known_ip_peers == 0:
+            return 0.0
+        return self.multi_ip_peers / self.known_ip_peers
+
+    @property
+    def over_100_share(self) -> float:
+        if self.known_ip_peers == 0:
+            return 0.0
+        return self.peers_over_100_ips / self.known_ip_peers
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "known_ip_peers": self.known_ip_peers,
+            "single_ip_peers": self.single_ip_peers,
+            "multi_ip_peers": self.multi_ip_peers,
+            "peers_over_100_ips": self.peers_over_100_ips,
+            "single_ip_share": self.single_ip_share,
+            "multi_ip_share": self.multi_ip_share,
+            "over_100_share": self.over_100_share,
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Longevity (Figure 7)
+# --------------------------------------------------------------------------- #
+def _presence_lengths(
+    peers: Sequence[PeerObservationAggregate],
+) -> Tuple[np.ndarray, np.ndarray]:
+    continuous = np.fromiter(
+        (p.longest_continuous_run() for p in peers), dtype=float, count=len(peers)
+    )
+    intermittent = np.fromiter(
+        (p.observation_span_days for p in peers), dtype=float, count=len(peers)
+    )
+    return continuous, intermittent
+
+
+def longevity(
+    log: ObservationLog, thresholds: Sequence[int] = (7, 30)
+) -> Dict[int, Dict[str, float]]:
+    """Percentage of peers seen at least ``n`` days, per threshold.
+
+    Returns ``{n: {"continuous": pct, "intermittent": pct}}`` with
+    percentages in the 0–100 range (matching the paper's reporting).
+    """
+    peers = list(log.peers.values())
+    if not peers:
+        raise ValueError("no peers were observed")
+    continuous, intermittent = _presence_lengths(peers)
+    result: Dict[int, Dict[str, float]] = {}
+    for threshold in thresholds:
+        result[int(threshold)] = {
+            "continuous": float((continuous > threshold).mean() * 100.0),
+            "intermittent": float((intermittent > threshold).mean() * 100.0),
+        }
+    return result
+
+
+def longevity_summary(log: ObservationLog) -> LongevitySummary:
+    values = longevity(log, thresholds=(7, 30))
+    return LongevitySummary(
+        total_peers=log.unique_peer_count,
+        continuous_over_7_days=values[7]["continuous"],
+        intermittent_over_7_days=values[7]["intermittent"],
+        continuous_over_30_days=values[30]["continuous"],
+        intermittent_over_30_days=values[30]["intermittent"],
+    )
+
+
+def longevity_figure(
+    log: ObservationLog, max_days: Optional[int] = None, step: int = 5
+) -> FigureData:
+    """Figure 7: survival curves of continuous and intermittent presence."""
+    peers = list(log.peers.values())
+    if not peers:
+        raise ValueError("no peers were observed")
+    continuous, intermittent = _presence_lengths(peers)
+    max_days = max_days or log.days_recorded
+    figure = FigureData(
+        figure_id="figure_07",
+        title="Percentage of peers seen continuously / intermittently for n days",
+        x_label="number of days",
+        y_label="percentage",
+    )
+    continuous_series = figure.new_series("continuously")
+    intermittent_series = figure.new_series("intermittently")
+    thresholds = list(range(step, max_days + 1, step)) or [max_days]
+    total = len(peers)
+    for threshold in thresholds:
+        continuous_series.add(
+            threshold, float((continuous >= threshold).sum()) / total * 100.0
+        )
+        intermittent_series.add(
+            threshold, float((intermittent >= threshold).sum()) / total * 100.0
+        )
+    return figure
+
+
+# --------------------------------------------------------------------------- #
+# IP churn (Figure 8)
+# --------------------------------------------------------------------------- #
+def ip_churn(log: ObservationLog, over_threshold: int = 100) -> IpChurnSummary:
+    """Campaign-level IP-address churn statistics (Section 5.2.2)."""
+    known = log.known_ip_peers()
+    single = sum(1 for p in known if p.address_count == 1)
+    multi = sum(1 for p in known if p.address_count >= 2)
+    over = sum(1 for p in known if p.address_count > over_threshold)
+    return IpChurnSummary(
+        known_ip_peers=len(known),
+        single_ip_peers=single,
+        multi_ip_peers=multi,
+        peers_over_100_ips=over,
+    )
+
+
+def ip_churn_figure(log: ObservationLog, max_addresses: int = 16) -> FigureData:
+    """Figure 8: number of peers associated with 1..N IP addresses."""
+    known = log.known_ip_peers()
+    figure = FigureData(
+        figure_id="figure_08",
+        title="Number of IP addresses I2P peers are associated with",
+        x_label="number of IP addresses",
+        y_label="observed peers",
+    )
+    counts_series = figure.new_series("observed peers")
+    share_series = figure.new_series("percentage")
+    total = len(known)
+    for addresses in range(1, max_addresses + 1):
+        if addresses < max_addresses:
+            count = sum(1 for p in known if p.address_count == addresses)
+        else:
+            count = sum(1 for p in known if p.address_count >= addresses)
+        counts_series.add(addresses, count)
+        share_series.add(addresses, (count / total * 100.0) if total else 0.0)
+    if total:
+        figure.add_note(
+            f"known-IP peers: {total}; "
+            f"multi-IP share: {sum(1 for p in known if p.address_count >= 2) / total * 100:.1f}%"
+        )
+    return figure

@@ -1,0 +1,200 @@
+"""Geographic and autonomous-system analysis: Figures 10–12.
+
+The paper resolves peer IP addresses to countries and ASNs with an offline
+MaxMind database and counts each peer once per country/AS it was seen in
+(Section 5.3.2); a peer seen with several IPs inside the same AS or country
+is counted only once there.  The analyses here consume the aggregated
+per-peer address sets of an :class:`ObservationLog` and a
+:class:`GeoRegistry` (the offline MaxMind stand-in).
+
+* Figure 10 — top-20 countries by observed peers, with a cumulative-share
+  series; plus the poor-press-freedom group summary the paper highlights.
+* Figure 11 — top-20 ASes by observed peers, with cumulative share.
+* Figure 12 — the number of distinct ASes that multi-IP peers appear in.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.series import FigureData
+from ..sim.geo import GeoRegistry, PRESS_FREEDOM_HIDDEN_THRESHOLD, default_registry
+from .monitor import ObservationLog
+
+__all__ = [
+    "GeographicSummary",
+    "country_distribution",
+    "asn_distribution",
+    "asn_span",
+    "country_figure",
+    "asn_figure",
+    "asn_span_figure",
+    "press_freedom_summary",
+]
+
+
+@dataclass(frozen=True)
+class GeographicSummary:
+    """Headline geographic findings (Section 5.3.2)."""
+
+    countries_observed: int
+    top_country: str
+    top_country_peers: int
+    top6_share: float
+    top20_share: float
+    poor_press_freedom_countries: int
+    poor_press_freedom_peers: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "countries_observed": self.countries_observed,
+            "top_country": self.top_country,
+            "top_country_peers": self.top_country_peers,
+            "top6_share": self.top6_share,
+            "top20_share": self.top20_share,
+            "poor_press_freedom_countries": self.poor_press_freedom_countries,
+            "poor_press_freedom_peers": self.poor_press_freedom_peers,
+        }
+
+
+def country_distribution(log: ObservationLog) -> Counter:
+    """Peers per country (a peer counts once in every country it was seen in)."""
+    counts: Counter = Counter()
+    for aggregate in log.peers.values():
+        for country in aggregate.countries:
+            counts[country] += 1
+    return counts
+
+
+def asn_distribution(log: ObservationLog) -> Counter:
+    """Peers per ASN (a peer counts once in every AS it was seen in)."""
+    counts: Counter = Counter()
+    for aggregate in log.peers.values():
+        for asn in aggregate.asns:
+            counts[asn] += 1
+    return counts
+
+
+def asn_span(log: ObservationLog) -> Counter:
+    """Histogram of the number of distinct ASes per known-IP peer."""
+    counts: Counter = Counter()
+    for aggregate in log.known_ip_peers():
+        counts[len(aggregate.asns)] += 1
+    return counts
+
+
+def country_figure(log: ObservationLog, top_n: int = 20) -> FigureData:
+    """Figure 10: top-N countries plus cumulative percentage."""
+    counts = country_distribution(log)
+    total = sum(counts.values())
+    figure = FigureData(
+        figure_id="figure_10",
+        title="Top countries where I2P peers reside",
+        x_label="rank",
+        y_label="observed peers",
+    )
+    peers_series = figure.new_series("observed peers")
+    cumulative_series = figure.new_series("cumulative percentage")
+    running = 0
+    labels: List[str] = []
+    for rank, (country, count) in enumerate(counts.most_common(top_n), start=1):
+        running += count
+        peers_series.add(rank, count)
+        cumulative_series.add(rank, (running / total * 100.0) if total else 0.0)
+        labels.append(f"{rank}:{country}")
+    figure.add_note("countries by rank: " + " ".join(labels))
+    return figure
+
+
+def asn_figure(log: ObservationLog, top_n: int = 20) -> FigureData:
+    """Figure 11: top-N autonomous systems plus cumulative percentage."""
+    counts = asn_distribution(log)
+    total = sum(counts.values())
+    figure = FigureData(
+        figure_id="figure_11",
+        title="Top autonomous systems where I2P peers reside",
+        x_label="rank",
+        y_label="observed peers",
+    )
+    peers_series = figure.new_series("observed peers")
+    cumulative_series = figure.new_series("cumulative percentage")
+    running = 0
+    labels: List[str] = []
+    for rank, (asn, count) in enumerate(counts.most_common(top_n), start=1):
+        running += count
+        peers_series.add(rank, count)
+        cumulative_series.add(rank, (running / total * 100.0) if total else 0.0)
+        labels.append(f"{rank}:AS{asn}")
+    figure.add_note("ASes by rank: " + " ".join(labels))
+    return figure
+
+
+def asn_span_figure(log: ObservationLog, max_asns: int = 10) -> FigureData:
+    """Figure 12: number of autonomous systems multi-IP peers reside in."""
+    spans = asn_span(log)
+    total = sum(spans.values())
+    figure = FigureData(
+        figure_id="figure_12",
+        title="Number of autonomous systems in which peers reside",
+        x_label="number of autonomous systems",
+        y_label="observed peers",
+    )
+    peers_series = figure.new_series("observed peers")
+    percent_series = figure.new_series("percentage")
+    for asn_count in range(1, max_asns + 1):
+        if asn_count < max_asns:
+            count = spans.get(asn_count, 0)
+        else:
+            count = sum(v for k, v in spans.items() if k >= asn_count)
+        peers_series.add(asn_count, count)
+        percent_series.add(asn_count, (count / total * 100.0) if total else 0.0)
+    over_ten = sum(v for k, v in spans.items() if k > 10)
+    if total:
+        figure.add_note(f"peers in more than 10 ASes: {over_ten} ({over_ten / total * 100:.1f}%)")
+    return figure
+
+
+def press_freedom_summary(
+    log: ObservationLog, registry: Optional[GeoRegistry] = None
+) -> Dict[str, object]:
+    """Peers observed in countries with poor press-freedom scores (>50)."""
+    registry = registry or default_registry()
+    counts = country_distribution(log)
+    poor: Dict[str, int] = {}
+    for country, count in counts.items():
+        if not registry.has_country(country):
+            continue
+        if registry.country(country).press_freedom_score > PRESS_FREEDOM_HIDDEN_THRESHOLD:
+            poor[country] = count
+    ordered = sorted(poor.items(), key=lambda item: item[1], reverse=True)
+    return {
+        "countries": len(poor),
+        "total_peers": sum(poor.values()),
+        "top": ordered[:5],
+    }
+
+
+def summarize_geography(
+    log: ObservationLog, registry: Optional[GeoRegistry] = None
+) -> GeographicSummary:
+    """The headline geographic numbers used by reports and tests."""
+    registry = registry or default_registry()
+    counts = country_distribution(log)
+    if not counts:
+        raise ValueError("no known-IP peers with resolvable countries")
+    total = sum(counts.values())
+    most_common = counts.most_common()
+    top6 = sum(count for _, count in most_common[:6])
+    top20 = sum(count for _, count in most_common[:20])
+    press = press_freedom_summary(log, registry)
+    return GeographicSummary(
+        countries_observed=len(counts),
+        top_country=most_common[0][0],
+        top_country_peers=most_common[0][1],
+        top6_share=top6 / total,
+        top20_share=top20 / total,
+        poor_press_freedom_countries=int(press["countries"]),
+        poor_press_freedom_peers=int(press["total_peers"]),
+    )

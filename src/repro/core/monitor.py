@@ -1,0 +1,306 @@
+"""Monitoring routers and observation aggregation.
+
+The paper's measurement pipeline (Section 4.3) snapshots each monitoring
+router's netDb directory hourly and wipes it daily, so the unit of analysis
+is *"peer X was observed on day D with RouterInfo contents Y"*.  This
+module provides:
+
+* :class:`MonitoringRouter` — one observing router (its configuration plus
+  what it has seen so far, both cumulatively and per day);
+* :class:`PeerObservationAggregate` — everything the pipeline retains about
+  one peer across the campaign (days seen, addresses, capacity flags,
+  geographic placement), mirroring the minimal data collection described in
+  the ethics section (hash, addresses, capacity);
+* :class:`DailyStats` and :class:`ObservationLog` — the campaign-wide
+  aggregation that the per-figure analyses consume.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..sim.observation import MonitorMode, MonitorSpec
+from ..sim.peer import PeerDaySnapshot
+from ..sim.population import DayView
+
+__all__ = [
+    "MonitoringRouter",
+    "PeerObservationAggregate",
+    "DailyStats",
+    "ObservationLog",
+]
+
+
+@dataclass
+class MonitoringRouter:
+    """One monitoring router plus its collected observations."""
+
+    spec: MonitorSpec
+    collect_daily_ips: bool = False
+    collect_daily_peers: bool = False
+    cumulative_peer_ids: Set[bytes] = field(default_factory=set)
+    daily_observed_counts: List[int] = field(default_factory=list)
+    daily_ip_sets: List[Set[str]] = field(default_factory=list)
+    daily_peer_sets: List[Set[bytes]] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def mode(self) -> MonitorMode:
+        return self.spec.mode
+
+    def record_day(self, view: DayView, observed_indices: np.ndarray) -> None:
+        """Record one day of observations (indices into ``view.snapshots``)."""
+        peer_ids: Set[bytes] = set()
+        ips: Set[str] = set()
+        for index in observed_indices:
+            snapshot = view.snapshots[int(index)]
+            peer_ids.add(snapshot.peer_id)
+            for ip in snapshot.ip_addresses:
+                ips.add(ip)
+        self.cumulative_peer_ids.update(peer_ids)
+        self.daily_observed_counts.append(len(peer_ids))
+        if self.collect_daily_ips:
+            self.daily_ip_sets.append(ips)
+        if self.collect_daily_peers:
+            self.daily_peer_sets.append(peer_ids)
+
+    def mean_daily_observed(self) -> float:
+        if not self.daily_observed_counts:
+            return 0.0
+        return float(np.mean(self.daily_observed_counts))
+
+    def ips_in_window(self, end_day_index: int, window_days: int) -> Set[str]:
+        """Union of IPs observed in the ``window_days`` days ending at
+        ``end_day_index`` (inclusive).  Requires ``collect_daily_ips``."""
+        if not self.collect_daily_ips:
+            raise RuntimeError("daily IP collection was not enabled for this monitor")
+        if window_days <= 0:
+            raise ValueError("window_days must be positive")
+        start = max(0, end_day_index - window_days + 1)
+        union: Set[str] = set()
+        for day_index in range(start, end_day_index + 1):
+            if day_index < len(self.daily_ip_sets):
+                union.update(self.daily_ip_sets[day_index])
+        return union
+
+
+@dataclass
+class PeerObservationAggregate:
+    """Campaign-long aggregate of one observed peer."""
+
+    peer_id: bytes
+    first_day: int
+    last_day: int
+    days_observed: Set[int] = field(default_factory=set)
+    ipv4_addresses: Set[str] = field(default_factory=set)
+    ipv6_addresses: Set[str] = field(default_factory=set)
+    countries: Set[str] = field(default_factory=set)
+    asns: Set[int] = field(default_factory=set)
+    primary_tier_days: Counter = field(default_factory=Counter)
+    advertised_flag_days: Counter = field(default_factory=Counter)
+    floodfill_days: int = 0
+    reachable_days: int = 0
+    unreachable_days: int = 0
+    firewalled_days: int = 0
+    hidden_days: int = 0
+
+    def record(self, snapshot: PeerDaySnapshot) -> None:
+        day = snapshot.day
+        self.first_day = min(self.first_day, day)
+        self.last_day = max(self.last_day, day)
+        self.days_observed.add(day)
+        if snapshot.has_valid_ip:
+            if snapshot.ip is not None:
+                self.ipv4_addresses.add(snapshot.ip)
+            if snapshot.ipv6 is not None:
+                self.ipv6_addresses.add(snapshot.ipv6)
+            if snapshot.country_code:
+                self.countries.add(snapshot.country_code)
+            if snapshot.asn is not None:
+                self.asns.add(snapshot.asn)
+        self.primary_tier_days[snapshot.bandwidth_tier.value] += 1
+        for tier in snapshot.advertised_tiers:
+            self.advertised_flag_days[tier.value] += 1
+        if snapshot.floodfill:
+            self.floodfill_days += 1
+        if snapshot.reachable:
+            self.reachable_days += 1
+        else:
+            self.unreachable_days += 1
+        if snapshot.firewalled:
+            self.firewalled_days += 1
+        if snapshot.hidden:
+            self.hidden_days += 1
+
+    # ------------------------------------------------------------------ #
+    # Derived per-peer quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def observed_day_count(self) -> int:
+        return len(self.days_observed)
+
+    @property
+    def observation_span_days(self) -> int:
+        """Days between first and last observation, inclusive (intermittent
+        presence length as defined for Figure 7)."""
+        return self.last_day - self.first_day + 1
+
+    def longest_continuous_run(self) -> int:
+        """Longest run of consecutive observed days (continuous presence)."""
+        if not self.days_observed:
+            return 0
+        days = sorted(self.days_observed)
+        longest = 1
+        current = 1
+        for previous, current_day in zip(days, days[1:]):
+            if current_day == previous + 1:
+                current += 1
+                longest = max(longest, current)
+            else:
+                current = 1
+        return longest
+
+    @property
+    def has_known_ip(self) -> bool:
+        return bool(self.ipv4_addresses or self.ipv6_addresses)
+
+    @property
+    def address_count(self) -> int:
+        return len(self.ipv4_addresses)
+
+    @property
+    def is_mostly_floodfill(self) -> bool:
+        return self.floodfill_days * 2 > self.observed_day_count
+
+    def dominant_tier(self) -> Optional[str]:
+        if not self.primary_tier_days:
+            return None
+        return self.primary_tier_days.most_common(1)[0][0]
+
+
+@dataclass
+class DailyStats:
+    """Network-wide daily statistics computed from the observation union."""
+
+    day: int
+    observed_peers: int = 0
+    observed_ipv4: int = 0
+    observed_ipv6: int = 0
+    observed_all_ips: int = 0
+    known_ip_peers: int = 0
+    unknown_ip_peers: int = 0
+    firewalled_peers: int = 0
+    hidden_peers: int = 0
+    overlap_peers: int = 0
+    floodfill_peers: int = 0
+    reachable_peers: int = 0
+    unreachable_peers: int = 0
+    tier_counts: Dict[str, int] = field(default_factory=dict)
+    new_peer_ids: int = 0
+
+
+class ObservationLog:
+    """Campaign-wide aggregation over the union of all monitoring routers."""
+
+    def __init__(self) -> None:
+        self.peers: Dict[bytes, PeerObservationAggregate] = {}
+        self.daily: List[DailyStats] = []
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def record_day(
+        self, view: DayView, observed_indices: Iterable[int]
+    ) -> DailyStats:
+        """Record the union of monitor observations for one day."""
+        stats = DailyStats(day=view.day)
+        tier_counts: Counter = Counter()
+        ipv4: Set[str] = set()
+        ipv6: Set[str] = set()
+        for index in observed_indices:
+            snapshot = view.snapshots[int(index)]
+            aggregate = self.peers.get(snapshot.peer_id)
+            is_new = aggregate is None
+            if aggregate is None:
+                aggregate = PeerObservationAggregate(
+                    peer_id=snapshot.peer_id,
+                    first_day=snapshot.day,
+                    last_day=snapshot.day,
+                )
+                self.peers[snapshot.peer_id] = aggregate
+            previously_firewalled = aggregate.firewalled_days > 0
+            previously_hidden = aggregate.hidden_days > 0
+            aggregate.record(snapshot)
+
+            stats.observed_peers += 1
+            if is_new:
+                stats.new_peer_ids += 1
+            if snapshot.has_valid_ip:
+                stats.known_ip_peers += 1
+                if snapshot.ip is not None:
+                    ipv4.add(snapshot.ip)
+                if snapshot.ipv6 is not None:
+                    ipv6.add(snapshot.ipv6)
+            else:
+                stats.unknown_ip_peers += 1
+            if snapshot.firewalled:
+                stats.firewalled_peers += 1
+                if previously_hidden:
+                    stats.overlap_peers += 1
+            if snapshot.hidden:
+                stats.hidden_peers += 1
+                if previously_firewalled:
+                    stats.overlap_peers += 1
+            if snapshot.floodfill:
+                stats.floodfill_peers += 1
+            if snapshot.reachable:
+                stats.reachable_peers += 1
+            else:
+                stats.unreachable_peers += 1
+            tier_counts[snapshot.bandwidth_tier.value] += 1
+        stats.observed_ipv4 = len(ipv4)
+        stats.observed_ipv6 = len(ipv6)
+        stats.observed_all_ips = len(ipv4) + len(ipv6)
+        stats.tier_counts = dict(tier_counts)
+        self.daily.append(stats)
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # Aggregate accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def days_recorded(self) -> int:
+        return len(self.daily)
+
+    @property
+    def unique_peer_count(self) -> int:
+        return len(self.peers)
+
+    def known_ip_peers(self) -> List[PeerObservationAggregate]:
+        return [p for p in self.peers.values() if p.has_known_ip]
+
+    def mean_daily_observed(self) -> float:
+        if not self.daily:
+            return 0.0
+        return float(np.mean([d.observed_peers for d in self.daily]))
+
+    def mean_daily(self, attribute: str) -> float:
+        """Mean over days of one :class:`DailyStats` attribute."""
+        if not self.daily:
+            return 0.0
+        return float(np.mean([getattr(d, attribute) for d in self.daily]))
+
+    def mean_daily_tier_counts(self) -> Dict[str, float]:
+        if not self.daily:
+            return {}
+        totals: Counter = Counter()
+        for stats in self.daily:
+            totals.update(stats.tier_counts)
+        return {tier: count / len(self.daily) for tier, count in totals.items()}

@@ -1,0 +1,160 @@
+"""Population analysis: Figures 5 and 6 of the paper.
+
+Figure 5 plots, per day, the number of unique peers and the number of
+unique IP addresses (all / IPv4 / IPv6) observed by the 20-router campaign.
+The paper's headline observation is that the number of unique IP addresses
+is *lower* than the number of peers because a large group of peers (the
+"unknown-IP" peers) publish no valid address.
+
+Figure 6 splits the unknown-IP group into firewalled peers (introducers
+present in the RouterInfo) and hidden peers (no address block at all), plus
+the peers that flip between the two states ("overlapping").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..analysis.series import FigureData
+from .monitor import ObservationLog
+
+__all__ = [
+    "PopulationSummary",
+    "daily_population_figure",
+    "unknown_ip_figure",
+    "summarize_population",
+    "classify_unknown_ip",
+]
+
+
+@dataclass(frozen=True)
+class PopulationSummary:
+    """Headline population numbers for a campaign (Section 5.1)."""
+
+    days: int
+    mean_daily_peers: float
+    mean_daily_all_ips: float
+    mean_daily_ipv4: float
+    mean_daily_ipv6: float
+    mean_daily_known_ip_peers: float
+    mean_daily_unknown_ip_peers: float
+    mean_daily_firewalled: float
+    mean_daily_hidden: float
+    mean_daily_overlap: float
+    unique_peers: int
+
+    @property
+    def unknown_ip_share(self) -> float:
+        if self.mean_daily_peers == 0:
+            return 0.0
+        return self.mean_daily_unknown_ip_peers / self.mean_daily_peers
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "days": self.days,
+            "mean_daily_peers": self.mean_daily_peers,
+            "mean_daily_all_ips": self.mean_daily_all_ips,
+            "mean_daily_ipv4": self.mean_daily_ipv4,
+            "mean_daily_ipv6": self.mean_daily_ipv6,
+            "mean_daily_known_ip_peers": self.mean_daily_known_ip_peers,
+            "mean_daily_unknown_ip_peers": self.mean_daily_unknown_ip_peers,
+            "mean_daily_firewalled": self.mean_daily_firewalled,
+            "mean_daily_hidden": self.mean_daily_hidden,
+            "mean_daily_overlap": self.mean_daily_overlap,
+            "unique_peers": self.unique_peers,
+            "unknown_ip_share": self.unknown_ip_share,
+        }
+
+
+def summarize_population(log: ObservationLog) -> PopulationSummary:
+    """Compute the Section 5.1 headline numbers from an observation log."""
+    if not log.daily:
+        raise ValueError("the observation log contains no recorded days")
+    return PopulationSummary(
+        days=log.days_recorded,
+        mean_daily_peers=log.mean_daily("observed_peers"),
+        mean_daily_all_ips=log.mean_daily("observed_all_ips"),
+        mean_daily_ipv4=log.mean_daily("observed_ipv4"),
+        mean_daily_ipv6=log.mean_daily("observed_ipv6"),
+        mean_daily_known_ip_peers=log.mean_daily("known_ip_peers"),
+        mean_daily_unknown_ip_peers=log.mean_daily("unknown_ip_peers"),
+        mean_daily_firewalled=log.mean_daily("firewalled_peers"),
+        mean_daily_hidden=log.mean_daily("hidden_peers"),
+        mean_daily_overlap=log.mean_daily("overlap_peers"),
+        unique_peers=log.unique_peer_count,
+    )
+
+
+def daily_population_figure(log: ObservationLog) -> FigureData:
+    """Figure 5: unique peers and unique IPs (all / IPv4 / IPv6) per day."""
+    figure = FigureData(
+        figure_id="figure_05",
+        title="Number of unique peers and IP addresses",
+        x_label="day",
+        y_label="observed peers / IPs",
+    )
+    routers = figure.new_series("routers")
+    all_ips = figure.new_series("all IP")
+    ipv4 = figure.new_series("IPv4")
+    ipv6 = figure.new_series("IPv6")
+    for stats in log.daily:
+        day = stats.day + 1
+        routers.add(day, stats.observed_peers)
+        all_ips.add(day, stats.observed_all_ips)
+        ipv4.add(day, stats.observed_ipv4)
+        ipv6.add(day, stats.observed_ipv6)
+    return figure
+
+
+def unknown_ip_figure(log: ObservationLog) -> FigureData:
+    """Figure 6: unknown-IP peers split into firewalled / hidden / overlap."""
+    figure = FigureData(
+        figure_id="figure_06",
+        title="Peers with unknown IP addresses",
+        x_label="day",
+        y_label="observed peers",
+    )
+    unknown = figure.new_series("unknown-IP")
+    firewalled = figure.new_series("firewalled")
+    hidden = figure.new_series("hidden")
+    overlap = figure.new_series("overlapping")
+    for stats in log.daily:
+        day = stats.day + 1
+        unknown.add(day, stats.unknown_ip_peers)
+        firewalled.add(day, stats.firewalled_peers)
+        hidden.add(day, stats.hidden_peers)
+        overlap.add(day, stats.overlap_peers)
+    return figure
+
+
+def classify_unknown_ip(log: ObservationLog) -> Dict[str, int]:
+    """Campaign-level classification of unknown-IP peers (Section 5.1).
+
+    Counts unique peers that were *ever* observed as firewalled, ever
+    observed as hidden, the overlap (observed as both at different times),
+    and peers that never published a valid address at all.
+    """
+    ever_firewalled = 0
+    ever_hidden = 0
+    both = 0
+    never_addressed = 0
+    for aggregate in log.peers.values():
+        was_firewalled = aggregate.firewalled_days > 0
+        was_hidden = aggregate.hidden_days > 0
+        if was_firewalled:
+            ever_firewalled += 1
+        if was_hidden:
+            ever_hidden += 1
+        if was_firewalled and was_hidden:
+            both += 1
+        if not aggregate.has_known_ip:
+            never_addressed += 1
+    return {
+        "ever_firewalled": ever_firewalled,
+        "ever_hidden": ever_hidden,
+        "both_statuses": both,
+        "never_published_address": never_addressed,
+    }

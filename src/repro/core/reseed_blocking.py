@@ -1,0 +1,169 @@
+"""Reseed-server blocking and manual reseeding (Section 6.1).
+
+Reseed servers are a single point of blockage: a censor that blocks access
+to all hardcoded reseed hostnames prevents *new* clients from bootstrapping
+at all.  The paper notes two mitigations: (a) partial blocking is often
+leaky (some servers remain reachable), and (b) the router ships a manual
+reseeding feature (``i2pseeds.su3`` files shared out of band).
+
+This module quantifies both effects: the bootstrap success probability as a
+function of how many reseed servers the censor blocks, and the recovery
+achieved when a fraction of censored users obtains a manual reseed file.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.series import FigureData
+from ..netdb.routerinfo import RouterInfo
+from ..sim.reseed import (
+    DEFAULT_RESEED_SERVERS,
+    ReseedFile,
+    ReseedServer,
+    bootstrap,
+    create_reseed_file,
+)
+
+__all__ = [
+    "ReseedBlockingOutcome",
+    "simulate_reseed_blocking",
+    "reseed_blocking_curve",
+]
+
+
+@dataclass(frozen=True)
+class ReseedBlockingOutcome:
+    """Bootstrap outcomes for one blocking configuration."""
+
+    blocked_servers: int
+    total_servers: int
+    clients: int
+    bootstrap_successes: int
+    manual_reseed_successes: int
+
+    @property
+    def success_rate(self) -> float:
+        if self.clients == 0:
+            return 0.0
+        return self.bootstrap_successes / self.clients
+
+    @property
+    def manual_rescue_rate(self) -> float:
+        if self.clients == 0:
+            return 0.0
+        return self.manual_reseed_successes / self.clients
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "blocked_servers": self.blocked_servers,
+            "total_servers": self.total_servers,
+            "clients": self.clients,
+            "bootstrap_successes": self.bootstrap_successes,
+            "manual_reseed_successes": self.manual_reseed_successes,
+            "success_rate": self.success_rate,
+            "manual_rescue_rate": self.manual_rescue_rate,
+        }
+
+
+def _build_servers(
+    routerinfos: Sequence[RouterInfo], server_names: Sequence[str]
+) -> List[ReseedServer]:
+    servers = [ReseedServer(hostname=name) for name in server_names]
+    for server in servers:
+        server.update_known(routerinfos)
+    return servers
+
+
+def simulate_reseed_blocking(
+    routerinfos: Sequence[RouterInfo],
+    blocked_servers: int,
+    clients: int = 200,
+    manual_reseed_share: float = 0.0,
+    server_names: Sequence[str] = DEFAULT_RESEED_SERVERS,
+    seed: int = 0,
+) -> ReseedBlockingOutcome:
+    """Simulate new clients bootstrapping while a censor blocks reseeds.
+
+    ``manual_reseed_share`` is the fraction of censored clients that manage
+    to obtain an ``i2pseeds.su3`` file through a secondary channel.
+    """
+    if blocked_servers < 0 or blocked_servers > len(server_names):
+        raise ValueError("blocked_servers out of range")
+    if not 0.0 <= manual_reseed_share <= 1.0:
+        raise ValueError("manual_reseed_share must be within [0, 1]")
+    rng = random.Random(seed)
+    servers = _build_servers(routerinfos, server_names)
+    for server in rng.sample(servers, blocked_servers):
+        server.blocked = True
+
+    reseed_file: Optional[ReseedFile] = None
+    if routerinfos:
+        reseed_file = create_reseed_file(routerinfos[0].hash, list(routerinfos))
+
+    successes = 0
+    manual_successes = 0
+    for client_index in range(clients):
+        source_ip = f"198.51.{client_index // 250}.{client_index % 250 + 1}"
+        has_manual = rng.random() < manual_reseed_share
+        result = bootstrap(
+            source_ip,
+            servers,
+            rng=rng,
+            manual_reseed=reseed_file if has_manual else None,
+        )
+        if result.succeeded:
+            successes += 1
+            if result.used_manual_reseed:
+                manual_successes += 1
+    return ReseedBlockingOutcome(
+        blocked_servers=blocked_servers,
+        total_servers=len(server_names),
+        clients=clients,
+        bootstrap_successes=successes,
+        manual_reseed_successes=manual_successes,
+    )
+
+
+def reseed_blocking_curve(
+    routerinfos: Sequence[RouterInfo],
+    clients: int = 200,
+    manual_reseed_share: float = 0.25,
+    server_names: Sequence[str] = DEFAULT_RESEED_SERVERS,
+    seed: int = 0,
+) -> FigureData:
+    """Bootstrap success vs number of blocked reseed servers (ablation).
+
+    Two series: without manual reseeding, and with ``manual_reseed_share``
+    of censored clients receiving a reseed file out of band.
+    """
+    figure = FigureData(
+        figure_id="ablation_reseed",
+        title="Bootstrap success under reseed-server blocking",
+        x_label="blocked reseed servers",
+        y_label="bootstrap success rate (%)",
+    )
+    without_manual = figure.new_series("no manual reseed")
+    with_manual = figure.new_series(f"manual reseed ({manual_reseed_share:.0%} of clients)")
+    for blocked in range(0, len(server_names) + 1):
+        outcome_plain = simulate_reseed_blocking(
+            routerinfos,
+            blocked,
+            clients=clients,
+            manual_reseed_share=0.0,
+            server_names=server_names,
+            seed=seed + blocked,
+        )
+        outcome_manual = simulate_reseed_blocking(
+            routerinfos,
+            blocked,
+            clients=clients,
+            manual_reseed_share=manual_reseed_share,
+            server_names=server_names,
+            seed=seed + 1000 + blocked,
+        )
+        without_manual.add(blocked, outcome_plain.success_rate * 100.0)
+        with_manual.add(blocked, outcome_manual.success_rate * 100.0)
+    return figure

@@ -1,0 +1,115 @@
+"""I2P network database (netDb) substrate.
+
+This package models the data structures and protocol behaviour of I2P's
+distributed network database, as described in Section 2.1.2 of the paper:
+router identities, RouterInfos, LeaseSets, daily-rotating routing keys,
+Kademlia XOR metric / k-buckets, per-router stores, DSM/DLM messages, and
+floodfill store/flood/lookup logic.
+"""
+
+from .identity import (
+    HASH_LENGTH,
+    RouterIdentity,
+    from_i2p_base64,
+    sha256,
+    to_i2p_base64,
+)
+from .kademlia import (
+    KEY_BITS,
+    KBucket,
+    RoutingTable,
+    bucket_index,
+    closest_nodes,
+    xor_distance,
+)
+from .leaseset import LEASE_DURATION, Destination, Lease, LeaseSet
+from .messages import (
+    DatabaseLookupMessage,
+    DatabaseSearchReplyMessage,
+    DatabaseStoreMessage,
+    LookupType,
+    MessageType,
+)
+from .floodfill import (
+    FLOOD_REDUNDANCY,
+    FloodfillHealth,
+    FloodfillRouterState,
+    is_qualified_floodfill,
+)
+from .routerinfo import (
+    FLOODFILL_MIN_KBPS,
+    QUALIFIED_FLOODFILL_TIERS,
+    BandwidthTier,
+    CapacityFlags,
+    Introducer,
+    RouterAddress,
+    RouterInfo,
+    TransportStyle,
+    parse_capacity_string,
+)
+from .routing_key import (
+    SECONDS_PER_DAY,
+    date_string_for_time,
+    keys_rotate_between,
+    routing_key,
+    select_closest,
+)
+from .store import (
+    FLOODFILL_ROUTERINFO_EXPIRY,
+    ROUTERINFO_EXPIRY,
+    NetDbStore,
+    StoreStats,
+)
+
+__all__ = [
+    # identity
+    "HASH_LENGTH",
+    "RouterIdentity",
+    "sha256",
+    "to_i2p_base64",
+    "from_i2p_base64",
+    # kademlia
+    "KEY_BITS",
+    "KBucket",
+    "RoutingTable",
+    "bucket_index",
+    "closest_nodes",
+    "xor_distance",
+    # leaseset
+    "LEASE_DURATION",
+    "Destination",
+    "Lease",
+    "LeaseSet",
+    # messages
+    "DatabaseLookupMessage",
+    "DatabaseSearchReplyMessage",
+    "DatabaseStoreMessage",
+    "LookupType",
+    "MessageType",
+    # floodfill
+    "FLOOD_REDUNDANCY",
+    "FloodfillHealth",
+    "FloodfillRouterState",
+    "is_qualified_floodfill",
+    # routerinfo
+    "FLOODFILL_MIN_KBPS",
+    "QUALIFIED_FLOODFILL_TIERS",
+    "BandwidthTier",
+    "CapacityFlags",
+    "Introducer",
+    "RouterAddress",
+    "RouterInfo",
+    "TransportStyle",
+    "parse_capacity_string",
+    # routing keys
+    "SECONDS_PER_DAY",
+    "date_string_for_time",
+    "keys_rotate_between",
+    "routing_key",
+    "select_closest",
+    # store
+    "FLOODFILL_ROUTERINFO_EXPIRY",
+    "ROUTERINFO_EXPIRY",
+    "NetDbStore",
+    "StoreStats",
+]

@@ -1,0 +1,261 @@
+"""Floodfill behaviour: storing, flooding, and answering lookups.
+
+Floodfill routers *"play an essential role in maintaining the netDb"*
+(Section 2.1.2).  The behaviours modelled here are the ones the paper's
+measurement and blocking analyses depend on:
+
+* a floodfill stores entries whose routing key falls near its own key;
+* on receiving a DSM with a *newer* entry than it has, it floods the entry
+  to its ``FLOOD_REDUNDANCY`` (three) closest floodfill neighbours
+  (Section 4.2, fourth discovery mechanism);
+* on receiving a DLM it answers from its store, or returns a search reply
+  listing closer floodfills;
+* routers below the automatic-promotion bandwidth can still be *manually*
+  flagged floodfill (Section 5.3.1's "unqualified" floodfills).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from .kademlia import closest_nodes
+from .leaseset import LeaseSet
+from .messages import (
+    DatabaseLookupMessage,
+    DatabaseSearchReplyMessage,
+    DatabaseStoreMessage,
+    LookupType,
+)
+from .routerinfo import (
+    QUALIFIED_FLOODFILL_TIERS,
+    BandwidthTier,
+    RouterInfo,
+)
+from .routing_key import routing_key, select_closest
+from .store import NetDbStore
+
+__all__ = [
+    "FLOOD_REDUNDANCY",
+    "LOOKUP_CLOSER_COUNT",
+    "FloodfillRouterState",
+    "FloodfillHealth",
+    "is_qualified_floodfill",
+]
+
+#: Number of closest floodfill neighbours an entry is flooded to.
+FLOOD_REDUNDANCY = 3
+
+#: Number of closer-floodfill hashes returned in a search reply.
+LOOKUP_CLOSER_COUNT = 3
+
+
+def is_qualified_floodfill(info: RouterInfo) -> bool:
+    """Whether a floodfill-flagged router meets the bandwidth requirement.
+
+    Section 5.3.1: only N/O/P/X routers qualify for automatic floodfill
+    promotion; K/L/M floodfills must have been enabled manually.
+    """
+    if not info.is_floodfill:
+        return False
+    return info.bandwidth_tier in QUALIFIED_FLOODFILL_TIERS
+
+
+@dataclass
+class FloodfillHealth:
+    """The "health" checks gating automatic floodfill promotion.
+
+    Section 2.1.2: *"a high-bandwidth router could become a floodfill
+    router automatically after passing several health tests, such as
+    stability and uptime in the network, outbound message queue throughput,
+    delay, and so on."*
+    """
+
+    uptime_hours: float = 0.0
+    shared_bandwidth_kbps: float = 0.0
+    message_queue_delay_ms: float = 0.0
+    job_lag_ms: float = 0.0
+    tunnel_build_success: float = 1.0
+
+    #: Promotion thresholds (values follow the Java router's defaults in
+    #: spirit: 2 h uptime, >=128 KB/s share, low lag, healthy builds).
+    MIN_UPTIME_HOURS: float = 2.0
+    MIN_BANDWIDTH_KBPS: float = 128.0
+    MAX_QUEUE_DELAY_MS: float = 500.0
+    MAX_JOB_LAG_MS: float = 500.0
+    MIN_BUILD_SUCCESS: float = 0.4
+
+    def passes(self) -> bool:
+        return (
+            self.uptime_hours >= self.MIN_UPTIME_HOURS
+            and self.shared_bandwidth_kbps >= self.MIN_BANDWIDTH_KBPS
+            and self.message_queue_delay_ms <= self.MAX_QUEUE_DELAY_MS
+            and self.job_lag_ms <= self.MAX_JOB_LAG_MS
+            and self.tunnel_build_success >= self.MIN_BUILD_SUCCESS
+        )
+
+    def failing_checks(self) -> List[str]:
+        failures: List[str] = []
+        if self.uptime_hours < self.MIN_UPTIME_HOURS:
+            failures.append("uptime")
+        if self.shared_bandwidth_kbps < self.MIN_BANDWIDTH_KBPS:
+            failures.append("bandwidth")
+        if self.message_queue_delay_ms > self.MAX_QUEUE_DELAY_MS:
+            failures.append("queue_delay")
+        if self.job_lag_ms > self.MAX_JOB_LAG_MS:
+            failures.append("job_lag")
+        if self.tunnel_build_success < self.MIN_BUILD_SUCCESS:
+            failures.append("tunnel_build_success")
+        return failures
+
+
+@dataclass
+class FloodResult:
+    """Outcome of handling a DatabaseStoreMessage at a floodfill."""
+
+    stored: bool
+    flooded_to: Tuple[bytes, ...] = ()
+
+
+class FloodfillRouterState:
+    """netDb-serving state of a floodfill router.
+
+    The class is transport-agnostic: callers (the network simulator, or a
+    unit test) deliver messages and receive the floodfill's responses /
+    flood targets as return values.
+    """
+
+    def __init__(
+        self,
+        router_hash: bytes,
+        store: Optional[NetDbStore] = None,
+        known_floodfills: Optional[Iterable[bytes]] = None,
+    ) -> None:
+        if len(router_hash) != 32:
+            raise ValueError("router hash must be 32 bytes")
+        self.router_hash = router_hash
+        self.store = store if store is not None else NetDbStore(floodfill=True)
+        self._known_floodfills: Set[bytes] = set(known_floodfills or ())
+        self._known_floodfills.discard(router_hash)
+
+    # ------------------------------------------------------------------ #
+    # Floodfill peer bookkeeping
+    # ------------------------------------------------------------------ #
+    @property
+    def known_floodfills(self) -> Set[bytes]:
+        return set(self._known_floodfills)
+
+    def learn_floodfill(self, router_hash: bytes) -> None:
+        if router_hash != self.router_hash:
+            self._known_floodfills.add(router_hash)
+
+    def forget_floodfill(self, router_hash: bytes) -> None:
+        self._known_floodfills.discard(router_hash)
+
+    def flood_targets(self, key: bytes, sim_time: float) -> List[bytes]:
+        """The floodfills an entry with search-key ``key`` is flooded to."""
+        if not self._known_floodfills:
+            return []
+        target_key = routing_key(key, sim_time)
+        return select_closest(
+            target_key, self._known_floodfills, FLOOD_REDUNDANCY, sim_time
+        )
+
+    # ------------------------------------------------------------------ #
+    # Message handling
+    # ------------------------------------------------------------------ #
+    def handle_store(
+        self, message: DatabaseStoreMessage, sim_time: float
+    ) -> FloodResult:
+        """Store the entry; flood it if it is new/updated and flooding applies.
+
+        Flooding is triggered when the DSM carries a reply token (i.e. it is
+        a direct publication from the owner rather than an incoming flood)
+        and the entry was fresher than the stored one — Section 4.2.
+        """
+        if message.is_routerinfo:
+            changed = self.store.store_routerinfo(message.entry)  # type: ignore[arg-type]
+        else:
+            changed = self.store.store_leaseset(message.entry)  # type: ignore[arg-type]
+
+        flooded_to: Tuple[bytes, ...] = ()
+        if changed and message.wants_reply:
+            flooded_to = tuple(self.flood_targets(message.key, sim_time))
+        return FloodResult(stored=changed, flooded_to=flooded_to)
+
+    def handle_lookup(
+        self, message: DatabaseLookupMessage, sim_time: float
+    ) -> Union[DatabaseStoreMessage, DatabaseSearchReplyMessage, List[RouterInfo]]:
+        """Answer a DLM.
+
+        * RouterInfo lookups return a DSM with the entry if known, else a
+          search reply with closer floodfills.
+        * LeaseSet lookups behave the same with LeaseSets.
+        * Exploration lookups return a list of RouterInfos the requester
+          does not already know (bounded by ``max_results``) — this is the
+          mechanism non-floodfill routers use to grow their netDb
+          (Section 4.2, second discovery mechanism).
+        """
+        if message.lookup_type is LookupType.EXPLORATION:
+            return self._handle_exploration(message)
+
+        if message.lookup_type is LookupType.ROUTERINFO:
+            entry: Optional[Union[RouterInfo, LeaseSet]]
+            entry = self.store.get_routerinfo(message.key)
+        else:
+            entry = self.store.get_leaseset(message.key)
+
+        if entry is not None:
+            return DatabaseStoreMessage(
+                from_hash=self.router_hash, entry=entry, reply_token=0
+            )
+        return self._closer_reply(message, sim_time)
+
+    def _handle_exploration(
+        self, message: DatabaseLookupMessage
+    ) -> List[RouterInfo]:
+        excluded = set(message.exclude_hashes)
+        excluded.add(message.from_hash)
+        results: List[RouterInfo] = []
+        for info in self.store.iter_routerinfos():
+            if info.hash in excluded:
+                continue
+            results.append(info)
+            if len(results) >= message.max_results:
+                break
+        return results
+
+    def _closer_reply(
+        self, message: DatabaseLookupMessage, sim_time: float
+    ) -> DatabaseSearchReplyMessage:
+        candidates = [
+            ff
+            for ff in self._known_floodfills
+            if ff not in message.exclude_hashes and ff != message.from_hash
+        ]
+        target_key = routing_key(message.key, sim_time)
+        closer = select_closest(target_key, candidates, LOOKUP_CLOSER_COUNT, sim_time)
+        return DatabaseSearchReplyMessage(
+            from_hash=self.router_hash,
+            key=message.key,
+            closer_hashes=tuple(closer),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Responsibility checks
+    # ------------------------------------------------------------------ #
+    def is_responsible_for(
+        self,
+        key: bytes,
+        all_floodfills: Sequence[bytes],
+        sim_time: float,
+        redundancy: int = FLOOD_REDUNDANCY,
+    ) -> bool:
+        """Whether this floodfill is among the ``redundancy`` closest to a key."""
+        if self.router_hash not in all_floodfills:
+            candidates = list(all_floodfills) + [self.router_hash]
+        else:
+            candidates = list(all_floodfills)
+        target_key = routing_key(key, sim_time)
+        closest = select_closest(target_key, candidates, redundancy, sim_time)
+        return self.router_hash in closest

@@ -1,0 +1,195 @@
+"""Kademlia XOR metric and k-bucket routing table.
+
+The I2P netDb is *"implemented as a distributed hash table using a
+variation of the Kademlia algorithm"* (Section 2.1.2).  Floodfill routers
+store RouterInfos/LeaseSets whose routing keys are close to their own under
+the XOR metric, and flood fresh entries to their three closest floodfill
+neighbours.
+
+This module provides the XOR metric, bucket-based routing tables, and the
+iterative closest-node selection used by the store/lookup logic in
+:mod:`repro.netdb.floodfill`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "KEY_BITS",
+    "xor_distance",
+    "bucket_index",
+    "KBucket",
+    "RoutingTable",
+    "closest_nodes",
+]
+
+#: Width of netDb keys in bits (SHA-256).
+KEY_BITS = 256
+
+
+def xor_distance(key_a: bytes, key_b: bytes) -> int:
+    """XOR distance between two equal-length keys, as an integer."""
+    if len(key_a) != len(key_b):
+        raise ValueError("keys must have equal length")
+    return int.from_bytes(key_a, "big") ^ int.from_bytes(key_b, "big")
+
+
+def bucket_index(local_key: bytes, remote_key: bytes) -> int:
+    """Index of the k-bucket a remote key falls into, relative to a local key.
+
+    Bucket ``i`` holds keys whose XOR distance has its highest set bit at
+    position ``i`` (0-based from the least-significant bit).  Identical keys
+    raise :class:`ValueError` because a node never stores itself.
+    """
+    distance = xor_distance(local_key, remote_key)
+    if distance == 0:
+        raise ValueError("a node does not bucket its own key")
+    return distance.bit_length() - 1
+
+
+def closest_nodes(
+    target: bytes, candidates: Iterable[bytes], count: int
+) -> List[bytes]:
+    """Return up to ``count`` candidate keys closest to ``target`` (XOR)."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    ranked = sorted(candidates, key=lambda key: (xor_distance(target, key), key))
+    return ranked[:count]
+
+
+@dataclass
+class KBucket:
+    """A single k-bucket holding up to ``capacity`` node keys (LRU order).
+
+    The freshest node is at the end of the list.  When the bucket is full,
+    new entries displace the least-recently-seen entry only if
+    ``evict_stale`` is set; otherwise insertion is refused, matching
+    Kademlia's preference for long-lived nodes.
+    """
+
+    capacity: int = 20
+    evict_stale: bool = True
+    _entries: List[bytes] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError("bucket capacity must be positive")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[bytes]:
+        return iter(self._entries)
+
+    @property
+    def entries(self) -> Tuple[bytes, ...]:
+        return tuple(self._entries)
+
+    def touch(self, key: bytes) -> bool:
+        """Insert ``key`` or refresh its recency.
+
+        Returns ``True`` if the key is present in the bucket afterwards.
+        """
+        if key in self._entries:
+            self._entries.remove(key)
+            self._entries.append(key)
+            return True
+        if len(self._entries) < self.capacity:
+            self._entries.append(key)
+            return True
+        if self.evict_stale:
+            self._entries.pop(0)
+            self._entries.append(key)
+            return True
+        return False
+
+    def remove(self, key: bytes) -> bool:
+        """Remove ``key`` if present; return whether it was removed."""
+        if key in self._entries:
+            self._entries.remove(key)
+            return True
+        return False
+
+    def oldest(self) -> Optional[bytes]:
+        return self._entries[0] if self._entries else None
+
+
+class RoutingTable:
+    """A Kademlia routing table keyed on a local node's routing key.
+
+    The table maintains :data:`KEY_BITS` buckets.  It deliberately stores
+    only the 32-byte keys (not full RouterInfos): callers keep their own
+    key → record mapping, which mirrors how the Java router separates the
+    peer-selection data structures from the netDb store.
+    """
+
+    def __init__(
+        self, local_key: bytes, bucket_capacity: int = 20, evict_stale: bool = True
+    ) -> None:
+        if len(local_key) != KEY_BITS // 8:
+            raise ValueError("local key must be 32 bytes")
+        self._local_key = local_key
+        self._buckets: Dict[int, KBucket] = {}
+        self._bucket_capacity = bucket_capacity
+        self._evict_stale = evict_stale
+
+    @property
+    def local_key(self) -> bytes:
+        return self._local_key
+
+    def _bucket_for(self, key: bytes) -> KBucket:
+        index = bucket_index(self._local_key, key)
+        bucket = self._buckets.get(index)
+        if bucket is None:
+            bucket = KBucket(
+                capacity=self._bucket_capacity, evict_stale=self._evict_stale
+            )
+            self._buckets[index] = bucket
+        return bucket
+
+    def add(self, key: bytes) -> bool:
+        """Add or refresh a remote key.  The local key is never stored."""
+        if key == self._local_key:
+            return False
+        return self._bucket_for(key).touch(key)
+
+    def remove(self, key: bytes) -> bool:
+        if key == self._local_key:
+            return False
+        try:
+            index = bucket_index(self._local_key, key)
+        except ValueError:
+            return False
+        bucket = self._buckets.get(index)
+        if bucket is None:
+            return False
+        return bucket.remove(key)
+
+    def __contains__(self, key: bytes) -> bool:
+        if key == self._local_key:
+            return False
+        index = bucket_index(self._local_key, key)
+        bucket = self._buckets.get(index)
+        return bucket is not None and key in bucket
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def all_keys(self) -> List[bytes]:
+        keys: List[bytes] = []
+        for index in sorted(self._buckets):
+            keys.extend(self._buckets[index].entries)
+        return keys
+
+    def closest(self, target: bytes, count: int) -> List[bytes]:
+        """The ``count`` known keys closest to ``target`` under XOR."""
+        return closest_nodes(target, self.all_keys(), count)
+
+    def bucket_sizes(self) -> Dict[int, int]:
+        """Mapping of bucket index → number of entries (for diagnostics)."""
+        return {index: len(bucket) for index, bucket in self._buckets.items()}

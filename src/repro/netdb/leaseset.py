@@ -1,0 +1,96 @@
+"""LeaseSets: the netDb records describing hidden-service destinations.
+
+A LeaseSet tells a client which inbound-tunnel gateways can be used to reach
+a destination (Section 2.1.2: *"Bob's LeaseSet tells Alice the contact
+information of the tunnel gateway of Bob's inbound tunnel"*).  The
+measurement study itself collects RouterInfos rather than LeaseSets, but the
+usability experiment (Section 6.2.3) fetches eepsites, which requires
+LeaseSet lookups — so the substrate models them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .identity import RouterIdentity, sha256, to_i2p_base64
+
+__all__ = ["Lease", "LeaseSet", "Destination", "LEASE_DURATION"]
+
+#: Lease lifetime in seconds.  Real I2P leases last ten minutes, matching
+#: the tunnel rotation interval.
+LEASE_DURATION = 600.0
+
+
+@dataclass(frozen=True)
+class Destination:
+    """A hidden-service destination (e.g. an eepsite).
+
+    Destinations have their own identity, independent from the identity of
+    the router hosting them.
+    """
+
+    identity: RouterIdentity
+    name: str = ""
+
+    @property
+    def hash(self) -> bytes:
+        return self.identity.hash
+
+    @property
+    def b32_address(self) -> str:
+        """A short, deterministic ``.b32.i2p``-style address."""
+        digest = sha256(self.identity.hash)
+        return to_i2p_base64(digest)[:52].lower().replace("=", "") + ".b32.i2p"
+
+
+@dataclass(frozen=True)
+class Lease:
+    """A single lease: one inbound-tunnel gateway valid until ``expires_at``."""
+
+    gateway_hash: bytes
+    tunnel_id: int
+    expires_at: float
+
+    def __post_init__(self) -> None:
+        if len(self.gateway_hash) != 32:
+            raise ValueError("gateway hash must be 32 bytes")
+        if self.tunnel_id < 0:
+            raise ValueError("tunnel id must be non-negative")
+
+    def is_expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+
+@dataclass(frozen=True)
+class LeaseSet:
+    """The set of leases published for one destination."""
+
+    destination: Destination
+    leases: Tuple[Lease, ...]
+    published_at: float
+
+    def __post_init__(self) -> None:
+        if not self.leases:
+            raise ValueError("a LeaseSet must contain at least one lease")
+
+    @property
+    def hash(self) -> bytes:
+        return self.destination.hash
+
+    @property
+    def expires_at(self) -> float:
+        """A LeaseSet expires when its last lease expires."""
+        return max(lease.expires_at for lease in self.leases)
+
+    def is_expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+    def active_leases(self, now: float) -> Tuple[Lease, ...]:
+        return tuple(lease for lease in self.leases if not lease.is_expired(now))
+
+    def gateway_hashes(self, now: float = float("-inf")) -> Tuple[bytes, ...]:
+        """Gateway router hashes of all (optionally still-active) leases."""
+        if now == float("-inf"):
+            return tuple(lease.gateway_hash for lease in self.leases)
+        return tuple(lease.gateway_hash for lease in self.active_leases(now))

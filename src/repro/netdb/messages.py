@@ -1,0 +1,165 @@
+"""netDb protocol messages: DatabaseStore, DatabaseLookup, SearchReply.
+
+Section 2.1.2 of the paper describes the two message types the measurement
+methodology depends on:
+
+* ``DatabaseStoreMessage`` (DSM) — used by a router to publish its
+  RouterInfo or LeaseSet to floodfill routers, and by floodfill routers to
+  flood fresh entries to their closest neighbours.
+* ``DatabaseLookupMessage`` (DLM) — used by a router that *"does not have
+  enough RouterInfos in its local storage"* to ask floodfill routers for
+  more, and for LeaseSet lookups when contacting a destination.
+
+A ``DatabaseSearchReplyMessage`` is returned when a floodfill does not have
+the requested entry; it carries hashes of closer floodfills, which is how
+iterative lookups proceed.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+from .leaseset import LeaseSet
+from .routerinfo import RouterInfo
+
+__all__ = [
+    "MessageType",
+    "LookupType",
+    "DatabaseStoreMessage",
+    "DatabaseLookupMessage",
+    "DatabaseSearchReplyMessage",
+    "NetDbMessage",
+    "next_message_id",
+]
+
+_message_counter = itertools.count(1)
+
+
+def next_message_id() -> int:
+    """Allocate a process-wide unique message id (monotonic)."""
+    return next(_message_counter)
+
+
+class MessageType(str, enum.Enum):
+    DATABASE_STORE = "DatabaseStore"
+    DATABASE_LOOKUP = "DatabaseLookup"
+    DATABASE_SEARCH_REPLY = "DatabaseSearchReply"
+
+
+class LookupType(str, enum.Enum):
+    """What a DatabaseLookupMessage is asking for."""
+
+    ROUTERINFO = "RouterInfo"
+    LEASESET = "LeaseSet"
+    EXPLORATION = "Exploration"
+
+
+@dataclass(frozen=True)
+class DatabaseStoreMessage:
+    """A DSM carrying either a RouterInfo or a LeaseSet.
+
+    ``reply_token`` is non-zero when the sender requests a delivery
+    confirmation, which is also the signal for the receiving floodfill to
+    flood the entry onward.
+    """
+
+    from_hash: bytes
+    entry: Union[RouterInfo, LeaseSet]
+    reply_token: int = 0
+    message_id: int = field(default_factory=next_message_id)
+
+    def __post_init__(self) -> None:
+        if len(self.from_hash) != 32:
+            raise ValueError("from_hash must be 32 bytes")
+        if self.reply_token < 0:
+            raise ValueError("reply_token must be non-negative")
+
+    @property
+    def type(self) -> MessageType:
+        return MessageType.DATABASE_STORE
+
+    @property
+    def key(self) -> bytes:
+        return self.entry.hash
+
+    @property
+    def is_routerinfo(self) -> bool:
+        return isinstance(self.entry, RouterInfo)
+
+    @property
+    def is_leaseset(self) -> bool:
+        return isinstance(self.entry, LeaseSet)
+
+    @property
+    def wants_reply(self) -> bool:
+        return self.reply_token != 0
+
+
+@dataclass(frozen=True)
+class DatabaseLookupMessage:
+    """A DLM requesting a netDb entry (or exploration of the keyspace).
+
+    ``exclude_hashes`` lists floodfills already queried, so an iterative
+    lookup does not revisit them; exploration lookups use it to ask for
+    "random" RouterInfos the requester does not yet know.
+    """
+
+    from_hash: bytes
+    key: bytes
+    lookup_type: LookupType = LookupType.ROUTERINFO
+    exclude_hashes: Tuple[bytes, ...] = ()
+    max_results: int = 16
+    message_id: int = field(default_factory=next_message_id)
+
+    def __post_init__(self) -> None:
+        if len(self.from_hash) != 32:
+            raise ValueError("from_hash must be 32 bytes")
+        if len(self.key) != 32:
+            raise ValueError("lookup key must be 32 bytes")
+        if self.max_results <= 0:
+            raise ValueError("max_results must be positive")
+        for excluded in self.exclude_hashes:
+            if len(excluded) != 32:
+                raise ValueError("excluded hashes must be 32 bytes")
+
+    @property
+    def type(self) -> MessageType:
+        return MessageType.DATABASE_LOOKUP
+
+    def excludes(self, router_hash: bytes) -> bool:
+        return router_hash in self.exclude_hashes
+
+
+@dataclass(frozen=True)
+class DatabaseSearchReplyMessage:
+    """Reply to a lookup that could not be satisfied locally.
+
+    Carries the hashes of floodfill routers closer to the requested key,
+    allowing the requester to continue the iterative search.
+    """
+
+    from_hash: bytes
+    key: bytes
+    closer_hashes: Tuple[bytes, ...]
+    message_id: int = field(default_factory=next_message_id)
+
+    def __post_init__(self) -> None:
+        if len(self.from_hash) != 32:
+            raise ValueError("from_hash must be 32 bytes")
+        if len(self.key) != 32:
+            raise ValueError("key must be 32 bytes")
+        for closer in self.closer_hashes:
+            if len(closer) != 32:
+                raise ValueError("closer hashes must be 32 bytes")
+
+    @property
+    def type(self) -> MessageType:
+        return MessageType.DATABASE_SEARCH_REPLY
+
+
+NetDbMessage = Union[
+    DatabaseStoreMessage, DatabaseLookupMessage, DatabaseSearchReplyMessage
+]

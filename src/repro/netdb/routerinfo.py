@@ -1,0 +1,372 @@
+"""RouterInfo: the netDb record describing a single I2P router.
+
+A RouterInfo is the unit of observation for the entire measurement study.
+The paper collects, per peer and per day, exactly the fields modelled here:
+
+* the router hash (permanent identity),
+* the published addresses (IPv4/IPv6, port, transport style),
+* the capacity flags (bandwidth tier ``K``–``X``, floodfill ``f``,
+  reachability ``R``/``U``),
+* introducer entries for firewalled peers (Section 5.1), and
+* the publication timestamp.
+
+Hidden peers publish a RouterInfo *without* any address and *without*
+introducers; firewalled peers publish no direct address but do list
+introducers.  The classification logic in
+:mod:`repro.core.population` relies on this distinction, exactly as the
+paper does in Section 5.1.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .identity import RouterIdentity
+
+__all__ = [
+    "BandwidthTier",
+    "TransportStyle",
+    "RouterAddress",
+    "Introducer",
+    "RouterInfo",
+    "CapacityFlags",
+    "parse_capacity_string",
+]
+
+
+class BandwidthTier(str, enum.Enum):
+    """Shared-bandwidth tiers, as published in the capacity field.
+
+    The ranges follow Section 5.3.1 of the paper:
+
+    ========  =====================
+    letter    shared bandwidth
+    ========  =====================
+    ``K``     < 12 KB/s
+    ``L``     12–48 KB/s (default)
+    ``M``     48–64 KB/s
+    ``N``     64–128 KB/s
+    ``O``     128–256 KB/s
+    ``P``     256–2000 KB/s
+    ``X``     > 2000 KB/s
+    ========  =====================
+    """
+
+    K = "K"
+    L = "L"
+    M = "M"
+    N = "N"
+    O = "O"  # noqa: E741 - letter mandated by the I2P spec
+    P = "P"
+    X = "X"
+
+    @property
+    def min_kbps(self) -> float:
+        return _TIER_RANGES[self][0]
+
+    @property
+    def max_kbps(self) -> float:
+        return _TIER_RANGES[self][1]
+
+    @classmethod
+    def for_bandwidth(cls, kbps: float) -> "BandwidthTier":
+        """Return the tier a router advertising ``kbps`` KB/s belongs to."""
+        if kbps < 0:
+            raise ValueError("bandwidth must be non-negative")
+        for tier in (cls.K, cls.L, cls.M, cls.N, cls.O, cls.P):
+            if kbps < _TIER_RANGES[tier][1]:
+                return tier
+        return cls.X
+
+    @classmethod
+    def ordered(cls) -> Tuple["BandwidthTier", ...]:
+        """Tiers from slowest to fastest."""
+        return (cls.K, cls.L, cls.M, cls.N, cls.O, cls.P, cls.X)
+
+
+_TIER_RANGES: Dict[BandwidthTier, Tuple[float, float]] = {
+    BandwidthTier.K: (0.0, 12.0),
+    BandwidthTier.L: (12.0, 48.0),
+    BandwidthTier.M: (48.0, 64.0),
+    BandwidthTier.N: (64.0, 128.0),
+    BandwidthTier.O: (128.0, 256.0),
+    BandwidthTier.P: (256.0, 2000.0),
+    BandwidthTier.X: (2000.0, float("inf")),
+}
+
+#: Minimum shared bandwidth (KB/s) for a router to qualify for automatic
+#: floodfill promotion (Section 5.3.1: "a peer needs to have at least an N
+#: flag in order to become a floodfill router automatically").
+FLOODFILL_MIN_KBPS = 128.0
+
+#: Tiers that qualify a router for automatic floodfill promotion.
+QUALIFIED_FLOODFILL_TIERS = (
+    BandwidthTier.N,
+    BandwidthTier.O,
+    BandwidthTier.P,
+    BandwidthTier.X,
+)
+
+
+class TransportStyle(str, enum.Enum):
+    """Transport protocols advertised in RouterAddress entries."""
+
+    NTCP = "NTCP"
+    NTCP2 = "NTCP2"
+    SSU = "SSU"
+
+
+@dataclass(frozen=True)
+class Introducer:
+    """An introduction point for a firewalled router (SSU introducers).
+
+    Section 5.1: *"A firewalled peer has information about its introducers
+    embedded in the RouterInfo, while a hidden peer does not."*
+    """
+
+    introducer_hash: bytes
+    ip: str
+    port: int
+    tag: int
+
+    def __post_init__(self) -> None:
+        if len(self.introducer_hash) != 32:
+            raise ValueError("introducer hash must be 32 bytes")
+        if not (0 < self.port < 65536):
+            raise ValueError("port must be in (0, 65536)")
+        if self.tag < 0:
+            raise ValueError("introduction tag must be non-negative")
+
+
+@dataclass(frozen=True)
+class RouterAddress:
+    """A single published transport address.
+
+    ``host`` is ``None`` for firewalled routers: the address block is still
+    present (it carries the introducer list) but no direct IP is exposed.
+    """
+
+    style: TransportStyle
+    host: Optional[str]
+    port: Optional[int]
+    introducers: Tuple[Introducer, ...] = ()
+    cost: int = 10
+
+    def __post_init__(self) -> None:
+        if self.port is not None and not (0 < self.port < 65536):
+            raise ValueError("port must be in (0, 65536)")
+        if self.host is None and self.port is not None and not self.introducers:
+            # A port without a host and without introducers carries no
+            # contact information; normalise it away.
+            object.__setattr__(self, "port", None)
+
+    @property
+    def is_direct(self) -> bool:
+        """Whether the address exposes a publicly reachable endpoint."""
+        return self.host is not None and self.port is not None
+
+    @property
+    def is_ipv6(self) -> bool:
+        return self.host is not None and ":" in self.host
+
+
+@dataclass(frozen=True)
+class CapacityFlags:
+    """The parsed capacity field of a RouterInfo.
+
+    The raw capacity string concatenates single-letter flags, e.g. ``OfR``
+    for a reachable floodfill router with 128–256 KB/s shared bandwidth.
+    Since version 0.9.20, ``P``/``X`` routers also publish ``O`` for
+    backwards compatibility (Section 5.3.1), so ``tiers`` may contain more
+    than one letter.
+    """
+
+    tiers: Tuple[BandwidthTier, ...]
+    floodfill: bool
+    reachable: bool
+    unreachable: bool
+
+    def __post_init__(self) -> None:
+        if not self.tiers:
+            raise ValueError("capacity flags must include a bandwidth tier")
+        if self.reachable and self.unreachable:
+            raise ValueError("a router cannot be both reachable and unreachable")
+
+    @property
+    def primary_tier(self) -> BandwidthTier:
+        """The highest advertised tier (the router's actual bandwidth class)."""
+        order = {tier: i for i, tier in enumerate(BandwidthTier.ordered())}
+        return max(self.tiers, key=lambda t: order[t])
+
+    def as_string(self) -> str:
+        """Render the canonical capacity string (e.g. ``"OfR"`` or ``"POfR"``)."""
+        parts = [tier.value for tier in self.tiers]
+        if self.floodfill:
+            parts.append("f")
+        if self.reachable:
+            parts.append("R")
+        elif self.unreachable:
+            parts.append("U")
+        return "".join(parts)
+
+
+def parse_capacity_string(caps: str) -> CapacityFlags:
+    """Parse a raw capacity string into :class:`CapacityFlags`.
+
+    Unknown characters are ignored, matching the lenient behaviour of the
+    Java router.  Raises :class:`ValueError` when no bandwidth tier is
+    present.
+    """
+    tiers: List[BandwidthTier] = []
+    floodfill = False
+    reachable = False
+    unreachable = False
+    valid_tiers = {t.value for t in BandwidthTier}
+    for char in caps:
+        if char in valid_tiers:
+            tier = BandwidthTier(char)
+            if tier not in tiers:
+                tiers.append(tier)
+        elif char == "f":
+            floodfill = True
+        elif char == "R":
+            reachable = True
+        elif char == "U":
+            unreachable = True
+    if not tiers:
+        raise ValueError(f"capacity string {caps!r} has no bandwidth tier")
+    return CapacityFlags(
+        tiers=tuple(tiers),
+        floodfill=floodfill,
+        reachable=reachable,
+        unreachable=unreachable,
+    )
+
+
+@dataclass(frozen=True)
+class RouterInfo:
+    """A published netDb record for one router.
+
+    Parameters
+    ----------
+    identity:
+        The router's long-term identity.
+    addresses:
+        Published transport addresses.  Empty for hidden routers.
+    capacity:
+        The parsed capacity flags.
+    published_at:
+        Publication time in seconds of simulation time (or epoch seconds
+        when used against real data).
+    options:
+        Free-form key/value options (netDb version, stats, ...).
+    """
+
+    identity: RouterIdentity
+    addresses: Tuple[RouterAddress, ...]
+    capacity: CapacityFlags
+    published_at: float
+    options: Tuple[Tuple[str, str], ...] = ()
+
+    # ------------------------------------------------------------------ #
+    # Identity helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def hash(self) -> bytes:
+        return self.identity.hash
+
+    @property
+    def hash_b64(self) -> str:
+        return self.identity.hash_b64
+
+    # ------------------------------------------------------------------ #
+    # Address helpers (used heavily by the population analysis)
+    # ------------------------------------------------------------------ #
+    @property
+    def direct_addresses(self) -> Tuple[RouterAddress, ...]:
+        return tuple(addr for addr in self.addresses if addr.is_direct)
+
+    @property
+    def ip_addresses(self) -> Tuple[str, ...]:
+        """All distinct public IPs published in this RouterInfo."""
+        seen: List[str] = []
+        for addr in self.direct_addresses:
+            if addr.host not in seen:
+                seen.append(addr.host)  # type: ignore[arg-type]
+        return tuple(seen)
+
+    @property
+    def ipv4_addresses(self) -> Tuple[str, ...]:
+        return tuple(ip for ip in self.ip_addresses if ":" not in ip)
+
+    @property
+    def ipv6_addresses(self) -> Tuple[str, ...]:
+        return tuple(ip for ip in self.ip_addresses if ":" in ip)
+
+    @property
+    def introducers(self) -> Tuple[Introducer, ...]:
+        result: List[Introducer] = []
+        for addr in self.addresses:
+            result.extend(addr.introducers)
+        return tuple(result)
+
+    # ------------------------------------------------------------------ #
+    # Classification (Section 5.1)
+    # ------------------------------------------------------------------ #
+    @property
+    def has_valid_ip(self) -> bool:
+        """Whether the RouterInfo exposes at least one public IP address."""
+        return len(self.ip_addresses) > 0
+
+    @property
+    def is_firewalled(self) -> bool:
+        """Unknown-IP peer that publishes introducers (behind NAT/firewall)."""
+        return not self.has_valid_ip and len(self.introducers) > 0
+
+    @property
+    def is_hidden(self) -> bool:
+        """Unknown-IP peer with no introducers (hidden mode)."""
+        return not self.has_valid_ip and len(self.introducers) == 0
+
+    @property
+    def is_floodfill(self) -> bool:
+        return self.capacity.floodfill
+
+    @property
+    def is_reachable(self) -> bool:
+        return self.capacity.reachable
+
+    @property
+    def bandwidth_tier(self) -> BandwidthTier:
+        return self.capacity.primary_tier
+
+    @property
+    def option_dict(self) -> Dict[str, str]:
+        return dict(self.options)
+
+    # ------------------------------------------------------------------ #
+    # Mutation helpers (RouterInfos are republished on change)
+    # ------------------------------------------------------------------ #
+    def republished(self, published_at: float, **changes) -> "RouterInfo":
+        """Return a copy with a new publication time and optional changes."""
+        return replace(self, published_at=published_at, **changes)
+
+    def with_addresses(
+        self, addresses: Sequence[RouterAddress], published_at: float
+    ) -> "RouterInfo":
+        return replace(self, addresses=tuple(addresses), published_at=published_at)
+
+    def summary(self) -> str:
+        """One-line human-readable summary used by example scripts."""
+        if self.has_valid_ip:
+            location = ",".join(self.ip_addresses)
+        elif self.is_firewalled:
+            location = "firewalled"
+        else:
+            location = "hidden"
+        return (
+            f"{self.identity.short_hash} caps={self.capacity.as_string()} "
+            f"addr={location} published={self.published_at:.0f}"
+        )

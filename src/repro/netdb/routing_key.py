@@ -1,0 +1,84 @@
+"""Daily-rotating routing keys for netDb entry placement.
+
+Section 2.1.2 of the paper: *"these keys are calculated by a SHA256 hash
+function of a 32-byte binary search key which is concatenated with a UTC
+date string.  As a result, these hash values change every day at UTC
+00:00."*
+
+Floodfill selection for storing and looking up a netDb entry therefore
+depends on the calendar day.  The simulator uses simulation-time seconds
+measured from an epoch that starts at UTC midnight, so the date-string
+derivation below is an exact analogue of the real algorithm.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Iterable, List, Sequence, Tuple
+
+from .identity import sha256
+from .kademlia import xor_distance
+
+__all__ = [
+    "SECONDS_PER_DAY",
+    "date_string_for_time",
+    "routing_key",
+    "select_closest",
+]
+
+SECONDS_PER_DAY = 86_400.0
+
+#: Simulation epoch used to render UTC date strings.  The value matches the
+#: start of the paper's main measurement campaign (1 February 2018).
+SIMULATION_EPOCH = _dt.datetime(2018, 2, 1, tzinfo=_dt.timezone.utc)
+
+
+def date_string_for_time(sim_time: float) -> str:
+    """Return the UTC date string (``YYYYMMDD``) for a simulation time.
+
+    ``sim_time`` is in seconds since :data:`SIMULATION_EPOCH`.  Negative
+    times are allowed (they simply map to earlier dates), which keeps
+    property-based tests simple.
+    """
+    moment = SIMULATION_EPOCH + _dt.timedelta(seconds=sim_time)
+    return moment.strftime("%Y%m%d")
+
+
+def routing_key(search_key: bytes, sim_time: float) -> bytes:
+    """Compute the daily routing key for a 32-byte search key.
+
+    The routing key is ``SHA256(search_key || date_string)``; all XOR
+    distance comparisons between netDb entries and floodfill routers use
+    this derived key rather than the raw hash.
+    """
+    if len(search_key) != 32:
+        raise ValueError("search key must be 32 bytes")
+    return sha256(search_key + date_string_for_time(sim_time).encode("ascii"))
+
+
+def select_closest(
+    target_routing_key: bytes,
+    candidate_hashes: Iterable[bytes],
+    count: int,
+    sim_time: float,
+) -> List[bytes]:
+    """Select the ``count`` candidates whose *routing keys* are closest.
+
+    Each candidate hash is first converted to its daily routing key, and
+    candidates are ranked by XOR distance to ``target_routing_key``.  Ties
+    (which require identical distances, i.e. identical keys) are broken by
+    the raw hash to keep the function deterministic.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    ranked: List[Tuple[int, bytes]] = []
+    for candidate in candidate_hashes:
+        candidate_key = routing_key(candidate, sim_time)
+        ranked.append((xor_distance(target_routing_key, candidate_key), candidate))
+    ranked.sort(key=lambda item: (item[0], item[1]))
+    return [candidate for _, candidate in ranked[:count]]
+
+
+def keys_rotate_between(time_a: float, time_b: float) -> bool:
+    """Whether the routing keyspace rotates between two simulation times."""
+    return date_string_for_time(time_a) != date_string_for_time(time_b)

@@ -1,0 +1,203 @@
+"""Local netDb store: the per-router database of RouterInfos and LeaseSets.
+
+The store models the on-disk ``netDb`` directory that the paper's
+monitoring routers snapshot hourly (Section 4.3): *"As RouterInfos are
+written to disk by design so that they are available after a restart, we
+keep track of the netDb directory where these records are stored."*
+
+Expiry semantics follow the paper:
+
+* floodfill routers expire locally stored RouterInfos after one hour
+  (Section 4.3), while non-floodfill routers keep them much longer;
+* LeaseSets expire with their last lease (ten minutes);
+* the RouterInfo ``expiration`` field itself is unused by the real router,
+  so presence of a record only indicates the peer existed at publication
+  time — exactly the caveat the paper raises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .leaseset import LeaseSet
+from .routerinfo import RouterInfo
+
+__all__ = [
+    "FLOODFILL_ROUTERINFO_EXPIRY",
+    "ROUTERINFO_EXPIRY",
+    "NetDbStore",
+    "StoreStats",
+]
+
+#: RouterInfo expiry applied by floodfill routers (one hour, Section 4.3).
+FLOODFILL_ROUTERINFO_EXPIRY = 3_600.0
+
+#: RouterInfo expiry applied by regular routers.  The Java router keeps
+#: RouterInfos for many hours; the daily netDb cleanup performed by the
+#: measurement pipeline makes the precise value unimportant, but it must be
+#: much larger than the floodfill expiry.
+ROUTERINFO_EXPIRY = 27 * 3_600.0
+
+
+@dataclass
+class StoreStats:
+    """Counters describing store activity, useful for tests and reporting."""
+
+    stores_accepted: int = 0
+    stores_refreshed: int = 0
+    stores_rejected_stale: int = 0
+    expirations: int = 0
+    leaseset_stores: int = 0
+    leaseset_expirations: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "stores_accepted": self.stores_accepted,
+            "stores_refreshed": self.stores_refreshed,
+            "stores_rejected_stale": self.stores_rejected_stale,
+            "expirations": self.expirations,
+            "leaseset_stores": self.leaseset_stores,
+            "leaseset_expirations": self.leaseset_expirations,
+        }
+
+
+class NetDbStore:
+    """The netDb of a single router.
+
+    Parameters
+    ----------
+    floodfill:
+        Whether the owning router runs in floodfill mode; controls the
+        RouterInfo expiry window.
+    routerinfo_expiry / leaseset_grace:
+        Overrides for expiry windows, mostly useful in tests.
+    """
+
+    def __init__(
+        self,
+        floodfill: bool = False,
+        routerinfo_expiry: Optional[float] = None,
+        leaseset_grace: float = 0.0,
+    ) -> None:
+        self.floodfill = floodfill
+        if routerinfo_expiry is not None:
+            self._routerinfo_expiry = routerinfo_expiry
+        else:
+            self._routerinfo_expiry = (
+                FLOODFILL_ROUTERINFO_EXPIRY if floodfill else ROUTERINFO_EXPIRY
+            )
+        self._leaseset_grace = leaseset_grace
+        self._routerinfos: Dict[bytes, RouterInfo] = {}
+        self._leasesets: Dict[bytes, LeaseSet] = {}
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------ #
+    # RouterInfo handling
+    # ------------------------------------------------------------------ #
+    @property
+    def routerinfo_expiry(self) -> float:
+        return self._routerinfo_expiry
+
+    def store_routerinfo(self, info: RouterInfo) -> bool:
+        """Store ``info`` unless a newer record for the same hash exists.
+
+        Returns ``True`` when the store's view changed (new entry or newer
+        publication), which is the condition under which a floodfill router
+        floods the entry onward (Section 4.2).
+        """
+        existing = self._routerinfos.get(info.hash)
+        if existing is None:
+            self._routerinfos[info.hash] = info
+            self.stats.stores_accepted += 1
+            return True
+        if info.published_at > existing.published_at:
+            self._routerinfos[info.hash] = info
+            self.stats.stores_refreshed += 1
+            return True
+        self.stats.stores_rejected_stale += 1
+        return False
+
+    def get_routerinfo(self, router_hash: bytes) -> Optional[RouterInfo]:
+        return self._routerinfos.get(router_hash)
+
+    def __contains__(self, router_hash: bytes) -> bool:
+        return router_hash in self._routerinfos
+
+    def __len__(self) -> int:
+        return len(self._routerinfos)
+
+    def routerinfos(self) -> List[RouterInfo]:
+        """All currently stored RouterInfos (a copy)."""
+        return list(self._routerinfos.values())
+
+    def router_hashes(self) -> List[bytes]:
+        return list(self._routerinfos.keys())
+
+    def iter_routerinfos(self) -> Iterator[RouterInfo]:
+        return iter(list(self._routerinfos.values()))
+
+    def remove_routerinfo(self, router_hash: bytes) -> bool:
+        if router_hash in self._routerinfos:
+            del self._routerinfos[router_hash]
+            return True
+        return False
+
+    def expire(self, now: float) -> int:
+        """Expire stale RouterInfos and LeaseSets; return how many were removed."""
+        removed = 0
+        cutoff = now - self._routerinfo_expiry
+        for router_hash, info in list(self._routerinfos.items()):
+            if info.published_at < cutoff:
+                del self._routerinfos[router_hash]
+                removed += 1
+        self.stats.expirations += removed
+
+        leaseset_removed = 0
+        for dest_hash, leaseset in list(self._leasesets.items()):
+            if leaseset.is_expired(now - self._leaseset_grace):
+                del self._leasesets[dest_hash]
+                leaseset_removed += 1
+        self.stats.leaseset_expirations += leaseset_removed
+        return removed + leaseset_removed
+
+    def clear_routerinfos(self) -> int:
+        """Wipe all RouterInfos (the measurement pipeline's daily cleanup)."""
+        count = len(self._routerinfos)
+        self._routerinfos.clear()
+        return count
+
+    # ------------------------------------------------------------------ #
+    # LeaseSet handling
+    # ------------------------------------------------------------------ #
+    def store_leaseset(self, leaseset: LeaseSet) -> bool:
+        existing = self._leasesets.get(leaseset.hash)
+        if existing is not None and existing.published_at >= leaseset.published_at:
+            return False
+        self._leasesets[leaseset.hash] = leaseset
+        self.stats.leaseset_stores += 1
+        return True
+
+    def get_leaseset(self, destination_hash: bytes) -> Optional[LeaseSet]:
+        return self._leasesets.get(destination_hash)
+
+    def leasesets(self) -> List[LeaseSet]:
+        return list(self._leasesets.values())
+
+    def leaseset_count(self) -> int:
+        return len(self._leasesets)
+
+    # ------------------------------------------------------------------ #
+    # Snapshots (the unit of observation for the measurement pipeline)
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Tuple[RouterInfo, ...]:
+        """An immutable snapshot of the RouterInfos currently on disk."""
+        return tuple(self._routerinfos.values())
+
+    def merge(self, other: "NetDbStore") -> int:
+        """Merge another store's RouterInfos into this one (newest wins)."""
+        merged = 0
+        for info in other.routerinfos():
+            if self.store_routerinfo(info):
+                merged += 1
+        return merged

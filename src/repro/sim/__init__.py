@@ -1,0 +1,105 @@
+"""I2P network simulator substrate.
+
+Two fidelity levels share one data model:
+
+* message-level (:class:`repro.sim.network.I2PNetwork`) — every DSM/DLM,
+  flood, bootstrap, and tunnel build is an explicit interaction; used for
+  unit/integration tests and small networks;
+* statistical (:class:`repro.sim.population.I2PPopulation` +
+  :class:`repro.sim.observation.ObservationModel`) — calibrated per-day
+  observation sampling for the paper-scale campaigns behind every figure.
+"""
+
+from .bandwidth import BandwidthModel, TierAssignment
+from .churn import ChurnModel, LifetimeClass, PresenceSchedule
+from .clock import SECONDS_PER_DAY, SECONDS_PER_HOUR, SimulationClock
+from .geo import (
+    PRESS_FREEDOM_HIDDEN_THRESHOLD,
+    AutonomousSystem,
+    Country,
+    GeoRegistry,
+    default_registry,
+)
+from .ip import AddressProfile, IpAssignment, IpAssignmentManager
+from .network import I2PNetwork, SimulatedRouter
+from .observation import (
+    DayExposure,
+    MonitorMode,
+    MonitorSpec,
+    ObservationModel,
+    standard_monitor_fleet,
+)
+from .peer import PeerDaySnapshot, PeerRecord, VisibilityClass, build_routerinfo
+from .population import DayView, I2PPopulation, PopulationConfig
+from .reseed import (
+    DEFAULT_RESEED_SERVERS,
+    ROUTERINFOS_PER_RESEED,
+    BootstrapResult,
+    ReseedFile,
+    ReseedServer,
+    bootstrap,
+    create_reseed_file,
+)
+from .rng import SeededStreams, derive_seed
+from .tunnels import (
+    DEFAULT_TUNNEL_LENGTH,
+    MAX_TUNNEL_LENGTH,
+    TUNNEL_LIFETIME,
+    PeerSelector,
+    Tunnel,
+    TunnelBuildOutcome,
+    TunnelBuildResult,
+    TunnelBuilder,
+    TunnelDirection,
+)
+
+__all__ = [
+    "BandwidthModel",
+    "TierAssignment",
+    "ChurnModel",
+    "LifetimeClass",
+    "PresenceSchedule",
+    "SECONDS_PER_DAY",
+    "SECONDS_PER_HOUR",
+    "SimulationClock",
+    "PRESS_FREEDOM_HIDDEN_THRESHOLD",
+    "AutonomousSystem",
+    "Country",
+    "GeoRegistry",
+    "default_registry",
+    "AddressProfile",
+    "IpAssignment",
+    "IpAssignmentManager",
+    "I2PNetwork",
+    "SimulatedRouter",
+    "DayExposure",
+    "MonitorMode",
+    "MonitorSpec",
+    "ObservationModel",
+    "standard_monitor_fleet",
+    "PeerDaySnapshot",
+    "PeerRecord",
+    "VisibilityClass",
+    "build_routerinfo",
+    "DayView",
+    "I2PPopulation",
+    "PopulationConfig",
+    "DEFAULT_RESEED_SERVERS",
+    "ROUTERINFOS_PER_RESEED",
+    "BootstrapResult",
+    "ReseedFile",
+    "ReseedServer",
+    "bootstrap",
+    "create_reseed_file",
+    "SeededStreams",
+    "derive_seed",
+    "DEFAULT_TUNNEL_LENGTH",
+    "MAX_TUNNEL_LENGTH",
+    "TUNNEL_LIFETIME",
+    "PeerSelector",
+    "Tunnel",
+    "TunnelBuildOutcome",
+    "TunnelBuildResult",
+    "TunnelBuilder",
+    "TunnelDirection",
+]

@@ -1,0 +1,168 @@
+"""Bandwidth-tier assignment and floodfill promotion model.
+
+Calibration targets come from Figure 9 and Table 1 of the paper:
+
+* the default ``L`` tier dominates the network (~21K of ~30.5K daily
+  peers), ``N`` is second (~9K), and the remaining tiers trail off in the
+  order P, X, O, M, K;
+* roughly 9 % of observed peers carry the floodfill flag, but only ~70 % of
+  them meet the automatic-promotion bandwidth requirement (N or better) —
+  the rest are manually enabled, "unqualified" floodfills;
+* the floodfill group's tier mix is dominated by ``N`` rather than ``L``.
+
+The :class:`BandwidthModel` samples a primary tier, an advertised shared
+bandwidth within the tier's range, and a floodfill decision conditioned on
+the tier, reproducing those shapes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..netdb.routerinfo import BandwidthTier, QUALIFIED_FLOODFILL_TIERS
+
+__all__ = ["BandwidthModel", "TierAssignment", "DEFAULT_TIER_WEIGHTS", "DEFAULT_FLOODFILL_PROBABILITY"]
+
+#: Primary-tier probabilities (sum to 1) calibrated against Figure 9.
+DEFAULT_TIER_WEIGHTS: Dict[BandwidthTier, float] = {
+    BandwidthTier.K: 0.008,
+    BandwidthTier.L: 0.647,
+    BandwidthTier.M: 0.010,
+    BandwidthTier.N: 0.240,
+    BandwidthTier.O: 0.020,
+    BandwidthTier.P: 0.045,
+    BandwidthTier.X: 0.030,
+}
+
+#: Probability that a peer of a given tier runs in floodfill mode.  For
+#: N/O/P/X tiers this models automatic promotion (plus some opting out);
+#: for K/L/M tiers it models operators manually forcing floodfill mode on
+#: under-provisioned routers (Section 5.3.1's "unqualified" floodfills).
+DEFAULT_FLOODFILL_PROBABILITY: Dict[BandwidthTier, float] = {
+    BandwidthTier.K: 0.010,
+    BandwidthTier.L: 0.036,
+    BandwidthTier.M: 0.040,
+    BandwidthTier.N: 0.130,
+    BandwidthTier.O: 0.420,
+    BandwidthTier.P: 0.300,
+    BandwidthTier.X: 0.340,
+}
+
+#: Since router version 0.9.20, P- and X-tier routers also advertise the O
+#: flag for backwards compatibility (Section 5.3.1).  Only routers still
+#: carrying an old-style configuration double-advertise in practice, so the
+#: model applies the compatibility flag with a fixed probability.
+BACKWARD_COMPAT_O_TIERS = (BandwidthTier.P, BandwidthTier.X)
+BACKWARD_COMPAT_O_PROBABILITY = 0.25
+
+
+@dataclass(frozen=True)
+class TierAssignment:
+    """The bandwidth-related attributes sampled for one peer."""
+
+    primary_tier: BandwidthTier
+    advertised_tiers: Tuple[BandwidthTier, ...]
+    shared_kbps: float
+    floodfill: bool
+
+    @property
+    def qualified_floodfill(self) -> bool:
+        return self.floodfill and self.primary_tier in QUALIFIED_FLOODFILL_TIERS
+
+
+class BandwidthModel:
+    """Samples tier / bandwidth / floodfill attributes for synthetic peers."""
+
+    def __init__(
+        self,
+        tier_weights: Optional[Dict[BandwidthTier, float]] = None,
+        floodfill_probability: Optional[Dict[BandwidthTier, float]] = None,
+    ) -> None:
+        self._tier_weights = dict(tier_weights or DEFAULT_TIER_WEIGHTS)
+        self._floodfill_probability = dict(
+            floodfill_probability or DEFAULT_FLOODFILL_PROBABILITY
+        )
+        missing = [t for t in BandwidthTier if t not in self._tier_weights]
+        if missing:
+            raise ValueError(f"tier weights missing entries for {missing}")
+        total = sum(self._tier_weights.values())
+        if total <= 0:
+            raise ValueError("tier weights must sum to a positive value")
+        self._tiers: List[BandwidthTier] = list(BandwidthTier.ordered())
+        self._cumulative: List[float] = []
+        acc = 0.0
+        for tier in self._tiers:
+            acc += self._tier_weights[tier] / total
+            self._cumulative.append(acc)
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+    def sample_tier(self, rng: random.Random) -> BandwidthTier:
+        point = rng.random()
+        for tier, cumulative in zip(self._tiers, self._cumulative):
+            if point <= cumulative:
+                return tier
+        return self._tiers[-1]
+
+    def sample_bandwidth_kbps(self, tier: BandwidthTier, rng: random.Random) -> float:
+        """A shared-bandwidth value (KB/s) inside the tier's range."""
+        low = tier.min_kbps
+        high = tier.max_kbps
+        if high == float("inf"):
+            # X tier: log-uniform between 2 MB/s and 10 MB/s.
+            return 2000.0 * (5.0 ** rng.random())
+        return rng.uniform(low, max(low, high - 1e-9))
+
+    def sample(self, rng: random.Random) -> TierAssignment:
+        tier = self.sample_tier(rng)
+        kbps = self.sample_bandwidth_kbps(tier, rng)
+        floodfill = rng.random() < self._floodfill_probability.get(tier, 0.0)
+        advertised: Tuple[BandwidthTier, ...]
+        if (
+            tier in BACKWARD_COMPAT_O_TIERS
+            and rng.random() < BACKWARD_COMPAT_O_PROBABILITY
+        ):
+            advertised = (BandwidthTier.O, tier)
+        else:
+            advertised = (tier,)
+        return TierAssignment(
+            primary_tier=tier,
+            advertised_tiers=advertised,
+            shared_kbps=kbps,
+            floodfill=floodfill,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Expectations (useful for calibration tests)
+    # ------------------------------------------------------------------ #
+    def expected_tier_share(self, tier: BandwidthTier) -> float:
+        total = sum(self._tier_weights.values())
+        return self._tier_weights[tier] / total
+
+    def expected_floodfill_fraction(self) -> float:
+        """The overall fraction of peers expected to carry the ``f`` flag."""
+        total = sum(self._tier_weights.values())
+        return sum(
+            (self._tier_weights[tier] / total)
+            * self._floodfill_probability.get(tier, 0.0)
+            for tier in BandwidthTier
+        )
+
+    def expected_unqualified_floodfill_share(self) -> float:
+        """Fraction of floodfills whose tier is below N (manually enabled)."""
+        total = sum(self._tier_weights.values())
+        floodfill_mass = 0.0
+        unqualified_mass = 0.0
+        for tier in BandwidthTier:
+            mass = (self._tier_weights[tier] / total) * self._floodfill_probability.get(
+                tier, 0.0
+            )
+            floodfill_mass += mass
+            if tier not in QUALIFIED_FLOODFILL_TIERS:
+                unqualified_mass += mass
+        if floodfill_mass == 0:
+            return 0.0
+        return unqualified_mass / floodfill_mass

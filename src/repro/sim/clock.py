@@ -1,0 +1,87 @@
+"""Simulation clock.
+
+The measurement pipeline thinks in hours (netDb snapshots) and days
+(cleanup, observation windows, blacklist windows), while the netDb routing
+keys rotate at UTC midnight.  The clock keeps everything in seconds since
+the simulation epoch and offers the day/hour conversions used throughout
+the code base.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["SECONDS_PER_HOUR", "SECONDS_PER_DAY", "SimulationClock"]
+
+SECONDS_PER_HOUR = 3_600.0
+SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass
+class SimulationClock:
+    """A monotonically advancing simulation clock.
+
+    Attributes
+    ----------
+    now:
+        Current simulation time, in seconds since the epoch (day 0, 00:00).
+    """
+
+    now: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.now < 0:
+            raise ValueError("simulation time cannot be negative")
+
+    # ------------------------------------------------------------------ #
+    # Advancement
+    # ------------------------------------------------------------------ #
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by ``seconds`` (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError("cannot move the clock backwards")
+        self.now += seconds
+        return self.now
+
+    def advance_hours(self, hours: float) -> float:
+        return self.advance(hours * SECONDS_PER_HOUR)
+
+    def advance_days(self, days: float) -> float:
+        return self.advance(days * SECONDS_PER_DAY)
+
+    def advance_to(self, target: float) -> float:
+        """Advance to an absolute time (no-op if already past it)."""
+        if target > self.now:
+            self.now = target
+        return self.now
+
+    # ------------------------------------------------------------------ #
+    # Calendar helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def day(self) -> int:
+        """The current (0-based) simulation day."""
+        return int(self.now // SECONDS_PER_DAY)
+
+    @property
+    def hour_of_day(self) -> int:
+        return int((self.now % SECONDS_PER_DAY) // SECONDS_PER_HOUR)
+
+    @property
+    def seconds_into_day(self) -> float:
+        return self.now % SECONDS_PER_DAY
+
+    def start_of_day(self, day: int) -> float:
+        if day < 0:
+            raise ValueError("day must be non-negative")
+        return day * SECONDS_PER_DAY
+
+    def hours_in_day(self, day: int) -> Iterator[float]:
+        """Iterate over the 24 hourly timestamps within a simulation day."""
+        start = self.start_of_day(day)
+        for hour in range(24):
+            yield start + hour * SECONDS_PER_HOUR
+
+    def copy(self) -> "SimulationClock":
+        return SimulationClock(now=self.now)

@@ -1,0 +1,535 @@
+"""Message-level I2P network engine for small networks.
+
+This engine wires together the full substrate — identities, RouterInfos,
+netDb stores, floodfill flooding, reseed bootstrap, DLM exploration, and
+tunnel building — at the level of individual protocol interactions.  It is
+intentionally sized for networks of tens to a few thousand routers: unit
+and integration tests use it to validate that the four peer-discovery
+mechanisms enumerated in Section 4.2 of the paper actually produce the
+netDb contents the statistical model (:mod:`repro.sim.observation`)
+summarises at paper scale.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..netdb.floodfill import FLOOD_REDUNDANCY, FloodfillRouterState
+from ..netdb.identity import RouterIdentity
+from ..netdb.leaseset import LEASE_DURATION, Destination, Lease, LeaseSet
+from ..netdb.messages import (
+    DatabaseLookupMessage,
+    DatabaseStoreMessage,
+    LookupType,
+)
+from ..netdb.routerinfo import (
+    BandwidthTier,
+    CapacityFlags,
+    RouterAddress,
+    RouterInfo,
+    TransportStyle,
+)
+from ..netdb.routing_key import routing_key, select_closest
+from ..netdb.store import NetDbStore
+from ..transport.ports import PortRegistry
+from .clock import SECONDS_PER_HOUR, SimulationClock
+from .reseed import DEFAULT_RESEED_SERVERS, ReseedServer, bootstrap
+from .tunnels import TunnelBuilder, TunnelDirection
+
+__all__ = ["SimulatedRouter", "I2PNetwork"]
+
+
+@dataclass
+class SimulatedRouter:
+    """A fully simulated router participating in the message-level network."""
+
+    identity: RouterIdentity
+    ip: str
+    port: int
+    bandwidth_tier: BandwidthTier
+    floodfill: bool
+    hidden: bool = False
+    store: NetDbStore = field(default_factory=NetDbStore)
+    floodfill_state: Optional[FloodfillRouterState] = None
+    known_floodfills: Set[bytes] = field(default_factory=set)
+    participating_tunnels: int = 0
+    #: Hidden services hosted by this router: destination hash -> Destination.
+    hosted_destinations: Dict[bytes, Destination] = field(default_factory=dict)
+
+    @property
+    def hash(self) -> bytes:
+        return self.identity.hash
+
+    def routerinfo(self, published_at: float) -> RouterInfo:
+        """The RouterInfo this router publishes right now."""
+        capacity = CapacityFlags(
+            tiers=(self.bandwidth_tier,),
+            floodfill=self.floodfill,
+            reachable=not self.hidden,
+            unreachable=self.hidden,
+        )
+        addresses: Tuple[RouterAddress, ...]
+        if self.hidden:
+            addresses = ()
+        else:
+            addresses = (
+                RouterAddress(
+                    style=TransportStyle.NTCP, host=self.ip, port=self.port
+                ),
+            )
+        return RouterInfo(
+            identity=self.identity,
+            addresses=addresses,
+            capacity=capacity,
+            published_at=published_at,
+        )
+
+    def learn(self, info: RouterInfo) -> bool:
+        """Store a RouterInfo and track floodfills separately."""
+        changed = self.store.store_routerinfo(info)
+        if info.is_floodfill:
+            self.known_floodfills.add(info.hash)
+            if self.floodfill_state is not None:
+                self.floodfill_state.learn_floodfill(info.hash)
+        return changed
+
+    def known_peer_hashes(self) -> Set[bytes]:
+        return set(self.store.router_hashes())
+
+
+class I2PNetwork:
+    """A small message-level I2P network."""
+
+    def __init__(self, seed: int = 0, reseed_server_count: int = 3) -> None:
+        self.clock = SimulationClock()
+        self.rng = random.Random(seed)
+        self.routers: Dict[bytes, SimulatedRouter] = {}
+        self.ports = PortRegistry()
+        self.tunnel_builder = TunnelBuilder(rng=random.Random(seed + 1))
+        self.reseed_servers: List[ReseedServer] = [
+            ReseedServer(hostname=name)
+            for name in DEFAULT_RESEED_SERVERS[:reseed_server_count]
+        ]
+        self._host_counter = 0
+        self.messages_delivered = 0
+
+    # ------------------------------------------------------------------ #
+    # Topology management
+    # ------------------------------------------------------------------ #
+    def _allocate_ip(self) -> str:
+        self._host_counter += 1
+        index = self._host_counter
+        return f"10.{(index // 65536) % 256}.{(index // 256) % 256}.{index % 256}"
+
+    def add_router(
+        self,
+        floodfill: bool = False,
+        bandwidth_tier: BandwidthTier = BandwidthTier.L,
+        hidden: bool = False,
+        do_bootstrap: bool = True,
+    ) -> SimulatedRouter:
+        """Create a router, optionally bootstrapping it from reseed servers."""
+        identity = RouterIdentity.generate(self.rng)
+        ip = self._allocate_ip()
+        port = self.ports.bind(ip, identity.hash, rng=self.rng)
+        router = SimulatedRouter(
+            identity=identity,
+            ip=ip,
+            port=port,
+            bandwidth_tier=bandwidth_tier,
+            floodfill=floodfill,
+            hidden=hidden,
+            store=NetDbStore(floodfill=floodfill),
+        )
+        if floodfill:
+            router.floodfill_state = FloodfillRouterState(
+                router_hash=identity.hash, store=router.store
+            )
+        self.routers[identity.hash] = router
+
+        if do_bootstrap:
+            result = bootstrap(ip, self.reseed_servers, rng=self.rng)
+            for info in result.routerinfos:
+                router.learn(info)
+        # Reseed servers learn about new public routers over time.
+        if not hidden:
+            self._sync_reseed_servers()
+        return router
+
+    def remove_router(self, router_hash: bytes) -> bool:
+        router = self.routers.pop(router_hash, None)
+        if router is None:
+            return False
+        self.ports.release(router.ip, router.port)
+        return True
+
+    def _sync_reseed_servers(self) -> None:
+        public_infos = [
+            router.routerinfo(self.clock.now)
+            for router in self.routers.values()
+            if not router.hidden
+        ]
+        for server in self.reseed_servers:
+            server.update_known(public_infos)
+
+    # ------------------------------------------------------------------ #
+    # netDb interactions
+    # ------------------------------------------------------------------ #
+    def floodfill_hashes(self) -> List[bytes]:
+        return [h for h, r in self.routers.items() if r.floodfill]
+
+    def publish_all(self) -> int:
+        """Every router publishes its RouterInfo to its closest floodfills.
+
+        Returns the number of DatabaseStoreMessages delivered (including
+        flood propagation).
+        """
+        delivered = 0
+        floodfills = self.floodfill_hashes()
+        for router in list(self.routers.values()):
+            info = router.routerinfo(self.clock.now)
+            router.learn(info)
+            if not floodfills:
+                continue
+            known_ffs = [h for h in router.known_floodfills if h in self.routers]
+            candidates = known_ffs if known_ffs else floodfills
+            target_key = routing_key(info.hash, self.clock.now)
+            targets = select_closest(
+                target_key, candidates, FLOOD_REDUNDANCY, self.clock.now
+            )
+            for target_hash in targets:
+                delivered += self._deliver_store(target_hash, router.hash, info)
+        self.messages_delivered += delivered
+        return delivered
+
+    def _deliver_store(
+        self, target_hash: bytes, from_hash: bytes, info: RouterInfo
+    ) -> int:
+        """Deliver a DSM to a floodfill, following flood propagation."""
+        target = self.routers.get(target_hash)
+        if target is None or target.floodfill_state is None:
+            return 0
+        message = DatabaseStoreMessage(from_hash=from_hash, entry=info, reply_token=1)
+        result = target.floodfill_state.handle_store(message, self.clock.now)
+        delivered = 1
+        if info.is_floodfill:
+            target.known_floodfills.add(info.hash)
+        for flood_target in result.flooded_to:
+            neighbour = self.routers.get(flood_target)
+            if neighbour is None or neighbour.floodfill_state is None:
+                continue
+            flood_message = DatabaseStoreMessage(
+                from_hash=target_hash, entry=info, reply_token=0
+            )
+            neighbour.floodfill_state.handle_store(flood_message, self.clock.now)
+            if info.is_floodfill:
+                neighbour.known_floodfills.add(info.hash)
+            delivered += 1
+        return delivered
+
+    def explore(self, router_hash: bytes, lookups: int = 3) -> int:
+        """A router sends exploration DLMs to floodfills to learn new peers.
+
+        Returns the number of new RouterInfos learned.
+        """
+        router = self.routers[router_hash]
+        floodfills = [h for h in router.known_floodfills if h in self.routers]
+        if not floodfills:
+            floodfills = self.floodfill_hashes()
+        if not floodfills:
+            return 0
+        learned = 0
+        targets = self.rng.sample(floodfills, min(lookups, len(floodfills)))
+        for target_hash in targets:
+            target = self.routers[target_hash]
+            if target.floodfill_state is None:
+                continue
+            message = DatabaseLookupMessage(
+                from_hash=router_hash,
+                key=router_hash,
+                lookup_type=LookupType.EXPLORATION,
+                exclude_hashes=tuple(router.known_peer_hashes())[:200],
+                max_results=16,
+            )
+            response = target.floodfill_state.handle_lookup(message, self.clock.now)
+            self.messages_delivered += 1
+            if isinstance(response, list):
+                for info in response:
+                    if router.learn(info):
+                        learned += 1
+        return learned
+
+    def lookup_routerinfo(
+        self, requester_hash: bytes, key: bytes, max_iterations: int = 8
+    ) -> Optional[RouterInfo]:
+        """Iterative RouterInfo lookup through floodfill routers."""
+        requester = self.routers[requester_hash]
+        local = requester.store.get_routerinfo(key)
+        if local is not None:
+            return local
+        queried: Set[bytes] = set()
+        candidates = [h for h in requester.known_floodfills if h in self.routers]
+        if not candidates:
+            candidates = self.floodfill_hashes()
+        for _ in range(max_iterations):
+            remaining = [h for h in candidates if h not in queried]
+            if not remaining:
+                return None
+            target_key = routing_key(key, self.clock.now)
+            ordered = select_closest(target_key, remaining, 1, self.clock.now)
+            if not ordered:
+                return None
+            target_hash = ordered[0]
+            queried.add(target_hash)
+            target = self.routers.get(target_hash)
+            if target is None or target.floodfill_state is None:
+                continue
+            message = DatabaseLookupMessage(
+                from_hash=requester_hash,
+                key=key,
+                lookup_type=LookupType.ROUTERINFO,
+                exclude_hashes=tuple(queried),
+            )
+            response = target.floodfill_state.handle_lookup(message, self.clock.now)
+            self.messages_delivered += 1
+            if isinstance(response, DatabaseStoreMessage):
+                info = response.entry
+                assert isinstance(info, RouterInfo)
+                requester.learn(info)
+                return info
+            if hasattr(response, "closer_hashes"):
+                candidates.extend(
+                    h for h in response.closer_hashes if h in self.routers
+                )
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Hidden services (eepsites): LeaseSet publication and lookup
+    # ------------------------------------------------------------------ #
+    def host_eepsite(
+        self, host_hash: bytes, name: str = "", gateways: int = 2
+    ) -> Destination:
+        """Host a hidden service on a router and publish its LeaseSet.
+
+        Inbound-tunnel gateways are selected from the host's netDb with the
+        usual capacity-weighted selection; the resulting LeaseSet is stored
+        at the floodfills closest to the destination's routing key, exactly
+        like RouterInfo publication (Section 2.1.2).
+        """
+        host = self.routers[host_hash]
+        destination = Destination(
+            identity=RouterIdentity.generate(self.rng), name=name
+        )
+        host.hosted_destinations[destination.hash] = destination
+        self.publish_leaseset(host_hash, destination, gateways=gateways)
+        return destination
+
+    def publish_leaseset(
+        self, host_hash: bytes, destination: Destination, gateways: int = 2
+    ) -> Optional[LeaseSet]:
+        """(Re)build the destination's inbound tunnels and publish its LeaseSet."""
+        host = self.routers[host_hash]
+        candidates = [
+            info
+            for info in host.store.routerinfos()
+            if info.hash != host_hash and info.hash in self.routers
+        ]
+        selected = self.tunnel_builder._selector.select_hops(candidates, gateways)
+        if not selected:
+            # Fall back to the host itself acting as its own gateway.
+            gateway_hashes = [host_hash]
+        else:
+            gateway_hashes = [info.hash for info in selected]
+        leases = tuple(
+            Lease(
+                gateway_hash=gateway_hash,
+                tunnel_id=self.rng.randint(1, 2**31 - 1),
+                expires_at=self.clock.now + LEASE_DURATION,
+            )
+            for gateway_hash in gateway_hashes
+        )
+        leaseset = LeaseSet(
+            destination=destination, leases=leases, published_at=self.clock.now
+        )
+        host.store.store_leaseset(leaseset)
+
+        floodfills = [h for h in host.known_floodfills if h in self.routers]
+        if not floodfills:
+            floodfills = self.floodfill_hashes()
+        if floodfills:
+            target_key = routing_key(destination.hash, self.clock.now)
+            targets = select_closest(
+                target_key, floodfills, FLOOD_REDUNDANCY, self.clock.now
+            )
+            for target_hash in targets:
+                target = self.routers.get(target_hash)
+                if target is None or target.floodfill_state is None:
+                    continue
+                message = DatabaseStoreMessage(
+                    from_hash=host_hash, entry=leaseset, reply_token=1
+                )
+                target.floodfill_state.handle_store(message, self.clock.now)
+                self.messages_delivered += 1
+        return leaseset
+
+    def lookup_leaseset(
+        self, requester_hash: bytes, destination_hash: bytes, max_iterations: int = 8
+    ) -> Optional[LeaseSet]:
+        """Iterative LeaseSet lookup through the floodfill DHT."""
+        requester = self.routers[requester_hash]
+        local = requester.store.get_leaseset(destination_hash)
+        if local is not None and not local.is_expired(self.clock.now):
+            return local
+        queried: Set[bytes] = set()
+        candidates = [h for h in requester.known_floodfills if h in self.routers]
+        if not candidates:
+            candidates = self.floodfill_hashes()
+        for _ in range(max_iterations):
+            remaining = [h for h in candidates if h not in queried]
+            if not remaining:
+                return None
+            target_key = routing_key(destination_hash, self.clock.now)
+            ordered = select_closest(target_key, remaining, 1, self.clock.now)
+            if not ordered:
+                return None
+            target_hash = ordered[0]
+            queried.add(target_hash)
+            target = self.routers.get(target_hash)
+            if target is None or target.floodfill_state is None:
+                continue
+            message = DatabaseLookupMessage(
+                from_hash=requester_hash,
+                key=destination_hash,
+                lookup_type=LookupType.LEASESET,
+                exclude_hashes=tuple(queried),
+            )
+            response = target.floodfill_state.handle_lookup(message, self.clock.now)
+            self.messages_delivered += 1
+            if isinstance(response, DatabaseStoreMessage) and response.is_leaseset:
+                leaseset = response.entry
+                assert isinstance(leaseset, LeaseSet)
+                requester.store.store_leaseset(leaseset)
+                return leaseset
+            if hasattr(response, "closer_hashes"):
+                candidates.extend(
+                    h for h in response.closer_hashes if h in self.routers
+                )
+        return None
+
+    def fetch_eepsite(
+        self,
+        requester_hash: bytes,
+        destination_hash: bytes,
+        blocked_ips: Optional[Set[str]] = None,
+    ) -> Tuple[bool, float]:
+        """Fetch a page from a hidden service at the message level.
+
+        Returns ``(succeeded, elapsed_seconds)``.  The fetch needs a
+        LeaseSet lookup, an outbound tunnel for the requester, and a
+        reachable inbound gateway from the LeaseSet; a censor blocklist can
+        be supplied to emulate the null-routing of Section 6.2.3.
+        """
+        blocked_ips = blocked_ips or set()
+        requester = self.routers[requester_hash]
+        elapsed = 0.0
+
+        leaseset = self.lookup_leaseset(requester_hash, destination_hash)
+        elapsed += 0.5
+        if leaseset is None:
+            return False, elapsed
+
+        candidates = [
+            info
+            for info in requester.store.routerinfos()
+            if info.hash != requester_hash and info.hash in self.routers
+        ]
+        result = self.tunnel_builder.build(
+            candidates,
+            TunnelDirection.OUTBOUND,
+            self.clock.now,
+            blocked_ips=blocked_ips,
+        )
+        elapsed += result.elapsed_seconds
+        if not result.succeeded:
+            return False, elapsed
+
+        for gateway_hash in leaseset.gateway_hashes(self.clock.now):
+            gateway = self.routers.get(gateway_hash)
+            if gateway is None:
+                continue
+            if gateway.ip in blocked_ips and gateway_hash != requester_hash:
+                elapsed += 2.0
+                continue
+            elapsed += 1.0
+            return True, elapsed
+        return False, elapsed
+
+    # ------------------------------------------------------------------ #
+    # Tunnels (the third discovery mechanism)
+    # ------------------------------------------------------------------ #
+    def build_client_tunnels(
+        self, router_hash: bytes, pairs: int = 2, length: int = 2
+    ) -> int:
+        """Build ``pairs`` inbound/outbound tunnel pairs for a router.
+
+        Hop routers learn the RouterInfos of the routers adjacent to them
+        in each built tunnel, modelling the "learns about other adjacent
+        routers in tunnels that it participates in" mechanism.
+        """
+        router = self.routers[router_hash]
+        candidates = [
+            info
+            for info in router.store.routerinfos()
+            if info.hash != router_hash and info.hash in self.routers
+        ]
+        built = 0
+        for _ in range(pairs):
+            for direction in (TunnelDirection.OUTBOUND, TunnelDirection.INBOUND):
+                result = self.tunnel_builder.build(
+                    candidates, direction, self.clock.now, length=length
+                )
+                if not result.succeeded or result.tunnel is None:
+                    continue
+                built += 1
+                self._propagate_tunnel_knowledge(router, result.tunnel.hops)
+        return built
+
+    def _propagate_tunnel_knowledge(
+        self, originator: SimulatedRouter, hops: Tuple[bytes, ...]
+    ) -> None:
+        chain: List[SimulatedRouter] = [originator]
+        for hop_hash in hops:
+            hop = self.routers.get(hop_hash)
+            if hop is None:
+                continue
+            hop.participating_tunnels += 1
+            chain.append(hop)
+        for position, node in enumerate(chain):
+            for neighbour_index in (position - 1, position + 1):
+                if 0 <= neighbour_index < len(chain):
+                    neighbour = chain[neighbour_index]
+                    if neighbour.hash != node.hash:
+                        node.learn(neighbour.routerinfo(self.clock.now))
+
+    # ------------------------------------------------------------------ #
+    # Time
+    # ------------------------------------------------------------------ #
+    def step_hours(self, hours: float = 1.0) -> None:
+        """Advance the clock and apply store expiry on every router."""
+        self.clock.advance_hours(hours)
+        for router in self.routers.values():
+            router.store.expire(self.clock.now)
+
+    def run_convergence_rounds(self, rounds: int = 3) -> None:
+        """Run publish + exploration rounds so netDbs converge.
+
+        A convenience used by integration tests and examples to reach a
+        steady state quickly on small networks.
+        """
+        for _ in range(rounds):
+            self.publish_all()
+            for router_hash in list(self.routers.keys()):
+                self.explore(router_hash, lookups=2)
+            self.step_hours(0.25)

@@ -1,0 +1,193 @@
+"""Simulated I2P peers: static attributes plus per-day snapshots.
+
+A :class:`PeerRecord` holds everything that stays fixed for the lifetime of
+one router identity (the identity itself, bandwidth tier, floodfill flag,
+visibility class, presence schedule, home location).  A
+:class:`PeerDaySnapshot` is the materialised view of that peer on one
+simulation day: whether it is online, which IP it currently holds, and
+whether it presents as public, firewalled, or hidden that day.
+
+The visibility classes correspond to Section 5.1 of the paper:
+
+* ``PUBLIC`` — publishes a direct address, counted as reachable;
+* ``FIREWALLED`` — behind NAT/firewall, publishes introducers only;
+* ``HIDDEN`` — publishes neither address nor introducers;
+* ``FLAPPING`` — switches between firewalled and hidden day to day (the
+  ~2.6K "overlapping" peers of Figure 6).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..netdb.identity import RouterIdentity
+from ..netdb.routerinfo import (
+    BandwidthTier,
+    CapacityFlags,
+    Introducer,
+    RouterAddress,
+    RouterInfo,
+    TransportStyle,
+)
+from .bandwidth import TierAssignment
+from .churn import PresenceSchedule
+from .ip import IpAssignment
+
+__all__ = ["VisibilityClass", "PeerRecord", "PeerDaySnapshot", "build_routerinfo"]
+
+
+class VisibilityClass(str, enum.Enum):
+    PUBLIC = "public"
+    FIREWALLED = "firewalled"
+    HIDDEN = "hidden"
+    FLAPPING = "flapping"
+
+
+@dataclass
+class PeerRecord:
+    """Static, per-identity attributes of one simulated peer."""
+
+    index: int
+    identity: RouterIdentity
+    tier: TierAssignment
+    visibility_class: VisibilityClass
+    schedule: PresenceSchedule
+    country_code: str
+    home_asn: int
+    port: int
+    base_visibility: float
+    activity: float
+    supports_ipv6: bool = False
+    presence: List[bool] = field(default_factory=list)
+
+    @property
+    def peer_id(self) -> bytes:
+        return self.identity.hash
+
+    @property
+    def is_floodfill(self) -> bool:
+        return self.tier.floodfill
+
+    @property
+    def bandwidth_tier(self) -> BandwidthTier:
+        return self.tier.primary_tier
+
+    def is_online(self, day: int) -> bool:
+        """Whether the peer is online on a (0-based) campaign day."""
+        if day < 0 or day >= len(self.presence):
+            return False
+        return self.presence[day]
+
+    def is_member(self, day: int) -> bool:
+        return self.schedule.is_member_on(day)
+
+    def membership_days(self) -> int:
+        return self.schedule.membership_days
+
+    def online_days(self) -> List[int]:
+        return [day for day, online in enumerate(self.presence) if online]
+
+
+@dataclass(frozen=True)
+class PeerDaySnapshot:
+    """A peer's observable state on one simulation day."""
+
+    peer_id: bytes
+    index: int
+    day: int
+    ip: Optional[str]
+    ipv6: Optional[str]
+    asn: Optional[int]
+    country_code: str
+    port: int
+    bandwidth_tier: BandwidthTier
+    advertised_tiers: Tuple[BandwidthTier, ...]
+    floodfill: bool
+    reachable: bool
+    firewalled: bool
+    hidden: bool
+    is_new_today: bool
+    base_visibility: float
+    activity: float
+    introducer_ips: Tuple[str, ...] = ()
+
+    @property
+    def has_valid_ip(self) -> bool:
+        return self.ip is not None and not self.hidden and not self.firewalled
+
+    @property
+    def unknown_ip(self) -> bool:
+        return self.firewalled or self.hidden
+
+    @property
+    def ip_addresses(self) -> Tuple[str, ...]:
+        """The addresses this snapshot exposes to observers (may be empty)."""
+        if self.unknown_ip:
+            return ()
+        addresses: Tuple[str, ...] = ()
+        if self.ip is not None:
+            addresses = (self.ip,)
+        if self.ipv6 is not None:
+            addresses = addresses + (self.ipv6,)
+        return addresses
+
+
+def build_routerinfo(
+    snapshot: PeerDaySnapshot,
+    identity: RouterIdentity,
+    published_at: float,
+    introducers: Sequence[Introducer] = (),
+) -> RouterInfo:
+    """Construct the RouterInfo a peer publishes for one daily snapshot.
+
+    The structure follows the classification rules of Section 5.1: a public
+    peer includes its direct addresses, a firewalled peer includes an
+    address block with introducers but no host, and a hidden peer includes
+    no address block at all.
+    """
+    capacity = CapacityFlags(
+        tiers=snapshot.advertised_tiers,
+        floodfill=snapshot.floodfill,
+        reachable=snapshot.reachable,
+        unreachable=not snapshot.reachable,
+    )
+    addresses: List[RouterAddress] = []
+    if snapshot.hidden:
+        addresses = []
+    elif snapshot.firewalled:
+        addresses.append(
+            RouterAddress(
+                style=TransportStyle.SSU,
+                host=None,
+                port=None,
+                introducers=tuple(introducers),
+            )
+        )
+    else:
+        if snapshot.ip is not None:
+            addresses.append(
+                RouterAddress(
+                    style=TransportStyle.NTCP, host=snapshot.ip, port=snapshot.port
+                )
+            )
+            addresses.append(
+                RouterAddress(
+                    style=TransportStyle.SSU, host=snapshot.ip, port=snapshot.port
+                )
+            )
+        if snapshot.ipv6 is not None:
+            addresses.append(
+                RouterAddress(
+                    style=TransportStyle.NTCP, host=snapshot.ipv6, port=snapshot.port
+                )
+            )
+    return RouterInfo(
+        identity=identity,
+        addresses=tuple(addresses),
+        capacity=capacity,
+        published_at=published_at,
+        options=(("netdb.knownRouters", "0"), ("router.version", "0.9.34")),
+    )

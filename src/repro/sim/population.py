@@ -1,0 +1,399 @@
+"""Calibrated synthetic I2P population.
+
+The population model is the ground truth the measurement pipeline observes.
+It generates router identities with attributes calibrated against the
+paper's findings (Section 5):
+
+* a stable daily population (default ≈30.5K online peers per day);
+* roughly half of the daily peers have unknown IPs, split into ~14K
+  firewalled, ~4K hidden, with ~2.6K flapping between the two (Figure 6);
+* capacity tiers dominated by L, then N (Figure 9), ~9 % floodfills of
+  which ~30 % are manually enabled/unqualified (Table 1);
+* geographic placement via :mod:`repro.sim.geo` (Figures 10–12) with
+  hidden-mode enabled by default in poor-press-freedom countries;
+* membership lengths and daily presence reproducing the longevity curves
+  (Figure 7) and residential IP churn (Figure 8) via
+  :mod:`repro.sim.churn` and :mod:`repro.sim.ip`.
+
+The model exposes one simulated day at a time (:class:`DayView`), which the
+monitoring, blocking, and usability analyses consume.  Days must be
+consumed in order because IP rotation is stateful, mirroring real time.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..netdb.identity import RouterIdentity
+from .bandwidth import BandwidthModel, TierAssignment
+from .churn import ChurnModel, PresenceSchedule
+from .clock import SECONDS_PER_DAY
+from .geo import GeoRegistry, default_registry
+from .ip import IpAssignmentManager
+from .peer import PeerDaySnapshot, PeerRecord, VisibilityClass
+from .rng import SeededStreams
+from ..transport.ports import random_i2p_port
+
+__all__ = ["PopulationConfig", "DayView", "I2PPopulation"]
+
+
+@dataclass(frozen=True)
+class PopulationConfig:
+    """Configuration of the synthetic population.
+
+    ``target_daily_population`` scales the whole network; the paper's
+    full-scale value is 30,500 daily peers, benchmarks typically use a
+    scaled-down value for speed (results are reported as shares).
+    """
+
+    target_daily_population: int = 30_500
+    horizon_days: int = 90
+    seed: int = 2018
+
+    #: Visibility-class fractions (Section 5.1 / Figure 6 calibration).
+    public_fraction: float = 0.495
+    firewalled_fraction: float = 0.374
+    hidden_fraction: float = 0.046
+    flapping_fraction: float = 0.085
+
+    #: Extra probability mass moved to hidden mode for peers in countries
+    #: with poor press-freedom scores (hidden-by-default behaviour).
+    poor_press_freedom_hidden_boost: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.target_daily_population <= 0:
+            raise ValueError("target_daily_population must be positive")
+        if self.horizon_days <= 0:
+            raise ValueError("horizon_days must be positive")
+        fractions = (
+            self.public_fraction
+            + self.firewalled_fraction
+            + self.hidden_fraction
+            + self.flapping_fraction
+        )
+        if not math.isclose(fractions, 1.0, rel_tol=1e-6):
+            raise ValueError("visibility-class fractions must sum to 1")
+
+
+@dataclass
+class DayView:
+    """Everything observable about the network on one simulation day."""
+
+    day: int
+    snapshots: List[PeerDaySnapshot]
+    new_arrivals: int = 0
+    departures: int = 0
+
+    @property
+    def online_count(self) -> int:
+        return len(self.snapshots)
+
+    @property
+    def known_ip_count(self) -> int:
+        return sum(1 for s in self.snapshots if s.has_valid_ip)
+
+    @property
+    def firewalled_count(self) -> int:
+        return sum(1 for s in self.snapshots if s.firewalled)
+
+    @property
+    def hidden_count(self) -> int:
+        return sum(1 for s in self.snapshots if s.hidden)
+
+    @property
+    def floodfill_count(self) -> int:
+        return sum(1 for s in self.snapshots if s.floodfill)
+
+    def by_peer_id(self) -> Dict[bytes, PeerDaySnapshot]:
+        return {s.peer_id: s for s in self.snapshots}
+
+    def ip_addresses(self) -> List[str]:
+        """All publicly visible IPv4 addresses on this day."""
+        return [s.ip for s in self.snapshots if s.has_valid_ip and s.ip is not None]
+
+
+class I2PPopulation:
+    """Generates and evolves the synthetic peer population day by day."""
+
+    #: Base-visibility mixture (multiplier applied to monitor reach), chosen
+    #: so coverage saturates the way Figures 3, 4, and 13 report.
+    _VISIBILITY_MIXTURE: Tuple[Tuple[float, Tuple[float, float]], ...] = (
+        (0.55, (1.10, 1.45)),  # well-integrated peers
+        (0.30, (0.70, 1.10)),  # moderately integrated
+        (0.10, (0.25, 0.70)),  # peripheral
+        (0.05, (0.02, 0.18)),  # nearly invisible (short uptimes, new peers)
+    )
+
+    def __init__(
+        self,
+        config: Optional[PopulationConfig] = None,
+        registry: Optional[GeoRegistry] = None,
+        churn_model: Optional[ChurnModel] = None,
+        bandwidth_model: Optional[BandwidthModel] = None,
+    ) -> None:
+        self.config = config or PopulationConfig()
+        self.registry = registry or default_registry()
+        self.streams = SeededStreams(self.config.seed)
+        self._churn_rng = self.streams.python("churn")
+        self._attr_rng = self.streams.python("attributes")
+        self._ip_rng = self.streams.python("ip")
+        self._day_rng = self.streams.python("daily")
+        self.churn_model = churn_model or ChurnModel(rng=self._churn_rng)
+        self.bandwidth_model = bandwidth_model or BandwidthModel()
+        self.ip_manager = IpAssignmentManager(self.registry, self._ip_rng)
+
+        self.peers: List[PeerRecord] = []
+        self._peers_by_id: Dict[bytes, PeerRecord] = {}
+        self._next_index = 0
+        self._current_day = -1
+        self._expected_online_probability = 0.85
+
+        self._bootstrap_initial_population()
+        #: Poisson arrival rate that keeps the daily population stable.
+        self._arrival_rate = max(
+            1.0,
+            len(self.peers) / max(1.0, self.churn_model.expected_lifetime_days()),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Peer creation
+    # ------------------------------------------------------------------ #
+    def _sample_visibility_class(self, country_code: str) -> VisibilityClass:
+        cfg = self.config
+        roll = self._attr_rng.random()
+        country = self.registry.country(country_code)
+        if country.poor_press_freedom:
+            # Hidden-by-default: move part of the public mass to hidden.
+            boost = cfg.poor_press_freedom_hidden_boost
+            hidden_cut = cfg.hidden_fraction + cfg.public_fraction * boost
+            public_cut = hidden_cut + cfg.public_fraction * (1.0 - boost)
+            firewalled_cut = public_cut + cfg.firewalled_fraction
+            if roll < hidden_cut:
+                return VisibilityClass.HIDDEN
+            if roll < public_cut:
+                return VisibilityClass.PUBLIC
+            if roll < firewalled_cut:
+                return VisibilityClass.FIREWALLED
+            return VisibilityClass.FLAPPING
+        public_cut = cfg.public_fraction
+        firewalled_cut = public_cut + cfg.firewalled_fraction
+        hidden_cut = firewalled_cut + cfg.hidden_fraction
+        if roll < public_cut:
+            return VisibilityClass.PUBLIC
+        if roll < firewalled_cut:
+            return VisibilityClass.FIREWALLED
+        if roll < hidden_cut:
+            return VisibilityClass.HIDDEN
+        return VisibilityClass.FLAPPING
+
+    def _sample_base_visibility(
+        self, visibility_class: VisibilityClass, tier: TierAssignment
+    ) -> float:
+        roll = self._attr_rng.random()
+        acc = 0.0
+        chosen = self._VISIBILITY_MIXTURE[-1][1]
+        for weight, bounds in self._VISIBILITY_MIXTURE:
+            acc += weight
+            if roll <= acc:
+                chosen = bounds
+                break
+        value = self._attr_rng.uniform(*chosen)
+        if visibility_class is VisibilityClass.HIDDEN:
+            value *= 0.55
+        elif visibility_class is VisibilityClass.FIREWALLED:
+            value *= 0.85
+        elif visibility_class is VisibilityClass.FLAPPING:
+            value *= 0.75
+        if tier.primary_tier.value in ("O", "P", "X"):
+            value *= 1.10
+        return min(value, 1.6)
+
+    def _create_peer(self, schedule: PresenceSchedule) -> PeerRecord:
+        index = self._next_index
+        self._next_index += 1
+        identity = RouterIdentity.generate(self._attr_rng)
+        country = self.registry.sample_country(self._attr_rng)
+        assignment = self.ip_manager.register_peer(identity.hash, country.code)
+        tier = self.bandwidth_model.sample(self._attr_rng)
+        visibility_class = self._sample_visibility_class(country.code)
+        base_visibility = self._sample_base_visibility(visibility_class, tier)
+        activity = min(1.0, 0.25 + 0.75 * self._attr_rng.random() + 0.05 * (
+            tier.primary_tier.value in ("N", "O", "P", "X")
+        ))
+        port = random_i2p_port(self._attr_rng)
+        asys = self.registry.autonomous_system(assignment.asn)
+
+        horizon = self.config.horizon_days
+        presence: List[bool] = [False] * horizon
+        for day in range(max(0, schedule.join_day), min(horizon, schedule.leave_day)):
+            if day == schedule.join_day or day == schedule.leave_day - 1:
+                presence[day] = True
+            else:
+                presence[day] = self._attr_rng.random() < schedule.online_probability
+
+        record = PeerRecord(
+            index=index,
+            identity=identity,
+            tier=tier,
+            visibility_class=visibility_class,
+            schedule=schedule,
+            country_code=assignment.country_code,
+            home_asn=assignment.asn,
+            port=port,
+            base_visibility=base_visibility,
+            activity=activity,
+            supports_ipv6=asys.supports_ipv6,
+            presence=presence,
+        )
+        self.peers.append(record)
+        self._peers_by_id[record.peer_id] = record
+        return record
+
+    def _bootstrap_initial_population(self) -> None:
+        """Create the steady-state population present on day 0.
+
+        Initial members are sampled with *length-biased* lifetimes (a
+        stationary population over-represents long-lived peers relative to
+        the arrival distribution), then back-dated uniformly within their
+        lifetime so day 0 is statistically indistinguishable from any later
+        day.
+        """
+        target_members = int(
+            round(
+                self.config.target_daily_population
+                / self._expected_online_probability
+            )
+        )
+        classes = self.churn_model._classes  # calibrated mixture
+        length_biased_weights = [
+            cls.weight * (cls.min_days + cls.max_days) / 2.0 for cls in classes
+        ]
+        total_weight = sum(length_biased_weights)
+        for _ in range(target_members):
+            point = self._churn_rng.random() * total_weight
+            acc = 0.0
+            chosen = classes[-1]
+            for cls, weight in zip(classes, length_biased_weights):
+                acc += weight
+                if point <= acc:
+                    chosen = cls
+                    break
+            lifetime = max(1, int(round(self._churn_rng.uniform(chosen.min_days, chosen.max_days))))
+            elapsed = self._churn_rng.randint(0, lifetime - 1)
+            schedule = PresenceSchedule(
+                join_day=-elapsed,
+                leave_day=-elapsed + lifetime,
+                online_probability=self._churn_rng.uniform(
+                    *chosen.online_probability_range
+                ),
+                lifetime_class=chosen.name,
+            )
+            self._create_peer(schedule)
+
+    # ------------------------------------------------------------------ #
+    # Day-by-day evolution
+    # ------------------------------------------------------------------ #
+    def _spawn_arrivals(self, day: int) -> int:
+        """Create the new identities joining the network on ``day``."""
+        expected = self._arrival_rate
+        # Poisson draw via inversion; rates here are small enough (<10^4).
+        arrivals = 0
+        threshold = math.exp(-expected)
+        product = self._day_rng.random()
+        while product > threshold:
+            arrivals += 1
+            product *= self._day_rng.random()
+        for _ in range(arrivals):
+            schedule = self.churn_model.sample_schedule(day, self._churn_rng)
+            self._create_peer(schedule)
+        return arrivals
+
+    def day_view(self, day: int) -> DayView:
+        """Materialise the network state for ``day``.
+
+        Days must be requested in non-decreasing order (IP churn is
+        stateful).  Requesting the same day twice is not supported; callers
+        that need the data again should keep the returned view.
+        """
+        if day < 0 or day >= self.config.horizon_days:
+            raise ValueError(
+                f"day {day} outside the campaign horizon [0, {self.config.horizon_days})"
+            )
+        if day <= self._current_day:
+            raise ValueError("days must be consumed strictly in order")
+        # Advance through skipped days so arrivals/IP churn stay consistent.
+        view: Optional[DayView] = None
+        for current in range(self._current_day + 1, day + 1):
+            view = self._materialise_day(current)
+        self._current_day = day
+        assert view is not None
+        return view
+
+    def iter_days(self, start: int = 0, end: Optional[int] = None) -> Iterator[DayView]:
+        """Iterate day views from ``start`` to ``end`` (exclusive)."""
+        end = self.config.horizon_days if end is None else end
+        for day in range(start, end):
+            yield self.day_view(day)
+
+    def _materialise_day(self, day: int) -> DayView:
+        arrivals = self._spawn_arrivals(day)
+        snapshots: List[PeerDaySnapshot] = []
+        departures = 0
+        for record in self.peers:
+            if record.schedule.leave_day == day:
+                departures += 1
+            if not record.is_online(day):
+                continue
+            snapshots.append(self._snapshot_for(record, day))
+        return DayView(
+            day=day, snapshots=snapshots, new_arrivals=arrivals, departures=departures
+        )
+
+    def _snapshot_for(self, record: PeerRecord, day: int) -> PeerDaySnapshot:
+        assignment = self.ip_manager.maybe_rotate(record.peer_id)
+        visibility = record.visibility_class
+        if visibility is VisibilityClass.FLAPPING:
+            flap_today = self._day_rng.random() < 0.5
+            firewalled = flap_today
+            hidden = not flap_today
+        else:
+            firewalled = visibility is VisibilityClass.FIREWALLED
+            hidden = visibility is VisibilityClass.HIDDEN
+        reachable = visibility is VisibilityClass.PUBLIC
+        ipv6 = assignment.ipv6 if record.supports_ipv6 else None
+        return PeerDaySnapshot(
+            peer_id=record.peer_id,
+            index=record.index,
+            day=day,
+            ip=assignment.ip,
+            ipv6=ipv6,
+            asn=assignment.asn,
+            country_code=assignment.country_code,
+            port=record.port,
+            bandwidth_tier=record.tier.primary_tier,
+            advertised_tiers=record.tier.advertised_tiers,
+            floodfill=record.tier.floodfill,
+            reachable=reachable,
+            firewalled=firewalled,
+            hidden=hidden,
+            is_new_today=(day == record.schedule.join_day),
+            base_visibility=record.base_visibility,
+            activity=record.activity,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def peer(self, peer_id: bytes) -> PeerRecord:
+        return self._peers_by_id[peer_id]
+
+    def total_identities(self) -> int:
+        """All identities created so far (members past and present)."""
+        return len(self.peers)
+
+    def estimated_network_size(self) -> int:
+        """The model's own notion of the daily active population."""
+        return self.config.target_daily_population

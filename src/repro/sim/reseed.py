@@ -1,0 +1,171 @@
+"""Reseed servers and the bootstrap process.
+
+Section 2.1.2 / 4.2: *"a newly joined peer fetches RouterInfos from a set
+of hardcoded reseed servers to learn a small portion of peers in the
+network ... around 150 RouterInfos from two reseed servers (roughly 75
+RouterInfos from each server)"*.  Reseed servers defend against harvesting
+by returning the *same* set of RouterInfos to repeated requests from the
+same source (Section 4).
+
+Section 6.1 adds the censorship angle: reseed servers are a single point of
+blockage, and the router provides *manual reseeding* — an ``i2pseeds.su3``
+file created by any active peer and shared out of band.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..netdb.routerinfo import RouterInfo
+
+__all__ = [
+    "ROUTERINFOS_PER_RESEED",
+    "DEFAULT_RESEED_SERVERS",
+    "ReseedServer",
+    "ReseedFile",
+    "BootstrapResult",
+    "bootstrap",
+    "create_reseed_file",
+]
+
+#: RouterInfos returned by one reseed server per request.
+ROUTERINFOS_PER_RESEED = 75
+
+#: Reseed servers contacted during one bootstrap attempt.
+RESEEDS_PER_BOOTSTRAP = 2
+
+#: Hostnames of the hardcoded reseed servers (a representative subset of
+#: the real list; the names only matter for the reseed-blocking analysis).
+DEFAULT_RESEED_SERVERS: Tuple[str, ...] = (
+    "reseed.i2p-projekt.de",
+    "i2p.mooo.com",
+    "reseed.memcpy.io",
+    "reseed.onion.im",
+    "i2pseed.creativecowpat.net",
+    "reseed.i2pgit.org",
+    "i2p.novg.net",
+    "reseed.diva.exchange",
+    "reseed-fr.i2pd.xyz",
+    "reseed.atomike.ninja",
+)
+
+
+@dataclass
+class ReseedServer:
+    """One reseed server holding a bounded sample of the netDb."""
+
+    hostname: str
+    known_routerinfos: List[RouterInfo] = field(default_factory=list)
+    blocked: bool = False
+    #: Per-source cache so repeat requests return the same RouterInfos.
+    _served: Dict[str, List[RouterInfo]] = field(default_factory=dict)
+    requests_served: int = 0
+
+    def update_known(self, routerinfos: Sequence[RouterInfo]) -> None:
+        """Refresh the server's view of the network (operator-side sync)."""
+        self.known_routerinfos = list(routerinfos)
+        self._served.clear()
+
+    def serve(
+        self, source_ip: str, rng: Optional[random.Random] = None
+    ) -> List[RouterInfo]:
+        """Serve RouterInfos to a bootstrapping client.
+
+        The same ``source_ip`` always receives the same sample, defeating
+        trivial harvesting (Section 4).  A blocked server serves nothing.
+        """
+        if self.blocked:
+            return []
+        self.requests_served += 1
+        if source_ip in self._served:
+            return list(self._served[source_ip])
+        rng = rng or random.Random(hash((self.hostname, source_ip)) & 0xFFFFFFFF)
+        count = min(ROUTERINFOS_PER_RESEED, len(self.known_routerinfos))
+        sample = rng.sample(self.known_routerinfos, count) if count else []
+        self._served[source_ip] = sample
+        return list(sample)
+
+
+@dataclass(frozen=True)
+class ReseedFile:
+    """An ``i2pseeds.su3`` file created by a peer for manual reseeding."""
+
+    created_by: bytes
+    routerinfos: Tuple[RouterInfo, ...]
+
+    def __len__(self) -> int:
+        return len(self.routerinfos)
+
+
+@dataclass
+class BootstrapResult:
+    """Outcome of one bootstrap attempt."""
+
+    routerinfos: List[RouterInfo]
+    servers_contacted: int
+    servers_blocked: int
+    used_manual_reseed: bool = False
+
+    @property
+    def succeeded(self) -> bool:
+        return len(self.routerinfos) > 0
+
+
+def bootstrap(
+    source_ip: str,
+    servers: Sequence[ReseedServer],
+    rng: Optional[random.Random] = None,
+    manual_reseed: Optional[ReseedFile] = None,
+) -> BootstrapResult:
+    """Perform the bootstrap process for a newly joining peer.
+
+    The client contacts :data:`RESEEDS_PER_BOOTSTRAP` randomly chosen reseed
+    servers.  If every contacted server is blocked (or serves nothing) and a
+    manual reseed file is available, the file is used instead (Section 6.1).
+    """
+    rng = rng or random.Random()
+    available = list(servers)
+    if not available:
+        if manual_reseed is not None and len(manual_reseed):
+            return BootstrapResult(
+                routerinfos=list(manual_reseed.routerinfos),
+                servers_contacted=0,
+                servers_blocked=0,
+                used_manual_reseed=True,
+            )
+        return BootstrapResult(routerinfos=[], servers_contacted=0, servers_blocked=0)
+
+    chosen = rng.sample(available, min(RESEEDS_PER_BOOTSTRAP, len(available)))
+    collected: Dict[bytes, RouterInfo] = {}
+    blocked = 0
+    for server in chosen:
+        if server.blocked:
+            blocked += 1
+            continue
+        for info in server.serve(source_ip, rng):
+            collected[info.hash] = info
+
+    if not collected and manual_reseed is not None and len(manual_reseed):
+        return BootstrapResult(
+            routerinfos=list(manual_reseed.routerinfos),
+            servers_contacted=len(chosen),
+            servers_blocked=blocked,
+            used_manual_reseed=True,
+        )
+    return BootstrapResult(
+        routerinfos=list(collected.values()),
+        servers_contacted=len(chosen),
+        servers_blocked=blocked,
+    )
+
+
+def create_reseed_file(
+    creator_hash: bytes, netdb_routerinfos: Sequence[RouterInfo], limit: int = 150
+) -> ReseedFile:
+    """Create a manual reseed file from an active peer's netDb."""
+    if limit <= 0:
+        raise ValueError("limit must be positive")
+    selected = tuple(netdb_routerinfos[:limit])
+    return ReseedFile(created_by=creator_hash, routerinfos=selected)

@@ -1,0 +1,280 @@
+"""Tunnel building and capacity-based peer selection.
+
+I2P clients build unidirectional inbound and outbound tunnels whose hops
+are selected from the peers in the local netDb, weighted by observed
+capacity (the Java router's peer profiling prefers fast, reliable peers).
+Tunnels are rebuilt every ten minutes, and a single request/response
+between two parties traverses four tunnels (Section 2.1.1, Figure 1).
+
+The usability experiment of Section 6.2.3 depends on exactly this
+machinery: when a censor null-routes a fraction of the peer IPs a client
+knows, tunnel-build attempts through blocked hops time out, page loads
+slow down, and above ~90 % blocking the network becomes unusable.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..netdb.routerinfo import BandwidthTier, RouterInfo
+
+__all__ = [
+    "TUNNEL_LIFETIME",
+    "TunnelDirection",
+    "TunnelBuildOutcome",
+    "Tunnel",
+    "TunnelBuildResult",
+    "PeerSelector",
+    "TunnelBuilder",
+]
+
+#: Tunnels are rebuilt every ten minutes (Section 2.1.1).
+TUNNEL_LIFETIME = 600.0
+
+#: Default hop count for client tunnels (configurable up to seven).
+DEFAULT_TUNNEL_LENGTH = 2
+MAX_TUNNEL_LENGTH = 7
+
+#: Capacity weight per bandwidth tier used by the peer selector.  Faster
+#: peers are proportionally more likely to be chosen for tunnels, which is
+#: also why a high-bandwidth monitoring router observes more of the network
+#: (Section 4.1).
+_TIER_SELECTION_WEIGHT: Dict[BandwidthTier, float] = {
+    BandwidthTier.K: 0.05,
+    BandwidthTier.L: 0.35,
+    BandwidthTier.M: 0.55,
+    BandwidthTier.N: 1.00,
+    BandwidthTier.O: 1.60,
+    BandwidthTier.P: 2.40,
+    BandwidthTier.X: 3.20,
+}
+
+
+class TunnelDirection(str, enum.Enum):
+    INBOUND = "inbound"
+    OUTBOUND = "outbound"
+
+
+class TunnelBuildOutcome(str, enum.Enum):
+    SUCCESS = "success"
+    TIMEOUT = "timeout"  # a hop was unreachable (e.g. null-routed)
+    REJECTED = "rejected"  # a hop declined to participate
+    NO_PEERS = "no_peers"  # not enough usable peers in the netDb
+
+
+@dataclass(frozen=True)
+class Tunnel:
+    """A built tunnel: ordered hops from gateway to endpoint."""
+
+    direction: TunnelDirection
+    hops: Tuple[bytes, ...]
+    created_at: float
+
+    @property
+    def gateway(self) -> bytes:
+        return self.hops[0]
+
+    @property
+    def endpoint(self) -> bytes:
+        return self.hops[-1]
+
+    @property
+    def length(self) -> int:
+        return len(self.hops)
+
+    def expires_at(self) -> float:
+        return self.created_at + TUNNEL_LIFETIME
+
+    def is_expired(self, now: float) -> bool:
+        return now >= self.expires_at()
+
+
+@dataclass
+class TunnelBuildResult:
+    """Outcome and cost of one tunnel-build attempt."""
+
+    outcome: TunnelBuildOutcome
+    tunnel: Optional[Tunnel]
+    elapsed_seconds: float
+    attempted_hops: Tuple[bytes, ...] = ()
+
+    @property
+    def succeeded(self) -> bool:
+        return self.outcome is TunnelBuildOutcome.SUCCESS
+
+
+class PeerSelector:
+    """Capacity-weighted peer selection over a set of candidate RouterInfos."""
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        self._rng = rng or random.Random()
+
+    @staticmethod
+    def selection_weight(info: RouterInfo) -> float:
+        """Relative probability weight of choosing a peer as a tunnel hop."""
+        weight = _TIER_SELECTION_WEIGHT.get(info.bandwidth_tier, 0.5)
+        if not info.is_reachable:
+            # Unreachable/firewalled peers can still participate but are
+            # penalised by the profiling algorithm.
+            weight *= 0.35
+        if info.is_hidden:
+            # Hidden peers do not route traffic for others at all.
+            weight = 0.0
+        return weight
+
+    def select_hops(
+        self,
+        candidates: Sequence[RouterInfo],
+        count: int,
+        exclude: Optional[Set[bytes]] = None,
+    ) -> List[RouterInfo]:
+        """Select ``count`` distinct hops, capacity-weighted, or fewer if the
+        candidate pool is too small."""
+        if count <= 0:
+            raise ValueError("hop count must be positive")
+        exclude = exclude or set()
+        pool: List[RouterInfo] = []
+        weights: List[float] = []
+        for info in candidates:
+            if info.hash in exclude:
+                continue
+            weight = self.selection_weight(info)
+            if weight <= 0:
+                continue
+            pool.append(info)
+            weights.append(weight)
+        if not pool:
+            return []
+        chosen: List[RouterInfo] = []
+        chosen_hashes: Set[bytes] = set()
+        # Weighted sampling without replacement.
+        for _ in range(min(count, len(pool))):
+            total = sum(
+                w for info, w in zip(pool, weights) if info.hash not in chosen_hashes
+            )
+            if total <= 0:
+                break
+            point = self._rng.random() * total
+            acc = 0.0
+            for info, weight in zip(pool, weights):
+                if info.hash in chosen_hashes:
+                    continue
+                acc += weight
+                if point <= acc:
+                    chosen.append(info)
+                    chosen_hashes.add(info.hash)
+                    break
+        return chosen
+
+
+class TunnelBuilder:
+    """Builds tunnels over a netDb view, honouring an optional blocklist.
+
+    Parameters
+    ----------
+    hop_latency_seconds:
+        One-way per-hop message latency used to cost successful builds.
+    build_timeout_seconds:
+        Time lost when a build fails because a hop is unreachable (the
+        build request is simply never answered).
+    """
+
+    def __init__(
+        self,
+        rng: Optional[random.Random] = None,
+        hop_latency_seconds: float = 0.35,
+        build_timeout_seconds: float = 8.0,
+        rejection_probability: float = 0.05,
+    ) -> None:
+        self._rng = rng or random.Random()
+        self._selector = PeerSelector(self._rng)
+        self.hop_latency_seconds = hop_latency_seconds
+        self.build_timeout_seconds = build_timeout_seconds
+        self.rejection_probability = rejection_probability
+
+    def build(
+        self,
+        candidates: Sequence[RouterInfo],
+        direction: TunnelDirection,
+        now: float,
+        length: int = DEFAULT_TUNNEL_LENGTH,
+        blocked_ips: Optional[Set[str]] = None,
+        exclude: Optional[Set[bytes]] = None,
+    ) -> TunnelBuildResult:
+        """Attempt to build one tunnel.
+
+        A hop whose every published IP is in ``blocked_ips`` is unreachable:
+        the build request to it is blackholed and the attempt times out
+        after ``build_timeout_seconds`` — the null-routing behaviour the
+        paper configures on its upstream router (Section 6.2.3).
+        """
+        if not 1 <= length <= MAX_TUNNEL_LENGTH:
+            raise ValueError(f"tunnel length must be in [1, {MAX_TUNNEL_LENGTH}]")
+        blocked_ips = blocked_ips or set()
+        hops = self._selector.select_hops(candidates, length, exclude=exclude)
+        if len(hops) < length:
+            return TunnelBuildResult(
+                outcome=TunnelBuildOutcome.NO_PEERS,
+                tunnel=None,
+                elapsed_seconds=0.5,
+            )
+        attempted = tuple(hop.hash for hop in hops)
+        elapsed = 0.0
+        for position, hop in enumerate(hops):
+            elapsed += self.hop_latency_seconds
+            hop_ips = set(hop.ip_addresses)
+            if hop_ips and hop_ips.issubset(blocked_ips):
+                return TunnelBuildResult(
+                    outcome=TunnelBuildOutcome.TIMEOUT,
+                    tunnel=None,
+                    elapsed_seconds=elapsed + self.build_timeout_seconds,
+                    attempted_hops=attempted,
+                )
+            if self._rng.random() < self.rejection_probability:
+                return TunnelBuildResult(
+                    outcome=TunnelBuildOutcome.REJECTED,
+                    tunnel=None,
+                    elapsed_seconds=elapsed + 0.5,
+                    attempted_hops=attempted,
+                )
+        tunnel = Tunnel(direction=direction, hops=attempted, created_at=now)
+        return TunnelBuildResult(
+            outcome=TunnelBuildOutcome.SUCCESS,
+            tunnel=tunnel,
+            elapsed_seconds=elapsed + self.hop_latency_seconds,
+            attempted_hops=attempted,
+        )
+
+    def build_with_retries(
+        self,
+        candidates: Sequence[RouterInfo],
+        direction: TunnelDirection,
+        now: float,
+        length: int = DEFAULT_TUNNEL_LENGTH,
+        blocked_ips: Optional[Set[str]] = None,
+        deadline_seconds: float = 60.0,
+    ) -> Tuple[Optional[Tunnel], float, int]:
+        """Retry builds until success or until ``deadline_seconds`` is spent.
+
+        Returns ``(tunnel_or_None, elapsed_seconds, attempts)``.
+        """
+        elapsed = 0.0
+        attempts = 0
+        while elapsed < deadline_seconds:
+            attempts += 1
+            result = self.build(
+                candidates,
+                direction,
+                now + elapsed,
+                length=length,
+                blocked_ips=blocked_ips,
+            )
+            elapsed += result.elapsed_seconds
+            if result.succeeded:
+                return result.tunnel, elapsed, attempts
+            if result.outcome is TunnelBuildOutcome.NO_PEERS:
+                break
+        return None, min(elapsed, deadline_seconds), attempts

@@ -1,0 +1,55 @@
+"""Transport-layer substrate: NTCP/NTCP2 flow shapes, SSU introductions, ports."""
+
+from .ntcp import (
+    NTCP_HANDSHAKE_SIZES,
+    FlowRecord,
+    HandshakeFingerprinter,
+    NTCP2Session,
+    NTCPSession,
+    synthetic_background_flow,
+)
+from .ports import (
+    I2P_PORT_RANGE,
+    NTP_PORT,
+    WELL_KNOWN_PORTS,
+    PortRegistry,
+    is_possible_i2p_port,
+    random_i2p_port,
+)
+from .ssu import (
+    INTRODUCTION_TAG_LIFETIME,
+    MAX_INTRODUCERS,
+    HolePunch,
+    IntroductionTag,
+    PeerTestResult,
+    ReachabilityStatus,
+    RelayRequest,
+    RelayResponse,
+    SSUEndpoint,
+    run_peer_test,
+)
+
+__all__ = [
+    "NTCP_HANDSHAKE_SIZES",
+    "FlowRecord",
+    "HandshakeFingerprinter",
+    "NTCP2Session",
+    "NTCPSession",
+    "synthetic_background_flow",
+    "I2P_PORT_RANGE",
+    "NTP_PORT",
+    "WELL_KNOWN_PORTS",
+    "PortRegistry",
+    "is_possible_i2p_port",
+    "random_i2p_port",
+    "INTRODUCTION_TAG_LIFETIME",
+    "MAX_INTRODUCERS",
+    "HolePunch",
+    "IntroductionTag",
+    "PeerTestResult",
+    "ReachabilityStatus",
+    "RelayRequest",
+    "RelayResponse",
+    "SSUEndpoint",
+    "run_peer_test",
+]

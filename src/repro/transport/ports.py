@@ -1,0 +1,119 @@
+"""Port selection model for I2P routers.
+
+Section 2.2.2 of the paper: *"I2P is a P2P network application that can run
+on a wide range of ports using both UDP and TCP.  More specifically, I2P can
+run on any arbitrary port in the range of 9000–31000."*  This makes
+port-based censorship collateral-damage-prone, an observation the ablation
+benchmark :mod:`benchmarks.test_ablation_port_blocking` quantifies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+__all__ = [
+    "I2P_PORT_RANGE",
+    "NTP_PORT",
+    "WELL_KNOWN_PORTS",
+    "random_i2p_port",
+    "is_possible_i2p_port",
+    "PortRegistry",
+]
+
+#: Inclusive port range from which I2P routers pick their listening port.
+I2P_PORT_RANGE: Tuple[int, int] = (9000, 31000)
+
+#: UDP port used by NTP, which the I2P router needs for time sync.
+NTP_PORT = 123
+
+#: Ports commonly carrying non-I2P traffic in the same range; used by the
+#: collateral-damage ablation to estimate over-blocking.
+WELL_KNOWN_PORTS: Dict[int, str] = {
+    9000: "php-fpm / SonarQube",
+    9090: "Prometheus / Openfire",
+    9200: "Elasticsearch",
+    9418: "git",
+    10000: "Webmin / NDMP",
+    11211: "memcached",
+    25565: "Minecraft",
+    27017: "MongoDB",
+    28015: "RethinkDB",
+    30000: "NFS callback",
+}
+
+
+def random_i2p_port(rng: Optional[random.Random] = None) -> int:
+    """Pick a random port in the I2P range, avoiding a handful of well-known
+    ports (the Java router avoids collisions with locally bound services)."""
+    rng = rng or random
+    low, high = I2P_PORT_RANGE
+    while True:
+        port = rng.randint(low, high)
+        if port not in WELL_KNOWN_PORTS:
+            return port
+
+
+def is_possible_i2p_port(port: int) -> bool:
+    """Whether a port falls inside the range I2P routers may use."""
+    low, high = I2P_PORT_RANGE
+    return low <= port <= high
+
+
+@dataclass
+class PortRegistry:
+    """Tracks which (ip, port) pairs are bound by simulated routers.
+
+    The registry guarantees uniqueness per IP so that two routers sharing a
+    NAT'd public address do not collide, and provides the census used by the
+    port-blocking ablation.
+    """
+
+    _bindings: Dict[Tuple[str, int], bytes] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self._bindings is None:
+            self._bindings = {}
+
+    def bind(
+        self,
+        ip: str,
+        router_hash: bytes,
+        rng: Optional[random.Random] = None,
+        preferred_port: Optional[int] = None,
+    ) -> int:
+        """Bind a router to a port on ``ip``; returns the chosen port."""
+        if preferred_port is not None and (ip, preferred_port) not in self._bindings:
+            if not is_possible_i2p_port(preferred_port):
+                raise ValueError(f"port {preferred_port} outside the I2P range")
+            self._bindings[(ip, preferred_port)] = router_hash
+            return preferred_port
+        for _ in range(1000):
+            port = random_i2p_port(rng)
+            if (ip, port) not in self._bindings:
+                self._bindings[(ip, port)] = router_hash
+                return port
+        raise RuntimeError(f"could not find a free port on {ip}")
+
+    def release(self, ip: str, port: int) -> bool:
+        return self._bindings.pop((ip, port), None) is not None
+
+    def owner(self, ip: str, port: int) -> Optional[bytes]:
+        return self._bindings.get((ip, port))
+
+    def ports_on(self, ip: str) -> List[int]:
+        return sorted(port for (bound_ip, port) in self._bindings if bound_ip == ip)
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def port_histogram(self, bucket_size: int = 1000) -> Dict[int, int]:
+        """Histogram of bound ports, bucketed (for the port-blocking ablation)."""
+        if bucket_size <= 0:
+            raise ValueError("bucket_size must be positive")
+        histogram: Dict[int, int] = {}
+        for (_, port) in self._bindings:
+            bucket = (port // bucket_size) * bucket_size
+            histogram[bucket] = histogram.get(bucket, 0) + 1
+        return histogram

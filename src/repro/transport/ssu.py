@@ -1,0 +1,230 @@
+"""SSU transport: UDP sessions, peer testing, and introducer relaying.
+
+SSU (Secure Semireliable UDP) matters to the measurement study because it
+is the transport that lets *firewalled* peers participate: Section 5.1
+describes how a firewalled router (Bob) selects introducers, publishes
+their contact information in his RouterInfo, and accepts connections after
+a hole-punching exchange relayed by the introducer.
+
+The model here captures the control-plane behaviour (introduction tags,
+RelayRequest/RelayResponse/hole punch, peer-test reachability detection)
+at the level of abstraction the blocking and bridge analyses need.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = [
+    "ReachabilityStatus",
+    "IntroductionTag",
+    "RelayRequest",
+    "RelayResponse",
+    "HolePunch",
+    "SSUEndpoint",
+    "PeerTestResult",
+    "run_peer_test",
+]
+
+#: Maximum number of introducers a firewalled router advertises.
+MAX_INTRODUCERS = 3
+
+#: Introduction tags expire after this many seconds if unused.
+INTRODUCTION_TAG_LIFETIME = 20 * 60.0
+
+
+class ReachabilityStatus(str, enum.Enum):
+    """Result of SSU peer testing, mapped to the R/U capacity flags."""
+
+    OK = "OK"  # publicly reachable (R flag)
+    FIREWALLED = "FIREWALLED"  # inbound blocked, needs introducers (U flag)
+    UNKNOWN = "UNKNOWN"  # not enough test data yet
+
+
+@dataclass(frozen=True)
+class IntroductionTag:
+    """A tag issued by an introducer on behalf of a firewalled peer."""
+
+    tag: int
+    introducer_hash: bytes
+    introducer_ip: str
+    introducer_port: int
+    target_hash: bytes
+    issued_at: float
+
+    def expired(self, now: float) -> bool:
+        return now - self.issued_at > INTRODUCTION_TAG_LIFETIME
+
+
+@dataclass(frozen=True)
+class RelayRequest:
+    """Alice → introducer: please introduce me to the peer behind ``tag``."""
+
+    from_hash: bytes
+    from_ip: str
+    from_port: int
+    tag: int
+
+
+@dataclass(frozen=True)
+class RelayResponse:
+    """Introducer → Alice: here is Bob's (public but firewalled) endpoint."""
+
+    target_hash: bytes
+    target_ip: str
+    target_port: int
+    tag: int
+
+
+@dataclass(frozen=True)
+class HolePunch:
+    """Bob → Alice: a small random packet that opens Bob's NAT mapping."""
+
+    from_hash: bytes
+    to_ip: str
+    to_port: int
+    size: int
+
+
+@dataclass
+class PeerTestResult:
+    status: ReachabilityStatus
+    observed_ip: Optional[str] = None
+    observed_port: Optional[int] = None
+
+
+class SSUEndpoint:
+    """The SSU state of one router: tags it issued and tags issued for it."""
+
+    def __init__(
+        self,
+        router_hash: bytes,
+        ip: Optional[str],
+        port: Optional[int],
+        firewalled: bool = False,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if len(router_hash) != 32:
+            raise ValueError("router hash must be 32 bytes")
+        self.router_hash = router_hash
+        self.ip = ip
+        self.port = port
+        self.firewalled = firewalled
+        self._rng = rng or random.Random()
+        #: Tags this endpoint issued as an introducer: tag -> target hash.
+        self._issued_tags: Dict[int, IntroductionTag] = {}
+        #: Tags issued for this endpoint by its introducers.
+        self._my_introducers: List[IntroductionTag] = []
+
+    # ------------------------------------------------------------------ #
+    # Acting as an introducer
+    # ------------------------------------------------------------------ #
+    def issue_tag(
+        self, target: "SSUEndpoint", now: float
+    ) -> Optional[IntroductionTag]:
+        """Issue an introduction tag for a firewalled target router.
+
+        A firewalled or address-less endpoint cannot serve as an introducer;
+        the method then returns ``None``.
+        """
+        if self.firewalled or self.ip is None or self.port is None:
+            return None
+        tag_value = self._rng.randint(1, 2**32 - 1)
+        tag = IntroductionTag(
+            tag=tag_value,
+            introducer_hash=self.router_hash,
+            introducer_ip=self.ip,
+            introducer_port=self.port,
+            target_hash=target.router_hash,
+            issued_at=now,
+        )
+        self._issued_tags[tag_value] = tag
+        target._my_introducers.append(tag)
+        return tag
+
+    def expire_tags(self, now: float) -> int:
+        """Drop expired tags (both issued and held); returns removals."""
+        removed = 0
+        for tag_value, tag in list(self._issued_tags.items()):
+            if tag.expired(now):
+                del self._issued_tags[tag_value]
+                removed += 1
+        before = len(self._my_introducers)
+        self._my_introducers = [t for t in self._my_introducers if not t.expired(now)]
+        removed += before - len(self._my_introducers)
+        return removed
+
+    def handle_relay_request(
+        self, request: RelayRequest, target_endpoint: "SSUEndpoint"
+    ) -> Optional[Tuple[RelayResponse, HolePunch]]:
+        """Handle Alice's RelayRequest for a tag this endpoint issued.
+
+        Returns the RelayResponse for Alice and the HolePunch Bob sends, or
+        ``None`` when the tag is unknown (e.g. already expired).
+        """
+        tag = self._issued_tags.get(request.tag)
+        if tag is None or tag.target_hash != target_endpoint.router_hash:
+            return None
+        if target_endpoint.ip is None or target_endpoint.port is None:
+            return None
+        response = RelayResponse(
+            target_hash=tag.target_hash,
+            target_ip=target_endpoint.ip,
+            target_port=target_endpoint.port,
+            tag=request.tag,
+        )
+        punch = HolePunch(
+            from_hash=target_endpoint.router_hash,
+            to_ip=request.from_ip,
+            to_port=request.from_port,
+            size=self._rng.randint(16, 64),
+        )
+        return response, punch
+
+    # ------------------------------------------------------------------ #
+    # Acting as a firewalled peer
+    # ------------------------------------------------------------------ #
+    @property
+    def introducer_tags(self) -> Tuple[IntroductionTag, ...]:
+        return tuple(self._my_introducers[:MAX_INTRODUCERS])
+
+    def has_introducers(self) -> bool:
+        return len(self._my_introducers) > 0
+
+    def clear_introducers(self) -> None:
+        self._my_introducers.clear()
+
+
+def run_peer_test(
+    endpoint: SSUEndpoint,
+    helpers: List[SSUEndpoint],
+    inbound_blocked: bool,
+) -> PeerTestResult:
+    """Simulate the SSU peer test that determines R vs U status.
+
+    The real protocol involves two helper routers (Charlie sends a probe to
+    the address Alice observed).  Here the NAT/firewall behaviour is an
+    input (``inbound_blocked``) and the helpers merely need to exist and be
+    reachable themselves for the test to produce a verdict.
+    """
+    usable_helpers = [
+        h for h in helpers if not h.firewalled and h.ip is not None and h.port is not None
+    ]
+    if len(usable_helpers) < 2:
+        return PeerTestResult(status=ReachabilityStatus.UNKNOWN)
+    if endpoint.ip is None or endpoint.port is None:
+        return PeerTestResult(status=ReachabilityStatus.FIREWALLED)
+    if inbound_blocked:
+        return PeerTestResult(
+            status=ReachabilityStatus.FIREWALLED,
+            observed_ip=endpoint.ip,
+            observed_port=endpoint.port,
+        )
+    return PeerTestResult(
+        status=ReachabilityStatus.OK,
+        observed_ip=endpoint.ip,
+        observed_port=endpoint.port,
+    )

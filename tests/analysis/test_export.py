@@ -1,0 +1,76 @@
+"""Tests for CSV/JSON export of figures and summaries."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    figure_to_csv,
+    figure_to_json,
+    figure_to_rows,
+    summary_to_json,
+    write_figure_csv,
+    write_figure_json,
+)
+from repro.analysis.series import FigureData
+
+
+@pytest.fixture()
+def figure():
+    fig = FigureData("figure_99", "Demo figure", "day", "peers")
+    a = fig.new_series("alpha")
+    b = fig.new_series("beta")
+    a.add(1, 10)
+    a.add(2, 20)
+    b.add(1, 5)
+    fig.add_note("demo note")
+    return fig
+
+
+class TestFigureRows:
+    def test_rows_cover_all_x_values(self, figure):
+        rows = figure_to_rows(figure)
+        assert len(rows) == 2
+        assert rows[0]["day"] == 1.0
+        assert rows[0]["alpha"] == 10.0
+        assert rows[0]["beta"] == 5.0
+        assert rows[1]["beta"] is None  # missing point
+
+
+class TestCsv:
+    def test_csv_round_trip(self, figure):
+        text = figure_to_csv(figure)
+        reader = csv.DictReader(text.splitlines())
+        rows = list(reader)
+        assert reader.fieldnames == ["day", "alpha", "beta"]
+        assert rows[0]["alpha"] == "10.0"
+        assert rows[1]["beta"] == ""
+
+    def test_write_csv(self, figure, tmp_path):
+        target = write_figure_csv(figure, tmp_path / "out" / "fig.csv")
+        assert target.exists()
+        assert "alpha" in target.read_text()
+
+
+class TestJson:
+    def test_json_structure(self, figure):
+        payload = json.loads(figure_to_json(figure))
+        assert payload["figure_id"] == "figure_99"
+        assert payload["notes"] == ["demo note"]
+        assert payload["series"]["alpha"] == [{"x": 1.0, "y": 10.0}, {"x": 2.0, "y": 20.0}]
+
+    def test_write_json(self, figure, tmp_path):
+        target = write_figure_json(figure, tmp_path / "fig.json")
+        assert json.loads(target.read_text())["title"] == "Demo figure"
+
+
+class TestSummaryJson:
+    def test_plain_dict(self):
+        payload = json.loads(summary_to_json({"a": 1, "b": 2.5}))
+        assert payload == {"a": 1, "b": 2.5}
+
+    def test_non_serialisable_values_coerced(self):
+        payload = json.loads(summary_to_json({"codes": {"US", "DE"}, "pair": (1, 2)}))
+        assert payload["codes"] == ["DE", "US"]
+        assert payload["pair"] == [1, 2]

@@ -1,0 +1,62 @@
+"""Tests for figure-series containers."""
+
+import pytest
+
+from repro.analysis.series import FigureData, FigureSeries
+
+
+class TestFigureSeries:
+    def test_add_and_accessors(self):
+        series = FigureSeries("s")
+        series.add(1, 10)
+        series.add(2, 20)
+        assert series.xs == [1.0, 2.0]
+        assert series.ys == [10.0, 20.0]
+        assert series.y_at(2) == 20.0
+        assert series.y_at(3) is None
+        assert series.final() == (2.0, 20.0)
+
+    def test_empty_final(self):
+        assert FigureSeries("s").final() is None
+
+    def test_monotonic_check(self):
+        increasing = FigureSeries("a", [(1, 1), (2, 2), (3, 2)])
+        decreasing = FigureSeries("b", [(1, 3), (2, 1)])
+        assert increasing.is_monotonic_nondecreasing()
+        assert not decreasing.is_monotonic_nondecreasing()
+
+
+class TestFigureData:
+    def test_new_series_and_get(self):
+        figure = FigureData("fig", "Title", "x", "y")
+        series = figure.new_series("a")
+        assert figure.get("a") is series
+
+    def test_duplicate_series_rejected(self):
+        figure = FigureData("fig", "Title", "x", "y")
+        figure.new_series("a")
+        with pytest.raises(ValueError):
+            figure.new_series("a")
+
+    def test_to_text_contains_all_series_and_points(self):
+        figure = FigureData("figure_99", "Demo", "day", "peers")
+        a = figure.new_series("alpha")
+        b = figure.new_series("beta")
+        a.add(1, 10)
+        a.add(2, 30)
+        b.add(1, 5)
+        figure.add_note("a note")
+        text = figure.to_text()
+        assert "figure_99" in text
+        assert "alpha" in text and "beta" in text
+        assert "30.00" in text
+        assert "note: a note" in text
+
+    def test_to_text_handles_missing_points(self):
+        figure = FigureData("fig", "Demo", "x", "y")
+        a = figure.new_series("a")
+        b = figure.new_series("b")
+        a.add(1, 1)
+        b.add(2, 2)
+        text = figure.to_text()
+        assert "1.00" in text and "2.00" in text

@@ -1,0 +1,115 @@
+"""Tests for the statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import (
+    bootstrap_mean_ci,
+    cdf_points,
+    cumulative_share,
+    histogram,
+    percentile,
+    share,
+    summarize,
+    survival_points,
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        stats = summarize([1, 2, 3, 4, 5])
+        assert stats.count == 5
+        assert stats.mean == 3.0
+        assert stats.median == 3.0
+        assert stats.minimum == 1.0
+        assert stats.maximum == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_as_dict_keys(self):
+        assert set(summarize([1.0]).as_dict()) >= {"mean", "p95", "std", "count"}
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3], 50) == 2.0
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestCdfAndSurvival:
+    def test_cdf_points(self):
+        points = cdf_points([3, 1, 2])
+        assert points[0] == (1.0, pytest.approx(1 / 3))
+        assert points[-1] == (3.0, pytest.approx(1.0))
+
+    def test_cdf_empty(self):
+        assert cdf_points([]) == []
+
+    def test_survival_points(self):
+        points = survival_points([1, 5, 10, 20], thresholds=[1, 7, 30])
+        assert points[0] == (1.0, 1.0)
+        assert points[1] == (7.0, 0.5)
+        assert points[2] == (30.0, 0.0)
+
+    def test_survival_empty(self):
+        assert survival_points([], [5]) == [(5.0, 0.0)]
+
+    def test_survival_monotone_nonincreasing(self):
+        values = [1, 2, 3, 10, 20, 40, 80]
+        points = survival_points(values, thresholds=range(0, 100, 5))
+        fractions = [f for _, f in points]
+        assert all(b <= a for a, b in zip(fractions, fractions[1:]))
+
+
+class TestHistogram:
+    def test_counts(self):
+        bins = histogram([1, 2, 2, 3, 9], bin_edges=[0, 2, 4, 10])
+        assert bins[0][2] == 1  # [0, 2)
+        assert bins[1][2] == 3  # [2, 4)
+        assert bins[2][2] == 1  # [4, 10]
+
+    def test_requires_two_edges(self):
+        with pytest.raises(ValueError):
+            histogram([1], bin_edges=[1])
+
+
+class TestBootstrap:
+    def test_interval_contains_mean(self):
+        mean, low, high = bootstrap_mean_ci(list(range(100)), seed=1)
+        assert low <= mean <= high
+        assert mean == pytest.approx(49.5)
+
+    def test_deterministic_with_seed(self):
+        a = bootstrap_mean_ci([1, 2, 3, 4], seed=5)
+        b = bootstrap_mean_ci([1, 2, 3, 4], seed=5)
+        assert a == b
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([], seed=1)
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0], confidence=1.5)
+
+
+class TestShares:
+    def test_share_normalises(self):
+        result = share({"a": 2, "b": 6})
+        assert result["a"] == pytest.approx(0.25)
+        assert result["b"] == pytest.approx(0.75)
+
+    def test_share_zero_total(self):
+        assert share({"a": 0}) == {"a": 0.0}
+
+    def test_cumulative_share(self):
+        assert cumulative_share([1, 1, 2]) == [0.25, 0.5, 1.0]
+
+    def test_cumulative_share_zero(self):
+        assert cumulative_share([0, 0]) == [0.0, 0.0]

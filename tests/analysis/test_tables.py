@@ -1,0 +1,63 @@
+"""Tests for table rendering helpers."""
+
+import pytest
+
+from repro.analysis.tables import format_kv, format_percent, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["long-name", 2.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "long-name" in lines[-1]
+        # all data lines padded to the same column positions
+        assert lines[2].index("1") == lines[3].index("2.50")
+
+    def test_title_and_separator(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert set(text.splitlines()[1]) == {"="}
+
+    def test_float_format(self):
+        text = format_table(["v"], [[3.14159]], float_format=".3f")
+        assert "3.142" in text
+
+    def test_none_rendered_empty(self):
+        text = format_table(["a", "b"], [["x", None]])
+        assert text.splitlines()[-1].rstrip().endswith("x")
+
+    def test_bool_rendered_as_yes_no(self):
+        text = format_table(["flag"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+
+class TestFormatKv:
+    def test_alignment(self):
+        text = format_kv({"short": 1, "a-much-longer-key": 2})
+        lines = text.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_title(self):
+        text = format_kv({"a": 1}, title="Summary")
+        assert text.splitlines()[0] == "Summary"
+
+    def test_empty(self):
+        assert format_kv({}) == ""
+        assert format_kv({}, title="T") == "T"
+
+
+class TestFormatPercent:
+    def test_default(self):
+        assert format_percent(0.123) == "12.3%"
+
+    def test_decimals(self):
+        assert format_percent(0.5, decimals=0) == "50%"

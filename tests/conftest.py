@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite.
+
+Expensive objects (a small measurement campaign, a message-level network)
+are built once per session and shared by the analysis tests; individual
+tests that need different parameters construct their own objects.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import CampaignResult, run_main_campaign
+from repro.sim import I2PNetwork, I2PPopulation, PopulationConfig
+from repro.netdb.routerinfo import BandwidthTier
+
+
+@pytest.fixture(scope="session")
+def small_campaign() -> CampaignResult:
+    """A 12-day, ~900-peer campaign with victim client and daily IPs."""
+    return run_main_campaign(days=12, scale=0.03, seed=1234)
+
+
+@pytest.fixture(scope="session")
+def small_population() -> I2PPopulation:
+    """A small population with all days still unconsumed."""
+    return I2PPopulation(
+        PopulationConfig(target_daily_population=600, horizon_days=6, seed=99)
+    )
+
+
+@pytest.fixture(scope="session")
+def message_network() -> I2PNetwork:
+    """A converged message-level network with floodfill and client routers."""
+    network = I2PNetwork(seed=7)
+    for _ in range(6):
+        network.add_router(floodfill=True, bandwidth_tier=BandwidthTier.O)
+    for _ in range(24):
+        network.add_router(floodfill=False, bandwidth_tier=BandwidthTier.L)
+    network.run_convergence_rounds(rounds=3)
+    return network
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    return random.Random(20180201)

@@ -1,0 +1,78 @@
+"""Tests for the bridge-strategy analyses (Section 7.1)."""
+
+import pytest
+
+from repro.core.bridges import bridge_pool_summary, bridge_survival_curve
+
+
+class TestBridgePoolSummary:
+    def test_pool_composition(self, small_campaign):
+        summary = bridge_pool_summary(
+            small_campaign, censor_routers=10, blacklist_window_days=5
+        )
+        assert summary.total_online_known_ip > 0
+        assert summary.unblocked_known_ip <= summary.total_online_known_ip
+        assert (
+            summary.unblocked_newly_joined + summary.unblocked_long_lived
+            == summary.unblocked_known_ip
+        )
+        assert 0.0 <= summary.unblocked_share <= 1.0
+        # The firewalled pool (unblockable by address) is substantial.
+        assert summary.firewalled_pool > 0.2 * summary.total_online_known_ip
+
+    def test_stronger_censor_leaves_fewer_bridges(self, small_campaign):
+        weak = bridge_pool_summary(small_campaign, censor_routers=1, blacklist_window_days=1)
+        strong = bridge_pool_summary(small_campaign, censor_routers=20, blacklist_window_days=10)
+        assert strong.unblocked_share <= weak.unblocked_share
+
+    def test_new_peers_overrepresented_among_unblocked(self, small_campaign):
+        """Section 7.1: the unblocked addresses often belong to newly joined
+        peers, so their share among unblocked peers exceeds their share of
+        the whole online population."""
+        summary = bridge_pool_summary(
+            small_campaign, censor_routers=20, blacklist_window_days=5, new_peer_age_days=2
+        )
+        if summary.unblocked_known_ip == 0:
+            pytest.skip("censor blocked every observed address at this scale")
+        day = summary.evaluation_day
+        new_today = sum(
+            1
+            for aggregate in small_campaign.log.peers.values()
+            if day in aggregate.days_observed
+            and aggregate.has_known_ip
+            and day - aggregate.first_day <= 2
+        )
+        overall_new_share = new_today / max(1, summary.total_online_known_ip)
+        assert summary.new_peer_share_of_unblocked >= overall_new_share * 0.8
+
+    def test_as_dict(self, small_campaign):
+        data = bridge_pool_summary(small_campaign).as_dict()
+        assert set(data) >= {
+            "unblocked_known_ip",
+            "firewalled_pool",
+            "unblocked_share",
+            "new_peer_share_of_unblocked",
+        }
+
+
+class TestBridgeSurvival:
+    def test_survival_curve_decreases(self, small_campaign):
+        figure = bridge_survival_curve(
+            small_campaign,
+            censor_routers=10,
+            blacklist_window_days=30,
+            cohort_day=5,
+            horizon_days=5,
+        )
+        series = figure.get("new-peer bridges unblocked")
+        if not series.points:
+            pytest.skip("no newly joined peers on the cohort day at this scale")
+        # Survival never increases: once blacklisted, always blacklisted
+        # within the window.
+        assert all(b <= a + 1e-9 for a, b in zip(series.ys, series.ys[1:]))
+        assert 0.0 <= series.ys[-1] <= 100.0
+        assert series.xs[0] == 0.0
+
+    def test_default_cohort_day(self, small_campaign):
+        figure = bridge_survival_curve(small_campaign, horizon_days=3)
+        assert figure.figure_id == "ablation_bridges"

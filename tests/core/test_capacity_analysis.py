@@ -1,0 +1,92 @@
+"""Tests for the capacity analyses (Figure 9, Table 1, Section 5.3.1)."""
+
+import pytest
+
+from repro.core.capacity_analysis import (
+    OFFICIAL_AUTO_FLOODFILL_SHARE,
+    bandwidth_breakdown,
+    bandwidth_breakdown_table,
+    capacity_figure,
+    estimate_population,
+    flag_distribution,
+)
+from repro.core.monitor import ObservationLog
+
+
+class TestFlagDistribution:
+    def test_figure9_ordering(self, small_campaign):
+        distribution = flag_distribution(small_campaign.log)
+        assert set(distribution) == {"K", "L", "M", "N", "O", "P", "X"}
+        # L is the default tier and dominates; N is second (Figure 9).
+        assert distribution["L"] == max(distribution.values())
+        assert distribution["N"] == sorted(distribution.values())[-2]
+        assert distribution["L"] > 2 * distribution["N"]
+
+    def test_distribution_sums_to_daily_mean(self, small_campaign):
+        distribution = flag_distribution(small_campaign.log)
+        total = sum(distribution.values())
+        assert total == pytest.approx(small_campaign.log.mean_daily_observed(), rel=0.01)
+
+    def test_capacity_figure(self, small_campaign):
+        figure = capacity_figure(small_campaign.log)
+        series = figure.get("observed peers")
+        assert len(series.points) == 7
+        assert any("dominant tier: L" in note for note in figure.notes)
+
+
+class TestBandwidthBreakdown:
+    def test_groups_present(self, small_campaign):
+        breakdown = bandwidth_breakdown(small_campaign.log)
+        assert set(breakdown) == {"floodfill", "reachable", "unreachable", "total"}
+        for group in breakdown.values():
+            assert set(group) == {"K", "L", "M", "N", "O", "P", "X"}
+            assert all(0.0 <= value <= 100.0 for value in group.values())
+
+    def test_floodfill_group_dominated_by_qualified_tiers(self, small_campaign):
+        """Table 1: the floodfill group is dominated by N, not by L."""
+        breakdown = bandwidth_breakdown(small_campaign.log)
+        floodfill = breakdown["floodfill"]
+        total = breakdown["total"]
+        assert floodfill["N"] > total["N"]
+        assert floodfill["L"] < total["L"]
+        assert floodfill["N"] == max(floodfill.values())
+
+    def test_table_rows_shape(self, small_campaign):
+        rows = bandwidth_breakdown_table(small_campaign.log)
+        assert len(rows) == 7
+        assert [row[0] for row in rows] == ["K", "L", "M", "N", "O", "P", "X"]
+        assert all(len(row) == 5 for row in rows)
+
+    def test_empty_log_gives_zero_percentages(self):
+        breakdown = bandwidth_breakdown(ObservationLog())
+        assert all(value == 0.0 for group in breakdown.values() for value in group.values())
+
+
+class TestPopulationEstimate:
+    def test_requires_recorded_days(self):
+        with pytest.raises(ValueError):
+            estimate_population(ObservationLog())
+
+    def test_invalid_auto_share(self, small_campaign):
+        with pytest.raises(ValueError):
+            estimate_population(small_campaign.log, auto_floodfill_share=0.0)
+
+    def test_extrapolation_close_to_observed(self, small_campaign):
+        """Section 5.3.1: the floodfill extrapolation lands near the observed
+        daily population (the paper gets 31,950 vs ~30.5K observed)."""
+        estimate = estimate_population(small_campaign.log)
+        assert estimate.observed_floodfills > 0
+        assert 0.05 < estimate.observed_floodfill_share < 0.15
+        assert 0.5 < estimate.qualified_share_of_floodfills < 0.95
+        assert estimate.qualified_floodfills <= estimate.observed_floodfills
+        assert 0.8 < estimate.estimate_to_observed_ratio < 1.6
+        assert estimate.auto_floodfill_share == OFFICIAL_AUTO_FLOODFILL_SHARE
+
+    def test_as_dict(self, small_campaign):
+        data = estimate_population(small_campaign.log).as_dict()
+        assert set(data) >= {
+            "observed_floodfills",
+            "qualified_floodfills",
+            "estimated_population",
+            "estimate_to_observed_ratio",
+        }

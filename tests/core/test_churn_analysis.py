@@ -1,0 +1,85 @@
+"""Tests for the Section 5.2 churn analyses (Figures 7 and 8)."""
+
+import pytest
+
+from repro.core.churn_analysis import (
+    ip_churn,
+    ip_churn_figure,
+    longevity,
+    longevity_figure,
+    longevity_summary,
+)
+from repro.core.monitor import ObservationLog
+
+
+class TestLongevity:
+    def test_empty_log_rejected(self):
+        with pytest.raises(ValueError):
+            longevity(ObservationLog())
+
+    def test_intermittent_at_least_continuous(self, small_campaign):
+        result = longevity(small_campaign.log, thresholds=(3, 7))
+        for threshold in (3, 7):
+            assert result[threshold]["intermittent"] >= result[threshold]["continuous"]
+            assert 0.0 <= result[threshold]["continuous"] <= 100.0
+
+    def test_longer_thresholds_have_lower_percentages(self, small_campaign):
+        result = longevity(small_campaign.log, thresholds=(2, 5, 9))
+        assert result[2]["continuous"] >= result[5]["continuous"] >= result[9]["continuous"]
+        assert result[2]["intermittent"] >= result[5]["intermittent"]
+
+    def test_majority_stays_over_a_week_intermittently(self, small_campaign):
+        """Section 5.2.1: most peers stay in the network for over a week."""
+        result = longevity(small_campaign.log, thresholds=(7,))
+        assert result[7]["intermittent"] > 50.0
+
+    def test_summary_object(self, small_campaign):
+        summary = longevity_summary(small_campaign.log)
+        assert summary.total_peers == small_campaign.log.unique_peer_count
+        assert summary.intermittent_over_7_days >= summary.continuous_over_7_days
+        # A 12-day campaign cannot show peers observed for more than 30 days.
+        assert summary.continuous_over_30_days == 0.0
+
+    def test_figure7_series(self, small_campaign):
+        figure = longevity_figure(small_campaign.log, step=2)
+        continuous = figure.get("continuously")
+        intermittent = figure.get("intermittently")
+        assert len(continuous.points) == len(intermittent.points) > 0
+        # Survival curves never increase.
+        assert all(b <= a + 1e-9 for a, b in zip(continuous.ys, continuous.ys[1:]))
+        for x in continuous.xs:
+            assert intermittent.y_at(x) >= continuous.y_at(x)
+
+
+class TestIpChurn:
+    def test_counts_consistent(self, small_campaign):
+        summary = ip_churn(small_campaign.log)
+        assert summary.known_ip_peers == summary.single_ip_peers + summary.multi_ip_peers
+        assert 0.0 <= summary.multi_ip_share <= 1.0
+        assert summary.single_ip_share + summary.multi_ip_share == pytest.approx(1.0)
+        assert summary.peers_over_100_ips <= summary.multi_ip_peers
+
+    def test_some_peers_rotate_addresses(self, small_campaign):
+        """Section 5.2.2: a substantial share of peers has more than one IP."""
+        summary = ip_churn(small_campaign.log)
+        assert summary.multi_ip_share > 0.10
+
+    def test_figure8_counts_sum_to_known_peers(self, small_campaign):
+        figure = ip_churn_figure(small_campaign.log, max_addresses=8)
+        counts = figure.get("observed peers")
+        summary = ip_churn(small_campaign.log)
+        assert sum(counts.ys) == summary.known_ip_peers
+        percentages = figure.get("percentage")
+        assert sum(percentages.ys) == pytest.approx(100.0, abs=0.5)
+
+    def test_figure8_single_ip_dominates(self, small_campaign):
+        figure = ip_churn_figure(small_campaign.log, max_addresses=8)
+        counts = figure.get("observed peers")
+        assert counts.y_at(1) == max(counts.ys)
+
+    def test_empty_log(self):
+        summary = ip_churn(ObservationLog())
+        assert summary.known_ip_peers == 0
+        assert summary.single_ip_share == 0.0
+        assert summary.multi_ip_share == 0.0
+        assert summary.over_100_share == 0.0

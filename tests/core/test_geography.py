@@ -1,0 +1,100 @@
+"""Tests for the geographic / AS analyses (Figures 10-12)."""
+
+import pytest
+
+from repro.core.geography import (
+    asn_distribution,
+    asn_figure,
+    asn_span,
+    asn_span_figure,
+    country_distribution,
+    country_figure,
+    press_freedom_summary,
+    summarize_geography,
+)
+from repro.core.monitor import ObservationLog
+from repro.sim.geo import default_registry
+
+
+class TestCountryDistribution:
+    def test_us_leads(self, small_campaign):
+        counts = country_distribution(small_campaign.log)
+        assert counts.most_common(1)[0][0] == "US"
+
+    def test_top_six_include_paper_leaders(self, small_campaign):
+        counts = country_distribution(small_campaign.log)
+        top10 = {code for code, _ in counts.most_common(10)}
+        assert {"US", "RU", "GB", "FR"} <= top10
+
+    def test_summary_shares(self, small_campaign):
+        summary = summarize_geography(small_campaign.log)
+        assert summary.top_country == "US"
+        assert 0.25 <= summary.top6_share <= 0.60
+        assert summary.top20_share > summary.top6_share
+        assert 0.45 <= summary.top20_share <= 0.85
+        assert summary.countries_observed > 50
+        assert summary.poor_press_freedom_countries >= 10
+        assert summary.poor_press_freedom_peers > 0
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_geography(ObservationLog())
+
+    def test_figure10_cumulative_percentage(self, small_campaign):
+        figure = country_figure(small_campaign.log, top_n=10)
+        peers = figure.get("observed peers")
+        cumulative = figure.get("cumulative percentage")
+        assert len(peers.points) == 10
+        assert cumulative.is_monotonic_nondecreasing()
+        assert cumulative.ys[-1] <= 100.0
+        # Counts are ranked in non-increasing order.
+        assert all(b <= a for a, b in zip(peers.ys, peers.ys[1:]))
+
+
+class TestAsnDistribution:
+    def test_comcast_is_top_as(self, small_campaign):
+        counts = asn_distribution(small_campaign.log)
+        assert counts.most_common(1)[0][0] == 7922
+
+    def test_figure11_series(self, small_campaign):
+        figure = asn_figure(small_campaign.log, top_n=10)
+        assert len(figure.get("observed peers").points) == 10
+        assert figure.get("cumulative percentage").is_monotonic_nondecreasing()
+        assert any("AS7922" in note for note in figure.notes)
+
+
+class TestAsnSpan:
+    def test_most_peers_in_one_as(self, small_campaign):
+        spans = asn_span(small_campaign.log)
+        total = sum(spans.values())
+        assert spans.get(1, 0) / total > 0.6
+
+    def test_some_peers_span_multiple_ases(self, small_campaign):
+        spans = asn_span(small_campaign.log)
+        assert sum(count for n, count in spans.items() if n >= 2) > 0
+
+    def test_figure12_totals(self, small_campaign):
+        figure = asn_span_figure(small_campaign.log, max_asns=6)
+        counts = figure.get("observed peers")
+        spans = asn_span(small_campaign.log)
+        assert sum(counts.ys) == sum(spans.values())
+        percentage = figure.get("percentage")
+        assert sum(percentage.ys) == pytest.approx(100.0, abs=0.5)
+
+
+class TestPressFreedom:
+    def test_summary_structure(self, small_campaign):
+        summary = press_freedom_summary(small_campaign.log)
+        assert summary["countries"] > 0
+        assert summary["total_peers"] > 0
+        assert len(summary["top"]) <= 5
+        top_codes = [code for code, _ in summary["top"]]
+        registry = default_registry()
+        for code in top_codes:
+            assert registry.country(code).poor_press_freedom
+
+    def test_china_among_leaders(self, small_campaign):
+        """Section 5.3.2: China leads the poor-press-freedom group."""
+        summary = press_freedom_summary(small_campaign.log)
+        top_codes = [code for code, _ in summary["top"]]
+        assert "CN" in top_codes

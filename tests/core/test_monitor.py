@@ -1,0 +1,144 @@
+"""Tests for monitoring routers and the observation log."""
+
+import numpy as np
+import pytest
+
+from repro.core.monitor import MonitoringRouter, ObservationLog, PeerObservationAggregate
+from repro.sim.observation import MonitorMode, MonitorSpec
+from repro.sim.population import I2PPopulation, PopulationConfig
+
+
+@pytest.fixture(scope="module")
+def views():
+    population = I2PPopulation(
+        PopulationConfig(target_daily_population=400, horizon_days=5, seed=21)
+    )
+    return list(population.iter_days())
+
+
+def all_indices(view):
+    return np.arange(len(view.snapshots))
+
+
+class TestMonitoringRouter:
+    def test_record_day_accumulates(self, views):
+        monitor = MonitoringRouter(
+            spec=MonitorSpec("m", MonitorMode.FLOODFILL), collect_daily_ips=True
+        )
+        for view in views[:2]:
+            monitor.record_day(view, all_indices(view))
+        assert len(monitor.daily_observed_counts) == 2
+        assert monitor.mean_daily_observed() > 0
+        assert len(monitor.cumulative_peer_ids) >= monitor.daily_observed_counts[0]
+
+    def test_ips_in_window(self, views):
+        monitor = MonitoringRouter(
+            spec=MonitorSpec("m", MonitorMode.FLOODFILL), collect_daily_ips=True
+        )
+        for view in views[:3]:
+            monitor.record_day(view, all_indices(view))
+        one_day = monitor.ips_in_window(2, 1)
+        three_days = monitor.ips_in_window(2, 3)
+        assert one_day <= three_days
+        assert len(three_days) > 0
+
+    def test_ips_in_window_requires_collection(self, views):
+        monitor = MonitoringRouter(spec=MonitorSpec("m", MonitorMode.FLOODFILL))
+        monitor.record_day(views[0], all_indices(views[0]))
+        with pytest.raises(RuntimeError):
+            monitor.ips_in_window(0, 1)
+
+    def test_ips_in_window_invalid_window(self, views):
+        monitor = MonitoringRouter(
+            spec=MonitorSpec("m", MonitorMode.FLOODFILL), collect_daily_ips=True
+        )
+        monitor.record_day(views[0], all_indices(views[0]))
+        with pytest.raises(ValueError):
+            monitor.ips_in_window(0, 0)
+
+    def test_daily_peer_sets_collection(self, views):
+        monitor = MonitoringRouter(
+            spec=MonitorSpec("m", MonitorMode.FLOODFILL), collect_daily_peers=True
+        )
+        monitor.record_day(views[0], all_indices(views[0]))
+        assert len(monitor.daily_peer_sets) == 1
+        assert len(monitor.daily_peer_sets[0]) == views[0].online_count
+
+    def test_mean_daily_observed_empty(self):
+        monitor = MonitoringRouter(spec=MonitorSpec("m", MonitorMode.CLIENT))
+        assert monitor.mean_daily_observed() == 0.0
+
+
+class TestObservationLog:
+    def test_record_day_daily_stats(self, views):
+        log = ObservationLog()
+        stats = log.record_day(views[0], all_indices(views[0]))
+        assert stats.observed_peers == views[0].online_count
+        assert stats.known_ip_peers + stats.unknown_ip_peers == stats.observed_peers
+        assert stats.firewalled_peers == views[0].firewalled_count
+        assert stats.hidden_peers == views[0].hidden_count
+        assert stats.new_peer_ids == stats.observed_peers
+        assert sum(stats.tier_counts.values()) == stats.observed_peers
+
+    def test_unique_peer_count_grows_then_stabilises(self, views):
+        log = ObservationLog()
+        counts = []
+        for view in views:
+            log.record_day(view, all_indices(view))
+            counts.append(log.unique_peer_count)
+        assert counts == sorted(counts)
+        assert counts[-1] > views[0].online_count
+
+    def test_mean_daily_helpers(self, views):
+        log = ObservationLog()
+        for view in views:
+            log.record_day(view, all_indices(view))
+        assert log.mean_daily_observed() == pytest.approx(
+            log.mean_daily("observed_peers")
+        )
+        tiers = log.mean_daily_tier_counts()
+        assert "L" in tiers
+        assert sum(tiers.values()) == pytest.approx(log.mean_daily_observed(), rel=0.01)
+
+    def test_empty_log_means_zero(self):
+        log = ObservationLog()
+        assert log.mean_daily_observed() == 0.0
+        assert log.mean_daily_tier_counts() == {}
+        assert log.days_recorded == 0
+
+
+class TestPeerObservationAggregate:
+    def _aggregate_from(self, views, peer_id):
+        log = ObservationLog()
+        for view in views:
+            log.record_day(view, all_indices(view))
+        return log.peers[peer_id]
+
+    def test_observation_span_and_runs(self, views):
+        aggregate = PeerObservationAggregate(peer_id=b"\x01" * 32, first_day=0, last_day=0)
+        for day in (0, 1, 2, 5):
+            aggregate.days_observed.add(day)
+            aggregate.first_day = min(aggregate.first_day, day)
+            aggregate.last_day = max(aggregate.last_day, day)
+        assert aggregate.observation_span_days == 6
+        assert aggregate.longest_continuous_run() == 3
+        assert aggregate.observed_day_count == 4
+
+    def test_empty_run(self):
+        aggregate = PeerObservationAggregate(peer_id=b"\x01" * 32, first_day=3, last_day=3)
+        assert aggregate.longest_continuous_run() == 0
+
+    def test_address_and_flag_accumulation(self, views):
+        log = ObservationLog()
+        for view in views:
+            log.record_day(view, all_indices(view))
+        known = [p for p in log.peers.values() if p.has_known_ip]
+        assert known
+        sample = known[0]
+        assert sample.address_count >= 1
+        assert sample.countries
+        assert sample.asns
+        assert sample.dominant_tier() is not None
+        unknown = [p for p in log.peers.values() if not p.has_known_ip]
+        assert unknown
+        assert all(p.address_count == 0 for p in unknown)

@@ -1,0 +1,89 @@
+"""Tests for the Section 5.1 population analyses (Figures 5 and 6)."""
+
+import pytest
+
+from repro.core.population import (
+    classify_unknown_ip,
+    daily_population_figure,
+    summarize_population,
+    unknown_ip_figure,
+)
+from repro.core.monitor import ObservationLog
+
+
+class TestSummarizePopulation:
+    def test_empty_log_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_population(ObservationLog())
+
+    def test_headline_numbers(self, small_campaign):
+        summary = summarize_population(small_campaign.log)
+        assert summary.days == 12
+        assert summary.mean_daily_peers > 0
+        # Unique IPs are fewer than unique peers because of unknown-IP peers
+        # (the paper's Figure 5 headline observation).
+        assert summary.mean_daily_all_ips < summary.mean_daily_peers
+        assert summary.mean_daily_ipv4 >= summary.mean_daily_ipv6
+        # Roughly half the peers have unknown IPs.
+        assert 0.35 <= summary.unknown_ip_share <= 0.65
+        # Firewalled peers dominate the unknown-IP group.
+        assert summary.mean_daily_firewalled > summary.mean_daily_hidden
+        assert summary.unique_peers >= summary.mean_daily_peers
+
+    def test_as_dict_complete(self, small_campaign):
+        data = summarize_population(small_campaign.log).as_dict()
+        assert set(data) >= {
+            "mean_daily_peers",
+            "mean_daily_firewalled",
+            "mean_daily_hidden",
+            "unknown_ip_share",
+            "unique_peers",
+        }
+
+
+class TestDailyPopulationFigure:
+    def test_figure5_series(self, small_campaign):
+        figure = daily_population_figure(small_campaign.log)
+        assert set(figure.series) == {"routers", "all IP", "IPv4", "IPv6"}
+        routers = figure.get("routers")
+        all_ip = figure.get("all IP")
+        assert len(routers.points) == 12
+        for x in routers.xs:
+            assert all_ip.y_at(x) <= routers.y_at(x)
+            assert figure.get("IPv4").y_at(x) + figure.get("IPv6").y_at(x) == pytest.approx(
+                all_ip.y_at(x)
+            )
+
+    def test_figure5_renders(self, small_campaign):
+        text = daily_population_figure(small_campaign.log).to_text()
+        assert "figure_05" in text
+        assert "IPv4" in text
+
+
+class TestUnknownIpFigure:
+    def test_figure6_series(self, small_campaign):
+        figure = unknown_ip_figure(small_campaign.log)
+        assert set(figure.series) == {"unknown-IP", "firewalled", "hidden", "overlapping"}
+        for x in figure.get("unknown-IP").xs:
+            unknown = figure.get("unknown-IP").y_at(x)
+            firewalled = figure.get("firewalled").y_at(x)
+            hidden = figure.get("hidden").y_at(x)
+            assert unknown == pytest.approx(firewalled + hidden)
+            assert firewalled > hidden
+
+    def test_overlap_grows_after_first_day(self, small_campaign):
+        figure = unknown_ip_figure(small_campaign.log)
+        overlap = figure.get("overlapping")
+        assert overlap.y_at(1) == 0  # no history on day one
+        assert overlap.ys[-1] > 0  # flapping peers detected later
+
+
+class TestClassifyUnknownIp:
+    def test_campaign_level_classification(self, small_campaign):
+        classes = classify_unknown_ip(small_campaign.log)
+        assert classes["ever_firewalled"] > classes["ever_hidden"]
+        assert classes["both_statuses"] > 0
+        assert classes["both_statuses"] <= min(
+            classes["ever_firewalled"], classes["ever_hidden"]
+        )
+        assert classes["never_published_address"] > 0

@@ -1,0 +1,42 @@
+"""Tests for report rendering."""
+
+import pytest
+
+from repro.core.blocking import blocking_curve
+from repro.core.reporting import render_campaign_summary, render_figure, render_table1
+
+
+class TestRenderFigure:
+    def test_blocking_figure_renders(self, small_campaign):
+        figure = blocking_curve(small_campaign, router_counts=[1, 5], windows=(1,))
+        text = render_figure(figure)
+        assert "figure_13" in text
+        assert "1 day" in text
+
+
+class TestRenderTable1:
+    def test_contains_all_tiers_and_groups(self, small_campaign):
+        text = render_table1(small_campaign.log)
+        for tier in "KLMNOPX":
+            assert f"\n{tier} " in "\n" + text
+        for column in ("Floodfill", "Reachable", "Unreachable", "Total"):
+            assert column in text
+
+
+class TestRenderCampaignSummary:
+    def test_sections_present(self, small_campaign):
+        text = render_campaign_summary(small_campaign)
+        for heading in (
+            "Population (Section 5.1)",
+            "Longevity (Section 5.2.1)",
+            "IP churn (Section 5.2.2)",
+            "Floodfill extrapolation (Section 5.3.1)",
+            "Geography (Section 5.3.2)",
+            "Campaign coverage",
+        ):
+            assert heading in text
+
+    def test_summary_mentions_monitor_count(self, small_campaign):
+        text = render_campaign_summary(small_campaign)
+        assert "monitors" in text
+        assert "20" in text

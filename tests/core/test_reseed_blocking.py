@@ -1,0 +1,90 @@
+"""Tests for reseed-server blocking and manual reseeding (Section 6.1)."""
+
+import pytest
+
+from repro.core.reseed_blocking import (
+    reseed_blocking_curve,
+    simulate_reseed_blocking,
+)
+from repro.netdb.identity import RouterIdentity
+from repro.netdb.routerinfo import RouterAddress, RouterInfo, TransportStyle, parse_capacity_string
+from repro.sim.reseed import DEFAULT_RESEED_SERVERS
+
+
+@pytest.fixture(scope="module")
+def routerinfos():
+    return [
+        RouterInfo(
+            identity=RouterIdentity.from_seed(f"peer-{i}"),
+            addresses=(
+                RouterAddress(TransportStyle.NTCP, f"10.1.{i // 250}.{i % 250 + 1}", 10000 + i),
+            ),
+            capacity=parse_capacity_string("LR"),
+            published_at=0.0,
+        )
+        for i in range(200)
+    ]
+
+
+class TestSimulateReseedBlocking:
+    def test_no_blocking_full_success(self, routerinfos):
+        outcome = simulate_reseed_blocking(routerinfos, blocked_servers=0, clients=50)
+        assert outcome.success_rate == 1.0
+        assert outcome.manual_reseed_successes == 0
+
+    def test_total_blocking_without_manual_reseed_fails(self, routerinfos):
+        outcome = simulate_reseed_blocking(
+            routerinfos,
+            blocked_servers=len(DEFAULT_RESEED_SERVERS),
+            clients=50,
+            manual_reseed_share=0.0,
+        )
+        assert outcome.success_rate == 0.0
+
+    def test_total_blocking_with_manual_reseed_partially_recovers(self, routerinfos):
+        outcome = simulate_reseed_blocking(
+            routerinfos,
+            blocked_servers=len(DEFAULT_RESEED_SERVERS),
+            clients=100,
+            manual_reseed_share=0.4,
+            seed=3,
+        )
+        assert 0.2 <= outcome.success_rate <= 0.6
+        assert outcome.manual_reseed_successes == outcome.bootstrap_successes
+
+    def test_partial_blocking_degrades_gradually(self, routerinfos):
+        total = len(DEFAULT_RESEED_SERVERS)
+        none_blocked = simulate_reseed_blocking(routerinfos, 0, clients=100, seed=5)
+        half_blocked = simulate_reseed_blocking(routerinfos, total // 2, clients=100, seed=5)
+        all_blocked = simulate_reseed_blocking(routerinfos, total, clients=100, seed=5)
+        assert none_blocked.success_rate >= half_blocked.success_rate >= all_blocked.success_rate
+        assert half_blocked.success_rate > 0.0
+
+    def test_invalid_parameters(self, routerinfos):
+        with pytest.raises(ValueError):
+            simulate_reseed_blocking(routerinfos, blocked_servers=-1)
+        with pytest.raises(ValueError):
+            simulate_reseed_blocking(routerinfos, blocked_servers=999)
+        with pytest.raises(ValueError):
+            simulate_reseed_blocking(routerinfos, 0, manual_reseed_share=2.0)
+
+    def test_as_dict(self, routerinfos):
+        data = simulate_reseed_blocking(routerinfos, 1, clients=10).as_dict()
+        assert set(data) >= {"blocked_servers", "success_rate", "manual_rescue_rate"}
+
+
+class TestReseedBlockingCurve:
+    def test_series_shape(self, routerinfos):
+        figure = reseed_blocking_curve(
+            routerinfos, clients=60, manual_reseed_share=0.3,
+            server_names=DEFAULT_RESEED_SERVERS[:4], seed=1,
+        )
+        plain = figure.get("no manual reseed")
+        manual = [s for name, s in figure.series.items() if name != "no manual reseed"][0]
+        assert len(plain.points) == 5  # 0..4 blocked servers
+        assert plain.y_at(0) == 100.0
+        assert plain.y_at(4) == 0.0
+        # Manual reseeding keeps some clients connected under full blocking.
+        assert manual.y_at(4) > 0.0
+        # Success rates never go above 100%.
+        assert all(0.0 <= y <= 100.0 for y in plain.ys + manual.ys)

@@ -1,0 +1,110 @@
+"""Robustness and failure-injection tests for the measurement pipeline.
+
+These tests probe the edges the paper's methodology would also hit:
+degenerate monitor fleets, extremely low-bandwidth monitors, campaigns
+evaluated on their first day, and sensitivity of the headline shares to the
+random seed (the calibrated shapes must not be a one-seed accident).
+"""
+
+import pytest
+
+from repro.core import (
+    CampaignConfig,
+    MeasurementCampaign,
+    blocking_assessment,
+    run_main_campaign,
+    scaled_population_config,
+    summarize_population,
+)
+from repro.core.blocking import censor_blacklist
+from repro.core.capacity_analysis import estimate_population
+from repro.sim.observation import MonitorMode, MonitorSpec
+
+
+class TestDegenerateFleets:
+    def test_single_low_bandwidth_monitor(self):
+        """A 128 KB/s monitor still observes peers, but far fewer than the
+        well-provisioned fleet (the Figure 3 low end)."""
+        config = CampaignConfig(
+            population=scaled_population_config(0.02, days=3, seed=11),
+            monitors=[MonitorSpec("weak", MonitorMode.NON_FLOODFILL, 128.0)],
+            days=3,
+            seed=11,
+        )
+        result = MeasurementCampaign(config).run()
+        coverage = result.coverage_of_population()
+        assert 0.05 < coverage < 0.6
+
+    def test_floodfill_only_fleet_sees_less_than_mixed(self):
+        """Running a single mode covers less than the same number of routers
+        split across both modes (the Section 4.2 conclusion)."""
+        def run(ff, nff, seed=13):
+            monitors = []
+            for i in range(ff):
+                monitors.append(MonitorSpec(f"ff{i}", MonitorMode.FLOODFILL, 8000.0))
+            for i in range(nff):
+                monitors.append(MonitorSpec(f"nff{i}", MonitorMode.NON_FLOODFILL, 8000.0))
+            config = CampaignConfig(
+                population=scaled_population_config(0.02, days=3, seed=seed),
+                monitors=monitors,
+                days=3,
+                seed=seed,
+            )
+            return MeasurementCampaign(config).run().log.mean_daily_observed()
+
+        mixed = run(2, 2)
+        floodfill_only = run(4, 0)
+        # Mixed-mode fleets observe at least as much as single-mode fleets of
+        # the same size (diversity of viewpoints).
+        assert mixed >= 0.95 * floodfill_only
+
+    def test_client_only_campaign(self):
+        """A campaign whose only observer is a client-mode router still
+        produces a valid (small) observation log."""
+        config = CampaignConfig(
+            population=scaled_population_config(0.02, days=2, seed=17),
+            monitors=[MonitorSpec("client", MonitorMode.CLIENT, 256.0)],
+            days=2,
+            seed=17,
+        )
+        result = MeasurementCampaign(config).run()
+        assert 0 < result.log.mean_daily_observed() < result.mean_daily_online
+
+
+class TestEarlyEvaluation:
+    def test_blocking_on_first_day(self, small_campaign):
+        """Evaluating the censor on day 0 (no history) still works: the
+        blacklist windows simply degenerate to a single day."""
+        assessment = blocking_assessment(
+            small_campaign, router_count=5, window_days=30, evaluation_day=0,
+            victim_history_days=1,
+        )
+        assert 0.0 <= assessment.rate <= 1.0
+        assert assessment.victim_ip_count > 0
+
+    def test_window_never_reaches_before_day_zero(self, small_campaign):
+        early = censor_blacklist(small_campaign.monitors, 5, 0, 30)
+        late = censor_blacklist(small_campaign.monitors, 5, 5, 30)
+        assert early <= late
+
+
+class TestSeedSensitivity:
+    """The calibrated shapes hold across seeds, not just for seed 2018."""
+
+    @pytest.mark.parametrize("seed", [1, 99])
+    def test_headline_shares_stable_across_seeds(self, seed):
+        result = run_main_campaign(days=6, scale=0.02, seed=seed)
+        summary = summarize_population(result.log)
+        estimate = estimate_population(result.log)
+        # Unknown-IP share near one half.
+        assert 0.35 < summary.unknown_ip_share < 0.65
+        # Firewalled dominate hidden.
+        assert summary.mean_daily_firewalled > summary.mean_daily_hidden
+        # Floodfill share and extrapolation stay in the paper's ballpark.
+        assert 0.05 < estimate.observed_floodfill_share < 0.15
+        assert 0.7 < estimate.estimate_to_observed_ratio < 1.8
+
+    def test_different_seeds_give_different_populations(self):
+        a = run_main_campaign(days=2, scale=0.01, seed=1)
+        b = run_main_campaign(days=2, scale=0.01, seed=2)
+        assert set(a.log.peers) != set(b.log.peers)

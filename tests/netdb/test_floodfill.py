@@ -1,0 +1,196 @@
+"""Tests for floodfill store/flood/lookup behaviour."""
+
+import pytest
+
+from repro.netdb.floodfill import (
+    FLOOD_REDUNDANCY,
+    FloodfillHealth,
+    FloodfillRouterState,
+    is_qualified_floodfill,
+)
+from repro.netdb.identity import RouterIdentity, sha256
+from repro.netdb.messages import (
+    DatabaseLookupMessage,
+    DatabaseSearchReplyMessage,
+    DatabaseStoreMessage,
+    LookupType,
+)
+from repro.netdb.routerinfo import RouterAddress, RouterInfo, TransportStyle, parse_capacity_string
+
+
+def make_info(seed: str, caps: str = "LR") -> RouterInfo:
+    return RouterInfo(
+        identity=RouterIdentity.from_seed(seed),
+        addresses=(RouterAddress(TransportStyle.NTCP, "10.0.0.1", 12345),),
+        capacity=parse_capacity_string(caps),
+        published_at=1.0,
+    )
+
+
+def make_floodfill(seed: str = "ff", known=()) -> FloodfillRouterState:
+    return FloodfillRouterState(
+        router_hash=RouterIdentity.from_seed(seed).hash, known_floodfills=known
+    )
+
+
+class TestQualifiedFloodfill:
+    def test_n_floodfill_qualified(self):
+        assert is_qualified_floodfill(make_info("a", "NfR"))
+
+    def test_l_floodfill_unqualified(self):
+        assert not is_qualified_floodfill(make_info("a", "LfR"))
+
+    def test_non_floodfill_never_qualified(self):
+        assert not is_qualified_floodfill(make_info("a", "XR"))
+
+
+class TestFloodfillHealth:
+    def test_passing_profile(self):
+        health = FloodfillHealth(
+            uptime_hours=5, shared_bandwidth_kbps=256, message_queue_delay_ms=50,
+            job_lag_ms=50, tunnel_build_success=0.9,
+        )
+        assert health.passes()
+        assert health.failing_checks() == []
+
+    def test_low_bandwidth_fails(self):
+        health = FloodfillHealth(uptime_hours=5, shared_bandwidth_kbps=64)
+        assert not health.passes()
+        assert "bandwidth" in health.failing_checks()
+
+    def test_low_uptime_fails(self):
+        health = FloodfillHealth(uptime_hours=0.5, shared_bandwidth_kbps=256)
+        assert "uptime" in health.failing_checks()
+
+    def test_all_failing(self):
+        health = FloodfillHealth(
+            uptime_hours=0, shared_bandwidth_kbps=0,
+            message_queue_delay_ms=10_000, job_lag_ms=10_000, tunnel_build_success=0.0,
+        )
+        assert len(health.failing_checks()) == 5
+
+
+class TestStoreHandling:
+    def test_store_accepts_new_entry(self):
+        ff = make_floodfill()
+        message = DatabaseStoreMessage(
+            from_hash=sha256(b"sender"), entry=make_info("peer"), reply_token=1
+        )
+        result = ff.handle_store(message, sim_time=0.0)
+        assert result.stored
+        assert make_info("peer").hash in ff.store
+
+    def test_flooding_only_with_reply_token(self):
+        known = [RouterIdentity.from_seed(f"other-ff-{i}").hash for i in range(6)]
+        ff = make_floodfill(known=known)
+        direct = DatabaseStoreMessage(
+            from_hash=sha256(b"sender"), entry=make_info("peer"), reply_token=1
+        )
+        result = ff.handle_store(direct, sim_time=0.0)
+        assert len(result.flooded_to) == FLOOD_REDUNDANCY
+
+        flooded = DatabaseStoreMessage(
+            from_hash=sha256(b"other"), entry=make_info("peer2"), reply_token=0
+        )
+        result2 = ff.handle_store(flooded, sim_time=0.0)
+        assert result2.flooded_to == ()
+
+    def test_duplicate_store_not_flooded_again(self):
+        known = [RouterIdentity.from_seed(f"other-ff-{i}").hash for i in range(6)]
+        ff = make_floodfill(known=known)
+        message = DatabaseStoreMessage(
+            from_hash=sha256(b"sender"), entry=make_info("peer"), reply_token=1
+        )
+        ff.handle_store(message, sim_time=0.0)
+        repeat = DatabaseStoreMessage(
+            from_hash=sha256(b"sender"), entry=make_info("peer"), reply_token=1
+        )
+        result = ff.handle_store(repeat, sim_time=0.0)
+        assert not result.stored
+        assert result.flooded_to == ()
+
+    def test_flood_targets_limited_to_known(self):
+        known = [RouterIdentity.from_seed("one-ff").hash]
+        ff = make_floodfill(known=known)
+        targets = ff.flood_targets(sha256(b"key"), sim_time=0.0)
+        assert targets == known
+
+
+class TestLookupHandling:
+    def test_known_routerinfo_returned_as_store(self):
+        ff = make_floodfill()
+        info = make_info("peer")
+        ff.store.store_routerinfo(info)
+        lookup = DatabaseLookupMessage(from_hash=sha256(b"me"), key=info.hash)
+        response = ff.handle_lookup(lookup, sim_time=0.0)
+        assert isinstance(response, DatabaseStoreMessage)
+        assert response.entry.hash == info.hash
+
+    def test_unknown_key_returns_closer_floodfills(self):
+        known = [RouterIdentity.from_seed(f"ff-{i}").hash for i in range(10)]
+        ff = make_floodfill(known=known)
+        lookup = DatabaseLookupMessage(from_hash=sha256(b"me"), key=sha256(b"missing"))
+        response = ff.handle_lookup(lookup, sim_time=0.0)
+        assert isinstance(response, DatabaseSearchReplyMessage)
+        assert 0 < len(response.closer_hashes) <= 3
+        assert all(h in known for h in response.closer_hashes)
+
+    def test_closer_reply_excludes_requested(self):
+        known = [RouterIdentity.from_seed(f"ff-{i}").hash for i in range(4)]
+        ff = make_floodfill(known=known)
+        lookup = DatabaseLookupMessage(
+            from_hash=sha256(b"me"), key=sha256(b"missing"), exclude_hashes=tuple(known[:2])
+        )
+        response = ff.handle_lookup(lookup, sim_time=0.0)
+        assert isinstance(response, DatabaseSearchReplyMessage)
+        assert not set(response.closer_hashes) & set(known[:2])
+
+    def test_exploration_returns_unknown_routerinfos(self):
+        ff = make_floodfill()
+        infos = [make_info(f"peer-{i}") for i in range(5)]
+        for info in infos:
+            ff.store.store_routerinfo(info)
+        lookup = DatabaseLookupMessage(
+            from_hash=sha256(b"me"),
+            key=sha256(b"me"),
+            lookup_type=LookupType.EXPLORATION,
+            exclude_hashes=(infos[0].hash,),
+            max_results=3,
+        )
+        response = ff.handle_lookup(lookup, sim_time=0.0)
+        assert isinstance(response, list)
+        assert len(response) == 3
+        assert infos[0].hash not in {r.hash for r in response}
+
+
+class TestResponsibility:
+    def test_responsible_when_among_closest(self):
+        ff = make_floodfill("me")
+        all_ffs = [ff.router_hash] + [
+            RouterIdentity.from_seed(f"ff-{i}").hash for i in range(2)
+        ]
+        assert ff.is_responsible_for(sha256(b"key"), all_ffs, sim_time=0.0)
+
+    def test_not_responsible_in_large_pool(self):
+        ff = make_floodfill("me")
+        all_ffs = [RouterIdentity.from_seed(f"ff-{i}").hash for i in range(500)]
+        # With 500 other floodfills the chance of being in the top-3 for an
+        # arbitrary key is tiny; check a handful of keys.
+        responsibilities = [
+            ff.is_responsible_for(sha256(f"key-{i}".encode()), all_ffs, sim_time=0.0)
+            for i in range(5)
+        ]
+        assert not all(responsibilities)
+
+    def test_learn_and_forget_floodfill(self):
+        ff = make_floodfill("me")
+        other = RouterIdentity.from_seed("other").hash
+        ff.learn_floodfill(other)
+        assert other in ff.known_floodfills
+        ff.forget_floodfill(other)
+        assert other not in ff.known_floodfills
+
+    def test_never_learns_itself(self):
+        ff = make_floodfill("me")
+        ff.learn_floodfill(ff.router_hash)
+        assert ff.router_hash not in ff.known_floodfills

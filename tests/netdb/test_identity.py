@@ -1,0 +1,88 @@
+"""Tests for router identities and the I2P base64 alphabet."""
+
+import random
+
+import pytest
+
+from repro.netdb.identity import (
+    HASH_LENGTH,
+    RouterIdentity,
+    from_i2p_base64,
+    sha256,
+    to_i2p_base64,
+)
+
+
+class TestSha256:
+    def test_digest_length(self):
+        assert len(sha256(b"hello")) == HASH_LENGTH
+
+    def test_deterministic(self):
+        assert sha256(b"abc") == sha256(b"abc")
+
+    def test_different_inputs_differ(self):
+        assert sha256(b"abc") != sha256(b"abd")
+
+
+class TestI2PBase64:
+    def test_round_trip(self):
+        data = bytes(range(256))
+        assert from_i2p_base64(to_i2p_base64(data)) == data
+
+    def test_uses_i2p_alphabet(self):
+        # 0xFB-ish byte patterns produce '+'/'/' in standard base64.
+        data = b"\xfb\xff\xfe" * 10
+        encoded = to_i2p_base64(data)
+        assert "+" not in encoded
+        assert "/" not in encoded
+
+    def test_empty(self):
+        assert to_i2p_base64(b"") == ""
+        assert from_i2p_base64("") == b""
+
+
+class TestRouterIdentity:
+    def test_generate_unique(self):
+        rng = random.Random(1)
+        identities = {RouterIdentity.generate(rng).hash for _ in range(50)}
+        assert len(identities) == 50
+
+    def test_generate_deterministic_with_seeded_rng(self):
+        a = RouterIdentity.generate(random.Random(42))
+        b = RouterIdentity.generate(random.Random(42))
+        assert a.hash == b.hash
+
+    def test_from_seed_deterministic(self):
+        assert RouterIdentity.from_seed("alice").hash == RouterIdentity.from_seed("alice").hash
+        assert RouterIdentity.from_seed("alice").hash != RouterIdentity.from_seed("bob").hash
+
+    def test_from_seed_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RouterIdentity.from_seed("")
+
+    def test_hash_is_32_bytes(self):
+        assert len(RouterIdentity.from_seed("x").hash) == 32
+
+    def test_hash_b64_round_trip(self):
+        identity = RouterIdentity.from_seed("peer")
+        assert from_i2p_base64(identity.hash_b64) == identity.hash
+
+    def test_short_hash_prefix(self):
+        identity = RouterIdentity.from_seed("peer")
+        assert identity.hash_b64.startswith(identity.short_hash)
+        assert len(identity.short_hash) == 8
+
+    def test_rejects_empty_key_material(self):
+        with pytest.raises(ValueError):
+            RouterIdentity(b"")
+
+    def test_rejects_non_bytes(self):
+        with pytest.raises(TypeError):
+            RouterIdentity("not-bytes")  # type: ignore[arg-type]
+
+    def test_equality_by_key_material(self):
+        assert RouterIdentity(b"abc") == RouterIdentity(b"abc")
+        assert RouterIdentity(b"abc") != RouterIdentity(b"abd")
+
+    def test_generate_without_rng_uses_os_entropy(self):
+        assert RouterIdentity.generate().hash != RouterIdentity.generate().hash

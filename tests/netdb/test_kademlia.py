@@ -1,0 +1,151 @@
+"""Tests for the XOR metric, k-buckets, and the routing table."""
+
+import pytest
+
+from repro.netdb.identity import sha256
+from repro.netdb.kademlia import (
+    KEY_BITS,
+    KBucket,
+    RoutingTable,
+    bucket_index,
+    closest_nodes,
+    xor_distance,
+)
+
+
+def key(n: int) -> bytes:
+    return n.to_bytes(32, "big")
+
+
+class TestXorDistance:
+    def test_identity(self):
+        assert xor_distance(key(5), key(5)) == 0
+
+    def test_symmetry(self):
+        assert xor_distance(key(5), key(9)) == xor_distance(key(9), key(5))
+
+    def test_known_value(self):
+        assert xor_distance(key(0b1010), key(0b0110)) == 0b1100
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            xor_distance(b"\x00" * 32, b"\x00" * 16)
+
+    def test_triangle_inequality_xor_relaxation(self):
+        # XOR metric satisfies d(a,c) <= d(a,b) + d(b,c).
+        a, b, c = sha256(b"a"), sha256(b"b"), sha256(b"c")
+        assert xor_distance(a, c) <= xor_distance(a, b) + xor_distance(b, c)
+
+
+class TestBucketIndex:
+    def test_most_significant_bit(self):
+        local = key(0)
+        assert bucket_index(local, key(1)) == 0
+        assert bucket_index(local, key(2)) == 1
+        assert bucket_index(local, key(1 << 255)) == KEY_BITS - 1
+
+    def test_own_key_rejected(self):
+        with pytest.raises(ValueError):
+            bucket_index(key(7), key(7))
+
+
+class TestClosestNodes:
+    def test_orders_by_distance(self):
+        target = key(0)
+        candidates = [key(8), key(1), key(4), key(2)]
+        assert closest_nodes(target, candidates, 2) == [key(1), key(2)]
+
+    def test_count_larger_than_pool(self):
+        assert len(closest_nodes(key(0), [key(1)], 10)) == 1
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            closest_nodes(key(0), [], -2)
+
+
+class TestKBucket:
+    def test_insertion_and_membership(self):
+        bucket = KBucket(capacity=3)
+        assert bucket.touch(key(1))
+        assert key(1) in bucket
+        assert len(bucket) == 1
+
+    def test_lru_refresh(self):
+        bucket = KBucket(capacity=3)
+        for i in range(1, 4):
+            bucket.touch(key(i))
+        bucket.touch(key(1))
+        assert bucket.oldest() == key(2)
+
+    def test_eviction_when_full(self):
+        bucket = KBucket(capacity=2, evict_stale=True)
+        bucket.touch(key(1))
+        bucket.touch(key(2))
+        bucket.touch(key(3))
+        assert key(1) not in bucket
+        assert key(3) in bucket
+
+    def test_no_eviction_mode(self):
+        bucket = KBucket(capacity=2, evict_stale=False)
+        bucket.touch(key(1))
+        bucket.touch(key(2))
+        assert not bucket.touch(key(3))
+        assert key(3) not in bucket
+
+    def test_remove(self):
+        bucket = KBucket()
+        bucket.touch(key(1))
+        assert bucket.remove(key(1))
+        assert not bucket.remove(key(1))
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            KBucket(capacity=0)
+
+
+class TestRoutingTable:
+    def test_requires_32_byte_local_key(self):
+        with pytest.raises(ValueError):
+            RoutingTable(b"short")
+
+    def test_never_stores_self(self):
+        table = RoutingTable(key(1))
+        assert not table.add(key(1))
+        assert key(1) not in table
+
+    def test_add_and_len(self):
+        table = RoutingTable(key(1))
+        for i in range(2, 30):
+            table.add(key(i))
+        assert len(table) == 28
+
+    def test_closest(self):
+        table = RoutingTable(key(0))
+        for i in range(1, 50):
+            table.add(key(i))
+        closest = table.closest(key(3), 3)
+        assert closest[0] == key(3)
+        assert len(closest) == 3
+
+    def test_remove(self):
+        table = RoutingTable(key(0))
+        table.add(key(5))
+        assert table.remove(key(5))
+        assert key(5) not in table
+        assert not table.remove(key(5))
+        assert not table.remove(key(0))
+
+    def test_bucket_sizes_reported(self):
+        table = RoutingTable(key(0), bucket_capacity=4)
+        for i in range(1, 20):
+            table.add(key(i))
+        sizes = table.bucket_sizes()
+        assert sum(sizes.values()) == len(table)
+        assert all(size <= 4 for size in sizes.values())
+
+    def test_all_keys_contains_added(self):
+        table = RoutingTable(sha256(b"local"))
+        keys = [sha256(f"k{i}".encode()) for i in range(10)]
+        for k in keys:
+            table.add(k)
+        assert set(table.all_keys()) == set(keys)

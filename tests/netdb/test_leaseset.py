@@ -1,0 +1,92 @@
+"""Tests for destinations, leases, and LeaseSets."""
+
+import pytest
+
+from repro.netdb.identity import RouterIdentity, sha256
+from repro.netdb.leaseset import LEASE_DURATION, Destination, Lease, LeaseSet
+
+
+def make_lease(gateway_seed: str = "gw", expires_at: float = 600.0, tunnel_id: int = 1):
+    return Lease(
+        gateway_hash=sha256(gateway_seed.encode()),
+        tunnel_id=tunnel_id,
+        expires_at=expires_at,
+    )
+
+
+class TestDestination:
+    def test_hash_from_identity(self):
+        dest = Destination(RouterIdentity.from_seed("eepsite"), name="test.i2p")
+        assert dest.hash == RouterIdentity.from_seed("eepsite").hash
+
+    def test_b32_address_shape(self):
+        dest = Destination(RouterIdentity.from_seed("eepsite"))
+        assert dest.b32_address.endswith(".b32.i2p")
+        assert dest.b32_address == dest.b32_address.lower()
+
+    def test_b32_address_unique(self):
+        a = Destination(RouterIdentity.from_seed("a")).b32_address
+        b = Destination(RouterIdentity.from_seed("b")).b32_address
+        assert a != b
+
+
+class TestLease:
+    def test_expiry(self):
+        lease = make_lease(expires_at=100.0)
+        assert not lease.is_expired(99.9)
+        assert lease.is_expired(100.0)
+
+    def test_invalid_gateway_hash(self):
+        with pytest.raises(ValueError):
+            Lease(gateway_hash=b"\x01" * 8, tunnel_id=1, expires_at=10.0)
+
+    def test_negative_tunnel_id(self):
+        with pytest.raises(ValueError):
+            Lease(gateway_hash=sha256(b"gw"), tunnel_id=-1, expires_at=10.0)
+
+
+class TestLeaseSet:
+    def test_requires_at_least_one_lease(self):
+        dest = Destination(RouterIdentity.from_seed("eepsite"))
+        with pytest.raises(ValueError):
+            LeaseSet(destination=dest, leases=(), published_at=0.0)
+
+    def test_expires_with_last_lease(self):
+        dest = Destination(RouterIdentity.from_seed("eepsite"))
+        ls = LeaseSet(
+            destination=dest,
+            leases=(make_lease(expires_at=100.0), make_lease("gw2", 300.0, 2)),
+            published_at=0.0,
+        )
+        assert ls.expires_at == 300.0
+        assert not ls.is_expired(299.0)
+        assert ls.is_expired(300.0)
+
+    def test_active_leases_filtering(self):
+        dest = Destination(RouterIdentity.from_seed("eepsite"))
+        ls = LeaseSet(
+            destination=dest,
+            leases=(make_lease(expires_at=100.0), make_lease("gw2", 300.0, 2)),
+            published_at=0.0,
+        )
+        assert len(ls.active_leases(50.0)) == 2
+        assert len(ls.active_leases(150.0)) == 1
+        assert len(ls.active_leases(400.0)) == 0
+
+    def test_gateway_hashes(self):
+        dest = Destination(RouterIdentity.from_seed("eepsite"))
+        ls = LeaseSet(
+            destination=dest,
+            leases=(make_lease("gw1", 100.0), make_lease("gw2", 300.0, 2)),
+            published_at=0.0,
+        )
+        assert ls.gateway_hashes() == (sha256(b"gw1"), sha256(b"gw2"))
+        assert ls.gateway_hashes(now=150.0) == (sha256(b"gw2"),)
+
+    def test_hash_is_destination_hash(self):
+        dest = Destination(RouterIdentity.from_seed("eepsite"))
+        ls = LeaseSet(destination=dest, leases=(make_lease(),), published_at=0.0)
+        assert ls.hash == dest.hash
+
+    def test_lease_duration_matches_tunnel_lifetime(self):
+        assert LEASE_DURATION == 600.0

@@ -1,0 +1,121 @@
+"""Tests for DSM / DLM / SearchReply messages."""
+
+import pytest
+
+from repro.netdb.identity import RouterIdentity, sha256
+from repro.netdb.leaseset import Destination, Lease, LeaseSet
+from repro.netdb.messages import (
+    DatabaseLookupMessage,
+    DatabaseSearchReplyMessage,
+    DatabaseStoreMessage,
+    LookupType,
+    MessageType,
+    next_message_id,
+)
+from repro.netdb.routerinfo import RouterInfo, parse_capacity_string
+
+
+def make_info(seed: str = "peer") -> RouterInfo:
+    return RouterInfo(
+        identity=RouterIdentity.from_seed(seed),
+        addresses=(),
+        capacity=parse_capacity_string("LU"),
+        published_at=0.0,
+    )
+
+
+def make_leaseset(seed: str = "site") -> LeaseSet:
+    return LeaseSet(
+        destination=Destination(RouterIdentity.from_seed(seed)),
+        leases=(Lease(sha256(b"gw"), 1, 600.0),),
+        published_at=0.0,
+    )
+
+
+class TestMessageIds:
+    def test_monotonic_unique(self):
+        ids = [next_message_id() for _ in range(100)]
+        assert len(set(ids)) == 100
+        assert ids == sorted(ids)
+
+
+class TestDatabaseStoreMessage:
+    def test_routerinfo_store(self):
+        info = make_info()
+        dsm = DatabaseStoreMessage(from_hash=sha256(b"sender"), entry=info, reply_token=1)
+        assert dsm.type is MessageType.DATABASE_STORE
+        assert dsm.is_routerinfo
+        assert not dsm.is_leaseset
+        assert dsm.key == info.hash
+        assert dsm.wants_reply
+
+    def test_leaseset_store(self):
+        dsm = DatabaseStoreMessage(from_hash=sha256(b"sender"), entry=make_leaseset())
+        assert dsm.is_leaseset
+        assert not dsm.wants_reply
+
+    def test_invalid_from_hash(self):
+        with pytest.raises(ValueError):
+            DatabaseStoreMessage(from_hash=b"short", entry=make_info())
+
+    def test_negative_reply_token(self):
+        with pytest.raises(ValueError):
+            DatabaseStoreMessage(from_hash=sha256(b"s"), entry=make_info(), reply_token=-1)
+
+    def test_unique_message_ids(self):
+        a = DatabaseStoreMessage(from_hash=sha256(b"s"), entry=make_info())
+        b = DatabaseStoreMessage(from_hash=sha256(b"s"), entry=make_info())
+        assert a.message_id != b.message_id
+
+
+class TestDatabaseLookupMessage:
+    def test_defaults(self):
+        dlm = DatabaseLookupMessage(from_hash=sha256(b"me"), key=sha256(b"target"))
+        assert dlm.type is MessageType.DATABASE_LOOKUP
+        assert dlm.lookup_type is LookupType.ROUTERINFO
+        assert dlm.max_results == 16
+
+    def test_exclusion(self):
+        excluded = sha256(b"ff1")
+        dlm = DatabaseLookupMessage(
+            from_hash=sha256(b"me"), key=sha256(b"t"), exclude_hashes=(excluded,)
+        )
+        assert dlm.excludes(excluded)
+        assert not dlm.excludes(sha256(b"other"))
+
+    def test_invalid_key(self):
+        with pytest.raises(ValueError):
+            DatabaseLookupMessage(from_hash=sha256(b"me"), key=b"tiny")
+
+    def test_invalid_excluded_hash(self):
+        with pytest.raises(ValueError):
+            DatabaseLookupMessage(
+                from_hash=sha256(b"me"), key=sha256(b"t"), exclude_hashes=(b"bad",)
+            )
+
+    def test_invalid_max_results(self):
+        with pytest.raises(ValueError):
+            DatabaseLookupMessage(from_hash=sha256(b"me"), key=sha256(b"t"), max_results=0)
+
+    def test_exploration_type(self):
+        dlm = DatabaseLookupMessage(
+            from_hash=sha256(b"me"), key=sha256(b"me"), lookup_type=LookupType.EXPLORATION
+        )
+        assert dlm.lookup_type is LookupType.EXPLORATION
+
+
+class TestDatabaseSearchReplyMessage:
+    def test_basic(self):
+        reply = DatabaseSearchReplyMessage(
+            from_hash=sha256(b"ff"),
+            key=sha256(b"target"),
+            closer_hashes=(sha256(b"a"), sha256(b"b")),
+        )
+        assert reply.type is MessageType.DATABASE_SEARCH_REPLY
+        assert len(reply.closer_hashes) == 2
+
+    def test_invalid_closer_hash(self):
+        with pytest.raises(ValueError):
+            DatabaseSearchReplyMessage(
+                from_hash=sha256(b"ff"), key=sha256(b"t"), closer_hashes=(b"oops",)
+            )

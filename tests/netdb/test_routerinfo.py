@@ -1,0 +1,214 @@
+"""Tests for RouterInfo, capacity flags, and the Section 5.1 classification."""
+
+import pytest
+
+from repro.netdb.identity import RouterIdentity
+from repro.netdb.routerinfo import (
+    FLOODFILL_MIN_KBPS,
+    QUALIFIED_FLOODFILL_TIERS,
+    BandwidthTier,
+    CapacityFlags,
+    Introducer,
+    RouterAddress,
+    RouterInfo,
+    TransportStyle,
+    parse_capacity_string,
+)
+
+
+def make_routerinfo(addresses=(), caps="LR", published_at=0.0, seed="peer"):
+    return RouterInfo(
+        identity=RouterIdentity.from_seed(seed),
+        addresses=tuple(addresses),
+        capacity=parse_capacity_string(caps),
+        published_at=published_at,
+    )
+
+
+class TestBandwidthTier:
+    def test_for_bandwidth_boundaries(self):
+        assert BandwidthTier.for_bandwidth(0) is BandwidthTier.K
+        assert BandwidthTier.for_bandwidth(11.9) is BandwidthTier.K
+        assert BandwidthTier.for_bandwidth(12) is BandwidthTier.L
+        assert BandwidthTier.for_bandwidth(47.9) is BandwidthTier.L
+        assert BandwidthTier.for_bandwidth(48) is BandwidthTier.M
+        assert BandwidthTier.for_bandwidth(64) is BandwidthTier.N
+        assert BandwidthTier.for_bandwidth(128) is BandwidthTier.O
+        assert BandwidthTier.for_bandwidth(256) is BandwidthTier.P
+        assert BandwidthTier.for_bandwidth(2000) is BandwidthTier.X
+        assert BandwidthTier.for_bandwidth(50000) is BandwidthTier.X
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            BandwidthTier.for_bandwidth(-1)
+
+    def test_ordered_has_all_seven(self):
+        assert len(BandwidthTier.ordered()) == 7
+        assert BandwidthTier.ordered()[0] is BandwidthTier.K
+        assert BandwidthTier.ordered()[-1] is BandwidthTier.X
+
+    def test_floodfill_minimum_matches_n_tier(self):
+        assert BandwidthTier.for_bandwidth(FLOODFILL_MIN_KBPS - 1) is BandwidthTier.N
+        assert BandwidthTier.N in QUALIFIED_FLOODFILL_TIERS
+        assert BandwidthTier.L not in QUALIFIED_FLOODFILL_TIERS
+
+
+class TestCapacityFlags:
+    def test_parse_reachable_floodfill(self):
+        caps = parse_capacity_string("OfR")
+        assert caps.floodfill
+        assert caps.reachable
+        assert not caps.unreachable
+        assert caps.primary_tier is BandwidthTier.O
+
+    def test_parse_multi_tier_picks_highest(self):
+        caps = parse_capacity_string("OPfR")
+        assert caps.primary_tier is BandwidthTier.P
+        assert BandwidthTier.O in caps.tiers
+
+    def test_parse_unreachable(self):
+        caps = parse_capacity_string("LU")
+        assert caps.unreachable
+        assert not caps.reachable
+
+    def test_parse_requires_tier(self):
+        with pytest.raises(ValueError):
+            parse_capacity_string("fR")
+
+    def test_round_trip_string(self):
+        assert parse_capacity_string("XfU").as_string() == "XfU"
+        assert parse_capacity_string("LR").as_string() == "LR"
+
+    def test_both_reachable_and_unreachable_rejected(self):
+        with pytest.raises(ValueError):
+            CapacityFlags(
+                tiers=(BandwidthTier.L,), floodfill=False, reachable=True, unreachable=True
+            )
+
+    def test_unknown_characters_ignored(self):
+        caps = parse_capacity_string("L?zR")
+        assert caps.primary_tier is BandwidthTier.L
+        assert caps.reachable
+
+
+class TestRouterAddress:
+    def test_direct_address(self):
+        addr = RouterAddress(TransportStyle.NTCP, "1.2.3.4", 12345)
+        assert addr.is_direct
+        assert not addr.is_ipv6
+
+    def test_ipv6_detection(self):
+        addr = RouterAddress(TransportStyle.NTCP, "2a01:4f8::1", 12345)
+        assert addr.is_ipv6
+
+    def test_invalid_port_rejected(self):
+        with pytest.raises(ValueError):
+            RouterAddress(TransportStyle.NTCP, "1.2.3.4", 0)
+
+    def test_firewalled_address_not_direct(self):
+        introducer = Introducer(b"\x01" * 32, "5.6.7.8", 9999, 42)
+        addr = RouterAddress(TransportStyle.SSU, None, None, introducers=(introducer,))
+        assert not addr.is_direct
+        assert addr.introducers
+
+
+class TestIntroducer:
+    def test_valid(self):
+        intro = Introducer(b"\x02" * 32, "9.9.9.9", 10001, 7)
+        assert intro.port == 10001
+
+    def test_invalid_hash_length(self):
+        with pytest.raises(ValueError):
+            Introducer(b"\x02" * 16, "9.9.9.9", 10001, 7)
+
+    def test_negative_tag(self):
+        with pytest.raises(ValueError):
+            Introducer(b"\x02" * 32, "9.9.9.9", 10001, -1)
+
+
+class TestRouterInfoClassification:
+    def test_public_peer(self):
+        info = make_routerinfo(
+            [RouterAddress(TransportStyle.NTCP, "1.2.3.4", 11111)], caps="LR"
+        )
+        assert info.has_valid_ip
+        assert not info.is_firewalled
+        assert not info.is_hidden
+        assert info.ip_addresses == ("1.2.3.4",)
+
+    def test_firewalled_peer(self):
+        introducer = Introducer(b"\x03" * 32, "5.6.7.8", 2222, 1)
+        info = make_routerinfo(
+            [RouterAddress(TransportStyle.SSU, None, None, introducers=(introducer,))],
+            caps="LU",
+        )
+        assert not info.has_valid_ip
+        assert info.is_firewalled
+        assert not info.is_hidden
+        assert len(info.introducers) == 1
+
+    def test_hidden_peer(self):
+        info = make_routerinfo([], caps="LU")
+        assert info.is_hidden
+        assert not info.is_firewalled
+        assert not info.has_valid_ip
+
+    def test_ipv4_ipv6_split(self):
+        info = make_routerinfo(
+            [
+                RouterAddress(TransportStyle.NTCP, "1.2.3.4", 11111),
+                RouterAddress(TransportStyle.NTCP, "2a01:db8::1", 11111),
+            ]
+        )
+        assert info.ipv4_addresses == ("1.2.3.4",)
+        assert info.ipv6_addresses == ("2a01:db8::1",)
+
+    def test_duplicate_ips_deduplicated(self):
+        info = make_routerinfo(
+            [
+                RouterAddress(TransportStyle.NTCP, "1.2.3.4", 11111),
+                RouterAddress(TransportStyle.SSU, "1.2.3.4", 11111),
+            ]
+        )
+        assert info.ip_addresses == ("1.2.3.4",)
+
+    def test_floodfill_and_tier_properties(self):
+        info = make_routerinfo(
+            [RouterAddress(TransportStyle.NTCP, "1.2.3.4", 11111)], caps="NfR"
+        )
+        assert info.is_floodfill
+        assert info.is_reachable
+        assert info.bandwidth_tier is BandwidthTier.N
+
+    def test_republished_updates_timestamp_only(self):
+        info = make_routerinfo(
+            [RouterAddress(TransportStyle.NTCP, "1.2.3.4", 11111)], published_at=10.0
+        )
+        newer = info.republished(published_at=99.0)
+        assert newer.published_at == 99.0
+        assert newer.hash == info.hash
+        assert newer.addresses == info.addresses
+
+    def test_with_addresses(self):
+        info = make_routerinfo([RouterAddress(TransportStyle.NTCP, "1.2.3.4", 1111)])
+        moved = info.with_addresses(
+            [RouterAddress(TransportStyle.NTCP, "4.3.2.1", 2222)], published_at=5.0
+        )
+        assert moved.ip_addresses == ("4.3.2.1",)
+        assert moved.published_at == 5.0
+
+    def test_summary_mentions_address_or_status(self):
+        public = make_routerinfo([RouterAddress(TransportStyle.NTCP, "1.2.3.4", 1111)])
+        hidden = make_routerinfo([], caps="LU", seed="other")
+        assert "1.2.3.4" in public.summary()
+        assert "hidden" in hidden.summary()
+
+    def test_option_dict(self):
+        info = RouterInfo(
+            identity=RouterIdentity.from_seed("opt"),
+            addresses=(),
+            capacity=parse_capacity_string("LU"),
+            published_at=0.0,
+            options=(("router.version", "0.9.34"),),
+        )
+        assert info.option_dict["router.version"] == "0.9.34"

@@ -1,0 +1,82 @@
+"""Tests for the daily-rotating routing keys (Section 2.1.2)."""
+
+import pytest
+
+from repro.netdb.identity import sha256
+from repro.netdb.routing_key import (
+    SECONDS_PER_DAY,
+    date_string_for_time,
+    keys_rotate_between,
+    routing_key,
+    select_closest,
+)
+
+
+class TestDateString:
+    def test_epoch_is_campaign_start(self):
+        assert date_string_for_time(0.0) == "20180201"
+
+    def test_advances_at_midnight(self):
+        assert date_string_for_time(SECONDS_PER_DAY - 1) == "20180201"
+        assert date_string_for_time(SECONDS_PER_DAY) == "20180202"
+
+    def test_month_rollover(self):
+        assert date_string_for_time(28 * SECONDS_PER_DAY) == "20180301"
+
+
+class TestRoutingKey:
+    def test_requires_32_byte_key(self):
+        with pytest.raises(ValueError):
+            routing_key(b"short", 0.0)
+
+    def test_same_day_same_key(self):
+        key = sha256(b"peer")
+        assert routing_key(key, 100.0) == routing_key(key, 50_000.0)
+
+    def test_rotates_daily(self):
+        key = sha256(b"peer")
+        assert routing_key(key, 0.0) != routing_key(key, SECONDS_PER_DAY)
+
+    def test_differs_per_key(self):
+        assert routing_key(sha256(b"a"), 0.0) != routing_key(sha256(b"b"), 0.0)
+
+    def test_rotation_detection(self):
+        assert not keys_rotate_between(0.0, SECONDS_PER_DAY - 1)
+        assert keys_rotate_between(0.0, SECONDS_PER_DAY)
+
+
+class TestSelectClosest:
+    def test_returns_requested_count(self):
+        target = routing_key(sha256(b"target"), 0.0)
+        candidates = [sha256(f"c{i}".encode()) for i in range(20)]
+        assert len(select_closest(target, candidates, 3, 0.0)) == 3
+
+    def test_fewer_candidates_than_requested(self):
+        target = routing_key(sha256(b"target"), 0.0)
+        candidates = [sha256(b"only")]
+        assert select_closest(target, candidates, 5, 0.0) == candidates
+
+    def test_zero_count(self):
+        target = routing_key(sha256(b"target"), 0.0)
+        assert select_closest(target, [sha256(b"x")], 0, 0.0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            select_closest(routing_key(sha256(b"t"), 0.0), [], -1, 0.0)
+
+    def test_deterministic_ordering(self):
+        target = routing_key(sha256(b"target"), 0.0)
+        candidates = [sha256(f"c{i}".encode()) for i in range(30)]
+        first = select_closest(target, candidates, 5, 0.0)
+        second = select_closest(target, list(reversed(candidates)), 5, 0.0)
+        assert first == second
+
+    def test_selection_changes_across_days(self):
+        """The closest floodfills to a key change when the keyspace rotates."""
+        target_hash = sha256(b"target")
+        candidates = [sha256(f"c{i}".encode()) for i in range(200)]
+        day0 = select_closest(routing_key(target_hash, 0.0), candidates, 3, 0.0)
+        day1 = select_closest(
+            routing_key(target_hash, SECONDS_PER_DAY), candidates, 3, SECONDS_PER_DAY
+        )
+        assert day0 != day1

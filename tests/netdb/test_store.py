@@ -1,0 +1,139 @@
+"""Tests for the per-router netDb store and its expiry semantics."""
+
+import pytest
+
+from repro.netdb.identity import RouterIdentity, sha256
+from repro.netdb.leaseset import Destination, Lease, LeaseSet
+from repro.netdb.routerinfo import RouterAddress, RouterInfo, TransportStyle, parse_capacity_string
+from repro.netdb.store import (
+    FLOODFILL_ROUTERINFO_EXPIRY,
+    ROUTERINFO_EXPIRY,
+    NetDbStore,
+)
+
+
+def make_info(seed: str, published_at: float = 0.0) -> RouterInfo:
+    return RouterInfo(
+        identity=RouterIdentity.from_seed(seed),
+        addresses=(RouterAddress(TransportStyle.NTCP, "1.2.3.4", 12345),),
+        capacity=parse_capacity_string("LR"),
+        published_at=published_at,
+    )
+
+
+def make_leaseset(seed: str, expires_at: float, published_at: float = 0.0) -> LeaseSet:
+    return LeaseSet(
+        destination=Destination(RouterIdentity.from_seed(seed)),
+        leases=(Lease(sha256(b"gw"), 1, expires_at),),
+        published_at=published_at,
+    )
+
+
+class TestRouterInfoStorage:
+    def test_store_and_get(self):
+        store = NetDbStore()
+        info = make_info("a")
+        assert store.store_routerinfo(info)
+        assert store.get_routerinfo(info.hash) == info
+        assert info.hash in store
+        assert len(store) == 1
+
+    def test_newer_replaces_older(self):
+        store = NetDbStore()
+        old = make_info("a", published_at=10.0)
+        new = make_info("a", published_at=20.0)
+        store.store_routerinfo(old)
+        assert store.store_routerinfo(new)
+        assert store.get_routerinfo(old.hash).published_at == 20.0
+        assert store.stats.stores_refreshed == 1
+
+    def test_stale_rejected(self):
+        store = NetDbStore()
+        store.store_routerinfo(make_info("a", published_at=20.0))
+        assert not store.store_routerinfo(make_info("a", published_at=10.0))
+        assert store.stats.stores_rejected_stale == 1
+
+    def test_remove(self):
+        store = NetDbStore()
+        info = make_info("a")
+        store.store_routerinfo(info)
+        assert store.remove_routerinfo(info.hash)
+        assert not store.remove_routerinfo(info.hash)
+
+    def test_clear_routerinfos(self):
+        store = NetDbStore()
+        for i in range(5):
+            store.store_routerinfo(make_info(f"p{i}"))
+        assert store.clear_routerinfos() == 5
+        assert len(store) == 0
+
+    def test_merge(self):
+        a = NetDbStore()
+        b = NetDbStore()
+        a.store_routerinfo(make_info("x"))
+        b.store_routerinfo(make_info("y"))
+        b.store_routerinfo(make_info("x"))
+        merged = a.merge(b)
+        assert merged == 1  # only "y" was new
+        assert len(a) == 2
+
+    def test_snapshot_is_immutable_copy(self):
+        store = NetDbStore()
+        store.store_routerinfo(make_info("a"))
+        snapshot = store.snapshot()
+        store.store_routerinfo(make_info("b"))
+        assert len(snapshot) == 1
+
+
+class TestExpiry:
+    def test_floodfill_expiry_is_one_hour(self):
+        assert NetDbStore(floodfill=True).routerinfo_expiry == FLOODFILL_ROUTERINFO_EXPIRY
+        assert NetDbStore(floodfill=False).routerinfo_expiry == ROUTERINFO_EXPIRY
+        assert FLOODFILL_ROUTERINFO_EXPIRY == 3600.0
+
+    def test_floodfill_expires_old_entries(self):
+        store = NetDbStore(floodfill=True)
+        store.store_routerinfo(make_info("old", published_at=0.0))
+        store.store_routerinfo(make_info("new", published_at=3000.0))
+        removed = store.expire(now=3700.0)
+        assert removed == 1
+        assert len(store) == 1
+
+    def test_non_floodfill_keeps_entries_longer(self):
+        store = NetDbStore(floodfill=False)
+        store.store_routerinfo(make_info("old", published_at=0.0))
+        assert store.expire(now=3700.0) == 0
+        assert store.expire(now=ROUTERINFO_EXPIRY + 1) == 1
+
+    def test_custom_expiry_override(self):
+        store = NetDbStore(routerinfo_expiry=10.0)
+        store.store_routerinfo(make_info("a", published_at=0.0))
+        assert store.expire(now=11.0) == 1
+
+    def test_leaseset_expiry(self):
+        store = NetDbStore()
+        store.store_leaseset(make_leaseset("site", expires_at=100.0))
+        assert store.leaseset_count() == 1
+        store.expire(now=101.0)
+        assert store.leaseset_count() == 0
+        assert store.stats.leaseset_expirations == 1
+
+
+class TestLeaseSetStorage:
+    def test_store_and_get(self):
+        store = NetDbStore()
+        ls = make_leaseset("site", expires_at=500.0)
+        assert store.store_leaseset(ls)
+        assert store.get_leaseset(ls.hash) == ls
+
+    def test_older_leaseset_rejected(self):
+        store = NetDbStore()
+        store.store_leaseset(make_leaseset("site", 500.0, published_at=10.0))
+        assert not store.store_leaseset(make_leaseset("site", 600.0, published_at=5.0))
+
+    def test_stats_dict(self):
+        store = NetDbStore()
+        store.store_routerinfo(make_info("a"))
+        stats = store.stats.as_dict()
+        assert stats["stores_accepted"] == 1
+        assert set(stats) >= {"expirations", "leaseset_stores"}

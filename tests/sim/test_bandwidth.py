@@ -1,0 +1,109 @@
+"""Tests for the bandwidth-tier / floodfill assignment model."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.netdb.routerinfo import BandwidthTier
+from repro.sim.bandwidth import (
+    DEFAULT_FLOODFILL_PROBABILITY,
+    DEFAULT_TIER_WEIGHTS,
+    BandwidthModel,
+)
+
+
+class TestConfiguration:
+    def test_default_weights_cover_all_tiers(self):
+        assert set(DEFAULT_TIER_WEIGHTS) == set(BandwidthTier)
+        assert abs(sum(DEFAULT_TIER_WEIGHTS.values()) - 1.0) < 1e-6
+
+    def test_missing_tier_rejected(self):
+        weights = {BandwidthTier.L: 1.0}
+        with pytest.raises(ValueError):
+            BandwidthModel(tier_weights=weights)
+
+    def test_zero_total_weight_rejected(self):
+        weights = {tier: 0.0 for tier in BandwidthTier}
+        with pytest.raises(ValueError):
+            BandwidthModel(tier_weights=weights)
+
+
+class TestSampling:
+    def test_tier_distribution_matches_figure9_shape(self):
+        model = BandwidthModel()
+        rng = random.Random(0)
+        counts = Counter(model.sample_tier(rng).value for _ in range(30_000))
+        # L dominates, N is second, and the remaining tiers trail off.
+        assert counts["L"] > counts["N"] > counts["P"]
+        assert counts["P"] > counts["O"]
+        assert counts["X"] > counts["M"]
+        assert counts["L"] / 30_000 > 0.55
+
+    def test_bandwidth_within_tier_range(self):
+        model = BandwidthModel()
+        rng = random.Random(1)
+        for tier in BandwidthTier:
+            for _ in range(50):
+                kbps = model.sample_bandwidth_kbps(tier, rng)
+                assert kbps >= tier.min_kbps
+                if tier is not BandwidthTier.X:
+                    assert kbps < tier.max_kbps
+
+    def test_sample_assignment_consistency(self):
+        model = BandwidthModel()
+        rng = random.Random(2)
+        for _ in range(500):
+            assignment = model.sample(rng)
+            assert assignment.primary_tier in assignment.advertised_tiers
+            assert BandwidthTier.for_bandwidth(assignment.shared_kbps) is assignment.primary_tier
+
+    def test_backwards_compat_o_flag_only_for_p_and_x(self):
+        model = BandwidthModel()
+        rng = random.Random(3)
+        saw_compat = False
+        for _ in range(3000):
+            assignment = model.sample(rng)
+            if len(assignment.advertised_tiers) > 1:
+                saw_compat = True
+                assert assignment.primary_tier in (BandwidthTier.P, BandwidthTier.X)
+                assert BandwidthTier.O in assignment.advertised_tiers
+        assert saw_compat
+
+    def test_floodfill_share_near_nine_percent(self):
+        model = BandwidthModel()
+        rng = random.Random(4)
+        floodfills = sum(model.sample(rng).floodfill for _ in range(30_000))
+        share = floodfills / 30_000
+        assert 0.06 < share < 0.13
+
+    def test_qualified_floodfill_property(self):
+        model = BandwidthModel()
+        rng = random.Random(5)
+        assignments = [model.sample(rng) for _ in range(5000)]
+        qualified = [a for a in assignments if a.qualified_floodfill]
+        assert qualified
+        assert all(a.primary_tier.value in "NOPX" for a in qualified)
+
+
+class TestExpectations:
+    def test_expected_tier_share_normalised(self):
+        model = BandwidthModel()
+        total = sum(model.expected_tier_share(t) for t in BandwidthTier)
+        assert abs(total - 1.0) < 1e-9
+
+    def test_expected_floodfill_fraction_matches_paper_ballpark(self):
+        model = BandwidthModel()
+        assert 0.06 < model.expected_floodfill_fraction() < 0.12
+
+    def test_expected_unqualified_share_matches_paper_ballpark(self):
+        # The paper finds ~29 % of floodfills are manually enabled K/L/M routers.
+        model = BandwidthModel()
+        assert 0.10 < model.expected_unqualified_floodfill_share() < 0.45
+
+    def test_custom_floodfill_probability(self):
+        probabilities = {tier: 0.0 for tier in BandwidthTier}
+        model = BandwidthModel(floodfill_probability=probabilities)
+        assert model.expected_floodfill_fraction() == 0.0
+        rng = random.Random(6)
+        assert not any(model.sample(rng).floodfill for _ in range(200))

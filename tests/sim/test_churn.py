@@ -1,0 +1,99 @@
+"""Tests for the churn/longevity model."""
+
+import random
+
+import pytest
+
+from repro.sim.churn import (
+    DEFAULT_LIFETIME_CLASSES,
+    ChurnModel,
+    LifetimeClass,
+    PresenceSchedule,
+)
+
+
+class TestPresenceSchedule:
+    def test_membership_window(self):
+        schedule = PresenceSchedule(join_day=5, leave_day=10, online_probability=1.0)
+        assert schedule.membership_days == 5
+        assert schedule.is_member_on(5)
+        assert schedule.is_member_on(9)
+        assert not schedule.is_member_on(10)
+        assert not schedule.is_member_on(4)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            PresenceSchedule(join_day=5, leave_day=5, online_probability=1.0)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            PresenceSchedule(join_day=0, leave_day=2, online_probability=1.5)
+
+    def test_boundary_days_always_online(self):
+        schedule = PresenceSchedule(join_day=0, leave_day=5, online_probability=0.0)
+        rng = random.Random(0)
+        assert schedule.is_online_on(0, rng)
+        assert schedule.is_online_on(4, rng)
+        assert not schedule.is_online_on(2, rng)  # probability 0 inside
+
+    def test_not_online_outside_membership(self):
+        schedule = PresenceSchedule(join_day=0, leave_day=5, online_probability=1.0)
+        assert not schedule.is_online_on(10, random.Random(0))
+
+
+class TestChurnModel:
+    def test_requires_classes(self):
+        with pytest.raises(ValueError):
+            ChurnModel(lifetime_classes=[])
+
+    def test_zero_weight_rejected(self):
+        cls = LifetimeClass("x", 0.0, 1, 2, (0.9, 1.0))
+        with pytest.raises(ValueError):
+            ChurnModel(lifetime_classes=[cls])
+
+    def test_sample_schedule_within_class_bounds(self):
+        model = ChurnModel(rng=random.Random(1))
+        for _ in range(200):
+            schedule = model.sample_schedule(join_day=10)
+            assert schedule.join_day == 10
+            assert 1 <= schedule.membership_days <= 401
+
+    def test_initial_schedule_backdated(self):
+        model = ChurnModel(rng=random.Random(2))
+        backdated = 0
+        for _ in range(200):
+            schedule = model.sample_initial_schedule(campaign_start_day=0)
+            assert schedule.join_day <= 0
+            assert schedule.leave_day > 0 or schedule.leave_day > schedule.join_day
+            if schedule.join_day < 0:
+                backdated += 1
+        assert backdated > 100
+
+    def test_expected_lifetime_positive_and_plausible(self):
+        model = ChurnModel()
+        expected = model.expected_lifetime_days()
+        assert 10 < expected < 120
+
+    def test_expected_daily_turnover(self):
+        model = ChurnModel()
+        turnover = model.expected_daily_turnover(30_000)
+        assert 100 < turnover < 3_000
+
+    def test_class_sampling_respects_weights(self):
+        heavy = LifetimeClass("heavy", 0.99, 1, 2, (1.0, 1.0))
+        light = LifetimeClass("light", 0.01, 50, 60, (1.0, 1.0))
+        model = ChurnModel(lifetime_classes=[heavy, light], rng=random.Random(3))
+        names = [model.sample_class().name for _ in range(500)]
+        assert names.count("heavy") > 450
+
+    def test_presence_for_days_length(self):
+        model = ChurnModel(rng=random.Random(4))
+        schedule = PresenceSchedule(join_day=0, leave_day=30, online_probability=0.9)
+        presence = model.presence_for_days(schedule, days=20)
+        assert len(presence) == 20
+        assert presence[0] is True
+
+    def test_default_classes_cover_short_and_long_lifetimes(self):
+        lifetimes = [(c.min_days, c.max_days) for c in DEFAULT_LIFETIME_CLASSES]
+        assert min(low for low, _ in lifetimes) <= 1.0
+        assert max(high for _, high in lifetimes) >= 90.0

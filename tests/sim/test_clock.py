@@ -1,0 +1,65 @@
+"""Tests for the simulation clock."""
+
+import pytest
+
+from repro.sim.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR, SimulationClock
+
+
+class TestSimulationClock:
+    def test_initial_state(self):
+        clock = SimulationClock()
+        assert clock.now == 0.0
+        assert clock.day == 0
+        assert clock.hour_of_day == 0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationClock(now=-1.0)
+
+    def test_advance(self):
+        clock = SimulationClock()
+        assert clock.advance(100.0) == 100.0
+        assert clock.now == 100.0
+
+    def test_advance_backwards_rejected(self):
+        clock = SimulationClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_advance_hours_and_days(self):
+        clock = SimulationClock()
+        clock.advance_hours(2)
+        assert clock.now == 2 * SECONDS_PER_HOUR
+        clock.advance_days(1)
+        assert clock.day == 1
+        assert clock.hour_of_day == 2
+
+    def test_advance_to(self):
+        clock = SimulationClock(now=500.0)
+        clock.advance_to(400.0)
+        assert clock.now == 500.0
+        clock.advance_to(1000.0)
+        assert clock.now == 1000.0
+
+    def test_seconds_into_day(self):
+        clock = SimulationClock(now=SECONDS_PER_DAY + 123.0)
+        assert clock.seconds_into_day == 123.0
+
+    def test_start_of_day(self):
+        clock = SimulationClock()
+        assert clock.start_of_day(3) == 3 * SECONDS_PER_DAY
+        with pytest.raises(ValueError):
+            clock.start_of_day(-1)
+
+    def test_hours_in_day(self):
+        clock = SimulationClock()
+        hours = list(clock.hours_in_day(2))
+        assert len(hours) == 24
+        assert hours[0] == 2 * SECONDS_PER_DAY
+        assert hours[-1] == 2 * SECONDS_PER_DAY + 23 * SECONDS_PER_HOUR
+
+    def test_copy_is_independent(self):
+        clock = SimulationClock(now=10.0)
+        other = clock.copy()
+        other.advance(5.0)
+        assert clock.now == 10.0

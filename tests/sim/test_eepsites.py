@@ -1,0 +1,89 @@
+"""Integration tests for hidden-service (eepsite) hosting at the message level.
+
+The usability experiment of Section 6.2.3 relies on eepsites: the paper
+hosts three small test eepsites and fetches them through the network while
+an upstream firewall null-routes blocked peers.  These tests exercise the
+message-level equivalents: LeaseSet publication, DHT lookups, and fetches
+with and without a censor blocklist.
+"""
+
+import pytest
+
+from repro.netdb.routerinfo import BandwidthTier
+from repro.sim.network import I2PNetwork
+
+
+@pytest.fixture()
+def network():
+    net = I2PNetwork(seed=77)
+    for _ in range(5):
+        net.add_router(floodfill=True, bandwidth_tier=BandwidthTier.O)
+    for _ in range(20):
+        net.add_router(bandwidth_tier=BandwidthTier.N)
+    net.run_convergence_rounds(rounds=2)
+    return net
+
+
+def pick_host_and_client(network):
+    routers = [r for r in network.routers.values() if not r.floodfill]
+    return routers[0], routers[-1]
+
+
+class TestEepsiteHosting:
+    def test_host_publishes_leaseset(self, network):
+        host, _ = pick_host_and_client(network)
+        destination = network.host_eepsite(host.hash, name="test.i2p")
+        assert destination.hash in host.hosted_destinations
+        assert host.store.get_leaseset(destination.hash) is not None
+        # At least one floodfill stores the LeaseSet.
+        floodfills = [r for r in network.routers.values() if r.floodfill]
+        assert any(ff.store.get_leaseset(destination.hash) for ff in floodfills)
+
+    def test_b32_address_unique_per_destination(self, network):
+        host, _ = pick_host_and_client(network)
+        a = network.host_eepsite(host.hash, name="a.i2p")
+        b = network.host_eepsite(host.hash, name="b.i2p")
+        assert a.b32_address != b.b32_address
+
+
+class TestLeaseSetLookup:
+    def test_client_resolves_leaseset(self, network):
+        host, client = pick_host_and_client(network)
+        destination = network.host_eepsite(host.hash)
+        leaseset = network.lookup_leaseset(client.hash, destination.hash)
+        assert leaseset is not None
+        assert leaseset.hash == destination.hash
+        # The client caches the LeaseSet locally after the lookup.
+        assert client.store.get_leaseset(destination.hash) is not None
+
+    def test_unknown_destination_not_found(self, network):
+        _, client = pick_host_and_client(network)
+        assert network.lookup_leaseset(client.hash, b"\x99" * 32) is None
+
+
+class TestEepsiteFetch:
+    def test_fetch_succeeds_without_blocking(self, network):
+        host, client = pick_host_and_client(network)
+        destination = network.host_eepsite(host.hash)
+        succeeded, elapsed = network.fetch_eepsite(client.hash, destination.hash)
+        assert succeeded
+        assert elapsed > 0
+
+    def test_fetch_fails_when_everything_blocked(self, network):
+        host, client = pick_host_and_client(network)
+        destination = network.host_eepsite(host.hash)
+        blocked = {
+            router.ip
+            for router in network.routers.values()
+            if router.hash != client.hash
+        }
+        succeeded, elapsed = network.fetch_eepsite(
+            client.hash, destination.hash, blocked_ips=blocked
+        )
+        assert not succeeded
+        assert elapsed > 0
+
+    def test_fetch_unknown_destination_fails(self, network):
+        _, client = pick_host_and_client(network)
+        succeeded, _ = network.fetch_eepsite(client.hash, b"\x77" * 32)
+        assert not succeeded

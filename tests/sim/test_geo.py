@@ -1,0 +1,136 @@
+"""Tests for the synthetic geographic/AS registry."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.sim.geo import (
+    PRESS_FREEDOM_HIDDEN_THRESHOLD,
+    AutonomousSystem,
+    Country,
+    GeoRegistry,
+    default_registry,
+)
+
+
+@pytest.fixture(scope="module")
+def registry() -> GeoRegistry:
+    return default_registry()
+
+
+class TestCountry:
+    def test_poor_press_freedom_flag(self):
+        assert Country("CN", "China", 0.01, 78.0).poor_press_freedom
+        assert not Country("US", "United States", 0.2, 23.0).poor_press_freedom
+        assert PRESS_FREEDOM_HIDDEN_THRESHOLD == 50.0
+
+
+class TestAutonomousSystem:
+    def test_ipv4_deterministic_and_in_prefix(self):
+        asys = AutonomousSystem(7922, "Comcast", "US", 0.3, (24, 0), True)
+        ip = asys.ipv4_for(5)
+        assert ip.startswith("24.0.")
+        assert asys.ipv4_for(5) == ip
+        assert asys.ipv4_for(6) != ip
+
+    def test_ipv4_octets_valid(self):
+        asys = AutonomousSystem(1, "Test", "US", 0.1, (10, 0))
+        for index in (0, 253, 254, 100_000):
+            octets = [int(x) for x in asys.ipv4_for(index).split(".")]
+            assert all(0 <= o <= 255 for o in octets)
+            assert octets[2] >= 1 and octets[3] >= 1
+
+    def test_ipv6_contains_asn(self):
+        asys = AutonomousSystem(7922, "Comcast", "US", 0.3, (24, 0), True)
+        assert f"{7922:x}" in asys.ipv6_for(1)
+
+
+class TestDefaultRegistry:
+    def test_has_top_countries(self, registry):
+        for code in ("US", "RU", "GB", "FR", "CA", "AU", "CN"):
+            assert registry.has_country(code)
+
+    def test_us_has_largest_weight(self, registry):
+        us = registry.country("US")
+        assert all(us.weight >= c.weight for c in registry.countries)
+
+    def test_every_country_has_an_as(self, registry):
+        for country in registry.countries:
+            assert registry.ases_in_country(country.code)
+
+    def test_poor_press_freedom_group_size(self, registry):
+        poor = registry.poor_press_freedom_countries()
+        assert len(poor) >= 30
+        assert any(c.code == "CN" for c in poor)
+
+    def test_comcast_present(self, registry):
+        asys = registry.autonomous_system(7922)
+        assert asys.country_code == "US"
+
+
+class TestSampling:
+    def test_country_sampling_matches_weights(self, registry):
+        rng = random.Random(1)
+        counts = Counter(registry.sample_country(rng).code for _ in range(20_000))
+        assert counts.most_common(1)[0][0] == "US"
+        us_share = counts["US"] / 20_000
+        assert 0.15 < us_share < 0.30
+
+    def test_as_sampling_stays_in_country(self, registry):
+        rng = random.Random(2)
+        for _ in range(200):
+            asys = registry.sample_as("DE", rng)
+            assert asys.country_code == "DE"
+
+    def test_as_sampling_unknown_country(self, registry):
+        with pytest.raises(KeyError):
+            registry.sample_as("ZZ", random.Random(0))
+
+
+class TestResolution:
+    def test_round_trip_ipv4(self, registry):
+        rng = random.Random(3)
+        for _ in range(100):
+            country = registry.sample_country(rng)
+            asys = registry.sample_as(country.code, rng)
+            ip = asys.ipv4_for(rng.randint(0, 10_000))
+            resolved = registry.resolve(ip)
+            assert resolved is not None
+            assert resolved == (asys.country_code, asys.asn)
+
+    def test_round_trip_ipv6(self, registry):
+        asys = registry.autonomous_system(7922)
+        ip = asys.ipv6_for(12)
+        assert registry.resolve(ip) == ("US", 7922)
+
+    def test_unknown_ip(self, registry):
+        assert registry.resolve("203.0.113.9") is None
+        assert registry.resolve("not-an-ip") is None
+        assert registry.resolve("1.2") is None
+
+    def test_resolve_country_and_asn_helpers(self, registry):
+        asys = registry.autonomous_system(7922)
+        ip = asys.ipv4_for(0)
+        assert registry.resolve_country(ip) == "US"
+        assert registry.resolve_asn(ip) == 7922
+
+
+class TestRegistryConstruction:
+    def test_empty_countries_rejected(self):
+        with pytest.raises(ValueError):
+            GeoRegistry([], [])
+
+    def test_as_with_unknown_country_rejected(self):
+        countries = [Country("US", "United States", 1.0, 20.0)]
+        ases = [AutonomousSystem(1, "X", "DE", 1.0, (10, 0))]
+        with pytest.raises(ValueError):
+            GeoRegistry(countries, ases)
+
+    def test_residual_as_synthesised(self):
+        countries = [Country("US", "United States", 1.0, 20.0)]
+        ases = [AutonomousSystem(1, "X", "US", 0.5, (10, 0))]
+        registry = GeoRegistry(countries, ases)
+        us_ases = registry.ases_in_country("US")
+        assert len(us_ases) == 2
+        assert any(a.name == "US-other" for a in us_ases)

@@ -1,0 +1,122 @@
+"""Tests for IP assignment and residential address churn."""
+
+import random
+
+import pytest
+
+from repro.netdb.identity import RouterIdentity
+from repro.sim.geo import default_registry
+from repro.sim.ip import IpAssignmentManager
+
+
+@pytest.fixture()
+def manager():
+    return IpAssignmentManager(default_registry(), random.Random(11))
+
+
+def peer_id(i: int) -> bytes:
+    return RouterIdentity.from_seed(f"peer-{i}").hash
+
+
+class TestRegistration:
+    def test_register_assigns_resolvable_ip(self, manager):
+        assignment = manager.register_peer(peer_id(1))
+        registry = default_registry()
+        assert registry.resolve(assignment.ip) is not None
+        assert manager.is_registered(peer_id(1))
+
+    def test_register_twice_rejected(self, manager):
+        manager.register_peer(peer_id(1))
+        with pytest.raises(ValueError):
+            manager.register_peer(peer_id(1))
+
+    def test_register_with_explicit_country(self, manager):
+        assignment = manager.register_peer(peer_id(2), country_code="DE")
+        assert assignment.country_code == "DE"
+
+    def test_register_with_explicit_asn(self, manager):
+        assignment = manager.register_peer(peer_id(3), country_code="US", asn=7922)
+        assert assignment.asn == 7922
+
+    def test_unique_addresses(self, manager):
+        ips = {manager.register_peer(peer_id(i)).ip for i in range(200)}
+        assert len(ips) == 200
+
+    def test_history_starts_with_one_entry(self, manager):
+        manager.register_peer(peer_id(1))
+        assert manager.address_count(peer_id(1)) == 1
+        assert manager.asn_count(peer_id(1)) == 1
+        assert manager.country_count(peer_id(1)) == 1
+
+
+class TestRotation:
+    def test_static_peers_never_change(self):
+        manager = IpAssignmentManager(default_registry(), random.Random(5))
+        static_found = False
+        for i in range(100):
+            manager.register_peer(peer_id(i))
+            if manager.profile(peer_id(i)).change_interval_days == float("inf"):
+                static_found = True
+                first_ip = manager.current(peer_id(i)).ip
+                for _ in range(50):
+                    manager.maybe_rotate(peer_id(i))
+                assert manager.current(peer_id(i)).ip == first_ip
+                break
+        assert static_found
+
+    def test_force_rotate_changes_address_and_keeps_home_as(self, manager):
+        manager.register_peer(peer_id(1), country_code="US", asn=7922)
+        before = manager.current(peer_id(1)).ip
+        after = manager.force_rotate(peer_id(1))
+        assert after.ip != before
+        assert after.asn == 7922
+        assert manager.address_count(peer_id(1)) == 2
+
+    def test_dynamic_peers_eventually_rotate(self):
+        manager = IpAssignmentManager(default_registry(), random.Random(6))
+        rotated = 0
+        for i in range(150):
+            manager.register_peer(peer_id(i))
+        for _ in range(60):  # sixty simulated days
+            for i in range(150):
+                manager.maybe_rotate(peer_id(i))
+        for i in range(150):
+            if manager.address_count(peer_id(i)) >= 2:
+                rotated += 1
+        assert rotated > 40  # well over a third rotate within two months
+
+    def test_nomadic_peers_span_multiple_ases(self):
+        manager = IpAssignmentManager(default_registry(), random.Random(7))
+        for i in range(300):
+            manager.register_peer(peer_id(i))
+        for _ in range(90):
+            for i in range(300):
+                manager.maybe_rotate(peer_id(i))
+        multi_as = sum(1 for i in range(300) if manager.asn_count(peer_id(i)) > 1)
+        heavy = sum(1 for i in range(300) if manager.asn_count(peer_id(i)) > 10)
+        assert multi_as > 10
+        assert heavy >= 1
+
+    def test_maybe_rotate_requires_registration(self, manager):
+        with pytest.raises(KeyError):
+            manager.maybe_rotate(peer_id(99))
+
+
+class TestIntrospection:
+    def test_all_peer_ids(self, manager):
+        ids = [peer_id(i) for i in range(5)]
+        for pid in ids:
+            manager.register_peer(pid)
+        assert set(manager.all_peer_ids()) == set(ids)
+
+    def test_history_returns_copy(self, manager):
+        manager.register_peer(peer_id(1))
+        history = manager.history(peer_id(1))
+        history.append("tampered")
+        assert len(manager.history(peer_id(1))) == 1
+
+    def test_ipv6_assigned_only_for_supporting_as(self, manager):
+        with_v6 = manager.register_peer(peer_id(1), country_code="US", asn=7922)
+        without_v6 = manager.register_peer(peer_id(2), country_code="RU", asn=12389)
+        assert with_v6.ipv6 is not None
+        assert without_v6.ipv6 is None

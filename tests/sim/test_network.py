@@ -1,0 +1,155 @@
+"""Integration tests for the message-level network engine.
+
+These tests exercise the four peer-discovery mechanisms from Section 4.2 of
+the paper end to end: reseed bootstrap, DLM exploration, tunnel
+participation, and floodfill flooding.
+"""
+
+import pytest
+
+from repro.netdb.routerinfo import BandwidthTier
+from repro.sim.network import I2PNetwork
+
+
+class TestTopology:
+    def test_add_and_remove_router(self):
+        network = I2PNetwork(seed=1)
+        router = network.add_router(floodfill=True)
+        assert router.hash in network.routers
+        assert network.remove_router(router.hash)
+        assert not network.remove_router(router.hash)
+
+    def test_routers_get_unique_ips_and_ports(self):
+        network = I2PNetwork(seed=2)
+        routers = [network.add_router() for _ in range(20)]
+        endpoints = {(r.ip, r.port) for r in routers}
+        assert len(endpoints) == 20
+
+    def test_hidden_router_publishes_no_address(self):
+        network = I2PNetwork(seed=3)
+        hidden = network.add_router(hidden=True)
+        info = hidden.routerinfo(network.clock.now)
+        assert info.is_hidden
+
+
+class TestBootstrap:
+    def test_new_router_learns_peers_from_reseed(self):
+        network = I2PNetwork(seed=4)
+        for _ in range(10):
+            network.add_router(floodfill=False)
+        network.publish_all()
+        newcomer = network.add_router()
+        assert len(newcomer.store) > 0
+
+    def test_bootstrap_learns_floodfills(self):
+        network = I2PNetwork(seed=5)
+        for _ in range(3):
+            network.add_router(floodfill=True)
+        for _ in range(5):
+            network.add_router()
+        newcomer = network.add_router()
+        assert newcomer.known_floodfills
+
+
+class TestPublishAndFlood:
+    def test_publish_distributes_to_floodfills(self):
+        network = I2PNetwork(seed=6)
+        floodfills = [network.add_router(floodfill=True) for _ in range(4)]
+        clients = [network.add_router() for _ in range(10)]
+        delivered = network.publish_all()
+        assert delivered > 0
+        stored_anywhere = set()
+        for ff in floodfills:
+            stored_anywhere.update(ff.store.router_hashes())
+        for client in clients:
+            assert client.hash in stored_anywhere
+
+    def test_flooding_spreads_entries_to_multiple_floodfills(self):
+        network = I2PNetwork(seed=7)
+        floodfills = [network.add_router(floodfill=True) for _ in range(6)]
+        client = network.add_router()
+        network.publish_all()
+        holders = sum(1 for ff in floodfills if client.hash in ff.store)
+        assert holders >= 2  # stored at the closest + flooded to neighbours
+
+
+class TestExploration:
+    def test_exploration_grows_netdb(self):
+        network = I2PNetwork(seed=8)
+        for _ in range(4):
+            network.add_router(floodfill=True, bandwidth_tier=BandwidthTier.O)
+        for _ in range(20):
+            network.add_router()
+        network.publish_all()
+        newcomer = network.add_router(do_bootstrap=False)
+        newcomer.known_floodfills.update(network.floodfill_hashes())
+        before = len(newcomer.store)
+        learned = network.explore(newcomer.hash, lookups=4)
+        assert learned > 0
+        assert len(newcomer.store) == before + learned
+
+    def test_exploration_without_floodfills(self):
+        network = I2PNetwork(seed=9)
+        lonely = network.add_router()
+        assert network.explore(lonely.hash) == 0
+
+
+class TestLookups:
+    def test_iterative_lookup_finds_published_router(self):
+        network = I2PNetwork(seed=10)
+        for _ in range(5):
+            network.add_router(floodfill=True)
+        target = network.add_router()
+        requester = network.add_router()
+        network.publish_all()
+        found = network.lookup_routerinfo(requester.hash, target.hash)
+        assert found is not None
+        assert found.hash == target.hash
+        # The requester caches the result locally.
+        assert target.hash in requester.store
+
+    def test_lookup_unknown_key_returns_none(self):
+        network = I2PNetwork(seed=11)
+        for _ in range(3):
+            network.add_router(floodfill=True)
+        requester = network.add_router()
+        network.publish_all()
+        assert network.lookup_routerinfo(requester.hash, b"\x42" * 32) is None
+
+
+class TestTunnels:
+    def test_tunnel_building_propagates_knowledge(self):
+        network = I2PNetwork(seed=12)
+        for _ in range(3):
+            network.add_router(floodfill=True, bandwidth_tier=BandwidthTier.O)
+        routers = [network.add_router(bandwidth_tier=BandwidthTier.N) for _ in range(15)]
+        network.run_convergence_rounds(rounds=2)
+        builder = routers[0]
+        built = network.build_client_tunnels(builder.hash, pairs=3, length=2)
+        assert built > 0
+        participants = [r for r in network.routers.values() if r.participating_tunnels > 0]
+        assert participants
+        # At least one participant learned the builder through the tunnel.
+        assert any(builder.hash in p.store for p in participants)
+
+
+class TestConvergence:
+    def test_convergence_gives_every_router_a_view(self, message_network):
+        sizes = [len(r.store) for r in message_network.routers.values()]
+        assert min(sizes) > 5
+        assert message_network.messages_delivered > 0
+
+    def test_floodfills_know_most_public_routers(self, message_network):
+        total_public = sum(1 for r in message_network.routers.values() if not r.hidden)
+        floodfills = [r for r in message_network.routers.values() if r.floodfill]
+        best_view = max(len(ff.store) for ff in floodfills)
+        assert best_view >= 0.5 * total_public
+
+    def test_step_hours_expires_floodfill_entries(self):
+        network = I2PNetwork(seed=13)
+        ff = network.add_router(floodfill=True)
+        network.add_router()
+        network.publish_all()
+        assert len(ff.store) > 0
+        network.step_hours(2.0)  # floodfill expiry is one hour
+        assert len(ff.store) == 0

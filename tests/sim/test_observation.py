@@ -1,0 +1,161 @@
+"""Tests for the calibrated statistical observation model."""
+
+import numpy as np
+import pytest
+
+from repro.sim.observation import (
+    MonitorMode,
+    MonitorSpec,
+    ObservationModel,
+    standard_monitor_fleet,
+)
+from repro.sim.population import I2PPopulation, PopulationConfig
+
+
+@pytest.fixture(scope="module")
+def day_view():
+    population = I2PPopulation(
+        PopulationConfig(target_daily_population=1500, horizon_days=2, seed=31)
+    )
+    return population.day_view(0)
+
+
+class TestMonitorSpec:
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            MonitorSpec("m", MonitorMode.FLOODFILL, shared_kbps=0)
+
+    def test_fleet_interleaves_modes(self):
+        fleet = standard_monitor_fleet(2, 2)
+        assert [m.mode for m in fleet] == [
+            MonitorMode.FLOODFILL,
+            MonitorMode.NON_FLOODFILL,
+            MonitorMode.FLOODFILL,
+            MonitorMode.NON_FLOODFILL,
+        ]
+
+    def test_fleet_uneven_counts(self):
+        fleet = standard_monitor_fleet(3, 1)
+        assert sum(m.mode is MonitorMode.FLOODFILL for m in fleet) == 3
+        assert sum(m.mode is MonitorMode.NON_FLOODFILL for m in fleet) == 1
+
+    def test_fleet_unique_names(self):
+        fleet = standard_monitor_fleet(5, 5)
+        assert len({m.name for m in fleet}) == 10
+
+
+class TestCoverageCurves:
+    def test_floodfill_better_at_low_bandwidth(self):
+        """Figure 3: below ~2 MB/s a floodfill router observes more peers."""
+        low = 128.0
+        ff = ObservationModel.flood_coverage(MonitorMode.FLOODFILL, low)
+        nff_flood = ObservationModel.flood_coverage(MonitorMode.NON_FLOODFILL, low)
+        ff_total = ff + ObservationModel.tunnel_coverage(MonitorMode.FLOODFILL, low)
+        nff_total = nff_flood + ObservationModel.tunnel_coverage(
+            MonitorMode.NON_FLOODFILL, low
+        )
+        assert ff_total > nff_total
+
+    def test_non_floodfill_better_at_high_bandwidth(self):
+        high = 8000.0
+        ff_total = ObservationModel.flood_coverage(
+            MonitorMode.FLOODFILL, high
+        ) + ObservationModel.tunnel_coverage(MonitorMode.FLOODFILL, high)
+        nff_total = ObservationModel.flood_coverage(
+            MonitorMode.NON_FLOODFILL, high
+        ) + ObservationModel.tunnel_coverage(MonitorMode.NON_FLOODFILL, high)
+        assert nff_total > ff_total
+
+    def test_tunnel_coverage_grows_with_bandwidth(self):
+        for mode in MonitorMode:
+            assert ObservationModel.tunnel_coverage(mode, 5000) > ObservationModel.tunnel_coverage(mode, 128)
+
+    def test_client_bias_exponent(self):
+        assert ObservationModel.selection_bias(MonitorMode.CLIENT) > 1.0
+        assert ObservationModel.selection_bias(MonitorMode.FLOODFILL) == 1.0
+
+
+class TestDailyObservation:
+    def test_single_monitor_sees_roughly_half(self, day_view):
+        model = ObservationModel(seed=1)
+        monitor = MonitorSpec("m", MonitorMode.FLOODFILL, 8000.0)
+        observed = model.observe_day(day_view, [monitor])[0]
+        share = len(observed) / day_view.online_count
+        assert 0.35 <= share <= 0.65
+
+    def test_probabilities_within_bounds(self, day_view):
+        model = ObservationModel(seed=2)
+        exposure = model.day_exposure(day_view)
+        monitor = MonitorSpec("m", MonitorMode.NON_FLOODFILL, 8000.0)
+        probabilities = model.observation_probabilities(exposure, monitor)
+        assert probabilities.min() >= 0.0
+        assert probabilities.max() <= ObservationModel.MAX_PROBABILITY
+
+    def test_more_monitors_see_more(self, day_view):
+        model = ObservationModel(seed=3)
+        fleet = standard_monitor_fleet(10, 10)
+        observations = model.observe_day(day_view, fleet)
+        sizes = ObservationModel.cumulative_union_sizes(observations)
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > sizes[0]
+        # Twenty monitors cover the large majority of the daily population.
+        assert sizes[-1] / day_view.online_count > 0.85
+
+    def test_diminishing_returns(self, day_view):
+        """Figure 4: the marginal router adds fewer and fewer new peers."""
+        model = ObservationModel(seed=4)
+        fleet = standard_monitor_fleet(10, 10)
+        sizes = ObservationModel.cumulative_union_sizes(
+            model.observe_day(day_view, fleet)
+        )
+        first_gain = sizes[1] - sizes[0]
+        last_gain = sizes[-1] - sizes[-2]
+        assert last_gain < first_gain
+
+    def test_union_coverage_helper(self, day_view):
+        model = ObservationModel(seed=5)
+        observations = model.observe_day(
+            day_view, [MonitorSpec("m", MonitorMode.FLOODFILL, 8000.0)]
+        )
+        coverage = ObservationModel.union_coverage(observations, day_view.online_count)
+        assert 0.0 < coverage < 1.0
+        assert ObservationModel.union_coverage(observations, 0) == 0.0
+
+    def test_shared_exposure_correlates_monitors(self, day_view):
+        """Two identical monitors overlap far more than independent draws."""
+        model = ObservationModel(seed=6)
+        exposure = model.day_exposure(day_view)
+        specs = [
+            MonitorSpec("a", MonitorMode.FLOODFILL, 8000.0),
+            MonitorSpec("b", MonitorMode.FLOODFILL, 8000.0),
+        ]
+        obs_a, obs_b = model.observe_day(day_view, specs, exposure=exposure)
+        set_a, set_b = set(obs_a.tolist()), set(obs_b.tolist())
+        jaccard = len(set_a & set_b) / len(set_a | set_b)
+        assert jaccard > 0.4
+
+    def test_client_view_smaller_than_monitor_view(self, day_view):
+        model = ObservationModel(seed=7)
+        specs = [
+            MonitorSpec("client", MonitorMode.CLIENT, 256.0),
+            MonitorSpec("monitor", MonitorMode.FLOODFILL, 8000.0),
+        ]
+        client_obs, monitor_obs = model.observe_day(day_view, specs)
+        assert len(client_obs) < len(monitor_obs)
+
+    def test_client_view_biased_to_visible_peers(self, day_view):
+        model = ObservationModel(seed=8)
+        client_obs = model.observe_day(
+            day_view, [MonitorSpec("client", MonitorMode.CLIENT, 256.0)]
+        )[0]
+        observed_vis = np.mean(
+            [day_view.snapshots[int(i)].base_visibility for i in client_obs]
+        )
+        overall_vis = np.mean([s.base_visibility for s in day_view.snapshots])
+        assert observed_vis > overall_vis
+
+    def test_reproducible_with_same_seed(self, day_view):
+        spec = [MonitorSpec("m", MonitorMode.FLOODFILL, 8000.0)]
+        a = ObservationModel(seed=99).observe_day(day_view, spec)[0]
+        b = ObservationModel(seed=99).observe_day(day_view, spec)[0]
+        assert np.array_equal(a, b)

@@ -1,0 +1,165 @@
+"""Tests for peer records, day snapshots, and RouterInfo construction."""
+
+import pytest
+
+from repro.netdb.identity import RouterIdentity
+from repro.netdb.routerinfo import BandwidthTier, Introducer
+from repro.sim.bandwidth import TierAssignment
+from repro.sim.churn import PresenceSchedule
+from repro.sim.peer import (
+    PeerDaySnapshot,
+    PeerRecord,
+    VisibilityClass,
+    build_routerinfo,
+)
+
+
+def make_record(presence=None, visibility=VisibilityClass.PUBLIC):
+    schedule = PresenceSchedule(join_day=0, leave_day=10, online_probability=1.0)
+    return PeerRecord(
+        index=0,
+        identity=RouterIdentity.from_seed("peer"),
+        tier=TierAssignment(
+            primary_tier=BandwidthTier.N,
+            advertised_tiers=(BandwidthTier.N,),
+            shared_kbps=100.0,
+            floodfill=True,
+        ),
+        visibility_class=visibility,
+        schedule=schedule,
+        country_code="US",
+        home_asn=7922,
+        port=12345,
+        base_visibility=1.0,
+        activity=0.8,
+        presence=presence if presence is not None else [True] * 10,
+    )
+
+
+def make_snapshot(**overrides):
+    defaults = dict(
+        peer_id=RouterIdentity.from_seed("peer").hash,
+        index=0,
+        day=3,
+        ip="24.0.1.2",
+        ipv6=None,
+        asn=7922,
+        country_code="US",
+        port=12345,
+        bandwidth_tier=BandwidthTier.N,
+        advertised_tiers=(BandwidthTier.N,),
+        floodfill=True,
+        reachable=True,
+        firewalled=False,
+        hidden=False,
+        is_new_today=False,
+        base_visibility=1.0,
+        activity=0.8,
+    )
+    defaults.update(overrides)
+    return PeerDaySnapshot(**defaults)
+
+
+class TestPeerRecord:
+    def test_identity_properties(self):
+        record = make_record()
+        assert record.peer_id == RouterIdentity.from_seed("peer").hash
+        assert record.is_floodfill
+        assert record.bandwidth_tier is BandwidthTier.N
+
+    def test_is_online_respects_presence_vector(self):
+        record = make_record(presence=[True, False, True])
+        assert record.is_online(0)
+        assert not record.is_online(1)
+        assert record.is_online(2)
+        assert not record.is_online(3)
+        assert not record.is_online(-1)
+
+    def test_online_days(self):
+        record = make_record(presence=[True, False, True, False])
+        assert record.online_days() == [0, 2]
+
+    def test_membership(self):
+        record = make_record()
+        assert record.is_member(0)
+        assert record.is_member(9)
+        assert not record.is_member(10)
+        assert record.membership_days() == 10
+
+
+class TestPeerDaySnapshot:
+    def test_public_snapshot(self):
+        snapshot = make_snapshot()
+        assert snapshot.has_valid_ip
+        assert not snapshot.unknown_ip
+        assert snapshot.ip_addresses == ("24.0.1.2",)
+
+    def test_public_snapshot_with_ipv6(self):
+        snapshot = make_snapshot(ipv6="2a02:1ef2::c")
+        assert set(snapshot.ip_addresses) == {"24.0.1.2", "2a02:1ef2::c"}
+
+    def test_firewalled_snapshot_hides_ip(self):
+        snapshot = make_snapshot(firewalled=True, reachable=False)
+        assert snapshot.unknown_ip
+        assert not snapshot.has_valid_ip
+        assert snapshot.ip_addresses == ()
+
+    def test_hidden_snapshot_hides_ip(self):
+        snapshot = make_snapshot(hidden=True, reachable=False)
+        assert snapshot.unknown_ip
+        assert snapshot.ip_addresses == ()
+
+
+class TestBuildRouterInfo:
+    def test_public_routerinfo(self):
+        snapshot = make_snapshot()
+        info = build_routerinfo(snapshot, RouterIdentity.from_seed("peer"), published_at=1.0)
+        assert info.has_valid_ip
+        assert info.ip_addresses == ("24.0.1.2",)
+        assert info.is_floodfill
+        assert info.is_reachable
+        assert info.bandwidth_tier is BandwidthTier.N
+
+    def test_firewalled_routerinfo_has_introducers_but_no_ip(self):
+        snapshot = make_snapshot(firewalled=True, reachable=False)
+        introducers = (
+            Introducer(RouterIdentity.from_seed("intro").hash, "5.6.7.8", 9999, 3),
+        )
+        info = build_routerinfo(
+            snapshot, RouterIdentity.from_seed("peer"), published_at=1.0,
+            introducers=introducers,
+        )
+        assert info.is_firewalled
+        assert not info.has_valid_ip
+        assert len(info.introducers) == 1
+
+    def test_hidden_routerinfo_has_no_addresses(self):
+        snapshot = make_snapshot(hidden=True, reachable=False)
+        info = build_routerinfo(snapshot, RouterIdentity.from_seed("peer"), published_at=1.0)
+        assert info.is_hidden
+        assert info.addresses == ()
+
+    def test_ipv6_included(self):
+        snapshot = make_snapshot(ipv6="2a02:1ef2::c")
+        info = build_routerinfo(snapshot, RouterIdentity.from_seed("peer"), published_at=1.0)
+        assert "2a02:1ef2::c" in info.ipv6_addresses
+
+    def test_routerinfo_classification_matches_snapshot(self):
+        """A snapshot and the RouterInfo built from it classify identically."""
+        for kwargs in (
+            {},
+            {"firewalled": True, "reachable": False},
+            {"hidden": True, "reachable": False},
+        ):
+            snapshot = make_snapshot(**kwargs)
+            introducers = ()
+            if snapshot.firewalled:
+                introducers = (
+                    Introducer(RouterIdentity.from_seed("i").hash, "5.6.7.8", 9998, 1),
+                )
+            info = build_routerinfo(
+                snapshot, RouterIdentity.from_seed("peer"), 0.0, introducers
+            )
+            assert info.is_firewalled == snapshot.firewalled
+            assert info.is_hidden == snapshot.hidden
+            assert info.has_valid_ip == snapshot.has_valid_ip

@@ -1,0 +1,146 @@
+"""Tests for the calibrated synthetic population."""
+
+import math
+
+import pytest
+
+from repro.sim.population import DayView, I2PPopulation, PopulationConfig
+
+
+@pytest.fixture(scope="module")
+def population_run():
+    """A consumed 8-day run of a small population plus its day views."""
+    population = I2PPopulation(
+        PopulationConfig(target_daily_population=800, horizon_days=8, seed=5)
+    )
+    views = list(population.iter_days())
+    return population, views
+
+
+class TestPopulationConfig:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(public_fraction=0.9, firewalled_fraction=0.9)
+
+    def test_positive_population_required(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(target_daily_population=0)
+
+    def test_positive_horizon_required(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(horizon_days=0)
+
+
+class TestDailyPopulation:
+    def test_daily_online_near_target(self, population_run):
+        _, views = population_run
+        for view in views:
+            assert 0.75 * 800 <= view.online_count <= 1.25 * 800
+
+    def test_unknown_ip_share_near_half(self, population_run):
+        """Roughly half the daily peers have unknown IPs (Section 5.1)."""
+        _, views = population_run
+        shares = [
+            (view.firewalled_count + view.hidden_count) / view.online_count
+            for view in views
+        ]
+        mean_share = sum(shares) / len(shares)
+        assert 0.38 <= mean_share <= 0.62
+
+    def test_firewalled_outnumber_hidden(self, population_run):
+        _, views = population_run
+        for view in views:
+            assert view.firewalled_count > view.hidden_count
+
+    def test_floodfill_share_plausible(self, population_run):
+        _, views = population_run
+        shares = [view.floodfill_count / view.online_count for view in views]
+        assert 0.05 <= sum(shares) / len(shares) <= 0.14
+
+    def test_new_arrivals_each_day(self, population_run):
+        _, views = population_run
+        assert sum(view.new_arrivals for view in views[1:]) > 0
+
+    def test_known_ip_snapshots_have_resolvable_asn(self, population_run):
+        population, views = population_run
+        view = views[0]
+        for snapshot in view.snapshots[:200]:
+            if snapshot.has_valid_ip:
+                assert snapshot.asn is not None
+                assert snapshot.country_code
+
+    def test_ip_addresses_helper(self, population_run):
+        _, views = population_run
+        view = views[0]
+        ips = view.ip_addresses()
+        assert len(ips) == view.known_ip_count
+        assert all("." in ip for ip in ips)
+
+    def test_by_peer_id_mapping(self, population_run):
+        _, views = population_run
+        view = views[0]
+        mapping = view.by_peer_id()
+        assert len(mapping) == view.online_count
+        sample = view.snapshots[0]
+        assert mapping[sample.peer_id] is sample
+
+
+class TestDayOrdering:
+    def test_days_must_be_consumed_in_order(self):
+        population = I2PPopulation(
+            PopulationConfig(target_daily_population=300, horizon_days=4, seed=1)
+        )
+        population.day_view(1)
+        with pytest.raises(ValueError):
+            population.day_view(0)
+
+    def test_day_outside_horizon_rejected(self):
+        population = I2PPopulation(
+            PopulationConfig(target_daily_population=300, horizon_days=4, seed=1)
+        )
+        with pytest.raises(ValueError):
+            population.day_view(4)
+        with pytest.raises(ValueError):
+            population.day_view(-1)
+
+    def test_skipping_days_still_consistent(self):
+        population = I2PPopulation(
+            PopulationConfig(target_daily_population=300, horizon_days=6, seed=2)
+        )
+        view = population.day_view(3)
+        assert view.day == 3
+        assert view.online_count > 0
+
+
+class TestPeerAttributes:
+    def test_total_identities_grow_with_arrivals(self, population_run):
+        population, _ = population_run
+        assert population.total_identities() > 800
+
+    def test_peer_lookup(self, population_run):
+        population, views = population_run
+        snapshot = views[0].snapshots[0]
+        record = population.peer(snapshot.peer_id)
+        assert record.peer_id == snapshot.peer_id
+
+    def test_reproducible_with_same_seed(self):
+        config = PopulationConfig(target_daily_population=300, horizon_days=3, seed=77)
+        first = I2PPopulation(config).day_view(0)
+        second = I2PPopulation(config).day_view(0)
+        assert first.online_count == second.online_count
+        assert [s.peer_id for s in first.snapshots[:20]] == [
+            s.peer_id for s in second.snapshots[:20]
+        ]
+
+    def test_different_seeds_differ(self):
+        a = I2PPopulation(
+            PopulationConfig(target_daily_population=300, horizon_days=3, seed=1)
+        ).day_view(0)
+        b = I2PPopulation(
+            PopulationConfig(target_daily_population=300, horizon_days=3, seed=2)
+        ).day_view(0)
+        assert {s.peer_id for s in a.snapshots} != {s.peer_id for s in b.snapshots}
+
+    def test_estimated_network_size(self, population_run):
+        population, _ = population_run
+        assert population.estimated_network_size() == 800

@@ -1,0 +1,113 @@
+"""Tests for reseed servers, bootstrap, and manual reseeding."""
+
+import random
+
+import pytest
+
+from repro.netdb.identity import RouterIdentity
+from repro.netdb.routerinfo import RouterAddress, RouterInfo, TransportStyle, parse_capacity_string
+from repro.sim.reseed import (
+    DEFAULT_RESEED_SERVERS,
+    ROUTERINFOS_PER_RESEED,
+    ReseedServer,
+    bootstrap,
+    create_reseed_file,
+)
+
+
+def make_infos(count: int):
+    return [
+        RouterInfo(
+            identity=RouterIdentity.from_seed(f"peer-{i}"),
+            addresses=(RouterAddress(TransportStyle.NTCP, f"10.0.{i // 250}.{i % 250 + 1}", 12345),),
+            capacity=parse_capacity_string("LR"),
+            published_at=0.0,
+        )
+        for i in range(count)
+    ]
+
+
+@pytest.fixture()
+def servers():
+    infos = make_infos(300)
+    result = [ReseedServer(hostname=name) for name in DEFAULT_RESEED_SERVERS[:3]]
+    for server in result:
+        server.update_known(infos)
+    return result
+
+
+class TestReseedServer:
+    def test_serves_limited_sample(self, servers):
+        sample = servers[0].serve("198.51.100.1")
+        assert len(sample) == ROUTERINFOS_PER_RESEED
+
+    def test_same_source_same_sample(self, servers):
+        first = servers[0].serve("198.51.100.1")
+        second = servers[0].serve("198.51.100.1")
+        assert [i.hash for i in first] == [i.hash for i in second]
+
+    def test_different_sources_get_different_samples(self, servers):
+        a = {i.hash for i in servers[0].serve("198.51.100.1")}
+        b = {i.hash for i in servers[0].serve("203.0.113.7")}
+        assert a != b
+
+    def test_blocked_server_serves_nothing(self, servers):
+        servers[0].blocked = True
+        assert servers[0].serve("198.51.100.1") == []
+
+    def test_small_netdb_served_entirely(self):
+        server = ReseedServer(hostname="tiny")
+        server.update_known(make_infos(10))
+        assert len(server.serve("198.51.100.1")) == 10
+
+    def test_update_known_clears_cache(self, servers):
+        first = servers[0].serve("198.51.100.1")
+        servers[0].update_known(make_infos(50))
+        second = servers[0].serve("198.51.100.1")
+        assert {i.hash for i in first} != {i.hash for i in second}
+
+
+class TestBootstrap:
+    def test_successful_bootstrap_returns_about_150(self, servers):
+        result = bootstrap("198.51.100.1", servers, rng=random.Random(0))
+        assert result.succeeded
+        assert result.servers_contacted == 2
+        # Two servers × 75 RouterInfos, minus duplicates.
+        assert 75 <= len(result.routerinfos) <= 150
+
+    def test_all_blocked_fails(self, servers):
+        for server in servers:
+            server.blocked = True
+        result = bootstrap("198.51.100.1", servers, rng=random.Random(0))
+        assert not result.succeeded
+        assert result.servers_blocked == 2
+
+    def test_manual_reseed_rescues_blocked_client(self, servers):
+        for server in servers:
+            server.blocked = True
+        reseed_file = create_reseed_file(b"\x01" * 32, make_infos(100))
+        result = bootstrap(
+            "198.51.100.1", servers, rng=random.Random(0), manual_reseed=reseed_file
+        )
+        assert result.succeeded
+        assert result.used_manual_reseed
+
+    def test_no_servers_at_all(self):
+        result = bootstrap("198.51.100.1", [], rng=random.Random(0))
+        assert not result.succeeded
+        result_manual = bootstrap(
+            "198.51.100.1", [], rng=random.Random(0),
+            manual_reseed=create_reseed_file(b"\x01" * 32, make_infos(10)),
+        )
+        assert result_manual.succeeded
+        assert result_manual.used_manual_reseed
+
+
+class TestReseedFile:
+    def test_limit_applied(self):
+        reseed_file = create_reseed_file(b"\x01" * 32, make_infos(500), limit=150)
+        assert len(reseed_file) == 150
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError):
+            create_reseed_file(b"\x01" * 32, make_infos(5), limit=0)

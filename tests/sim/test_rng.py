@@ -1,0 +1,50 @@
+"""Tests for deterministic seeded random streams."""
+
+from repro.sim.rng import SeededStreams, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "churn") == derive_seed(42, "churn")
+
+    def test_differs_per_name(self):
+        assert derive_seed(42, "churn") != derive_seed(42, "geo")
+
+    def test_differs_per_master(self):
+        assert derive_seed(1, "churn") != derive_seed(2, "churn")
+
+    def test_fits_in_63_bits(self):
+        assert 0 <= derive_seed(123456789, "x") < 2**63
+
+
+class TestSeededStreams:
+    def test_python_streams_reproducible(self):
+        a = SeededStreams(7).python("churn").random()
+        b = SeededStreams(7).python("churn").random()
+        assert a == b
+
+    def test_python_streams_independent(self):
+        streams = SeededStreams(7)
+        assert streams.python("a").random() != streams.python("b").random()
+
+    def test_python_stream_cached(self):
+        streams = SeededStreams(7)
+        assert streams.python("a") is streams.python("a")
+
+    def test_numpy_streams_reproducible(self):
+        a = SeededStreams(7).numpy("obs").random(3)
+        b = SeededStreams(7).numpy("obs").random(3)
+        assert (a == b).all()
+
+    def test_numpy_stream_cached(self):
+        streams = SeededStreams(7)
+        assert streams.numpy("x") is streams.numpy("x")
+
+    def test_fork_changes_streams(self):
+        parent = SeededStreams(7)
+        child = parent.fork("experiment-1")
+        assert child.master_seed != parent.master_seed
+        assert parent.python("a").random() != child.python("a").random()
+
+    def test_fork_deterministic(self):
+        assert SeededStreams(7).fork("x").master_seed == SeededStreams(7).fork("x").master_seed

@@ -1,0 +1,163 @@
+"""Tests for peer selection and tunnel building."""
+
+import random
+
+import pytest
+
+from repro.netdb.identity import RouterIdentity
+from repro.netdb.routerinfo import RouterAddress, RouterInfo, TransportStyle, parse_capacity_string
+from repro.sim.tunnels import (
+    MAX_TUNNEL_LENGTH,
+    TUNNEL_LIFETIME,
+    PeerSelector,
+    Tunnel,
+    TunnelBuildOutcome,
+    TunnelBuilder,
+    TunnelDirection,
+)
+
+
+def make_info(seed: str, caps: str = "NR", ip: str = "10.0.0.1") -> RouterInfo:
+    return RouterInfo(
+        identity=RouterIdentity.from_seed(seed),
+        addresses=(RouterAddress(TransportStyle.NTCP, ip, 12345),),
+        capacity=parse_capacity_string(caps),
+        published_at=0.0,
+    )
+
+
+def make_hidden(seed: str) -> RouterInfo:
+    return RouterInfo(
+        identity=RouterIdentity.from_seed(seed),
+        addresses=(),
+        capacity=parse_capacity_string("LU"),
+        published_at=0.0,
+    )
+
+
+@pytest.fixture()
+def candidates():
+    return [make_info(f"peer-{i}", ip=f"10.0.{i // 250}.{i % 250 + 1}") for i in range(40)]
+
+
+class TestPeerSelector:
+    def test_selects_requested_count(self, candidates):
+        selector = PeerSelector(random.Random(0))
+        hops = selector.select_hops(candidates, 3)
+        assert len(hops) == 3
+        assert len({h.hash for h in hops}) == 3
+
+    def test_hidden_peers_never_selected(self):
+        selector = PeerSelector(random.Random(1))
+        pool = [make_hidden(f"hidden-{i}") for i in range(10)]
+        assert selector.select_hops(pool, 2) == []
+
+    def test_fast_peers_preferred(self):
+        selector = PeerSelector(random.Random(2))
+        slow = [make_info(f"slow-{i}", caps="KR") for i in range(10)]
+        fast = [make_info(f"fast-{i}", caps="XR") for i in range(10)]
+        counts = {"fast": 0, "slow": 0}
+        for _ in range(300):
+            for hop in selector.select_hops(slow + fast, 2):
+                label = "fast" if hop.bandwidth_tier.value == "X" else "slow"
+                counts[label] += 1
+        assert counts["fast"] > counts["slow"] * 3
+
+    def test_exclusion(self, candidates):
+        selector = PeerSelector(random.Random(3))
+        excluded = {candidates[0].hash}
+        for _ in range(50):
+            hops = selector.select_hops(candidates, 3, exclude=excluded)
+            assert candidates[0].hash not in {h.hash for h in hops}
+
+    def test_zero_count_rejected(self, candidates):
+        with pytest.raises(ValueError):
+            PeerSelector().select_hops(candidates, 0)
+
+    def test_unreachable_weight_reduced_not_zero(self):
+        info = make_info("u", caps="NU")
+        assert 0 < PeerSelector.selection_weight(info) < PeerSelector.selection_weight(make_info("r", caps="NR"))
+
+
+class TestTunnel:
+    def test_properties(self):
+        hops = (b"\x01" * 32, b"\x02" * 32)
+        tunnel = Tunnel(TunnelDirection.OUTBOUND, hops, created_at=0.0)
+        assert tunnel.gateway == hops[0]
+        assert tunnel.endpoint == hops[1]
+        assert tunnel.length == 2
+        assert tunnel.expires_at() == TUNNEL_LIFETIME
+        assert not tunnel.is_expired(TUNNEL_LIFETIME - 1)
+        assert tunnel.is_expired(TUNNEL_LIFETIME)
+
+
+class TestTunnelBuilder:
+    def test_successful_build(self, candidates):
+        builder = TunnelBuilder(rng=random.Random(0), rejection_probability=0.0)
+        result = builder.build(candidates, TunnelDirection.OUTBOUND, now=0.0)
+        assert result.succeeded
+        assert result.tunnel is not None
+        assert result.tunnel.length == 2
+        assert result.elapsed_seconds > 0
+
+    def test_invalid_length(self, candidates):
+        builder = TunnelBuilder()
+        with pytest.raises(ValueError):
+            builder.build(candidates, TunnelDirection.OUTBOUND, 0.0, length=0)
+        with pytest.raises(ValueError):
+            builder.build(candidates, TunnelDirection.OUTBOUND, 0.0, length=MAX_TUNNEL_LENGTH + 1)
+
+    def test_no_peers_outcome(self):
+        builder = TunnelBuilder(rng=random.Random(1))
+        result = builder.build([], TunnelDirection.OUTBOUND, 0.0)
+        assert result.outcome is TunnelBuildOutcome.NO_PEERS
+
+    def test_blocked_hop_times_out(self, candidates):
+        builder = TunnelBuilder(rng=random.Random(2), rejection_probability=0.0)
+        blocked = {ip for info in candidates for ip in info.ip_addresses}
+        result = builder.build(
+            candidates, TunnelDirection.OUTBOUND, 0.0, blocked_ips=blocked
+        )
+        assert result.outcome is TunnelBuildOutcome.TIMEOUT
+        assert result.elapsed_seconds >= builder.build_timeout_seconds
+
+    def test_rejection_outcome(self, candidates):
+        builder = TunnelBuilder(rng=random.Random(3), rejection_probability=1.0)
+        result = builder.build(candidates, TunnelDirection.OUTBOUND, 0.0)
+        assert result.outcome is TunnelBuildOutcome.REJECTED
+
+    def test_build_with_retries_succeeds_without_blocking(self, candidates):
+        builder = TunnelBuilder(rng=random.Random(4), rejection_probability=0.0)
+        tunnel, elapsed, attempts = builder.build_with_retries(
+            candidates, TunnelDirection.INBOUND, now=0.0
+        )
+        assert tunnel is not None
+        assert attempts == 1
+        assert elapsed < 5.0
+
+    def test_build_with_retries_gives_up_at_deadline(self, candidates):
+        builder = TunnelBuilder(rng=random.Random(5), rejection_probability=0.0)
+        blocked = {ip for info in candidates for ip in info.ip_addresses}
+        tunnel, elapsed, attempts = builder.build_with_retries(
+            candidates, TunnelDirection.INBOUND, now=0.0,
+            blocked_ips=blocked, deadline_seconds=30.0,
+        )
+        assert tunnel is None
+        assert elapsed <= 30.0
+        assert attempts >= 2
+
+    def test_blocked_fraction_increases_latency(self, candidates):
+        """More blocking -> more retries -> higher elapsed time on average."""
+        all_ips = sorted({ip for info in candidates for ip in info.ip_addresses})
+        def mean_elapsed(block_fraction, seed):
+            rng = random.Random(seed)
+            blocked = set(rng.sample(all_ips, int(block_fraction * len(all_ips))))
+            builder = TunnelBuilder(rng=random.Random(seed), rejection_probability=0.0)
+            total = 0.0
+            for _ in range(30):
+                _, elapsed, _ = builder.build_with_retries(
+                    candidates, TunnelDirection.OUTBOUND, 0.0, blocked_ips=blocked
+                )
+                total += elapsed
+            return total / 30
+        assert mean_elapsed(0.8, 1) > mean_elapsed(0.0, 1)

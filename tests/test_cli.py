@@ -1,0 +1,72 @@
+"""Tests for the ``repro`` command-line interface."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_measure_defaults(self):
+        args = build_parser().parse_args(["measure"])
+        assert args.command == "measure"
+        assert args.days == 20
+        assert args.export_dir is None
+
+    def test_global_options(self):
+        args = build_parser().parse_args(["--scale", "0.02", "--seed", "7", "calibrate"])
+        assert args.scale == 0.02
+        assert args.seed == 7
+        assert args.command == "calibrate"
+
+
+class TestMeasureCommand:
+    def test_measure_prints_summary(self, capsys):
+        exit_code = main(["--scale", "0.01", "measure", "--days", "3"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Population (Section 5.1)" in captured
+        assert "Table 1" in captured
+        assert "figure_13" in captured
+
+    def test_measure_exports_figures(self, capsys, tmp_path):
+        export_dir = tmp_path / "figures"
+        exit_code = main(
+            ["--scale", "0.01", "measure", "--days", "3", "--export-dir", str(export_dir)]
+        )
+        assert exit_code == 0
+        csv_files = sorted(p.name for p in export_dir.glob("*.csv"))
+        json_files = sorted(p.name for p in export_dir.glob("*.json"))
+        assert "figure_05.csv" in csv_files
+        assert "figure_13.csv" in csv_files
+        assert len(csv_files) == len(json_files) == 9
+        payload = json.loads((export_dir / "figure_13.json").read_text())
+        assert payload["figure_id"] == "figure_13"
+        assert payload["series"]
+
+
+class TestCalibrateCommand:
+    def test_calibrate_prints_all_three_figures(self, capsys):
+        exit_code = main(["--scale", "0.01", "calibrate", "--max-routers", "6"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "figure_02" in captured
+        assert "figure_03" in captured
+        assert "figure_04" in captured
+
+
+class TestCensorCommand:
+    def test_censor_prints_blocking_and_usability(self, capsys):
+        exit_code = main(
+            ["--scale", "0.01", "censor", "--days", "3", "--fetches", "3"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "figure_13" in captured
+        assert "figure_14" in captured

@@ -1,0 +1,84 @@
+"""End-to-end integration tests spanning the whole pipeline.
+
+These tests walk the same path as the paper: run a measurement campaign,
+produce every figure/table analysis, and run the censorship analyses — all
+at a small scale so the suite stays fast.
+"""
+
+import pytest
+
+from repro.core import (
+    asn_figure,
+    asn_span_figure,
+    blocking_curve,
+    bridge_pool_summary,
+    capacity_figure,
+    country_figure,
+    daily_population_figure,
+    estimate_population,
+    ip_churn_figure,
+    longevity_figure,
+    render_campaign_summary,
+    render_table1,
+    summarize_population,
+    unknown_ip_figure,
+)
+
+
+class TestFullPipeline:
+    """Every analysis in the paper runs off one shared campaign result."""
+
+    def test_all_figures_regenerate(self, small_campaign):
+        log = small_campaign.log
+        figures = [
+            daily_population_figure(log),
+            unknown_ip_figure(log),
+            longevity_figure(log, step=2),
+            ip_churn_figure(log),
+            capacity_figure(log),
+            country_figure(log),
+            asn_figure(log),
+            asn_span_figure(log),
+            blocking_curve(small_campaign, router_counts=[1, 5, 10], windows=(1, 5)),
+        ]
+        for figure in figures:
+            text = figure.to_text()
+            assert figure.figure_id in text
+            assert figure.series
+            for series in figure.series.values():
+                assert series.points, f"{figure.figure_id}/{series.name} is empty"
+
+    def test_summary_report_is_self_consistent(self, small_campaign):
+        summary = summarize_population(small_campaign.log)
+        estimate = estimate_population(small_campaign.log)
+        # The floodfill extrapolation lands in the same ballpark as both the
+        # observed and the ground-truth population.
+        assert 0.5 * summary.mean_daily_peers < estimate.estimated_population
+        assert estimate.estimated_population < 2.5 * summary.mean_daily_peers
+        text = render_campaign_summary(small_campaign)
+        assert str(small_campaign.log.days_recorded) in text
+        assert render_table1(small_campaign.log)
+
+    def test_censorship_analyses_agree(self, small_campaign):
+        """The blocking curve and the bridge-pool analysis are two views of
+        the same censor: a high blocking rate must mean a small bridge pool."""
+        figure = blocking_curve(small_campaign, router_counts=[10], windows=(5,))
+        rate = figure.get("5 days").y_at(10) / 100.0
+        pool = bridge_pool_summary(
+            small_campaign, censor_routers=10, blacklist_window_days=5
+        )
+        assert rate > 0.7
+        assert pool.unblocked_share < 0.5
+        # Firewalled peers remain available as unblockable bridges.
+        assert pool.firewalled_pool > 0
+
+    def test_campaign_reproducibility(self):
+        from repro.core import run_main_campaign
+
+        a = run_main_campaign(days=3, scale=0.01, seed=42)
+        b = run_main_campaign(days=3, scale=0.01, seed=42)
+        assert a.log.unique_peer_count == b.log.unique_peer_count
+        assert [d.observed_peers for d in a.log.daily] == [
+            d.observed_peers for d in b.log.daily
+        ]
+        assert a.monitors[0].cumulative_peer_ids == b.monitors[0].cumulative_peer_ids

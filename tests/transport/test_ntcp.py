@@ -1,0 +1,123 @@
+"""Tests for NTCP/NTCP2 flow shapes and the DPI fingerprint classifier."""
+
+import random
+
+import pytest
+
+from repro.netdb.identity import sha256
+from repro.transport.ntcp import (
+    NTCP_HANDSHAKE_SIZES,
+    HandshakeFingerprinter,
+    NTCP2Session,
+    NTCPSession,
+    synthetic_background_flow,
+)
+
+
+class TestNTCPSession:
+    def test_handshake_sizes_match_paper(self):
+        session = NTCPSession(sha256(b"a"), sha256(b"b"))
+        assert session.handshake() == (288, 304, 448, 48)
+        assert NTCP_HANDSHAKE_SIZES == (288, 304, 448, 48)
+
+    def test_double_handshake_rejected(self):
+        session = NTCPSession(sha256(b"a"), sha256(b"b"))
+        session.handshake()
+        with pytest.raises(RuntimeError):
+            session.handshake()
+
+    def test_send_requires_handshake(self):
+        session = NTCPSession(sha256(b"a"), sha256(b"b"))
+        with pytest.raises(RuntimeError):
+            session.send(100)
+
+    def test_send_adds_framing(self):
+        session = NTCPSession(sha256(b"a"), sha256(b"b"))
+        session.handshake()
+        assert session.send(100) == 116
+
+    def test_negative_payload_rejected(self):
+        session = NTCPSession(sha256(b"a"), sha256(b"b"))
+        session.handshake()
+        with pytest.raises(ValueError):
+            session.send(-1)
+
+    def test_flow_record_protocol_label(self):
+        session = NTCPSession(sha256(b"a"), sha256(b"b"))
+        session.handshake()
+        session.send(50)
+        record = session.flow_record()
+        assert record.protocol == "ntcp"
+        assert record.first_four == NTCP_HANDSHAKE_SIZES
+
+
+class TestNTCP2Session:
+    def test_handshake_is_randomised(self):
+        sizes = set()
+        for seed in range(20):
+            session = NTCP2Session(sha256(b"a"), sha256(b"b"), rng=random.Random(seed))
+            sizes.add(session.handshake())
+        assert len(sizes) > 1
+
+    def test_handshake_never_matches_ntcp_signature(self):
+        for seed in range(50):
+            session = NTCP2Session(sha256(b"a"), sha256(b"b"), rng=random.Random(seed))
+            assert session.handshake() != NTCP_HANDSHAKE_SIZES[:3]
+
+    def test_send_requires_handshake(self):
+        session = NTCP2Session(sha256(b"a"), sha256(b"b"))
+        with pytest.raises(RuntimeError):
+            session.send(10)
+
+
+class TestHandshakeFingerprinter:
+    def _ntcp_flow(self):
+        session = NTCPSession(sha256(b"a"), sha256(b"b"))
+        session.handshake()
+        session.send(200)
+        return session.flow_record()
+
+    def _ntcp2_flow(self, seed=0):
+        session = NTCP2Session(sha256(b"a"), sha256(b"b"), rng=random.Random(seed))
+        session.handshake()
+        session.send(200)
+        return session.flow_record()
+
+    def test_detects_legacy_ntcp(self):
+        assert HandshakeFingerprinter().matches(self._ntcp_flow())
+
+    def test_misses_ntcp2(self):
+        fingerprinter = HandshakeFingerprinter()
+        detected = sum(fingerprinter.matches(self._ntcp2_flow(seed)) for seed in range(30))
+        assert detected == 0
+
+    def test_misses_background_traffic(self):
+        rng = random.Random(3)
+        fingerprinter = HandshakeFingerprinter()
+        flows = [synthetic_background_flow(rng, "https") for _ in range(50)]
+        assert sum(fingerprinter.matches(f) for f in flows) == 0
+
+    def test_evaluation_metrics(self):
+        rng = random.Random(5)
+        flows = [self._ntcp_flow() for _ in range(20)]
+        flows += [self._ntcp2_flow(seed) for seed in range(20)]
+        flows += [synthetic_background_flow(rng, "https") for _ in range(20)]
+        metrics = HandshakeFingerprinter().evaluate(flows)
+        assert metrics["true_positives"] == 20
+        assert metrics["false_positives"] == 0
+        assert metrics["recall"] == 1.0
+        assert metrics["precision"] == 1.0
+        assert metrics["true_negatives"] == 40
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            HandshakeFingerprinter(tolerance=-1)
+
+    def test_short_flow_not_matched(self):
+        from repro.transport.ntcp import FlowRecord
+
+        assert not HandshakeFingerprinter().matches(FlowRecord((288, 304), "ntcp"))
+
+    def test_background_flow_requires_positive_length(self):
+        with pytest.raises(ValueError):
+            synthetic_background_flow(random.Random(0), "https", length=0)

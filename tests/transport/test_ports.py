@@ -1,0 +1,89 @@
+"""Tests for the port model (Section 2.2.2: arbitrary ports in 9000–31000)."""
+
+import random
+
+import pytest
+
+from repro.transport.ports import (
+    I2P_PORT_RANGE,
+    NTP_PORT,
+    WELL_KNOWN_PORTS,
+    PortRegistry,
+    is_possible_i2p_port,
+    random_i2p_port,
+)
+
+
+class TestPortRange:
+    def test_range_constants(self):
+        assert I2P_PORT_RANGE == (9000, 31000)
+        assert NTP_PORT == 123
+
+    def test_random_port_in_range(self):
+        rng = random.Random(0)
+        for _ in range(200):
+            port = random_i2p_port(rng)
+            assert is_possible_i2p_port(port)
+            assert port not in WELL_KNOWN_PORTS
+
+    def test_is_possible_boundaries(self):
+        assert is_possible_i2p_port(9000)
+        assert is_possible_i2p_port(31000)
+        assert not is_possible_i2p_port(8999)
+        assert not is_possible_i2p_port(31001)
+        assert not is_possible_i2p_port(443)
+
+
+class TestPortRegistry:
+    def test_bind_returns_unique_ports_per_ip(self):
+        registry = PortRegistry()
+        rng = random.Random(1)
+        ports = {registry.bind("1.1.1.1", bytes([i]) * 32, rng=rng) for i in range(50)}
+        assert len(ports) == 50
+
+    def test_same_port_allowed_on_different_ips(self):
+        registry = PortRegistry()
+        port_a = registry.bind("1.1.1.1", b"\x01" * 32, preferred_port=10000)
+        port_b = registry.bind("2.2.2.2", b"\x02" * 32, preferred_port=10000)
+        assert port_a == port_b == 10000
+
+    def test_preferred_port_conflict_falls_back(self):
+        registry = PortRegistry()
+        rng = random.Random(2)
+        registry.bind("1.1.1.1", b"\x01" * 32, preferred_port=10000)
+        other = registry.bind("1.1.1.1", b"\x02" * 32, rng=rng, preferred_port=10000)
+        assert other != 10000
+
+    def test_preferred_port_outside_range_rejected(self):
+        registry = PortRegistry()
+        with pytest.raises(ValueError):
+            registry.bind("1.1.1.1", b"\x01" * 32, preferred_port=80)
+
+    def test_owner_and_release(self):
+        registry = PortRegistry()
+        registry.bind("1.1.1.1", b"\x09" * 32, preferred_port=9100)
+        assert registry.owner("1.1.1.1", 9100) == b"\x09" * 32
+        assert registry.release("1.1.1.1", 9100)
+        assert registry.owner("1.1.1.1", 9100) is None
+        assert not registry.release("1.1.1.1", 9100)
+
+    def test_ports_on_ip(self):
+        registry = PortRegistry()
+        registry.bind("1.1.1.1", b"\x01" * 32, preferred_port=9100)
+        registry.bind("1.1.1.1", b"\x02" * 32, preferred_port=9200)
+        registry.bind("2.2.2.2", b"\x03" * 32, preferred_port=9300)
+        assert registry.ports_on("1.1.1.1") == [9100, 9200]
+        assert len(registry) == 3
+
+    def test_port_histogram(self):
+        registry = PortRegistry()
+        registry.bind("1.1.1.1", b"\x01" * 32, preferred_port=9100)
+        registry.bind("1.1.1.1", b"\x02" * 32, preferred_port=9900)
+        registry.bind("1.1.1.1", b"\x03" * 32, preferred_port=15500)
+        histogram = registry.port_histogram(bucket_size=1000)
+        assert histogram[9000] == 2
+        assert histogram[15000] == 1
+
+    def test_port_histogram_invalid_bucket(self):
+        with pytest.raises(ValueError):
+            PortRegistry().port_histogram(bucket_size=0)

@@ -1,0 +1,144 @@
+"""Tests for SSU introducers, relaying, and peer testing."""
+
+import random
+
+import pytest
+
+from repro.netdb.identity import RouterIdentity
+from repro.transport.ssu import (
+    INTRODUCTION_TAG_LIFETIME,
+    MAX_INTRODUCERS,
+    ReachabilityStatus,
+    RelayRequest,
+    SSUEndpoint,
+    run_peer_test,
+)
+
+
+def make_endpoint(seed: str, ip="1.2.3.4", port=10001, firewalled=False):
+    return SSUEndpoint(
+        router_hash=RouterIdentity.from_seed(seed).hash,
+        ip=ip,
+        port=port,
+        firewalled=firewalled,
+        rng=random.Random(hash(seed) & 0xFFFF),
+    )
+
+
+class TestIntroductionTags:
+    def test_issue_tag_for_firewalled_peer(self):
+        introducer = make_endpoint("introducer")
+        bob = make_endpoint("bob", ip="5.6.7.8", firewalled=True)
+        tag = introducer.issue_tag(bob, now=0.0)
+        assert tag is not None
+        assert tag.introducer_ip == "1.2.3.4"
+        assert tag.target_hash == bob.router_hash
+        assert bob.has_introducers()
+
+    def test_firewalled_endpoint_cannot_introduce(self):
+        firewalled = make_endpoint("fw", firewalled=True)
+        bob = make_endpoint("bob", firewalled=True)
+        assert firewalled.issue_tag(bob, now=0.0) is None
+
+    def test_addressless_endpoint_cannot_introduce(self):
+        nohost = SSUEndpoint(RouterIdentity.from_seed("x").hash, ip=None, port=None)
+        bob = make_endpoint("bob", firewalled=True)
+        assert nohost.issue_tag(bob, now=0.0) is None
+
+    def test_tag_expiry(self):
+        introducer = make_endpoint("introducer")
+        bob = make_endpoint("bob", firewalled=True)
+        introducer.issue_tag(bob, now=0.0)
+        removed = introducer.expire_tags(now=INTRODUCTION_TAG_LIFETIME + 1)
+        assert removed >= 1
+        bob.expire_tags(now=INTRODUCTION_TAG_LIFETIME + 1)
+        assert not bob.has_introducers()
+
+    def test_introducer_tags_bounded(self):
+        bob = make_endpoint("bob", firewalled=True)
+        for i in range(MAX_INTRODUCERS + 3):
+            make_endpoint(f"intro-{i}").issue_tag(bob, now=0.0)
+        assert len(bob.introducer_tags) == MAX_INTRODUCERS
+
+    def test_clear_introducers(self):
+        bob = make_endpoint("bob", firewalled=True)
+        make_endpoint("intro").issue_tag(bob, now=0.0)
+        bob.clear_introducers()
+        assert not bob.has_introducers()
+
+
+class TestRelaying:
+    def test_relay_round_trip(self):
+        introducer = make_endpoint("introducer")
+        bob = make_endpoint("bob", ip="9.9.9.9", port=20002, firewalled=True)
+        alice = make_endpoint("alice", ip="8.8.8.8", port=30003)
+        tag = introducer.issue_tag(bob, now=0.0)
+        request = RelayRequest(
+            from_hash=alice.router_hash, from_ip="8.8.8.8", from_port=30003, tag=tag.tag
+        )
+        outcome = introducer.handle_relay_request(request, bob)
+        assert outcome is not None
+        response, punch = outcome
+        assert response.target_ip == "9.9.9.9"
+        assert punch.to_ip == "8.8.8.8"
+        assert punch.from_hash == bob.router_hash
+
+    def test_unknown_tag_rejected(self):
+        introducer = make_endpoint("introducer")
+        bob = make_endpoint("bob", firewalled=True)
+        request = RelayRequest(
+            from_hash=make_endpoint("alice").router_hash,
+            from_ip="8.8.8.8",
+            from_port=30003,
+            tag=12345,
+        )
+        assert introducer.handle_relay_request(request, bob) is None
+
+    def test_tag_target_mismatch_rejected(self):
+        introducer = make_endpoint("introducer")
+        bob = make_endpoint("bob", firewalled=True)
+        eve = make_endpoint("eve", firewalled=True)
+        tag = introducer.issue_tag(bob, now=0.0)
+        request = RelayRequest(
+            from_hash=make_endpoint("alice").router_hash,
+            from_ip="8.8.8.8",
+            from_port=30003,
+            tag=tag.tag,
+        )
+        assert introducer.handle_relay_request(request, eve) is None
+
+
+class TestPeerTest:
+    def test_reachable_peer(self):
+        endpoint = make_endpoint("me")
+        helpers = [make_endpoint(f"helper-{i}") for i in range(2)]
+        result = run_peer_test(endpoint, helpers, inbound_blocked=False)
+        assert result.status is ReachabilityStatus.OK
+        assert result.observed_ip == "1.2.3.4"
+
+    def test_firewalled_peer(self):
+        endpoint = make_endpoint("me")
+        helpers = [make_endpoint(f"helper-{i}") for i in range(2)]
+        result = run_peer_test(endpoint, helpers, inbound_blocked=True)
+        assert result.status is ReachabilityStatus.FIREWALLED
+
+    def test_insufficient_helpers(self):
+        endpoint = make_endpoint("me")
+        result = run_peer_test(endpoint, [make_endpoint("only")], inbound_blocked=False)
+        assert result.status is ReachabilityStatus.UNKNOWN
+
+    def test_firewalled_helpers_not_counted(self):
+        endpoint = make_endpoint("me")
+        helpers = [make_endpoint(f"h{i}", firewalled=True) for i in range(3)]
+        result = run_peer_test(endpoint, helpers, inbound_blocked=False)
+        assert result.status is ReachabilityStatus.UNKNOWN
+
+    def test_addressless_peer_is_firewalled(self):
+        endpoint = SSUEndpoint(RouterIdentity.from_seed("x").hash, ip=None, port=None)
+        helpers = [make_endpoint(f"helper-{i}") for i in range(2)]
+        result = run_peer_test(endpoint, helpers, inbound_blocked=False)
+        assert result.status is ReachabilityStatus.FIREWALLED
+
+    def test_invalid_router_hash(self):
+        with pytest.raises(ValueError):
+            SSUEndpoint(b"short", ip="1.1.1.1", port=1234)
