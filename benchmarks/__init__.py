@@ -1,0 +1,6 @@
+"""Benchmark package marker.
+
+The benchmark modules use relative imports (``from .conftest import …``),
+which require ``benchmarks`` to be an importable package under pytest's
+default import mode.
+"""

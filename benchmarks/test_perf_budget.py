@@ -1,0 +1,95 @@
+"""Perf budget — the columnar engine keeps paper-scale campaigns cheap.
+
+Unlike the figure benchmarks (which default to ``REPRO_BENCH_SCALE=0.1``),
+this module always runs the main campaign at **scale 1.0** (~30.5K daily
+peers) for 10 days, because the columnar engine's whole point is that full
+scale is affordable.  It writes ``BENCH_campaign.json`` at the repository
+root with:
+
+* ``campaign_wall_seconds`` — wall time of the 20-router main campaign
+  (10 days, scale 1.0, daily IPs + victim client);
+* ``campaign_peer_days`` / ``campaign_peer_days_per_second`` — throughput
+  in simulated peer-days;
+* ``snapshot_allocations`` — ``PeerDaySnapshot`` objects materialised
+  during the run (the vectorised pipeline must not allocate any);
+* ``network_messages_per_second`` — DatabaseStore/Lookup throughput of a
+  300-router message-level network convergence round.
+
+The assertions are deliberately loose sanity floors (CI machines vary);
+the JSON file carries the actual trajectory from PR to PR.
+"""
+
+import json
+import os
+import time
+
+from repro.core.campaign import run_main_campaign
+from repro.netdb.routerinfo import BandwidthTier
+from repro.sim.network import I2PNetwork
+from repro.sim.population import reset_snapshot_allocations, snapshot_allocations
+
+BENCH_DAYS = 10
+BENCH_SCALE = 1.0
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_BENCH_PATH = os.path.join(_REPO_ROOT, "BENCH_campaign.json")
+
+
+def _bench_campaign():
+    reset_snapshot_allocations()
+    start = time.perf_counter()
+    result = run_main_campaign(
+        days=BENCH_DAYS,
+        scale=BENCH_SCALE,
+        seed=2018,
+        collect_daily_ips=True,
+        include_victim_client=True,
+    )
+    wall = time.perf_counter() - start
+    peer_days = int(sum(result.daily_online_population))
+    return {
+        "campaign_days": BENCH_DAYS,
+        "campaign_scale": BENCH_SCALE,
+        "campaign_wall_seconds": round(wall, 3),
+        "campaign_mean_daily_online": round(result.mean_daily_online, 1),
+        "campaign_peer_days": peer_days,
+        "campaign_peer_days_per_second": round(peer_days / wall, 1),
+        "campaign_unique_peers": result.log.unique_peer_count,
+        "snapshot_allocations": snapshot_allocations(),
+    }
+
+
+def _bench_network(router_count: int = 300, floodfill_count: int = 30):
+    network = I2PNetwork(seed=2018)
+    for _ in range(floodfill_count):
+        network.add_router(floodfill=True, bandwidth_tier=BandwidthTier.O)
+    network.batch_add_routers(router_count - floodfill_count)
+    before = network.messages_delivered
+    start = time.perf_counter()
+    network.run_convergence_rounds(rounds=1)
+    wall = time.perf_counter() - start
+    messages = network.messages_delivered - before
+    return {
+        "network_routers": router_count,
+        "network_convergence_messages": messages,
+        "network_convergence_seconds": round(wall, 3),
+        "network_messages_per_second": round(messages / wall, 1),
+    }
+
+
+def test_perf_budget():
+    payload = {"generated_by": "benchmarks/test_perf_budget.py"}
+    payload.update(_bench_campaign())
+    payload.update(_bench_network())
+    with open(_BENCH_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+    # The columnar hot path must not materialise a single snapshot.
+    assert payload["snapshot_allocations"] == 0
+    # Generous wall-clock ceiling: the row-oriented engine needed ~12s for
+    # this configuration; the columnar engine runs it in a few seconds.
+    assert payload["campaign_wall_seconds"] < 60.0
+    assert payload["campaign_peer_days_per_second"] > 10_000
+    assert payload["network_messages_per_second"] > 100

@@ -42,10 +42,15 @@ def main(argv=None) -> int:
 
     print(f"== Building a network of {args.routers} routers "
           f"({args.floodfills} floodfills) ==")
+    # Floodfills join one at a time so each bootstraps off its
+    # predecessors; the bulk population then joins in one batch (its
+    # members bootstrap against the reseed view that already includes
+    # every floodfill).
     for _ in range(args.floodfills):
         network.add_router(floodfill=True, bandwidth_tier=BandwidthTier.O)
-    for _ in range(args.routers - args.floodfills):
-        network.add_router(bandwidth_tier=BandwidthTier.L)
+    network.batch_add_routers(
+        args.routers - args.floodfills, bandwidth_tier=BandwidthTier.L
+    )
     network.run_convergence_rounds(rounds=3)
     sizes = sorted(len(r.store) for r in network.routers.values())
     print(f"netDb sizes after convergence: min={sizes[0]} median={sizes[len(sizes)//2]} "

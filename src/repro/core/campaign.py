@@ -161,22 +161,21 @@ class MeasurementCampaign:
         for view in self.population.iter_days(0, days):
             daily_online.append(view.online_count)
             exposure = self.observation_model.day_exposure(view)
-            observations = self.observation_model.observe_day(
+            masks = self.observation_model.observe_day_masks(
                 view, monitor_specs, exposure=exposure
             )
-            union_indices: set = set()
-            for monitor, indices in zip(self.monitors, observations):
-                monitor.record_day(view, indices)
-                union_indices.update(int(i) for i in indices)
+            for monitor, mask in zip(self.monitors, masks):
+                monitor.record_day(view, mask)
             cumulative_union_by_day.append(
-                ObservationModel.cumulative_union_sizes(observations)
+                ObservationModel.cumulative_union_sizes_from_masks(masks)
             )
-            self.log.record_day(view, union_indices)
+            union_mask = np.logical_or.reduce(masks, axis=0)
+            self.log.record_day(view, union_mask)
             if self.victim is not None:
-                victim_obs = self.observation_model.observe_day(
+                victim_mask = self.observation_model.observe_day_masks(
                     view, [self.victim.spec], exposure=exposure
                 )[0]
-                self.victim.record_day(view, victim_obs)
+                self.victim.record_day(view, victim_mask)
         return CampaignResult(
             config=self.config,
             population=self.population,

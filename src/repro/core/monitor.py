@@ -13,16 +13,28 @@ module provides:
   the ethics section (hash, addresses, capacity);
 * :class:`DailyStats` and :class:`ObservationLog` — the campaign-wide
   aggregation that the per-figure analyses consume.
+
+Recording has two paths.  Columnar day views (the kind
+:class:`~repro.sim.population.I2PPopulation` produces) are recorded with
+NumPy mask arithmetic: cumulative coverage is a boolean vector over the
+global peer index, daily statistics are ``count_nonzero`` over the day's
+masks, and per-peer address history is only touched when a peer's IP
+assignment *version* actually advanced.  The per-peer
+:class:`PeerObservationAggregate` objects the figure analyses iterate are
+materialised lazily, once, when :attr:`ObservationLog.peers` is first read
+after recording.  Snapshot-backed views fall back to the original
+row-oriented loop, which the equivalence tests use as the reference.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
+from ..sim.columns import TIER_ORDER, PeerColumns
 from ..sim.observation import MonitorMode, MonitorSpec
 from ..sim.peer import PeerDaySnapshot
 from ..sim.population import DayView
@@ -35,17 +47,107 @@ __all__ = [
 ]
 
 
-@dataclass
+class DailyIpSets(Sequence):
+    """List-like container of per-day observed-IP sets, materialised lazily.
+
+    The columnar recording path appends a *deferred* entry — the day's
+    shared IP/IPv6 arrays plus a bit-packed observation mask — instead of
+    hashing ~16K strings per monitor per day into a set nobody may ever
+    read.  Indexing materialises (and caches) the real ``Set[str]``, so
+    consumers like :meth:`MonitoringRouter.ips_in_window` see ordinary
+    sets.  The row-oriented path appends plain sets directly.
+    """
+
+    def __init__(self) -> None:
+        self._items: List[object] = []
+
+    def append(self, ip_set: Set[str]) -> None:
+        self._items.append(ip_set)
+
+    def append_deferred(
+        self,
+        ip_array: np.ndarray,
+        ipv6_array: np.ndarray,
+        packed_mask: np.ndarray,
+        count: int,
+    ) -> None:
+        self._items.append((ip_array, ipv6_array, packed_mask, count))
+
+    def _materialise(self, index: int) -> Set[str]:
+        item = self._items[index]
+        if isinstance(item, set):
+            return item
+        ip_array, ipv6_array, packed_mask, count = item  # type: ignore[misc]
+        mask = np.unpackbits(packed_mask, count=count).view(bool)
+        ips: Set[str] = set(ip_array[mask].tolist())
+        ipv6 = ipv6_array[mask]
+        ips.update(ipv6[np.not_equal(ipv6, None)].tolist())
+        ips.discard(None)  # type: ignore[arg-type]
+        self._items[index] = ips
+        return ips
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        if isinstance(index, slice):
+            return [self._materialise(i) for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self._items)
+        if not 0 <= index < len(self._items):
+            raise IndexError("day index out of range")
+        return self._materialise(index)
+
+    def __repr__(self) -> str:
+        return f"DailyIpSets(days={len(self._items)})"
+
+
+def _observed_mask(view: DayView, observed: Union[np.ndarray, Iterable[int]]) -> np.ndarray:
+    """Normalise an observation (mask, index array, or index iterable) to a
+    boolean mask over the day's online peers."""
+    count = view.online_count
+    if isinstance(observed, np.ndarray):
+        if observed.dtype == np.bool_:
+            if observed.size != count:
+                raise ValueError("observation mask length does not match the day")
+            return observed
+        indices = observed.astype(np.int64, copy=False)
+    else:
+        indices = np.fromiter((int(i) for i in observed), dtype=np.int64)
+    mask = np.zeros(count, dtype=bool)
+    if indices.size:
+        mask[indices] = True
+    return mask
+
+
+def _observed_indices(
+    observed: Union[np.ndarray, Iterable[int]]
+) -> Union[np.ndarray, Iterable[int]]:
+    """Normalise a boolean mask to indices for the row-oriented path."""
+    if isinstance(observed, np.ndarray) and observed.dtype == np.bool_:
+        return np.nonzero(observed)[0]
+    return observed
+
+
 class MonitoringRouter:
     """One monitoring router plus its collected observations."""
 
-    spec: MonitorSpec
-    collect_daily_ips: bool = False
-    collect_daily_peers: bool = False
-    cumulative_peer_ids: Set[bytes] = field(default_factory=set)
-    daily_observed_counts: List[int] = field(default_factory=list)
-    daily_ip_sets: List[Set[str]] = field(default_factory=list)
-    daily_peer_sets: List[Set[bytes]] = field(default_factory=list)
+    def __init__(
+        self,
+        spec: MonitorSpec,
+        collect_daily_ips: bool = False,
+        collect_daily_peers: bool = False,
+    ) -> None:
+        self.spec = spec
+        self.collect_daily_ips = collect_daily_ips
+        self.collect_daily_peers = collect_daily_peers
+        self.daily_observed_counts: List[int] = []
+        self.daily_ip_sets: DailyIpSets = DailyIpSets()
+        self.daily_peer_sets: List[Set[bytes]] = []
+        #: Row-path cumulative ids (columnar recording uses a mask instead).
+        self._cumulative_ids: Set[bytes] = set()
+        self._cumulative_mask: Optional[np.ndarray] = None
+        self._store: Optional[PeerColumns] = None
 
     @property
     def name(self) -> str:
@@ -55,8 +157,59 @@ class MonitoringRouter:
     def mode(self) -> MonitorMode:
         return self.spec.mode
 
-    def record_day(self, view: DayView, observed_indices: np.ndarray) -> None:
-        """Record one day of observations (indices into ``view.snapshots``)."""
+    @property
+    def cumulative_peer_ids(self) -> Set[bytes]:
+        """All peer ids this router has ever observed."""
+        ids = set(self._cumulative_ids)
+        if self._cumulative_mask is not None and self._store is not None:
+            size = min(self._cumulative_mask.size, self._store.size)
+            mask = self._cumulative_mask[:size]
+            ids.update(self._store.peer_ids[:size][mask].tolist())
+        return ids
+
+    def record_day(
+        self, view: DayView, observed: Union[np.ndarray, Iterable[int]]
+    ) -> None:
+        """Record one day of observations.
+
+        ``observed`` may be a boolean mask over the day's online peers or
+        an array/iterable of positional indices into ``view.snapshots``.
+        """
+        if view.columns is not None:
+            self._record_day_columnar(view, _observed_mask(view, observed))
+        else:
+            self._record_day_rows(view, _observed_indices(observed))
+
+    def _record_day_columnar(self, view: DayView, mask: np.ndarray) -> None:
+        cols = view.columns
+        assert cols is not None
+        store = cols.columns
+        if self._store is not None and self._store is not store:
+            raise ValueError(
+                "monitor already recorded views from a different population"
+            )
+        self._store = store
+        observed_global = cols.indices[mask]
+        if self._cumulative_mask is None or self._cumulative_mask.size < store.size:
+            previous = 0 if self._cumulative_mask is None else self._cumulative_mask.size
+            grown = np.zeros(max(store.size, previous * 2, 1024), dtype=bool)
+            if self._cumulative_mask is not None:
+                grown[: self._cumulative_mask.size] = self._cumulative_mask
+            self._cumulative_mask = grown
+        self._cumulative_mask[observed_global] = True
+        self.daily_observed_counts.append(int(observed_global.size))
+        if self.collect_daily_ips:
+            selection = mask & cols.valid_ip
+            self.daily_ip_sets.append_deferred(
+                cols.ip, cols.ipv6, np.packbits(selection), cols.count
+            )
+        if self.collect_daily_peers:
+            self.daily_peer_sets.append(set(cols.peer_ids[mask].tolist()))
+
+    def _record_day_rows(
+        self, view: DayView, observed_indices: Union[np.ndarray, Iterable[int]]
+    ) -> None:
+        """Reference row-oriented recording (snapshot-backed views)."""
         peer_ids: Set[bytes] = set()
         ips: Set[str] = set()
         for index in observed_indices:
@@ -64,7 +217,7 @@ class MonitoringRouter:
             peer_ids.add(snapshot.peer_id)
             for ip in snapshot.ip_addresses:
                 ips.add(ip)
-        self.cumulative_peer_ids.update(peer_ids)
+        self._cumulative_ids.update(peer_ids)
         self.daily_observed_counts.append(len(peer_ids))
         if self.collect_daily_ips:
             self.daily_ip_sets.append(ips)
@@ -206,27 +359,199 @@ class DailyStats:
     new_peer_ids: int = 0
 
 
+class _LogAccumulator:
+    """Columnar per-peer accumulators behind :class:`ObservationLog`.
+
+    All arrays are indexed by the population's *global* peer index; the
+    per-peer aggregate objects are reconstructed from them on demand.
+    """
+
+    def __init__(self, store: PeerColumns) -> None:
+        self.store = store
+        self.horizon = store.horizon_days
+        self.capacity = 0
+        self._allocate(max(store.size, 1024))
+        #: Per-peer list of (ip, ipv6, country, asn) captures; appended only
+        #: when a peer is observed with a valid IP and a new assignment
+        #: version, so the list length tracks rotations, not peer-days.
+        self.addr_events: Dict[int, List[Tuple[str, Optional[str], str, int]]] = {}
+
+    def _allocate(self, capacity: int) -> None:
+        old_capacity = self.capacity
+        arrays = {}
+        names = (
+            "observed",
+            "first_day",
+            "last_day",
+            "firewalled_days",
+            "hidden_days",
+            "reachable_days",
+            "unreachable_days",
+            "floodfill_days",
+            "seen_version",
+        )
+        if old_capacity:
+            arrays = {name: getattr(self, name) for name in names}
+        self.observed = np.zeros((capacity, self.horizon), dtype=bool)
+        self.first_day = np.full(capacity, -1, dtype=np.int32)
+        self.last_day = np.full(capacity, -1, dtype=np.int32)
+        self.firewalled_days = np.zeros(capacity, dtype=np.int32)
+        self.hidden_days = np.zeros(capacity, dtype=np.int32)
+        self.reachable_days = np.zeros(capacity, dtype=np.int32)
+        self.unreachable_days = np.zeros(capacity, dtype=np.int32)
+        self.floodfill_days = np.zeros(capacity, dtype=np.int32)
+        self.seen_version = np.zeros(capacity, dtype=np.int64)
+        for name, array in arrays.items():
+            getattr(self, name)[:old_capacity] = array
+        self.capacity = capacity
+
+    def ensure(self, size: int) -> None:
+        if size > self.capacity:
+            self._allocate(max(size, self.capacity * 2))
+
+
 class ObservationLog:
     """Campaign-wide aggregation over the union of all monitoring routers."""
 
     def __init__(self) -> None:
-        self.peers: Dict[bytes, PeerObservationAggregate] = {}
+        self._peers_rows: Dict[bytes, PeerObservationAggregate] = {}
         self.daily: List[DailyStats] = []
+        self._rows_recorded = False
+        self._acc: Optional[_LogAccumulator] = None
+        self._peers_cache: Optional[Dict[bytes, PeerObservationAggregate]] = None
+        self._peers_cache_days = -1
+
+    @property
+    def peers(self) -> Dict[bytes, PeerObservationAggregate]:
+        """Per-peer aggregates (materialised lazily for columnar runs)."""
+        if self._acc is None:
+            return self._peers_rows
+        if self._peers_cache is None or self._peers_cache_days != len(self.daily):
+            self._peers_cache = self._materialise_peers()
+            self._peers_cache_days = len(self.daily)
+        return self._peers_cache
 
     # ------------------------------------------------------------------ #
     # Recording
     # ------------------------------------------------------------------ #
     def record_day(
+        self, view: DayView, observed_indices: Union[np.ndarray, Iterable[int]]
+    ) -> DailyStats:
+        """Record the union of monitor observations for one day.
+
+        One log records through one path: mixing columnar and
+        snapshot-backed views would leave two aggregate stores for the
+        same peers, so it is rejected.
+        """
+        if view.columns is not None:
+            if self._rows_recorded:
+                raise ValueError(
+                    "cannot mix columnar and row-oriented recording in one log"
+                )
+            return self._record_day_columnar(
+                view, _observed_mask(view, observed_indices)
+            )
+        if self._acc is not None:
+            raise ValueError(
+                "cannot mix columnar and row-oriented recording in one log"
+            )
+        self._rows_recorded = True
+        return self._record_day_rows(view, _observed_indices(observed_indices))
+
+    def _record_day_columnar(self, view: DayView, mask: np.ndarray) -> DailyStats:
+        cols = view.columns
+        assert cols is not None
+        store = cols.columns
+        day = view.day
+        if self._acc is None:
+            self._acc = _LogAccumulator(store)
+        elif self._acc.store is not store:
+            raise ValueError(
+                "log already recorded views from a different population"
+            )
+        acc = self._acc
+        acc.ensure(store.size)
+
+        observed_global = cols.indices[mask]
+        firewalled = cols.firewalled[mask]
+        hidden = cols.hidden[mask]
+        valid = cols.valid_ip[mask]
+        reachable = cols.reachable[mask]
+        floodfill = cols.floodfill[mask]
+        previously_firewalled = acc.firewalled_days[observed_global] > 0
+        previously_hidden = acc.hidden_days[observed_global] > 0
+        first_seen = acc.first_day[observed_global] < 0
+
+        stats = DailyStats(day=day)
+        stats.observed_peers = int(observed_global.size)
+        stats.new_peer_ids = int(np.count_nonzero(first_seen))
+        stats.known_ip_peers = int(np.count_nonzero(valid))
+        stats.unknown_ip_peers = stats.observed_peers - stats.known_ip_peers
+        stats.firewalled_peers = int(np.count_nonzero(firewalled))
+        stats.hidden_peers = int(np.count_nonzero(hidden))
+        stats.overlap_peers = int(
+            np.count_nonzero(firewalled & previously_hidden)
+        ) + int(np.count_nonzero(hidden & previously_firewalled))
+        stats.floodfill_peers = int(np.count_nonzero(floodfill))
+        stats.reachable_peers = int(np.count_nonzero(reachable))
+        stats.unreachable_peers = stats.observed_peers - stats.reachable_peers
+        tier_counts = np.bincount(
+            cols.tier_code[mask], minlength=len(TIER_ORDER)
+        )
+        stats.tier_counts = {
+            TIER_ORDER[code].value: int(count)
+            for code, count in enumerate(tier_counts)
+            if count
+        }
+        ip_selection = mask & cols.valid_ip
+        ipv4 = set(cols.ip[ip_selection].tolist())
+        ipv4.discard(None)  # type: ignore[arg-type]
+        ipv6_values = cols.ipv6[ip_selection]
+        ipv6 = set(ipv6_values[np.not_equal(ipv6_values, None)].tolist())
+        stats.observed_ipv4 = len(ipv4)
+        stats.observed_ipv6 = len(ipv6)
+        stats.observed_all_ips = len(ipv4) + len(ipv6)
+
+        # Accumulate per-peer state (indices within a day are unique, so
+        # plain fancy-indexed += is safe).
+        acc.observed[observed_global, day] = True
+        acc.first_day[observed_global[first_seen]] = day
+        acc.last_day[observed_global] = day
+        acc.firewalled_days[observed_global[firewalled]] += 1
+        acc.hidden_days[observed_global[hidden]] += 1
+        acc.floodfill_days[observed_global[floodfill]] += 1
+        acc.reachable_days[observed_global[reachable]] += 1
+        acc.unreachable_days[observed_global[~reachable]] += 1
+
+        versions = cols.version[mask]
+        address_changed = valid & (acc.seen_version[observed_global] != versions)
+        if np.any(address_changed):
+            changed_global = observed_global[address_changed]
+            events = acc.addr_events
+            for g, ip, ipv6_addr, country, asn in zip(
+                changed_global.tolist(),
+                cols.ip[mask][address_changed].tolist(),
+                cols.ipv6[mask][address_changed].tolist(),
+                cols.country[mask][address_changed].tolist(),
+                cols.asn[mask][address_changed].tolist(),
+            ):
+                events.setdefault(g, []).append((ip, ipv6_addr, country, asn))
+            acc.seen_version[changed_global] = versions[address_changed]
+
+        self.daily.append(stats)
+        return stats
+
+    def _record_day_rows(
         self, view: DayView, observed_indices: Iterable[int]
     ) -> DailyStats:
-        """Record the union of monitor observations for one day."""
+        """Reference row-oriented recording (snapshot-backed views)."""
         stats = DailyStats(day=view.day)
         tier_counts: Counter = Counter()
         ipv4: Set[str] = set()
         ipv6: Set[str] = set()
         for index in observed_indices:
             snapshot = view.snapshots[int(index)]
-            aggregate = self.peers.get(snapshot.peer_id)
+            aggregate = self._peers_rows.get(snapshot.peer_id)
             is_new = aggregate is None
             if aggregate is None:
                 aggregate = PeerObservationAggregate(
@@ -234,7 +559,7 @@ class ObservationLog:
                     first_day=snapshot.day,
                     last_day=snapshot.day,
                 )
-                self.peers[snapshot.peer_id] = aggregate
+                self._peers_rows[snapshot.peer_id] = aggregate
             previously_firewalled = aggregate.firewalled_days > 0
             previously_hidden = aggregate.hidden_days > 0
             aggregate.record(snapshot)
@@ -273,6 +598,58 @@ class ObservationLog:
         return stats
 
     # ------------------------------------------------------------------ #
+    # Lazy aggregate materialisation (columnar runs)
+    # ------------------------------------------------------------------ #
+    def _materialise_peers(self) -> Dict[bytes, PeerObservationAggregate]:
+        acc = self._acc
+        assert acc is not None
+        store = acc.store
+        size = store.size
+        first_day = acc.first_day[:size]
+        observed_rows = np.nonzero(first_day >= 0)[0]
+        observed_matrix = acc.observed[:size]
+        # nonzero() is row-major, so the day numbers come out grouped by
+        # peer; split them at the per-peer counts.
+        _, all_days = observed_matrix.nonzero()
+        counts = np.count_nonzero(observed_matrix[observed_rows], axis=1)
+        day_groups = np.split(all_days, np.cumsum(counts)[:-1]) if counts.size else []
+
+        peer_ids = store.peer_ids
+        tier_codes = store.tier_code
+        records = store.records
+        peers: Dict[bytes, PeerObservationAggregate] = {}
+        for row, global_index in enumerate(observed_rows.tolist()):
+            day_list = day_groups[row]
+            observed_days = int(day_list.size)
+            aggregate = PeerObservationAggregate(
+                peer_id=peer_ids[global_index],
+                first_day=int(first_day[global_index]),
+                last_day=int(acc.last_day[global_index]),
+                days_observed=set(day_list.tolist()),
+                floodfill_days=int(acc.floodfill_days[global_index]),
+                reachable_days=int(acc.reachable_days[global_index]),
+                unreachable_days=int(acc.unreachable_days[global_index]),
+                firewalled_days=int(acc.firewalled_days[global_index]),
+                hidden_days=int(acc.hidden_days[global_index]),
+            )
+            for ip, ipv6_addr, country, asn in acc.addr_events.get(global_index, ()):
+                if ip is not None:
+                    aggregate.ipv4_addresses.add(ip)
+                if ipv6_addr is not None:
+                    aggregate.ipv6_addresses.add(ipv6_addr)
+                if country:
+                    aggregate.countries.add(country)
+                if asn is not None and asn >= 0:
+                    aggregate.asns.add(int(asn))
+            aggregate.primary_tier_days[TIER_ORDER[tier_codes[global_index]].value] = (
+                observed_days
+            )
+            for tier in records[global_index].tier.advertised_tiers:
+                aggregate.advertised_flag_days[tier.value] += observed_days
+            peers[aggregate.peer_id] = aggregate
+        return peers
+
+    # ------------------------------------------------------------------ #
     # Aggregate accessors
     # ------------------------------------------------------------------ #
     @property
@@ -281,7 +658,10 @@ class ObservationLog:
 
     @property
     def unique_peer_count(self) -> int:
-        return len(self.peers)
+        if self._acc is not None:
+            size = self._acc.store.size
+            return int(np.count_nonzero(self._acc.first_day[:size] >= 0))
+        return len(self._peers_rows)
 
     def known_ip_peers(self) -> List[PeerObservationAggregate]:
         return [p for p in self.peers.values() if p.has_known_ip]

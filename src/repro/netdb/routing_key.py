@@ -14,7 +14,8 @@ derivation below is an exact analogue of the real algorithm.
 from __future__ import annotations
 
 import datetime as _dt
-from typing import Iterable, List, Sequence, Tuple
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from .identity import sha256
 from .kademlia import xor_distance
@@ -24,6 +25,7 @@ __all__ = [
     "date_string_for_time",
     "routing_key",
     "select_closest",
+    "clear_routing_key_cache",
 ]
 
 SECONDS_PER_DAY = 86_400.0
@@ -32,16 +34,58 @@ SECONDS_PER_DAY = 86_400.0
 #: start of the paper's main measurement campaign (1 February 2018).
 SIMULATION_EPOCH = _dt.datetime(2018, 2, 1, tzinfo=_dt.timezone.utc)
 
+#: Memoised ``day index -> YYYYMMDD`` strings.  The simulator asks for the
+#: date string once per candidate per lookup, so rendering it through
+#: ``strftime`` every time dominated `select_closest` profiles.
+_DATE_BY_DAY: Dict[int, str] = {}
+
+#: Memoised ``(search_key, date_string) -> routing key``.  Keys rotate at
+#: UTC midnight, so only the most recent date strings stay useful; the
+#: cache evicts older dates whenever a new one shows up (keeping two covers
+#: code that compares "today" against "yesterday/tomorrow").
+_KEY_CACHE: Dict[Tuple[bytes, str], bytes] = {}
+_KEY_CACHE_DATES: List[str] = []
+_KEY_CACHE_MAX_DATES = 2
+
+#: Hard cap on cached keys.  The cache is process-global and date eviction
+#: alone cannot bound it (many short-lived networks sharing the same
+#: simulated dates would accumulate forever), so it is flushed wholesale
+#: when it grows past this — far above any single network's working set.
+_KEY_CACHE_MAX_ENTRIES = 1 << 18
+
+
+def clear_routing_key_cache() -> None:
+    """Drop all memoised date strings and routing keys (for tests)."""
+    _DATE_BY_DAY.clear()
+    _KEY_CACHE.clear()
+    _KEY_CACHE_DATES.clear()
+
 
 def date_string_for_time(sim_time: float) -> str:
     """Return the UTC date string (``YYYYMMDD``) for a simulation time.
 
     ``sim_time`` is in seconds since :data:`SIMULATION_EPOCH`.  Negative
     times are allowed (they simply map to earlier dates), which keeps
-    property-based tests simple.
+    property-based tests simple.  Results are memoised per simulation day
+    (the epoch is midnight-aligned, so the day index determines the date).
     """
-    moment = SIMULATION_EPOCH + _dt.timedelta(seconds=sim_time)
-    return moment.strftime("%Y%m%d")
+    day = math.floor(sim_time / SECONDS_PER_DAY)
+    cached = _DATE_BY_DAY.get(day)
+    if cached is None:
+        moment = SIMULATION_EPOCH + _dt.timedelta(days=day)
+        cached = moment.strftime("%Y%m%d")
+        _DATE_BY_DAY[day] = cached
+    return cached
+
+
+def _evict_stale_dates(date_string: str) -> None:
+    if date_string in _KEY_CACHE_DATES:
+        return
+    _KEY_CACHE_DATES.append(date_string)
+    while len(_KEY_CACHE_DATES) > _KEY_CACHE_MAX_DATES:
+        stale = _KEY_CACHE_DATES.pop(0)
+        for cache_key in [k for k in _KEY_CACHE if k[1] == stale]:
+            del _KEY_CACHE[cache_key]
 
 
 def routing_key(search_key: bytes, sim_time: float) -> bytes:
@@ -49,11 +93,23 @@ def routing_key(search_key: bytes, sim_time: float) -> bytes:
 
     The routing key is ``SHA256(search_key || date_string)``; all XOR
     distance comparisons between netDb entries and floodfill routers use
-    this derived key rather than the raw hash.
+    this derived key rather than the raw hash.  Keys are memoised per
+    ``(search_key, date)`` — `select_closest` and `publish_all` hash the
+    same candidate set over and over within a day, so the cache turns the
+    per-candidate SHA256 into a dict hit.
     """
     if len(search_key) != 32:
         raise ValueError("search key must be 32 bytes")
-    return sha256(search_key + date_string_for_time(sim_time).encode("ascii"))
+    date_string = date_string_for_time(sim_time)
+    cache_key = (search_key, date_string)
+    cached = _KEY_CACHE.get(cache_key)
+    if cached is None:
+        _evict_stale_dates(date_string)
+        if len(_KEY_CACHE) >= _KEY_CACHE_MAX_ENTRIES:
+            _KEY_CACHE.clear()
+        cached = sha256(search_key + date_string.encode("ascii"))
+        _KEY_CACHE[cache_key] = cached
+    return cached
 
 
 def select_closest(

@@ -134,6 +134,10 @@ class NetDbStore:
     def router_hashes(self) -> List[bytes]:
         return list(self._routerinfos.keys())
 
+    def iter_router_hashes(self) -> Iterator[bytes]:
+        """Iterate stored router hashes without copying the key set."""
+        return iter(self._routerinfos.keys())
+
     def iter_routerinfos(self) -> Iterator[RouterInfo]:
         return iter(list(self._routerinfos.values()))
 

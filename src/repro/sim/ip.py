@@ -195,6 +195,42 @@ class IpAssignmentManager:
         self._history[peer_id].append(assignment)
         return assignment
 
+    def maybe_rotate_many(
+        self, peer_ids: Sequence[bytes]
+    ) -> List[Tuple[int, IpAssignment]]:
+        """Apply :meth:`maybe_rotate` to many peers in order, cheaply.
+
+        Returns ``(position, new_assignment)`` for the peers whose address
+        actually changed.  The RNG draw sequence is identical to calling
+        :meth:`maybe_rotate` once per peer in the given order, so columnar
+        and row-oriented day materialisation produce the same churn; the
+        batch form just hoists the attribute/dict lookups out of the
+        per-peer hot loop (~2.7M calls per paper-scale campaign).
+        """
+        rng = self._rng
+        rng_random = rng.random
+        profiles = self._profiles
+        current = self._current
+        history = self._history
+        autonomous_system = self._registry.autonomous_system
+        changed: List[Tuple[int, IpAssignment]] = []
+        for position, peer_id in enumerate(peer_ids):
+            profile = profiles[peer_id]
+            interval = profile.change_interval_days
+            if interval == float("inf"):
+                continue
+            if rng_random() >= 1.0 / interval:
+                continue
+            if profile.nomadic and profile.nomad_as_pool:
+                asn = rng.choice(profile.nomad_as_pool)
+            else:
+                asn = profile.home_asn
+            assignment = self._allocate_in_as(autonomous_system(asn))
+            current[peer_id] = assignment
+            history[peer_id].append(assignment)
+            changed.append((position, assignment))
+        return changed
+
     def force_rotate(self, peer_id: bytes) -> IpAssignment:
         """Unconditionally rotate the peer's address within its home AS."""
         profile = self._profiles[peer_id]

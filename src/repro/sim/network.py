@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..netdb.floodfill import FLOOD_REDUNDANCY, FloodfillRouterState
@@ -39,6 +40,13 @@ from .reseed import DEFAULT_RESEED_SERVERS, ReseedServer, bootstrap
 from .tunnels import TunnelBuilder, TunnelDirection
 
 __all__ = ["SimulatedRouter", "I2PNetwork"]
+
+#: Reseed-server RouterInfos older than this are refreshed (full re-sync)
+#: before serving a new bootstrap, so late joiners never receive infos
+#: that would expire on the next store-expiry pass.  Keyed to half the
+#: *floodfill* RouterInfo expiry (1h) — the tightest store expiry a
+#: joining router can have.
+RESEED_REFRESH_SECONDS = 0.5 * SECONDS_PER_HOUR
 
 
 @dataclass
@@ -113,6 +121,7 @@ class I2PNetwork:
             for name in DEFAULT_RESEED_SERVERS[:reseed_server_count]
         ]
         self._host_counter = 0
+        self._last_reseed_sync = 0.0
         self.messages_delivered = 0
 
     # ------------------------------------------------------------------ #
@@ -131,6 +140,59 @@ class I2PNetwork:
         do_bootstrap: bool = True,
     ) -> SimulatedRouter:
         """Create a router, optionally bootstrapping it from reseed servers."""
+        router = self._create_router(
+            floodfill=floodfill,
+            bandwidth_tier=bandwidth_tier,
+            hidden=hidden,
+            do_bootstrap=do_bootstrap,
+        )
+        # Reseed servers learn about new public routers over time —
+        # incrementally: only the new router's RouterInfo is pushed, instead
+        # of rebuilding every public RouterInfo on every add (O(n²)).
+        if not hidden:
+            self._push_to_reseed_servers(router)
+        return router
+
+    def batch_add_routers(
+        self,
+        count: int,
+        floodfill: bool = False,
+        bandwidth_tier: BandwidthTier = BandwidthTier.L,
+        hidden: bool = False,
+        do_bootstrap: bool = True,
+    ) -> List[SimulatedRouter]:
+        """Create ``count`` routers with one reseed sync pass at the end.
+
+        The batch members bootstrap against the pre-batch network — their
+        reseed samples do not include each other, so seed the network's
+        floodfills (and anything else the batch must discover immediately)
+        *before* batching, and run convergence rounds afterwards.  Use
+        this for tests/examples that stand up networks of hundreds of
+        routers.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        routers = [
+            self._create_router(
+                floodfill=floodfill,
+                bandwidth_tier=bandwidth_tier,
+                hidden=hidden,
+                do_bootstrap=do_bootstrap,
+            )
+            for _ in range(count)
+        ]
+        for router in routers:
+            if not router.hidden:
+                self._push_to_reseed_servers(router)
+        return routers
+
+    def _create_router(
+        self,
+        floodfill: bool,
+        bandwidth_tier: BandwidthTier,
+        hidden: bool,
+        do_bootstrap: bool,
+    ) -> SimulatedRouter:
         identity = RouterIdentity.generate(self.rng)
         ip = self._allocate_ip()
         port = self.ports.bind(ip, identity.hash, rng=self.rng)
@@ -150,12 +212,14 @@ class I2PNetwork:
         self.routers[identity.hash] = router
 
         if do_bootstrap:
+            # Incremental pushes freeze each info's published_at at add
+            # time; refresh the whole reseed view when it has gone stale so
+            # bootstrapped infos survive the next expiry pass.
+            if self.clock.now - self._last_reseed_sync > RESEED_REFRESH_SECONDS:
+                self._sync_reseed_servers()
             result = bootstrap(ip, self.reseed_servers, rng=self.rng)
             for info in result.routerinfos:
                 router.learn(info)
-        # Reseed servers learn about new public routers over time.
-        if not hidden:
-            self._sync_reseed_servers()
         return router
 
     def remove_router(self, router_hash: bytes) -> bool:
@@ -163,9 +227,18 @@ class I2PNetwork:
         if router is None:
             return False
         self.ports.release(router.ip, router.port)
+        for server in self.reseed_servers:
+            server.remove_known(router_hash)
         return True
 
+    def _push_to_reseed_servers(self, router: SimulatedRouter) -> None:
+        info = router.routerinfo(self.clock.now)
+        for server in self.reseed_servers:
+            server.add_known(info)
+
     def _sync_reseed_servers(self) -> None:
+        """Full rebuild of every reseed server's view (rarely needed; adds
+        use the incremental :meth:`_push_to_reseed_servers` path)."""
         public_infos = [
             router.routerinfo(self.clock.now)
             for router in self.routers.values()
@@ -173,6 +246,7 @@ class I2PNetwork:
         ]
         for server in self.reseed_servers:
             server.update_known(public_infos)
+        self._last_reseed_sync = self.clock.now
 
     # ------------------------------------------------------------------ #
     # netDb interactions
@@ -246,11 +320,13 @@ class I2PNetwork:
             target = self.routers[target_hash]
             if target.floodfill_state is None:
                 continue
+            # Take the first 200 known hashes straight off the store instead
+            # of copying the whole netDb into a fresh set per lookup.
             message = DatabaseLookupMessage(
                 from_hash=router_hash,
                 key=router_hash,
                 lookup_type=LookupType.EXPLORATION,
-                exclude_hashes=tuple(router.known_peer_hashes())[:200],
+                exclude_hashes=tuple(islice(router.store.iter_router_hashes(), 200)),
                 max_results=16,
             )
             response = target.floodfill_state.handle_lookup(message, self.clock.now)

@@ -33,6 +33,16 @@ the shapes of Figures 2–4:
   varies only mildly with bandwidth;
 * the cumulative union over 20 mixed monitors covers ≈95 % of the daily
   population, converging towards ≈100 % by 40 monitors.
+
+The sampling pipeline is columnar end to end: :meth:`ObservationModel.
+day_exposure` reads activity/visibility/hidden arrays straight off a
+columnar :class:`~repro.sim.population.DayView` (snapshot-backed views
+fall back to a one-pass extraction), and
+:meth:`ObservationModel.observe_day_masks` returns one boolean row per
+monitor so unions, cumulative coverage curves, and campaign recording are
+``np.logical_or`` reductions rather than Python set unions.  The
+index-array API (:meth:`ObservationModel.observe_day`) remains as a thin
+wrapper with an identical RNG draw sequence.
 """
 
 from __future__ import annotations
@@ -125,17 +135,29 @@ class ObservationModel:
     # Daily sampling
     # ------------------------------------------------------------------ #
     def day_exposure(self, view: DayView) -> DayExposure:
-        """Draw the per-peer daily exposure indicators for a day view."""
-        count = len(view.snapshots)
-        activity = np.fromiter(
-            (s.activity for s in view.snapshots), dtype=float, count=count
-        )
-        visibility = np.fromiter(
-            (s.base_visibility for s in view.snapshots), dtype=float, count=count
-        )
-        hidden = np.fromiter(
-            (1.0 if s.hidden else 0.0 for s in view.snapshots), dtype=float, count=count
-        )
+        """Draw the per-peer daily exposure indicators for a day view.
+
+        Columnar views are read straight from their arrays; snapshot-backed
+        views fall back to one pass over the snapshot list.
+        """
+        if view.columns is not None:
+            count = view.columns.count
+            activity = view.columns.activity
+            visibility = view.columns.base_visibility
+            hidden = view.columns.hidden.astype(float)
+        else:
+            count = len(view.snapshots)
+            activity = np.fromiter(
+                (s.activity for s in view.snapshots), dtype=float, count=count
+            )
+            visibility = np.fromiter(
+                (s.base_visibility for s in view.snapshots), dtype=float, count=count
+            )
+            hidden = np.fromiter(
+                (1.0 if s.hidden else 0.0 for s in view.snapshots),
+                dtype=float,
+                count=count,
+            )
         flood_prob = np.clip(0.55 + 0.40 * activity, 0.0, 1.0)
         tunnel_prob = np.clip(0.15 + 0.80 * activity, 0.0, 1.0) * (1.0 - 0.3 * hidden)
         flood_exposed = self._rng.random(count) < flood_prob
@@ -181,15 +203,34 @@ class ObservationModel:
         not identical subsets, matching the diminishing returns of
         Figure 4.
         """
+        masks = self.observe_day_masks(view, monitors, exposure=exposure)
+        return [np.nonzero(mask)[0] for mask in masks]
+
+    def observe_day_masks(
+        self,
+        view: DayView,
+        monitors: Sequence[MonitorSpec],
+        exposure: Optional[DayExposure] = None,
+    ) -> np.ndarray:
+        """Sample per-monitor observations as a boolean matrix.
+
+        Returns a ``(len(monitors), online_count)`` boolean array; row *m*
+        marks which peers monitor *m* observes today.  This is the
+        vectorised core behind :meth:`observe_day` — unions and cumulative
+        coverage reduce to ``np.logical_or`` over rows instead of Python
+        set arithmetic.  The RNG draw sequence (one uniform array per
+        monitor, in fleet order) is identical to the historical
+        index-returning path.
+        """
         if exposure is None:
             exposure = self.day_exposure(view)
-        count = len(view.snapshots)
-        observed: List[np.ndarray] = []
-        for monitor in monitors:
+        count = view.online_count
+        masks = np.empty((len(monitors), count), dtype=bool)
+        for row, monitor in enumerate(monitors):
             probabilities = self.observation_probabilities(exposure, monitor)
             draws = self._rng.random(count)
-            observed.append(np.nonzero(draws < probabilities)[0])
-        return observed
+            np.less(draws, probabilities, out=masks[row])
+        return masks
 
     # ------------------------------------------------------------------ #
     # Convenience
@@ -213,6 +254,14 @@ class ObservationModel:
             union.update(int(i) for i in indices)
             sizes.append(len(union))
         return sizes
+
+    @staticmethod
+    def cumulative_union_sizes_from_masks(masks: np.ndarray) -> List[int]:
+        """Mask-matrix counterpart of :meth:`cumulative_union_sizes`."""
+        if len(masks) == 0:
+            return []
+        running = np.logical_or.accumulate(masks, axis=0)
+        return [int(n) for n in running.sum(axis=1)]
 
 
 def standard_monitor_fleet(

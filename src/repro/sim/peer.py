@@ -7,6 +7,12 @@ visibility class, presence schedule, home location).  A
 simulation day: whether it is online, which IP it currently holds, and
 whether it presents as public, firewalled, or hidden that day.
 
+Since the columnar engine (:mod:`repro.sim.columns`) the per-peer
+``presence`` vector is a NumPy boolean row (any boolean sequence is still
+accepted), and day snapshots are no longer built eagerly: the measurement
+pipeline works on column arrays, and ``DayView.snapshots`` materialises
+these dataclasses lazily only for callers that ask for them.
+
 The visibility classes correspond to Section 5.1 of the paper:
 
 * ``PUBLIC`` — publishes a direct address, counted as reachable;
@@ -61,7 +67,9 @@ class PeerRecord:
     base_visibility: float
     activity: float
     supports_ipv6: bool = False
-    presence: List[bool] = field(default_factory=list)
+    #: One entry per campaign day; a NumPy bool row when produced by the
+    #: columnar population, but any boolean sequence works.
+    presence: Sequence[bool] = field(default_factory=list)
 
     @property
     def peer_id(self) -> bytes:

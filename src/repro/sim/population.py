@@ -18,26 +18,69 @@ paper's findings (Section 5):
 The model exposes one simulated day at a time (:class:`DayView`), which the
 monitoring, blocking, and usability analyses consume.  Days must be
 consumed in order because IP rotation is stateful, mirroring real time.
+
+Storage is columnar (:mod:`repro.sim.columns`): peer attributes live in
+struct-of-arrays NumPy columns plus a peers × horizon presence bitmatrix,
+built once at population bootstrap and appended to as arrivals join.  A
+:class:`DayView` is therefore a cheap bundle of per-day array slices;
+row-oriented :class:`~repro.sim.peer.PeerDaySnapshot` objects are only
+materialised *lazily* — on first access to ``DayView.snapshots`` — so the
+vectorised observation pipeline never pays for them while legacy callers
+(usability sampling, CLI inspection, tests) keep working unchanged.  The
+per-day RNG draw order (arrival Poisson, IP rotation, flapping splits)
+matches the historical row-oriented engine exactly, so fixed seeds
+reproduce identical campaigns.
 """
 
 from __future__ import annotations
 
 import math
-import random
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
 
 from ..netdb.identity import RouterIdentity
 from .bandwidth import BandwidthModel, TierAssignment
 from .churn import ChurnModel, PresenceSchedule
-from .clock import SECONDS_PER_DAY
+from .columns import (
+    TIER_ORDER,
+    VIS_FIREWALLED,
+    VIS_FLAPPING,
+    VIS_HIDDEN,
+    VIS_PUBLIC,
+    DayColumns,
+    PeerColumns,
+)
 from .geo import GeoRegistry, default_registry
 from .ip import IpAssignmentManager
 from .peer import PeerDaySnapshot, PeerRecord, VisibilityClass
 from .rng import SeededStreams
 from ..transport.ports import random_i2p_port
 
-__all__ = ["PopulationConfig", "DayView", "I2PPopulation"]
+__all__ = [
+    "PopulationConfig",
+    "DayView",
+    "I2PPopulation",
+    "snapshot_allocations",
+    "reset_snapshot_allocations",
+]
+
+
+#: Running count of PeerDaySnapshot objects materialised from columnar day
+#: views — the perf-budget benchmark uses it to prove the hot path stays
+#: allocation-free.
+_SNAPSHOT_ALLOCATIONS = 0
+
+
+def snapshot_allocations() -> int:
+    """Total snapshots lazily materialised since the last reset."""
+    return _SNAPSHOT_ALLOCATIONS
+
+
+def reset_snapshot_allocations() -> None:
+    global _SNAPSHOT_ALLOCATIONS
+    _SNAPSHOT_ALLOCATIONS = 0
 
 
 @dataclass(frozen=True)
@@ -78,40 +121,134 @@ class PopulationConfig:
             raise ValueError("visibility-class fractions must sum to 1")
 
 
-@dataclass
 class DayView:
-    """Everything observable about the network on one simulation day."""
+    """Everything observable about the network on one simulation day.
 
-    day: int
-    snapshots: List[PeerDaySnapshot]
-    new_arrivals: int = 0
-    departures: int = 0
+    Columnar views (the ones the population produces) carry a
+    :class:`~repro.sim.columns.DayColumns` bundle and materialise their
+    ``snapshots`` list lazily on first access; views built directly from a
+    snapshot list (legacy/tests) work the same as before.  The count
+    properties are cached — from the arrays when columnar, from one
+    snapshot pass otherwise.
+    """
+
+    def __init__(
+        self,
+        day: int,
+        snapshots: Optional[List[PeerDaySnapshot]] = None,
+        new_arrivals: int = 0,
+        departures: int = 0,
+        columns: Optional[DayColumns] = None,
+    ) -> None:
+        if snapshots is None and columns is None:
+            raise ValueError("a DayView needs snapshots or columns")
+        self.day = day
+        self.new_arrivals = new_arrivals
+        self.departures = departures
+        self.columns = columns
+        self._snapshots: Optional[List[PeerDaySnapshot]] = (
+            list(snapshots) if snapshots is not None else None
+        )
+        self._counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Row-oriented compatibility layer
+    # ------------------------------------------------------------------ #
+    @property
+    def snapshots(self) -> List[PeerDaySnapshot]:
+        """Per-peer snapshots, materialised lazily for columnar views."""
+        if self._snapshots is None:
+            self._snapshots = self._materialise_snapshots()
+        return self._snapshots
+
+    def _materialise_snapshots(self) -> List[PeerDaySnapshot]:
+        global _SNAPSHOT_ALLOCATIONS
+        cols = self.columns
+        assert cols is not None
+        records = cols.columns.records
+        day = self.day
+        snapshots: List[PeerDaySnapshot] = []
+        append = snapshots.append
+        for row in range(cols.count):
+            record = records[int(cols.indices[row])]
+            append(
+                PeerDaySnapshot(
+                    peer_id=record.peer_id,
+                    index=record.index,
+                    day=day,
+                    ip=cols.ip[row],
+                    ipv6=cols.ipv6[row],
+                    asn=int(cols.asn[row]) if cols.asn[row] >= 0 else None,
+                    country_code=cols.country[row],
+                    port=int(cols.port[row]),
+                    bandwidth_tier=TIER_ORDER[cols.tier_code[row]],
+                    advertised_tiers=record.tier.advertised_tiers,
+                    floodfill=bool(cols.floodfill[row]),
+                    reachable=bool(cols.reachable[row]),
+                    firewalled=bool(cols.firewalled[row]),
+                    hidden=bool(cols.hidden[row]),
+                    is_new_today=bool(cols.new_today[row]),
+                    base_visibility=float(cols.base_visibility[row]),
+                    activity=float(cols.activity[row]),
+                )
+            )
+        _SNAPSHOT_ALLOCATIONS += len(snapshots)
+        return snapshots
+
+    # ------------------------------------------------------------------ #
+    # Cached counts (derived from the columnar view when available)
+    # ------------------------------------------------------------------ #
+    def _count(self, name: str) -> int:
+        cached = self._counts.get(name)
+        if cached is None:
+            if self.columns is not None:
+                array = {
+                    "known_ip": self.columns.valid_ip,
+                    "firewalled": self.columns.firewalled,
+                    "hidden": self.columns.hidden,
+                    "floodfill": self.columns.floodfill,
+                }[name]
+                cached = int(np.count_nonzero(array))
+            else:
+                predicate = {
+                    "known_ip": lambda s: s.has_valid_ip,
+                    "firewalled": lambda s: s.firewalled,
+                    "hidden": lambda s: s.hidden,
+                    "floodfill": lambda s: s.floodfill,
+                }[name]
+                cached = sum(1 for s in self.snapshots if predicate(s))
+            self._counts[name] = cached
+        return cached
 
     @property
     def online_count(self) -> int:
+        if self.columns is not None:
+            return self.columns.count
         return len(self.snapshots)
 
     @property
     def known_ip_count(self) -> int:
-        return sum(1 for s in self.snapshots if s.has_valid_ip)
+        return self._count("known_ip")
 
     @property
     def firewalled_count(self) -> int:
-        return sum(1 for s in self.snapshots if s.firewalled)
+        return self._count("firewalled")
 
     @property
     def hidden_count(self) -> int:
-        return sum(1 for s in self.snapshots if s.hidden)
+        return self._count("hidden")
 
     @property
     def floodfill_count(self) -> int:
-        return sum(1 for s in self.snapshots if s.floodfill)
+        return self._count("floodfill")
 
     def by_peer_id(self) -> Dict[bytes, PeerDaySnapshot]:
         return {s.peer_id: s for s in self.snapshots}
 
     def ip_addresses(self) -> List[str]:
         """All publicly visible IPv4 addresses on this day."""
+        if self.columns is not None:
+            return list(self.columns.ip[self.columns.valid_ip])
         return [s.ip for s in self.snapshots if s.has_valid_ip and s.ip is not None]
 
 
@@ -145,7 +282,15 @@ class I2PPopulation:
         self.bandwidth_model = bandwidth_model or BandwidthModel()
         self.ip_manager = IpAssignmentManager(self.registry, self._ip_rng)
 
-        self.peers: List[PeerRecord] = []
+        self._columns = PeerColumns(
+            horizon_days=self.config.horizon_days,
+            initial_capacity=max(
+                1024, int(self.config.target_daily_population * 1.6)
+            ),
+        )
+        #: Row-oriented records, index-aligned with the columns (the list is
+        #: shared with :attr:`PeerColumns.records`).
+        self.peers: List[PeerRecord] = self._columns.records
         self._peers_by_id: Dict[bytes, PeerRecord] = {}
         self._next_index = 0
         self._current_day = -1
@@ -157,6 +302,11 @@ class I2PPopulation:
             1.0,
             len(self.peers) / max(1.0, self.churn_model.expected_lifetime_days()),
         )
+
+    @property
+    def columns(self) -> PeerColumns:
+        """The population's struct-of-arrays backing store."""
+        return self._columns
 
     # ------------------------------------------------------------------ #
     # Peer creation
@@ -227,12 +377,13 @@ class I2PPopulation:
         asys = self.registry.autonomous_system(assignment.asn)
 
         horizon = self.config.horizon_days
-        presence: List[bool] = [False] * horizon
+        presence = np.zeros(horizon, dtype=bool)
+        rnd = self._attr_rng.random
         for day in range(max(0, schedule.join_day), min(horizon, schedule.leave_day)):
             if day == schedule.join_day or day == schedule.leave_day - 1:
                 presence[day] = True
             else:
-                presence[day] = self._attr_rng.random() < schedule.online_probability
+                presence[day] = rnd() < schedule.online_probability
 
         record = PeerRecord(
             index=index,
@@ -248,7 +399,12 @@ class I2PPopulation:
             supports_ipv6=asys.supports_ipv6,
             presence=presence,
         )
-        self.peers.append(record)
+        profile = self.ip_manager.profile(record.peer_id)
+        self._columns.append(
+            record,
+            static_ip=profile.change_interval_days == float("inf"),
+            assignment=assignment,
+        )
         self._peers_by_id[record.peer_id] = record
         return record
 
@@ -339,49 +495,73 @@ class I2PPopulation:
             yield self.day_view(day)
 
     def _materialise_day(self, day: int) -> DayView:
-        arrivals = self._spawn_arrivals(day)
-        snapshots: List[PeerDaySnapshot] = []
-        departures = 0
-        for record in self.peers:
-            if record.schedule.leave_day == day:
-                departures += 1
-            if not record.is_online(day):
-                continue
-            snapshots.append(self._snapshot_for(record, day))
-        return DayView(
-            day=day, snapshots=snapshots, new_arrivals=arrivals, departures=departures
-        )
+        """Build the columnar view for one day.
 
-    def _snapshot_for(self, record: PeerRecord, day: int) -> PeerDaySnapshot:
-        assignment = self.ip_manager.maybe_rotate(record.peer_id)
-        visibility = record.visibility_class
-        if visibility is VisibilityClass.FLAPPING:
-            flap_today = self._day_rng.random() < 0.5
-            firewalled = flap_today
-            hidden = not flap_today
-        else:
-            firewalled = visibility is VisibilityClass.FIREWALLED
-            hidden = visibility is VisibilityClass.HIDDEN
-        reachable = visibility is VisibilityClass.PUBLIC
-        ipv6 = assignment.ipv6 if record.supports_ipv6 else None
-        return PeerDaySnapshot(
-            peer_id=record.peer_id,
-            index=record.index,
+        The RNG draw order matches the historical row-oriented engine: the
+        arrival Poisson draw first, then one ``_ip_rng`` draw per online
+        peer with a non-static address profile (in global index order),
+        then one ``_day_rng`` draw per online flapping peer (same order) —
+        so fixed seeds produce byte-identical campaigns.
+        """
+        arrivals = self._spawn_arrivals(day)
+        cols = self._columns
+        online_idx = cols.online_indices(day)
+        departures = cols.departures_on(day)
+
+        # Daily IP churn for online peers (stateful, order-preserving).
+        rotate_idx = online_idx[~cols.static_ip[online_idx]]
+        if rotate_idx.size:
+            rotated = self.ip_manager.maybe_rotate_many(
+                cols.peer_ids[rotate_idx].tolist()
+            )
+            for position, assignment in rotated:
+                cols.set_assignment(int(rotate_idx[position]), assignment)
+
+        # Visibility split, including the daily flapping coin flips.
+        vis = cols.vis_class[online_idx]
+        firewalled = vis == VIS_FIREWALLED
+        hidden = vis == VIS_HIDDEN
+        flapping_rows = np.nonzero(vis == VIS_FLAPPING)[0]
+        if flapping_rows.size:
+            rnd = self._day_rng.random
+            draws = np.fromiter(
+                (rnd() for _ in range(flapping_rows.size)),
+                dtype=np.float64,
+                count=flapping_rows.size,
+            )
+            flap_firewalled = draws < 0.5
+            firewalled[flapping_rows[flap_firewalled]] = True
+            hidden[flapping_rows[~flap_firewalled]] = True
+        reachable = vis == VIS_PUBLIC
+
+        ip = cols.cur_ip[online_idx]
+        valid_ip = np.not_equal(ip, None) & ~firewalled & ~hidden
+        day_columns = DayColumns(
             day=day,
-            ip=assignment.ip,
-            ipv6=ipv6,
-            asn=assignment.asn,
-            country_code=assignment.country_code,
-            port=record.port,
-            bandwidth_tier=record.tier.primary_tier,
-            advertised_tiers=record.tier.advertised_tiers,
-            floodfill=record.tier.floodfill,
+            columns=cols,
+            indices=online_idx,
+            peer_ids=cols.peer_ids[online_idx],
+            activity=cols.activity[online_idx],
+            base_visibility=cols.base_visibility[online_idx],
+            tier_code=cols.tier_code[online_idx],
+            floodfill=cols.floodfill[online_idx],
             reachable=reachable,
             firewalled=firewalled,
             hidden=hidden,
-            is_new_today=(day == record.schedule.join_day),
-            base_visibility=record.base_visibility,
-            activity=record.activity,
+            valid_ip=valid_ip,
+            new_today=cols.join_day[online_idx] == day,
+            port=cols.port[online_idx],
+            ip=ip,
+            ipv6=cols.cur_ipv6[online_idx],
+            country=cols.cur_country[online_idx],
+            asn=cols.cur_asn[online_idx],
+            version=cols.cur_version[online_idx],
+        )
+        return DayView(
+            day=day,
+            new_arrivals=arrivals,
+            departures=departures,
+            columns=day_columns,
         )
 
     # ------------------------------------------------------------------ #

@@ -61,12 +61,48 @@ class ReseedServer:
     blocked: bool = False
     #: Per-source cache so repeat requests return the same RouterInfos.
     _served: Dict[str, List[RouterInfo]] = field(default_factory=dict)
+    #: Router hash -> position in ``known_routerinfos`` (incremental sync).
+    _positions: Dict[bytes, int] = field(default_factory=dict)
     requests_served: int = 0
+
+    def __post_init__(self) -> None:
+        if self.known_routerinfos and not self._positions:
+            self._positions = {
+                info.hash: i for i, info in enumerate(self.known_routerinfos)
+            }
 
     def update_known(self, routerinfos: Sequence[RouterInfo]) -> None:
         """Refresh the server's view of the network (operator-side sync)."""
         self.known_routerinfos = list(routerinfos)
+        self._positions = {info.hash: i for i, info in enumerate(self.known_routerinfos)}
         self._served.clear()
+
+    def add_known(self, info: RouterInfo) -> None:
+        """Incrementally learn (or refresh) a single RouterInfo.
+
+        O(1) per call, so adding N routers to a network costs O(N) reseed
+        maintenance instead of the O(N²) full rebuild ``update_known``
+        implies when driven once per joining router.
+        """
+        position = self._positions.get(info.hash)
+        if position is None:
+            self._positions[info.hash] = len(self.known_routerinfos)
+            self.known_routerinfos.append(info)
+        else:
+            self.known_routerinfos[position] = info
+        self._served.clear()
+
+    def remove_known(self, router_hash: bytes) -> bool:
+        """Forget a RouterInfo (swap-remove; order is not meaningful)."""
+        position = self._positions.pop(router_hash, None)
+        if position is None:
+            return False
+        last = self.known_routerinfos.pop()
+        if position < len(self.known_routerinfos):
+            self.known_routerinfos[position] = last
+            self._positions[last.hash] = position
+        self._served.clear()
+        return True
 
     def serve(
         self, source_ip: str, rng: Optional[random.Random] = None

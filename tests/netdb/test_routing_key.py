@@ -1,10 +1,16 @@
 """Tests for the daily-rotating routing keys (Section 2.1.2)."""
 
+import datetime
+
 import pytest
 
 from repro.netdb.identity import sha256
 from repro.netdb.routing_key import (
     SECONDS_PER_DAY,
+    SIMULATION_EPOCH,
+    _KEY_CACHE,
+    _KEY_CACHE_MAX_DATES,
+    clear_routing_key_cache,
     date_string_for_time,
     keys_rotate_between,
     routing_key,
@@ -80,3 +86,48 @@ class TestSelectClosest:
             routing_key(target_hash, SECONDS_PER_DAY), candidates, 3, SECONDS_PER_DAY
         )
         assert day0 != day1
+
+
+class TestRoutingKeyCache:
+    """The memoised routing keys must stay correct across UTC day rotation."""
+
+    def setup_method(self) -> None:
+        clear_routing_key_cache()
+
+    def test_cached_key_matches_uncached_computation(self):
+        key = sha256(b"cached-peer")
+        for sim_time in (0.0, 1.0, 43_200.0, SECONDS_PER_DAY - 1):
+            expected = sha256(key + date_string_for_time(sim_time).encode("ascii"))
+            assert routing_key(key, sim_time) == expected
+            # Second call is the cache hit — identical bytes.
+            assert routing_key(key, sim_time) == expected
+
+    def test_cache_respects_day_rotation(self):
+        key = sha256(b"rotating-peer")
+        morning = routing_key(key, 100.0)
+        # Prime the cache on day 0, then cross UTC midnight: the cached
+        # day-0 value must not leak into day 1.
+        assert routing_key(key, SECONDS_PER_DAY - 1.0) == morning
+        next_day = routing_key(key, SECONDS_PER_DAY + 1.0)
+        assert next_day != morning
+        assert keys_rotate_between(SECONDS_PER_DAY - 1.0, SECONDS_PER_DAY + 1.0)
+        assert next_day == sha256(
+            key + date_string_for_time(SECONDS_PER_DAY + 1.0).encode("ascii")
+        )
+        # And going back to a day-0 timestamp recomputes the day-0 key.
+        assert routing_key(key, 200.0) == morning
+
+    def test_cache_evicts_stale_dates(self):
+        key = sha256(b"evicted-peer")
+        for day in range(6):
+            routing_key(key, day * SECONDS_PER_DAY + 10.0)
+        cached_dates = {date for _, date in _KEY_CACHE}
+        assert len(cached_dates) <= _KEY_CACHE_MAX_DATES
+
+    def test_date_string_memoisation_is_consistent(self):
+        for day in range(-2, 40):
+            sim_time = day * SECONDS_PER_DAY + 7.5
+            fresh = (
+                SIMULATION_EPOCH + datetime.timedelta(seconds=sim_time)
+            ).strftime("%Y%m%d")
+            assert date_string_for_time(sim_time) == fresh

@@ -32,6 +32,94 @@ class TestTopology:
         assert info.is_hidden
 
 
+class TestReseedSync:
+    def test_add_router_pushes_info_incrementally(self):
+        network = I2PNetwork(seed=11)
+        router = network.add_router()
+        for server in network.reseed_servers:
+            assert router.hash in {info.hash for info in server.known_routerinfos}
+
+    def test_hidden_routers_not_pushed_to_reseeds(self):
+        network = I2PNetwork(seed=12)
+        hidden = network.add_router(hidden=True)
+        for server in network.reseed_servers:
+            assert hidden.hash not in {info.hash for info in server.known_routerinfos}
+
+    def test_removed_router_forgotten_by_reseeds(self):
+        network = I2PNetwork(seed=13)
+        keeper = network.add_router()
+        removed = network.add_router()
+        assert network.remove_router(removed.hash)
+        for server in network.reseed_servers:
+            known = {info.hash for info in server.known_routerinfos}
+            assert removed.hash not in known
+            assert keeper.hash in known
+
+    def test_batch_add_routers(self):
+        network = I2PNetwork(seed=14)
+        network.add_router(floodfill=True)
+        batch = network.batch_add_routers(25)
+        assert len(batch) == 25
+        assert all(router.hash in network.routers for router in batch)
+        # Every public batch member reaches the reseed servers exactly once.
+        for server in network.reseed_servers:
+            known = [info.hash for info in server.known_routerinfos]
+            assert len(known) == len(set(known))
+            for router in batch:
+                assert router.hash in known
+
+    def test_batch_converges_like_sequential(self):
+        """A batched network reaches the same full netDb convergence a
+        sequentially built one does (the topologies differ per-router —
+        batch members bootstrap against the pre-batch network — but both
+        must end with every router knowing every router)."""
+        batched = I2PNetwork(seed=15)
+        batched.add_router(floodfill=True)
+        batched.batch_add_routers(10)
+        sequential = I2PNetwork(seed=15)
+        sequential.add_router(floodfill=True)
+        for _ in range(10):
+            sequential.add_router()
+        assert len(batched.routers) == len(sequential.routers)
+        batched.run_convergence_rounds(rounds=3)
+        sequential.run_convergence_rounds(rounds=3)
+        for network in (batched, sequential):
+            total = len(network.routers)
+            for router in network.routers.values():
+                assert len(router.store) == total
+
+    def test_batch_rejects_negative_count(self):
+        network = I2PNetwork(seed=16)
+        with pytest.raises(ValueError):
+            network.batch_add_routers(-1)
+
+    def test_late_joiner_gets_fresh_reseed_infos(self):
+        """After a long clock advance, bootstrap infos must survive the
+        next expiry pass (the reseed view is re-synced when stale)."""
+        network = I2PNetwork(seed=17)
+        for _ in range(8):
+            network.add_router(floodfill=True)
+        network.step_hours(30)  # beyond RouterInfo expiry
+        newcomer = network.add_router()
+        learned = len(newcomer.store)
+        assert learned > 1
+        network.step_hours(0.1)
+        assert len(newcomer.store) == learned
+
+    def test_late_floodfill_joiner_survives_short_floodfill_expiry(self):
+        """Floodfill stores expire RouterInfos after 1h, so even a 2h-old
+        reseed view must be refreshed before a floodfill bootstraps."""
+        network = I2PNetwork(seed=18)
+        for _ in range(8):
+            network.add_router(floodfill=True)
+        network.step_hours(2)
+        newcomer = network.add_router(floodfill=True)
+        learned = len(newcomer.store)
+        assert learned > 1
+        network.step_hours(0.1)
+        assert len(newcomer.store) == learned
+
+
 class TestBootstrap:
     def test_new_router_learns_peers_from_reseed(self):
         network = I2PNetwork(seed=4)
