@@ -22,6 +22,12 @@ class FigureSeries:
 
     name: str
     points: List[Tuple[float, float]] = field(default_factory=list)
+    #: Lazily built x → y index (first occurrence wins) plus the number of
+    #: points it covered; rebuilt when points were added since.
+    _index: Optional[Dict[float, float]] = field(
+        default=None, repr=False, compare=False
+    )
+    _indexed_count: int = field(default=0, repr=False, compare=False)
 
     def add(self, x: float, y: float) -> None:
         self.points.append((float(x), float(y)))
@@ -35,11 +41,20 @@ class FigureSeries:
         return [p[1] for p in self.points]
 
     def y_at(self, x: float) -> Optional[float]:
-        """The y value recorded at exactly ``x`` (None if absent)."""
-        for px, py in self.points:
-            if px == x:
-                return py
-        return None
+        """The y value recorded at exactly ``x`` (None if absent).
+
+        Points are indexed once (and re-indexed after appends), so repeated
+        figure lookups — ``FigureData.to_text`` alone performs one per
+        series per x — cost a hash probe instead of an O(n) scan.  Ties
+        keep the first recorded point, matching the historical scan.
+        """
+        if self._index is None or self._indexed_count != len(self.points):
+            index: Dict[float, float] = {}
+            for px, py in self.points:
+                index.setdefault(px, py)
+            self._index = index
+            self._indexed_count = len(self.points)
+        return self._index.get(float(x))
 
     def final(self) -> Optional[Tuple[float, float]]:
         return self.points[-1] if self.points else None

@@ -43,12 +43,13 @@ from .core import (
     render_figure,
     render_table1,
     router_count_sweep,
+    run_figure_suite,
     run_main_campaign,
     single_router_experiment,
     unknown_ip_figure,
     usability_curve,
 )
-from .sim import I2PPopulation, PopulationConfig
+from .sim import ExposureEngine, I2PPopulation, PopulationConfig
 
 __all__ = ["main", "build_parser"]
 
@@ -88,6 +89,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     censor.add_argument("--days", type=int, default=20)
     censor.add_argument("--fetches", type=int, default=10)
+
+    suite = subparsers.add_parser(
+        "suite",
+        help="run the whole figure suite off one shared exposure cache",
+    )
+    suite.add_argument("--days", type=int, default=10, help="campaign days")
+    suite.add_argument("--max-routers", type=int, default=40)
     return parser
 
 
@@ -124,15 +132,68 @@ def _cmd_measure(args: argparse.Namespace) -> int:
 
 
 def _cmd_calibrate(args: argparse.Namespace) -> int:
-    print(render_figure(single_router_experiment(scale=args.scale, seed=args.seed), ".0f"))
+    # One shared exposure (10-day horizon covers the longest experiment)
+    # serves all three methodology figures: the population is built once.
+    engine = ExposureEngine()
+    horizon = 10
+    print(
+        render_figure(
+            single_router_experiment(
+                scale=args.scale, seed=args.seed, engine=engine, horizon_days=horizon
+            ),
+            ".0f",
+        )
+    )
     print()
-    print(render_figure(bandwidth_sweep(scale=args.scale, seed=args.seed), ".0f"))
+    print(
+        render_figure(
+            bandwidth_sweep(
+                scale=args.scale, seed=args.seed, engine=engine, horizon_days=horizon
+            ),
+            ".0f",
+        )
+    )
     print()
     figure4, result = router_count_sweep(
-        max_routers=args.max_routers, scale=args.scale, seed=args.seed
+        max_routers=args.max_routers,
+        scale=args.scale,
+        seed=args.seed,
+        engine=engine,
+        horizon_days=horizon,
     )
     print(render_figure(figure4, ".0f"))
     print(f"\nmean daily ground-truth population: {result.mean_daily_online:.0f}")
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    suite = run_figure_suite(
+        days=args.days,
+        scale=args.scale,
+        seed=args.seed,
+        max_routers=args.max_routers,
+    )
+    print(render_campaign_summary(suite.campaign))
+    print()
+    for figure in (suite.figure2, suite.figure3, suite.figure4):
+        print(render_figure(figure, ".0f"))
+        print()
+    print(render_table1(suite.campaign.log))
+    print()
+    for threshold, values in suite.longevity.items():
+        print(
+            f"longevity >{threshold} days: continuous={values['continuous']:.1f}% "
+            f"intermittent={values['intermittent']:.1f}%"
+        )
+    churn = suite.ip_churn
+    print(
+        f"ip churn: {churn.known_ip_peers} known-IP peers, "
+        f"{churn.multi_ip_share * 100:.1f}% with 2+ addresses"
+    )
+    print(
+        f"exposure cache: {suite.engine.misses} population build(s), "
+        f"{suite.engine.hits} cache hit(s)"
+    )
     return 0
 
 
@@ -173,6 +234,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_calibrate(args)
     if args.command == "censor":
         return _cmd_censor(args)
+    if args.command == "suite":
+        return _cmd_suite(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -16,6 +16,15 @@ All experiments accept a ``scale`` parameter that shrinks the synthetic
 population proportionally (1.0 reproduces the paper's ~30.5K daily peers);
 analyses report shares as well as absolute counts so results remain
 comparable across scales.
+
+Every experiment is a thin consumer of the shared exposure engine
+(:mod:`repro.sim.exposure`): populations, daily exposure draws, and
+per-monitor observation masks are computed once per
+``(population config, observation seed)`` and served from a keyed cache,
+so experiments that share a seed and horizon (pass ``engine=`` and
+``horizon_days=``, or use :func:`run_figure_suite`) cost only their own
+monitor-selection/union step.  Cached and rebuilt-from-scratch runs are
+byte-identical at a fixed seed.
 """
 
 from __future__ import annotations
@@ -26,26 +35,31 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..analysis.series import FigureData
+from ..sim.exposure import ExposureEngine, SharedExposure, default_engine
 from ..sim.observation import (
     MonitorMode,
     MonitorSpec,
     ObservationModel,
     standard_monitor_fleet,
 )
-from ..sim.population import DayView, I2PPopulation, PopulationConfig
+from ..sim.population import I2PPopulation, PopulationConfig
 from ..sim.rng import derive_seed
+from .capacity_analysis import bandwidth_breakdown, flag_distribution
+from .churn_analysis import IpChurnSummary, ip_churn, longevity
 from .monitor import MonitoringRouter, ObservationLog
 
 __all__ = [
     "FULL_SCALE_DAILY_POPULATION",
     "CampaignConfig",
     "CampaignResult",
+    "FigureSuiteResult",
     "MeasurementCampaign",
     "scaled_population_config",
     "single_router_experiment",
     "bandwidth_sweep",
     "router_count_sweep",
     "run_main_campaign",
+    "run_figure_suite",
 ]
 
 #: Daily population of the paper's measurement (Section 5.1).
@@ -57,15 +71,36 @@ MONITOR_BANDWIDTH_KBPS = 8_000.0
 
 
 def scaled_population_config(
-    scale: float = 1.0, days: int = 90, seed: int = 2018
+    scale: float = 1.0,
+    days: int = 90,
+    seed: int = 2018,
+    horizon_days: Optional[int] = None,
 ) -> PopulationConfig:
-    """A population config whose daily population is ``scale`` × full size."""
+    """A population config whose daily population is ``scale`` × full size.
+
+    ``horizon_days`` (≥ ``days``) widens the population horizon beyond the
+    campaign length; experiments that share one :class:`ExposureEngine`
+    pass the suite-wide horizon here so their population configs — and
+    therefore their cache keys — coincide.
+    """
     if scale <= 0:
         raise ValueError("scale must be positive")
+    horizon = days if horizon_days is None else max(days, horizon_days)
     return PopulationConfig(
         target_daily_population=max(200, int(round(FULL_SCALE_DAILY_POPULATION * scale))),
-        horizon_days=days,
+        horizon_days=horizon,
         seed=seed,
+    )
+
+
+def _campaign_exposure(
+    config: CampaignConfig, engine: Optional[ExposureEngine]
+) -> SharedExposure:
+    """The shared exposure a campaign config resolves to."""
+    if engine is None:
+        engine = default_engine()
+    return engine.get(
+        config.population, derive_seed(config.seed, "observation"), days=config.days
     )
 
 
@@ -93,7 +128,14 @@ class CampaignConfig:
 
 @dataclass
 class CampaignResult:
-    """Everything a campaign produced."""
+    """Everything a campaign produced.
+
+    ``population`` is the exposure engine's *shared* population: treat it
+    as read-only.  Advancing it directly (``population.day_view``) would
+    poison the cache entry for every other experiment on the same key —
+    the engine detects that and refuses to extend its day state; read
+    day views through the campaign's ``exposure`` instead.
+    """
 
     config: CampaignConfig
     population: I2PPopulation
@@ -126,14 +168,26 @@ class CampaignResult:
 
 
 class MeasurementCampaign:
-    """Runs a monitor fleet against a synthetic population, day by day."""
+    """Runs a monitor fleet against a synthetic population, day by day.
 
-    def __init__(self, config: CampaignConfig) -> None:
+    The campaign is a thin consumer of a :class:`SharedExposure`: the
+    population, the daily exposure draws, and every per-monitor observation
+    mask come from the engine's keyed cache, so campaigns that share a
+    population config and seed (the whole figure suite) share all of that
+    work.  The campaign itself only varies the monitor-selection and union
+    step over the cached masks.
+    """
+
+    def __init__(
+        self,
+        config: CampaignConfig,
+        engine: Optional[ExposureEngine] = None,
+        mask_workers: Optional[int] = None,
+    ) -> None:
         self.config = config
-        self.population = I2PPopulation(config=config.population)
-        self.observation_model = ObservationModel(
-            seed=derive_seed(config.seed, "observation")
-        )
+        self.exposure = _campaign_exposure(config, engine)
+        self.population = self.exposure.population
+        self._mask_workers = mask_workers
         self.monitors = [
             MonitoringRouter(
                 spec=spec,
@@ -156,14 +210,14 @@ class MeasurementCampaign:
     def run(self, days: Optional[int] = None) -> CampaignResult:
         days = self.config.days if days is None else days
         cumulative_union_by_day: List[List[int]] = []
-        daily_online: List[int] = []
         monitor_specs = [m.spec for m in self.monitors]
-        for view in self.population.iter_days(0, days):
-            daily_online.append(view.online_count)
-            exposure = self.observation_model.day_exposure(view)
-            masks = self.observation_model.observe_day_masks(
-                view, monitor_specs, exposure=exposure
-            )
+        all_specs = list(monitor_specs)
+        if self.victim is not None:
+            all_specs.append(self.victim.spec)
+        self.exposure.prefetch_masks(all_specs, days, workers=self._mask_workers)
+        for day in range(days):
+            view = self.exposure.view(day)
+            masks = self.exposure.fleet_day_masks(monitor_specs, day)
             for monitor, mask in zip(self.monitors, masks):
                 monitor.record_day(view, mask)
             cumulative_union_by_day.append(
@@ -172,10 +226,9 @@ class MeasurementCampaign:
             union_mask = np.logical_or.reduce(masks, axis=0)
             self.log.record_day(view, union_mask)
             if self.victim is not None:
-                victim_mask = self.observation_model.observe_day_masks(
-                    view, [self.victim.spec], exposure=exposure
-                )[0]
-                self.victim.record_day(view, victim_mask)
+                self.victim.record_day(
+                    view, self.exposure.monitor_day_mask(self.victim.spec, day)
+                )
         return CampaignResult(
             config=self.config,
             population=self.population,
@@ -183,7 +236,7 @@ class MeasurementCampaign:
             victim=self.victim,
             log=self.log,
             cumulative_union_by_day=cumulative_union_by_day,
-            daily_online_population=daily_online,
+            daily_online_population=self.exposure.daily_online(days),
         )
 
 
@@ -195,6 +248,8 @@ def single_router_experiment(
     scale: float = 1.0,
     seed: int = 2018,
     shared_kbps: float = MONITOR_BANDWIDTH_KBPS,
+    engine: Optional[ExposureEngine] = None,
+    horizon_days: Optional[int] = None,
 ) -> FigureData:
     """Figure 2: one high-end router, floodfill then non-floodfill mode."""
     total_days = days_per_mode * 2
@@ -207,27 +262,26 @@ def single_router_experiment(
     floodfill_series = figure.new_series("floodfill")
     non_floodfill_series = figure.new_series("non-floodfill")
 
+    ff_spec = MonitorSpec("single-ff", MonitorMode.FLOODFILL, shared_kbps)
+    nff_spec = MonitorSpec("single-nff", MonitorMode.NON_FLOODFILL, shared_kbps)
     config = CampaignConfig(
-        population=scaled_population_config(scale, days=total_days, seed=seed),
-        monitors=[MonitorSpec("single-ff", MonitorMode.FLOODFILL, shared_kbps)],
+        population=scaled_population_config(
+            scale, days=total_days, seed=seed, horizon_days=horizon_days
+        ),
+        monitors=[ff_spec],
         days=total_days,
         seed=seed,
     )
     # One population, one router; mode switches halfway, exactly like the
     # paper's 10-day calibration run.
-    population = I2PPopulation(config=config.population)
-    model = ObservationModel(seed=derive_seed(seed, "figure2"))
-    for view in population.iter_days(0, total_days):
-        day = view.day
+    exposure = _campaign_exposure(config, engine)
+    for day in range(total_days):
         if day < days_per_mode:
-            spec = MonitorSpec("single-ff", MonitorMode.FLOODFILL, shared_kbps)
+            observed = int(np.count_nonzero(exposure.monitor_day_mask(ff_spec, day)))
+            floodfill_series.add(day + 1, observed)
         else:
-            spec = MonitorSpec("single-nff", MonitorMode.NON_FLOODFILL, shared_kbps)
-        observed = model.observe_day(view, [spec])[0]
-        if day < days_per_mode:
-            floodfill_series.add(day + 1, len(observed))
-        else:
-            non_floodfill_series.add(day + 1, len(observed))
+            observed = int(np.count_nonzero(exposure.monitor_day_mask(nff_spec, day)))
+            non_floodfill_series.add(day + 1, observed)
     figure.add_note(
         f"population scale={scale:g} (daily ground truth ≈ "
         f"{config.population.target_daily_population})"
@@ -240,8 +294,15 @@ def bandwidth_sweep(
     days: int = 3,
     scale: float = 1.0,
     seed: int = 2018,
+    engine: Optional[ExposureEngine] = None,
+    horizon_days: Optional[int] = None,
 ) -> FigureData:
-    """Figure 3: observed peers vs shared bandwidth, per mode and combined."""
+    """Figure 3: observed peers vs shared bandwidth, per mode and combined.
+
+    A pure mask consumer: per-pair daily counts and unions are boolean
+    reductions over the shared exposure's cached monitor masks — no
+    monitoring routers or observation logs are materialised at all.
+    """
     figure = FigureData(
         figure_id="figure_03",
         title="Observed peers vs shared bandwidth (7 floodfill + 7 non-floodfill)",
@@ -252,33 +313,37 @@ def bandwidth_sweep(
     floodfill_series = figure.new_series("floodfill")
     non_floodfill_series = figure.new_series("non-floodfill")
 
-    monitors: List[MonitorSpec] = []
-    for bandwidth in bandwidths_kbps:
-        monitors.append(MonitorSpec(f"ff-{int(bandwidth)}", MonitorMode.FLOODFILL, bandwidth))
-        monitors.append(
-            MonitorSpec(f"nff-{int(bandwidth)}", MonitorMode.NON_FLOODFILL, bandwidth)
+    pairs: List[Tuple[MonitorSpec, MonitorSpec]] = [
+        (
+            MonitorSpec(f"ff-{int(bandwidth)}", MonitorMode.FLOODFILL, bandwidth),
+            MonitorSpec(f"nff-{int(bandwidth)}", MonitorMode.NON_FLOODFILL, bandwidth),
         )
+        for bandwidth in bandwidths_kbps
+    ]
+    monitors: List[MonitorSpec] = [spec for pair in pairs for spec in pair]
     config = CampaignConfig(
-        population=scaled_population_config(scale, days=days, seed=seed),
+        population=scaled_population_config(
+            scale, days=days, seed=seed, horizon_days=horizon_days
+        ),
         monitors=monitors,
         days=days,
         seed=seed,
-        collect_daily_peers=True,
     )
-    result = MeasurementCampaign(config).run()
+    exposure = _campaign_exposure(config, engine)
+    exposure.prefetch_masks(monitors, days)
 
-    by_name = {monitor.name: monitor for monitor in result.monitors}
-    for bandwidth in bandwidths_kbps:
-        ff = by_name[f"ff-{int(bandwidth)}"]
-        nff = by_name[f"nff-{int(bandwidth)}"]
-        ff_mean = ff.mean_daily_observed()
-        nff_mean = nff.mean_daily_observed()
-        union_sizes = [
-            len(ff_day | nff_day)
-            for ff_day, nff_day in zip(ff.daily_peer_sets, nff.daily_peer_sets)
-        ]
-        floodfill_series.add(bandwidth, ff_mean)
-        non_floodfill_series.add(bandwidth, nff_mean)
+    for bandwidth, (ff_spec, nff_spec) in zip(bandwidths_kbps, pairs):
+        ff_counts: List[int] = []
+        nff_counts: List[int] = []
+        union_sizes: List[int] = []
+        for day in range(days):
+            ff_mask = exposure.monitor_day_mask(ff_spec, day)
+            nff_mask = exposure.monitor_day_mask(nff_spec, day)
+            ff_counts.append(int(np.count_nonzero(ff_mask)))
+            nff_counts.append(int(np.count_nonzero(nff_mask)))
+            union_sizes.append(int(np.count_nonzero(ff_mask | nff_mask)))
+        floodfill_series.add(bandwidth, float(np.mean(ff_counts)))
+        non_floodfill_series.add(bandwidth, float(np.mean(nff_counts)))
         both.add(bandwidth, float(np.mean(union_sizes)) if union_sizes else 0.0)
     figure.add_note(
         f"population scale={scale:g}; daily ground truth ≈ "
@@ -293,6 +358,8 @@ def router_count_sweep(
     scale: float = 1.0,
     seed: int = 2018,
     shared_kbps: float = MONITOR_BANDWIDTH_KBPS,
+    engine: Optional[ExposureEngine] = None,
+    horizon_days: Optional[int] = None,
 ) -> Tuple[FigureData, CampaignResult]:
     """Figure 4: cumulative observed peers when operating 1..N routers."""
     if max_routers < 1:
@@ -301,12 +368,14 @@ def router_count_sweep(
     non_floodfill_count = max_routers - floodfill_count
     monitors = standard_monitor_fleet(floodfill_count, non_floodfill_count, shared_kbps)
     config = CampaignConfig(
-        population=scaled_population_config(scale, days=days, seed=seed),
+        population=scaled_population_config(
+            scale, days=days, seed=seed, horizon_days=horizon_days
+        ),
         monitors=monitors,
         days=days,
         seed=seed,
     )
-    result = MeasurementCampaign(config).run()
+    result = MeasurementCampaign(config, engine=engine).run()
 
     figure = FigureData(
         figure_id="figure_04",
@@ -334,17 +403,96 @@ def run_main_campaign(
     non_floodfill_monitors: int = 10,
     collect_daily_ips: bool = True,
     include_victim_client: bool = True,
+    engine: Optional[ExposureEngine] = None,
+    horizon_days: Optional[int] = None,
 ) -> CampaignResult:
     """Run the paper's main 20-router campaign (Figures 5–12, Section 6)."""
     monitors = standard_monitor_fleet(
         floodfill_monitors, non_floodfill_monitors, MONITOR_BANDWIDTH_KBPS
     )
     config = CampaignConfig(
-        population=scaled_population_config(scale, days=days, seed=seed),
+        population=scaled_population_config(
+            scale, days=days, seed=seed, horizon_days=horizon_days
+        ),
         monitors=monitors,
         days=days,
         seed=seed,
         collect_daily_ips=collect_daily_ips,
         include_victim_client=include_victim_client,
     )
-    return MeasurementCampaign(config).run()
+    return MeasurementCampaign(config, engine=engine).run()
+
+
+# --------------------------------------------------------------------------- #
+# Figure suite (one shared exposure for the whole paper)
+# --------------------------------------------------------------------------- #
+@dataclass
+class FigureSuiteResult:
+    """Everything a shared-exposure figure-suite run produced."""
+
+    campaign: CampaignResult
+    figure2: FigureData
+    figure3: FigureData
+    figure4: FigureData
+    figure4_result: CampaignResult
+    longevity: Dict[int, Dict[str, float]]
+    ip_churn: IpChurnSummary
+    flag_distribution: Dict[str, float]
+    bandwidth_breakdown: Dict[str, Dict[str, float]]
+    engine: ExposureEngine
+
+
+def run_figure_suite(
+    days: int = 10,
+    scale: float = 1.0,
+    seed: int = 2018,
+    sweep_days: int = 3,
+    router_sweep_days: int = 5,
+    max_routers: int = 40,
+    engine: Optional[ExposureEngine] = None,
+) -> FigureSuiteResult:
+    """Run the paper's whole figure pipeline off ONE shared exposure.
+
+    The main campaign, the bandwidth sweep (Figure 3), the router-count
+    sweep (Figure 4), the single-router calibration (Figure 2), and the
+    heavy campaign analyses (longevity, IP churn, capacity) all resolve to
+    the same ``(population config, observation seed)`` cache key: the
+    sweeps pass ``horizon_days=days`` so they consume a prefix of the main
+    campaign's population instead of rebuilding their own.  The whole suite
+    therefore costs roughly one campaign's wall time — the property
+    ``benchmarks/test_perf_budget.py`` tracks.
+    """
+    if days < 2:
+        raise ValueError("a figure suite needs at least two days")
+    if engine is None:
+        engine = ExposureEngine()
+    campaign = run_main_campaign(
+        days=days, scale=scale, seed=seed, engine=engine, horizon_days=days
+    )
+    figure2 = single_router_experiment(
+        days_per_mode=days // 2, scale=scale, seed=seed, engine=engine, horizon_days=days
+    )
+    figure3 = bandwidth_sweep(
+        days=min(sweep_days, days), scale=scale, seed=seed, engine=engine, horizon_days=days
+    )
+    figure4, figure4_result = router_count_sweep(
+        max_routers=max_routers,
+        days=min(router_sweep_days, days),
+        scale=scale,
+        seed=seed,
+        engine=engine,
+        horizon_days=days,
+    )
+    thresholds = (7, 30) if days > 30 else ((7,) if days > 7 else (max(1, days // 2),))
+    return FigureSuiteResult(
+        campaign=campaign,
+        figure2=figure2,
+        figure3=figure3,
+        figure4=figure4,
+        figure4_result=figure4_result,
+        longevity=longevity(campaign.log, thresholds=thresholds),
+        ip_churn=ip_churn(campaign.log),
+        flag_distribution=flag_distribution(campaign.log),
+        bandwidth_breakdown=bandwidth_breakdown(campaign.log),
+        engine=engine,
+    )

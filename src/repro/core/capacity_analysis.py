@@ -24,7 +24,7 @@ import numpy as np
 
 from ..analysis.series import FigureData
 from ..netdb.routerinfo import BandwidthTier, QUALIFIED_FLOODFILL_TIERS
-from .monitor import ObservationLog, PeerObservationAggregate
+from .monitor import ObservationLog
 
 __all__ = [
     "OFFICIAL_AUTO_FLOODFILL_SHARE",
@@ -74,17 +74,6 @@ def capacity_figure(log: ObservationLog) -> FigureData:
 # --------------------------------------------------------------------------- #
 # Table 1
 # --------------------------------------------------------------------------- #
-def _peer_groups(aggregate: PeerObservationAggregate) -> List[str]:
-    groups = ["total"]
-    if aggregate.floodfill_days > 0:
-        groups.append("floodfill")
-    if aggregate.reachable_days > 0:
-        groups.append("reachable")
-    if aggregate.unreachable_days > 0:
-        groups.append("unreachable")
-    return groups
-
-
 def bandwidth_breakdown(log: ObservationLog) -> Dict[str, Dict[str, float]]:
     """Table 1: percentage of routers per advertised bandwidth flag, per group.
 
@@ -93,22 +82,16 @@ def bandwidth_breakdown(log: ObservationLog) -> Dict[str, Dict[str, float]]:
     than 100 % — exactly the caveat the paper explains below Table 1.
     Returns ``{group: {tier_letter: percentage}}`` for the groups
     ``floodfill``, ``reachable``, ``unreachable``, and ``total``.
+    Columnar runs reduce the static advertised-flag bitmask column under
+    the observation log's group accumulators; no per-peer aggregates are
+    materialised.
     """
-    groups = ("floodfill", "reachable", "unreachable", "total")
-    counts: Dict[str, Dict[str, int]] = {g: {t: 0 for t in _TIER_ORDER} for g in groups}
-    totals: Dict[str, int] = {g: 0 for g in groups}
-    for aggregate in log.peers.values():
-        advertised = {tier for tier in aggregate.advertised_flag_days}
-        for group in _peer_groups(aggregate):
-            totals[group] += 1
-            for tier in advertised:
-                if tier in counts[group]:
-                    counts[group][tier] += 1
+    counts, totals = log.advertised_tier_breakdown(_TIER_ORDER)
     breakdown: Dict[str, Dict[str, float]] = {}
-    for group in groups:
+    for group, group_counts in counts.items():
         total = totals[group]
         breakdown[group] = {
-            tier: (counts[group][tier] / total * 100.0) if total else 0.0
+            tier: (group_counts[tier] / total * 100.0) if total else 0.0
             for tier in _TIER_ORDER
         }
     return breakdown
@@ -185,19 +168,8 @@ def estimate_population(
     mean_daily_floodfills = log.mean_daily("floodfill_peers")
     mean_daily_peers = log.mean_daily("observed_peers")
 
-    floodfill_aggregates = [
-        aggregate for aggregate in log.peers.values() if aggregate.floodfill_days > 0
-    ]
-    if floodfill_aggregates:
-        qualified = sum(
-            1
-            for aggregate in floodfill_aggregates
-            if (aggregate.dominant_tier() or "L") in _QUALIFIED_TIERS
-        )
-        qualified_share = qualified / len(floodfill_aggregates)
-    else:
-        qualified = 0
-        qualified_share = 0.0
+    floodfill_count, qualified = log.floodfill_qualified_counts(_QUALIFIED_TIERS)
+    qualified_share = qualified / floodfill_count if floodfill_count else 0.0
 
     qualified_daily = mean_daily_floodfills * qualified_share
     estimated_population = (

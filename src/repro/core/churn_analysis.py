@@ -16,12 +16,12 @@ hundred addresses).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from ..analysis.series import FigureData
-from .monitor import ObservationLog, PeerObservationAggregate
+from .monitor import ObservationLog
 
 __all__ = [
     "LongevitySummary",
@@ -95,18 +95,6 @@ class IpChurnSummary:
 # --------------------------------------------------------------------------- #
 # Longevity (Figure 7)
 # --------------------------------------------------------------------------- #
-def _presence_lengths(
-    peers: Sequence[PeerObservationAggregate],
-) -> Tuple[np.ndarray, np.ndarray]:
-    continuous = np.fromiter(
-        (p.longest_continuous_run() for p in peers), dtype=float, count=len(peers)
-    )
-    intermittent = np.fromiter(
-        (p.observation_span_days for p in peers), dtype=float, count=len(peers)
-    )
-    return continuous, intermittent
-
-
 def longevity(
     log: ObservationLog, thresholds: Sequence[int] = (7, 30)
 ) -> Dict[int, Dict[str, float]]:
@@ -114,11 +102,12 @@ def longevity(
 
     Returns ``{n: {"continuous": pct, "intermittent": pct}}`` with
     percentages in the 0–100 range (matching the paper's reporting).
+    Computed straight off the observation log's columnar accumulators —
+    no per-peer aggregate objects are materialised for columnar runs.
     """
-    peers = list(log.peers.values())
-    if not peers:
+    continuous, intermittent = log.presence_lengths()
+    if not continuous.size:
         raise ValueError("no peers were observed")
-    continuous, intermittent = _presence_lengths(peers)
     result: Dict[int, Dict[str, float]] = {}
     for threshold in thresholds:
         result[int(threshold)] = {
@@ -143,10 +132,9 @@ def longevity_figure(
     log: ObservationLog, max_days: Optional[int] = None, step: int = 5
 ) -> FigureData:
     """Figure 7: survival curves of continuous and intermittent presence."""
-    peers = list(log.peers.values())
-    if not peers:
+    continuous, intermittent = log.presence_lengths()
+    if not continuous.size:
         raise ValueError("no peers were observed")
-    continuous, intermittent = _presence_lengths(peers)
     max_days = max_days or log.days_recorded
     figure = FigureData(
         figure_id="figure_07",
@@ -157,7 +145,7 @@ def longevity_figure(
     continuous_series = figure.new_series("continuously")
     intermittent_series = figure.new_series("intermittently")
     thresholds = list(range(step, max_days + 1, step)) or [max_days]
-    total = len(peers)
+    total = int(continuous.size)
     for threshold in thresholds:
         continuous_series.add(
             threshold, float((continuous >= threshold).sum()) / total * 100.0
@@ -172,22 +160,24 @@ def longevity_figure(
 # IP churn (Figure 8)
 # --------------------------------------------------------------------------- #
 def ip_churn(log: ObservationLog, over_threshold: int = 100) -> IpChurnSummary:
-    """Campaign-level IP-address churn statistics (Section 5.2.2)."""
-    known = log.known_ip_peers()
-    single = sum(1 for p in known if p.address_count == 1)
-    multi = sum(1 for p in known if p.address_count >= 2)
-    over = sum(1 for p in known if p.address_count > over_threshold)
+    """Campaign-level IP-address churn statistics (Section 5.2.2).
+
+    Works off the per-peer distinct-address counters the columnar
+    observation log accumulates while recording, so no aggregate objects
+    are materialised for columnar runs.
+    """
+    counts = log.ipv4_address_counts()
     return IpChurnSummary(
-        known_ip_peers=len(known),
-        single_ip_peers=single,
-        multi_ip_peers=multi,
-        peers_over_100_ips=over,
+        known_ip_peers=int(counts.size),
+        single_ip_peers=int(np.count_nonzero(counts == 1)),
+        multi_ip_peers=int(np.count_nonzero(counts >= 2)),
+        peers_over_100_ips=int(np.count_nonzero(counts > over_threshold)),
     )
 
 
 def ip_churn_figure(log: ObservationLog, max_addresses: int = 16) -> FigureData:
     """Figure 8: number of peers associated with 1..N IP addresses."""
-    known = log.known_ip_peers()
+    counts = log.ipv4_address_counts()
     figure = FigureData(
         figure_id="figure_08",
         title="Number of IP addresses I2P peers are associated with",
@@ -196,17 +186,19 @@ def ip_churn_figure(log: ObservationLog, max_addresses: int = 16) -> FigureData:
     )
     counts_series = figure.new_series("observed peers")
     share_series = figure.new_series("percentage")
-    total = len(known)
+    total = int(counts.size)
+    histogram = (
+        np.bincount(np.minimum(counts, max_addresses), minlength=max_addresses + 1)
+        if total
+        else np.zeros(max_addresses + 1, dtype=np.int64)
+    )
     for addresses in range(1, max_addresses + 1):
-        if addresses < max_addresses:
-            count = sum(1 for p in known if p.address_count == addresses)
-        else:
-            count = sum(1 for p in known if p.address_count >= addresses)
+        count = int(histogram[addresses])
         counts_series.add(addresses, count)
         share_series.add(addresses, (count / total * 100.0) if total else 0.0)
     if total:
+        multi_share = float(np.count_nonzero(counts >= 2)) / total * 100.0
         figure.add_note(
-            f"known-IP peers: {total}; "
-            f"multi-IP share: {sum(1 for p in known if p.address_count >= 2) / total * 100:.1f}%"
+            f"known-IP peers: {total}; multi-IP share: {multi_share:.1f}%"
         )
     return figure

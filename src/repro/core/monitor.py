@@ -389,6 +389,7 @@ class _LogAccumulator:
             "unreachable_days",
             "floodfill_days",
             "seen_version",
+            "ipv4_count",
         )
         if old_capacity:
             arrays = {name: getattr(self, name) for name in names}
@@ -401,6 +402,16 @@ class _LogAccumulator:
         self.unreachable_days = np.zeros(capacity, dtype=np.int32)
         self.floodfill_days = np.zeros(capacity, dtype=np.int32)
         self.seen_version = np.zeros(capacity, dtype=np.int64)
+        #: Observed IPv4 addresses per peer, counted as address-change
+        #: capture events (appended only when the assignment version
+        #: advanced).  Each allocation takes a fresh host index, so the
+        #: count equals the number of *distinct* addresses as long as an
+        #: AS's host counter has not wrapped its 254×254 address space —
+        #: far beyond any supported campaign scale (a paper-scale 90-day
+        #: run allocates well under 64K addresses even in the
+        #: heaviest-weight AS); the columnar/aggregate equivalence tests
+        #: cover the supported scales.
+        self.ipv4_count = np.zeros(capacity, dtype=np.int32)
         for name, array in arrays.items():
             getattr(self, name)[:old_capacity] = array
         self.capacity = capacity
@@ -527,16 +538,18 @@ class ObservationLog:
         address_changed = valid & (acc.seen_version[observed_global] != versions)
         if np.any(address_changed):
             changed_global = observed_global[address_changed]
+            changed_ipv6 = cols.ipv6[mask][address_changed]
             events = acc.addr_events
             for g, ip, ipv6_addr, country, asn in zip(
                 changed_global.tolist(),
                 cols.ip[mask][address_changed].tolist(),
-                cols.ipv6[mask][address_changed].tolist(),
+                changed_ipv6.tolist(),
                 cols.country[mask][address_changed].tolist(),
                 cols.asn[mask][address_changed].tolist(),
             ):
                 events.setdefault(g, []).append((ip, ipv6_addr, country, asn))
             acc.seen_version[changed_global] = versions[address_changed]
+            acc.ipv4_count[changed_global] += 1
 
         self.daily.append(stats)
         return stats
@@ -665,6 +678,154 @@ class ObservationLog:
 
     def known_ip_peers(self) -> List[PeerObservationAggregate]:
         return [p for p in self.peers.values() if p.has_known_ip]
+
+    # ------------------------------------------------------------------ #
+    # Columnar analysis accessors (no aggregate materialisation)
+    # ------------------------------------------------------------------ #
+    def _observed_rows(self) -> np.ndarray:
+        """Global peer rows observed at least once (columnar runs only)."""
+        acc = self._acc
+        assert acc is not None
+        size = acc.store.size
+        return np.nonzero(acc.first_day[:size] >= 0)[0]
+
+    def presence_lengths(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per observed peer: (longest continuous run, observation span).
+
+        Columnar runs answer straight from the accumulator's observation
+        bitmatrix — one vectorised pass per recorded day for the run
+        lengths — without materialising any
+        :class:`PeerObservationAggregate`; row-oriented runs fall back to
+        the per-peer aggregates.  Peer order is unspecified but consistent
+        between the two returned arrays.
+        """
+        if self._acc is None:
+            peers = list(self.peers.values())
+            continuous = np.fromiter(
+                (p.longest_continuous_run() for p in peers),
+                dtype=np.int64,
+                count=len(peers),
+            )
+            intermittent = np.fromiter(
+                (p.observation_span_days for p in peers),
+                dtype=np.int64,
+                count=len(peers),
+            )
+            return continuous, intermittent
+        acc = self._acc
+        rows = self._observed_rows()
+        intermittent = (
+            acc.last_day[rows].astype(np.int64) - acc.first_day[rows] + 1
+        )
+        observed = acc.observed[rows]
+        run = np.zeros(rows.size, dtype=np.int64)
+        best = np.zeros(rows.size, dtype=np.int64)
+        last_recorded_day = self.daily[-1].day if self.daily else -1
+        for day in range(min(last_recorded_day + 1, acc.horizon)):
+            run = (run + 1) * observed[:, day]
+            np.maximum(best, run, out=best)
+        return best, intermittent
+
+    def ipv4_address_counts(self) -> np.ndarray:
+        """Distinct observed IPv4 addresses per *known-IP* peer.
+
+        The returned array has one entry per peer that was ever observed
+        with a usable address (the Figure 8 population); order is
+        unspecified.
+        """
+        if self._acc is None:
+            return np.asarray(
+                [p.address_count for p in self.peers.values() if p.has_known_ip],
+                dtype=np.int64,
+            )
+        acc = self._acc
+        rows = self._observed_rows()
+        counts = acc.ipv4_count[rows]
+        # Capture events require a valid IPv4, so a known-IP peer always
+        # has ipv4_count > 0 (there are no IPv6-only known peers on either
+        # recording path).
+        return counts[counts > 0].astype(np.int64)
+
+    def floodfill_qualified_counts(
+        self, qualified_tier_values: Sequence[str]
+    ) -> Tuple[int, int]:
+        """(ever-floodfill peers, those whose primary tier is qualified)."""
+        qualified_set = set(qualified_tier_values)
+        if self._acc is None:
+            floodfills = [p for p in self.peers.values() if p.floodfill_days > 0]
+            qualified = sum(
+                1
+                for p in floodfills
+                if (p.dominant_tier() or "L") in qualified_set
+            )
+            return len(floodfills), qualified
+        acc = self._acc
+        rows = self._observed_rows()
+        floodfill = acc.floodfill_days[rows] > 0
+        codes = acc.store.tier_code[rows][floodfill]
+        qualified_codes = [
+            code
+            for code, tier in enumerate(TIER_ORDER)
+            if tier.value in qualified_set
+        ]
+        qualified = int(np.count_nonzero(np.isin(codes, qualified_codes)))
+        return int(np.count_nonzero(floodfill)), qualified
+
+    def advertised_tier_breakdown(
+        self, tier_values: Sequence[str]
+    ) -> Tuple[Dict[str, Dict[str, int]], Dict[str, int]]:
+        """Per-group advertised-flag counts for Table 1.
+
+        Returns ``(counts, totals)`` where ``counts[group][tier]`` is the
+        number of observed peers in ``group`` that ever advertised ``tier``
+        and ``totals[group]`` the group's peer count, for the groups
+        ``floodfill`` / ``reachable`` / ``unreachable`` / ``total``.
+        Columnar runs reduce the static advertised-tier bitmask column
+        under the accumulator's group masks; row-oriented runs fall back to
+        the per-peer aggregates.
+        """
+        groups = ("floodfill", "reachable", "unreachable", "total")
+        counts: Dict[str, Dict[str, int]] = {
+            g: {t: 0 for t in tier_values} for g in groups
+        }
+        totals: Dict[str, int] = {g: 0 for g in groups}
+        if self._acc is None:
+            for aggregate in self.peers.values():
+                advertised = set(aggregate.advertised_flag_days)
+                peer_groups = ["total"]
+                if aggregate.floodfill_days > 0:
+                    peer_groups.append("floodfill")
+                if aggregate.reachable_days > 0:
+                    peer_groups.append("reachable")
+                if aggregate.unreachable_days > 0:
+                    peer_groups.append("unreachable")
+                for group in peer_groups:
+                    totals[group] += 1
+                    for tier in advertised:
+                        if tier in counts[group]:
+                            counts[group][tier] += 1
+            return counts, totals
+        acc = self._acc
+        rows = self._observed_rows()
+        advertised_mask = acc.store.advertised_mask[rows]
+        group_masks = {
+            "floodfill": acc.floodfill_days[rows] > 0,
+            "reachable": acc.reachable_days[rows] > 0,
+            "unreachable": acc.unreachable_days[rows] > 0,
+            "total": np.ones(rows.size, dtype=bool),
+        }
+        tier_by_value = {tier.value: code for code, tier in enumerate(TIER_ORDER)}
+        for group, group_mask in group_masks.items():
+            totals[group] = int(np.count_nonzero(group_mask))
+            masked = advertised_mask[group_mask]
+            for tier_value in tier_values:
+                code = tier_by_value.get(tier_value)
+                if code is None:
+                    continue
+                counts[group][tier_value] = int(
+                    np.count_nonzero(masked & np.uint8(1 << code))
+                )
+        return counts, totals
 
     def mean_daily_observed(self) -> float:
         if not self.daily:

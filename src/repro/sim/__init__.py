@@ -20,6 +20,7 @@ from .geo import (
     GeoRegistry,
     default_registry,
 )
+from .exposure import ExposureEngine, SharedExposure, default_engine, set_default_engine
 from .ip import AddressProfile, IpAssignment, IpAssignmentManager
 from .network import I2PNetwork, SimulatedRouter
 from .observation import (
@@ -67,6 +68,10 @@ __all__ = [
     "Country",
     "GeoRegistry",
     "default_registry",
+    "ExposureEngine",
+    "SharedExposure",
+    "default_engine",
+    "set_default_engine",
     "AddressProfile",
     "IpAssignment",
     "IpAssignmentManager",

@@ -21,6 +21,8 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..netdb.routerinfo import BandwidthTier, QUALIFIED_FLOODFILL_TIERS
 
 __all__ = ["BandwidthModel", "TierAssignment", "DEFAULT_TIER_WEIGHTS", "DEFAULT_FLOODFILL_PROBABILITY"]
@@ -134,6 +136,59 @@ class BandwidthModel:
             shared_kbps=kbps,
             floodfill=floodfill,
         )
+
+    def sample_batch(
+        self, count: int, rng: np.random.Generator
+    ) -> List[TierAssignment]:
+        """Sample ``count`` tier assignments with batched NumPy draws.
+
+        Part of the bootstrap batched-RNG scheme (see
+        :meth:`repro.sim.population.I2PPopulation._bootstrap_initial_population`):
+        the marginal distributions match :meth:`sample` exactly, but the
+        draws come from a NumPy generator in column order (tiers, then
+        bandwidths, then floodfill coins, then compat-O coins) instead of
+        one :mod:`random` stream in per-peer order.
+        """
+        cumulative = np.asarray(self._cumulative)
+        tier_idx = np.searchsorted(cumulative, rng.random(count), side="left")
+        tier_idx = np.minimum(tier_idx, len(self._tiers) - 1)
+
+        bandwidth_u = rng.random(count)
+        kbps = np.empty(count, dtype=np.float64)
+        for code, tier in enumerate(self._tiers):
+            rows = np.nonzero(tier_idx == code)[0]
+            if not rows.size:
+                continue
+            low, high = tier.min_kbps, tier.max_kbps
+            if high == float("inf"):
+                kbps[rows] = 2000.0 * (5.0 ** bandwidth_u[rows])
+            else:
+                kbps[rows] = low + bandwidth_u[rows] * max(0.0, high - 1e-9 - low)
+
+        floodfill_prob = np.asarray(
+            [self._floodfill_probability.get(t, 0.0) for t in self._tiers]
+        )
+        floodfill = rng.random(count) < floodfill_prob[tier_idx]
+        compat_tiers = np.asarray(
+            [t in BACKWARD_COMPAT_O_TIERS for t in self._tiers], dtype=bool
+        )
+        compat = compat_tiers[tier_idx] & (
+            rng.random(count) < BACKWARD_COMPAT_O_PROBABILITY
+        )
+
+        assignments: List[TierAssignment] = []
+        for i in range(count):
+            tier = self._tiers[int(tier_idx[i])]
+            advertised = (BandwidthTier.O, tier) if compat[i] else (tier,)
+            assignments.append(
+                TierAssignment(
+                    primary_tier=tier,
+                    advertised_tiers=advertised,
+                    shared_kbps=float(kbps[i]),
+                    floodfill=bool(floodfill[i]),
+                )
+            )
+        return assignments
 
     # ------------------------------------------------------------------ #
     # Expectations (useful for calibration tests)

@@ -88,6 +88,7 @@ class PeerColumns:
         self._base_visibility = np.zeros(capacity, dtype=np.float64)
         self._vis_class = np.zeros(capacity, dtype=np.uint8)
         self._tier_code = np.zeros(capacity, dtype=np.int16)
+        self._advertised_mask = np.zeros(capacity, dtype=np.uint8)
         self._floodfill = np.zeros(capacity, dtype=bool)
         self._supports_ipv6 = np.zeros(capacity, dtype=bool)
         self._static_ip = np.zeros(capacity, dtype=bool)
@@ -112,6 +113,7 @@ class PeerColumns:
             "_base_visibility",
             "_vis_class",
             "_tier_code",
+            "_advertised_mask",
             "_floodfill",
             "_supports_ipv6",
             "_static_ip",
@@ -147,6 +149,10 @@ class PeerColumns:
         self._base_visibility[i] = record.base_visibility
         self._vis_class[i] = VIS_CODE[record.visibility_class]
         self._tier_code[i] = _TIER_CODE[record.tier.primary_tier]
+        advertised = 0
+        for tier in record.tier.advertised_tiers:
+            advertised |= 1 << _TIER_CODE[tier]
+        self._advertised_mask[i] = advertised
         self._floodfill[i] = record.tier.floodfill
         self._supports_ipv6[i] = record.supports_ipv6
         self._static_ip[i] = static_ip
@@ -191,6 +197,11 @@ class PeerColumns:
     @property
     def tier_code(self) -> np.ndarray:
         return self._tier_code[: self.size]
+
+    @property
+    def advertised_mask(self) -> np.ndarray:
+        """Per-peer bitmask of advertised tiers (bit ``i`` = ``TIER_ORDER[i]``)."""
+        return self._advertised_mask[: self.size]
 
     @property
     def floodfill(self) -> np.ndarray:

@@ -1,0 +1,362 @@
+"""Shared exposure engine: one population + exposure computation, many experiments.
+
+The paper's figure suite re-runs near-identical measurement campaigns under
+varied monitor configurations: the bandwidth sweep (Figure 3), the router
+count sweep (Figure 4), and the main campaign (Figures 5–12) all observe
+*the same* seeded population.  Before this module each experiment rebuilt
+that population — and re-drew the daily exposure indicators — from scratch,
+so a full figure suite cost N× the single-campaign wall time.
+
+:class:`ExposureEngine` is a keyed cache fixing that:
+
+* **Cache key** — ``(PopulationConfig, observation_seed)``.  The population
+  config (which includes the population seed, target size, and horizon) and
+  the derived observation seed fully determine every array this module
+  produces; ``days`` is *not* part of the key — day state is materialised
+  lazily and a longer request simply extends the shared prefix, so an
+  exposure computed for a 3-day sweep is byte-identical to the first three
+  days of the 10-day main campaign's exposure.
+* **Shared day state** — per cached key, a :class:`SharedExposure` holds the
+  fully built columnar population, one :class:`~repro.sim.population.DayView`
+  per materialised day, and one :class:`~repro.sim.observation.DayExposure`
+  (the flood/tunnel indicator draws shared by every monitor) per day.
+  Downstream consumers treat all of it as read-only.
+* **Per-monitor masks** — ``monitor_day_mask(spec, day)`` returns the boolean
+  observation mask of one monitor on one day, computed once and cached
+  bit-packed.  Masks are drawn from a generator seeded by
+  ``derive_seed(observation_seed, "monitor:<name>|<mode>|<kbps>|day:<day>")``,
+  so a monitor's mask depends only on the cache key, the spec, and the day —
+  *not* on which other monitors exist.  Experiments therefore share masks:
+  the ``ff-0`` router of the main campaign and the ``ff-0`` router of the
+  router-count sweep see exactly the same peers.
+
+RNG draw-order note (documented break)
+--------------------------------------
+The historical engine drew exposure indicators and per-monitor uniforms from
+one sequential stream in fleet order, which made every day's draws depend on
+the fleet size of all earlier days.  The engine replaces that with the keyed
+scheme above: a dedicated ``"exposure"`` substream consumed day by day, plus
+one derived substream per ``(monitor, day)``.  Campaign realisations at a
+fixed seed therefore differ from pre-engine versions draw-by-draw, while all
+marginal observation probabilities — and hence every calibrated figure shape
+— are unchanged.  In exchange, cached and rebuilt-from-scratch experiments
+are byte-identical, which `tests/sim/test_exposure.py` locks in.
+
+Cache invalidation is by eviction only: entries are immutable once built, a
+small LRU (default 4 keys) bounds memory, and :meth:`ExposureEngine.clear`
+drops everything.  An optional process-pool fan-out
+(:meth:`SharedExposure.prefetch_masks` with ``workers > 1``, or the
+``REPRO_EXPOSURE_WORKERS`` environment variable) computes per-monitor masks
+for large fleets in parallel; results are identical to the serial path
+because every mask has its own derived seed.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .observation import DayExposure, MonitorSpec, ObservationModel
+from .population import DayView, I2PPopulation, PopulationConfig
+from .rng import derive_seed
+
+__all__ = [
+    "ExposureEngine",
+    "SharedExposure",
+    "default_engine",
+    "set_default_engine",
+]
+
+
+MonitorKey = Tuple[str, str, float]
+
+
+def _monitor_key(spec: MonitorSpec) -> MonitorKey:
+    return (spec.name, spec.mode.value, float(spec.shared_kbps))
+
+
+def _mask_stream_name(spec: MonitorSpec, day: int) -> str:
+    # repr() keeps full float precision: two monitors whose bandwidths agree
+    # only to a few significant digits must not share a mask stream.
+    return f"monitor:{spec.name}|{spec.mode.value}|{spec.shared_kbps!r}|day:{day}"
+
+
+def _draw_monitor_mask(
+    observation_seed: int, spec: MonitorSpec, day: int, exposure: DayExposure
+) -> np.ndarray:
+    """The pure per-(monitor, day) mask computation (also run in workers)."""
+    probabilities = ObservationModel.observation_probabilities(exposure, spec)
+    rng = np.random.default_rng(
+        derive_seed(observation_seed, _mask_stream_name(spec, day))
+    )
+    return rng.random(probabilities.size) < probabilities
+
+
+# --------------------------------------------------------------------------- #
+# Optional process-pool fan-out
+# --------------------------------------------------------------------------- #
+#: Per-worker day exposure payload, installed by the pool initializer so each
+#: task only ships its (spec, day) tuple instead of the day arrays.
+_WORKER_EXPOSURES: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+
+
+def _pool_init(payload: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]]) -> None:
+    global _WORKER_EXPOSURES
+    _WORKER_EXPOSURES = payload
+
+
+def _pool_compute(
+    task: Tuple[int, str, str, float, int]
+) -> Tuple[str, str, float, int, np.ndarray, int]:
+    observation_seed, name, mode_value, kbps, day = task
+    flood, tunnel, visibility = _WORKER_EXPOSURES[day]
+    from .observation import MonitorMode  # local import keeps workers lean
+
+    spec = MonitorSpec(name, MonitorMode(mode_value), kbps)
+    exposure = DayExposure(flood, tunnel, visibility)
+    mask = _draw_monitor_mask(observation_seed, spec, day, exposure)
+    return (name, mode_value, kbps, day, np.packbits(mask), mask.size)
+
+
+def _env_workers() -> int:
+    try:
+        return int(os.environ.get("REPRO_EXPOSURE_WORKERS", "0"))
+    except ValueError:
+        return 0
+
+
+class SharedExposure:
+    """Read-only day state shared by every experiment over one cache key."""
+
+    def __init__(
+        self, population_config: PopulationConfig, observation_seed: int
+    ) -> None:
+        self.population_config = population_config
+        self.observation_seed = observation_seed
+        self.population = I2PPopulation(config=population_config)
+        self.views: List[DayView] = []
+        self._exposures: List[DayExposure] = []
+        self._exposure_rng = np.random.default_rng(
+            derive_seed(observation_seed, "exposure")
+        )
+        #: Bit-packed masks keyed by (monitor key, day).
+        self._masks: Dict[Tuple[MonitorKey, int], Tuple[np.ndarray, int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Day materialisation
+    # ------------------------------------------------------------------ #
+    @property
+    def days_materialised(self) -> int:
+        return len(self.views)
+
+    def ensure_days(self, days: int) -> None:
+        """Materialise day views and exposure draws for days ``[0, days)``.
+
+        Extending is prefix-stable: the state for day *d* is identical no
+        matter how many further days are materialised afterwards.
+        """
+        if days > self.population_config.horizon_days:
+            raise ValueError(
+                f"{days} days exceed the population horizon "
+                f"{self.population_config.horizon_days}"
+            )
+        if days > len(self.views) and self.population._current_day != len(self.views) - 1:
+            raise RuntimeError(
+                "the shared population was advanced outside the exposure "
+                "engine (e.g. via CampaignResult.population.day_view); the "
+                "cached day state can no longer be extended — read days "
+                "through SharedExposure.view(day), or use a private "
+                "ExposureEngine for runs whose population you mutate"
+            )
+        while len(self.views) < days:
+            view = self.population.day_view(len(self.views))
+            self.views.append(view)
+            self._exposures.append(
+                ObservationModel.draw_day_exposure(view, self._exposure_rng)
+            )
+
+    def view(self, day: int) -> DayView:
+        self.ensure_days(day + 1)
+        return self.views[day]
+
+    def exposure(self, day: int) -> DayExposure:
+        self.ensure_days(day + 1)
+        return self._exposures[day]
+
+    def daily_online(self, days: int) -> List[int]:
+        self.ensure_days(days)
+        return [view.online_count for view in self.views[:days]]
+
+    # ------------------------------------------------------------------ #
+    # Per-monitor masks
+    # ------------------------------------------------------------------ #
+    def monitor_day_mask(self, spec: MonitorSpec, day: int) -> np.ndarray:
+        """Boolean mask of the peers ``spec`` observes on ``day`` (cached)."""
+        key = (_monitor_key(spec), day)
+        cached = self._masks.get(key)
+        if cached is None:
+            mask = _draw_monitor_mask(
+                self.observation_seed, spec, day, self.exposure(day)
+            )
+            self._masks[key] = (np.packbits(mask), mask.size)
+            return mask
+        packed, count = cached
+        return np.unpackbits(packed, count=count).view(bool)
+
+    def fleet_day_masks(
+        self, specs: Sequence[MonitorSpec], day: int
+    ) -> np.ndarray:
+        """``(len(specs), online_count)`` boolean matrix for one day."""
+        count = self.view(day).online_count
+        masks = np.empty((len(specs), count), dtype=bool)
+        for row, spec in enumerate(specs):
+            masks[row] = self.monitor_day_mask(spec, day)
+        return masks
+
+    def prefetch_masks(
+        self,
+        specs: Sequence[MonitorSpec],
+        days: int,
+        workers: Optional[int] = None,
+        min_tasks_per_worker: int = 4,
+    ) -> None:
+        """Compute (and cache) all ``(spec, day)`` masks, optionally in a
+        process pool.
+
+        ``workers`` defaults to the ``REPRO_EXPOSURE_WORKERS`` environment
+        variable (0 = serial).  Results are bit-for-bit identical to the
+        serial path — each mask has its own derived seed — so the pool is a
+        pure wall-time optimisation for large fleets.  Any pool failure
+        falls back to serial computation.
+        """
+        self.ensure_days(days)
+        pending: List[Tuple[MonitorSpec, int]] = []
+        for spec in specs:
+            key = _monitor_key(spec)
+            for day in range(days):
+                if (key, day) not in self._masks:
+                    pending.append((spec, day))
+        if not pending:
+            return
+        workers = _env_workers() if workers is None else workers
+        if workers > 1 and len(pending) >= workers * min_tasks_per_worker:
+            try:
+                self._prefetch_pool(pending, days, workers)
+                return
+            except Exception:  # pragma: no cover - pool availability varies
+                pass
+        for spec, day in pending:
+            self.monitor_day_mask(spec, day)
+
+    def _prefetch_pool(
+        self, pending: Sequence[Tuple[MonitorSpec, int]], days: int, workers: int
+    ) -> None:
+        from concurrent.futures import ProcessPoolExecutor
+
+        payload = {
+            day: (
+                np.asarray(self._exposures[day].flood_exposed),
+                np.asarray(self._exposures[day].tunnel_exposed),
+                np.asarray(self._exposures[day].visibility),
+            )
+            for day in sorted({day for _, day in pending})
+        }
+        tasks = [
+            (self.observation_seed, spec.name, spec.mode.value, float(spec.shared_kbps), day)
+            for spec, day in pending
+        ]
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_pool_init, initargs=(payload,)
+        ) as pool:
+            for name, mode_value, kbps, day, packed, count in pool.map(
+                _pool_compute, tasks, chunksize=max(1, len(tasks) // (workers * 4))
+            ):
+                self._masks[((name, mode_value, kbps), day)] = (packed, count)
+
+    # ------------------------------------------------------------------ #
+    # Unions / coverage helpers
+    # ------------------------------------------------------------------ #
+    def union_day_mask(self, specs: Sequence[MonitorSpec], day: int) -> np.ndarray:
+        masks = self.fleet_day_masks(specs, day)
+        return np.logical_or.reduce(masks, axis=0)
+
+    def cumulative_union_sizes(
+        self, specs: Sequence[MonitorSpec], day: int
+    ) -> List[int]:
+        return ObservationModel.cumulative_union_sizes_from_masks(
+            self.fleet_day_masks(specs, day)
+        )
+
+
+class ExposureEngine:
+    """LRU cache of :class:`SharedExposure` entries."""
+
+    def __init__(self, capacity: int = 4) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[PopulationConfig, int], SharedExposure]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def get(
+        self,
+        population_config: PopulationConfig,
+        observation_seed: int,
+        days: Optional[int] = None,
+    ) -> SharedExposure:
+        """The shared exposure for a key, built on first use.
+
+        When ``days`` is given, at least that many days are materialised
+        before returning.
+        """
+        key = (population_config, observation_seed)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            entry = SharedExposure(population_config, observation_seed)
+            self._entries[key] = entry
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        else:
+            self.hits += 1
+            self._entries.move_to_end(key)
+        if days is not None:
+            entry.ensure_days(days)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        # An empty engine must stay truthy: callers write
+        # ``engine or default_engine()`` style fallbacks and a fresh cache
+        # is still a perfectly good engine.
+        return True
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+_DEFAULT_ENGINE: Optional[ExposureEngine] = None
+
+
+def default_engine() -> ExposureEngine:
+    """The process-wide engine campaigns fall back to when none is passed."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = ExposureEngine()
+    return _DEFAULT_ENGINE
+
+
+def set_default_engine(engine: Optional[ExposureEngine]) -> Optional[ExposureEngine]:
+    """Replace the process-wide default engine; returns the previous one."""
+    global _DEFAULT_ENGINE
+    previous = _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = engine
+    return previous

@@ -30,6 +30,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 __all__ = [
     "Country",
     "AutonomousSystem",
@@ -391,6 +393,11 @@ class GeoRegistry:
             acc += weight / total
             self._country_cumulative.append(acc)
 
+        # NumPy sampling tables, built lazily for the batched bootstrap.
+        self._np_country_cum: Optional[np.ndarray] = None
+        self._np_as_tables: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        self._np_joint_table: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
@@ -441,6 +448,79 @@ class GeoRegistry:
             if point <= acc:
                 return asys
         return candidates[-1]
+
+    # ------------------------------------------------------------------ #
+    # Batched sampling (bootstrap vectorisation)
+    # ------------------------------------------------------------------ #
+    def sample_country_codes_batch(
+        self, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """``count`` country codes drawn with one vectorised uniform batch.
+
+        Same marginal distribution as :meth:`sample_country`; part of the
+        bootstrap batched-RNG scheme.
+        """
+        if self._np_country_cum is None:
+            self._np_country_cum = np.asarray(self._country_cumulative)
+        idx = np.searchsorted(self._np_country_cum, rng.random(count), side="left")
+        idx = np.minimum(idx, len(self._country_codes) - 1)
+        codes = np.asarray(self._country_codes, dtype=object)
+        return codes[idx]
+
+    def _as_table(self, country_code: str) -> Tuple[np.ndarray, np.ndarray]:
+        """(asns, cumulative weights) for one country, cached."""
+        table = self._np_as_tables.get(country_code)
+        if table is None:
+            candidates = self._ases_by_country.get(country_code)
+            if not candidates:
+                raise KeyError(f"no ASes registered for country {country_code}")
+            weights = np.asarray([max(a.weight, 1e-9) for a in candidates])
+            cumulative = np.cumsum(weights / weights.sum())
+            asns = np.asarray([a.asn for a in candidates], dtype=np.int64)
+            table = (asns, cumulative)
+            self._np_as_tables[country_code] = table
+        return table
+
+    def sample_as_batch(
+        self, country_codes: Sequence[str], rng: np.random.Generator
+    ) -> np.ndarray:
+        """One home ASN per country code, batched (grouped by country)."""
+        codes = np.asarray(country_codes, dtype=object)
+        draws = rng.random(codes.size)
+        asns = np.empty(codes.size, dtype=np.int64)
+        for code in set(codes.tolist()):
+            rows = np.nonzero(codes == code)[0]
+            table_asns, cumulative = self._as_table(code)
+            idx = np.searchsorted(cumulative, draws[rows], side="left")
+            asns[rows] = table_asns[np.minimum(idx, table_asns.size - 1)]
+        return asns
+
+    def sample_joint_as_batch(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """``count`` ASNs from the joint country × AS distribution.
+
+        Equivalent to sampling a country then an AS within it (the nomad
+        hop-pool construction), collapsed into one cumulative table.
+        """
+        if self._np_joint_table is None:
+            asns: List[int] = []
+            weights: List[float] = []
+            country_total = sum(c.weight for c in self._countries.values())
+            for code in self._country_codes:
+                p_country = self._countries[code].weight / country_total
+                candidates = self._ases_by_country[code]
+                as_weights = [max(a.weight, 1e-9) for a in candidates]
+                as_total = sum(as_weights)
+                for asys, weight in zip(candidates, as_weights):
+                    asns.append(asys.asn)
+                    weights.append(p_country * weight / as_total)
+            weight_array = np.asarray(weights)
+            self._np_joint_table = (
+                np.asarray(asns, dtype=np.int64),
+                np.cumsum(weight_array / weight_array.sum()),
+            )
+        table_asns, cumulative = self._np_joint_table
+        idx = np.searchsorted(cumulative, rng.random(count), side="left")
+        return table_asns[np.minimum(idx, table_asns.size - 1)]
 
     # ------------------------------------------------------------------ #
     # Resolution (the offline MaxMind stand-in)

@@ -19,6 +19,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from .geo import AutonomousSystem, GeoRegistry
 
 __all__ = ["AddressProfile", "IpAssignment", "IpAssignmentManager"]
@@ -150,9 +152,7 @@ class IpAssignmentManager:
         else:
             # Dynamic residential connections: lease rotation every few
             # days to a few weeks (heavy-tailed).
-            change_interval = self._rng.choice(
-                [2.0, 4.0, 7.0, 10.0, 14.0, 21.0, 30.0]
-            )
+            change_interval = self._rng.choice(self.DYNAMIC_INTERVALS)
 
         profile = AddressProfile(
             home_asn=asys.asn,
@@ -166,6 +166,101 @@ class IpAssignmentManager:
         self._current[peer_id] = assignment
         self._history[peer_id] = [assignment]
         return assignment
+
+    #: Dynamic-lease rotation intervals (days), heavy-tailed.
+    DYNAMIC_INTERVALS: Tuple[float, ...] = (2.0, 4.0, 7.0, 10.0, 14.0, 21.0, 30.0)
+
+    def register_peers_batch(
+        self,
+        peer_ids: Sequence[bytes],
+        country_codes: Sequence[str],
+        rng: np.random.Generator,
+    ) -> List[IpAssignment]:
+        """Register many peers with batched profile draws (bootstrap path).
+
+        Marginal distributions match :meth:`register_peer`; the draws come
+        from a NumPy generator in column order (home ASes, profile rolls,
+        intervals, nomad pools) instead of one :mod:`random` stream in
+        per-peer order.  Nomad hop-pools are assembled from one joint
+        country × AS candidate batch with per-peer order-preserving
+        de-duplication, so a pool may (rarely) end up slightly smaller than
+        its drawn target size — the same truncation the per-peer sampler's
+        attempt cap produced.
+        """
+        count = len(peer_ids)
+        if len(country_codes) != count:
+            raise ValueError("peer_ids and country_codes must align")
+        for peer_id in peer_ids:
+            if peer_id in self._profiles:
+                raise ValueError("peer already registered")
+
+        home_asns = self._registry.sample_as_batch(country_codes, rng)
+        rolls = rng.random(count)
+        nomadic = rolls < self.NOMADIC_FRACTION
+        static = ~nomadic & (rolls < self.NOMADIC_FRACTION + self.STATIC_FRACTION)
+
+        intervals = np.empty(count, dtype=np.float64)
+        intervals[static] = np.inf
+        dynamic = ~nomadic & ~static
+        dynamic_count = int(np.count_nonzero(dynamic))
+        if dynamic_count:
+            choices = np.asarray(self.DYNAMIC_INTERVALS)
+            intervals[dynamic] = choices[
+                rng.integers(0, choices.size, size=dynamic_count)
+            ]
+
+        nomad_rows = np.nonzero(nomadic)[0]
+        pools: Dict[int, Tuple[int, ...]] = {}
+        if nomad_rows.size:
+            extreme = rng.random(nomad_rows.size) < self.EXTREME_NOMAD_FRACTION
+            pool_sizes = np.where(
+                extreme,
+                rng.integers(11, 40, size=nomad_rows.size),
+                rng.integers(2, 11, size=nomad_rows.size),
+            )
+            intervals[nomad_rows] = np.where(
+                extreme,
+                0.6 + rng.random(nomad_rows.size) * (1.5 - 0.6),
+                1.5 + rng.random(nomad_rows.size) * (5.0 - 1.5),
+            )
+            # Over-draw joint candidates in one batch, then de-duplicate per
+            # peer preserving order.
+            overdraw = pool_sizes * 2 + 4
+            candidates = self._registry.sample_joint_as_batch(
+                int(overdraw.sum()), rng
+            )
+            cursor = 0
+            for position, row in enumerate(nomad_rows.tolist()):
+                take = int(overdraw[position])
+                window = candidates[cursor : cursor + take]
+                cursor += take
+                pool: List[int] = []
+                seen = set()
+                target = int(pool_sizes[position])
+                for asn in window.tolist():
+                    if asn not in seen:
+                        seen.add(asn)
+                        pool.append(asn)
+                        if len(pool) == target:
+                            break
+                pools[row] = tuple(pool)
+
+        assignments: List[IpAssignment] = []
+        for i, peer_id in enumerate(peer_ids):
+            asys = self._registry.autonomous_system(int(home_asns[i]))
+            profile = AddressProfile(
+                home_asn=asys.asn,
+                home_country=asys.country_code,
+                change_interval_days=float(intervals[i]),
+                nomadic=bool(nomadic[i]),
+                nomad_as_pool=pools.get(i, ()),
+            )
+            self._profiles[peer_id] = profile
+            assignment = self._allocate_in_as(asys)
+            self._current[peer_id] = assignment
+            self._history[peer_id] = [assignment]
+            assignments.append(assignment)
+        return assignments
 
     def is_registered(self, peer_id: bytes) -> bool:
         return peer_id in self._profiles

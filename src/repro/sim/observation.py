@@ -80,7 +80,14 @@ class MonitorSpec:
 
 @dataclass
 class DayExposure:
-    """Per-day exposure draws shared by every monitor (one per snapshot)."""
+    """Per-day exposure draws shared by every monitor (one per snapshot).
+
+    ``flood_exposed``/``tunnel_exposed`` are 0/1 indicator arrays; the
+    sequential :meth:`ObservationModel.day_exposure` path stores them as
+    floats (historical behaviour), the shared exposure engine
+    (:mod:`repro.sim.exposure`) as booleans — both work in the probability
+    arithmetic, which upcasts as needed.
+    """
 
     flood_exposed: np.ndarray
     tunnel_exposed: np.ndarray
@@ -134,8 +141,40 @@ class ObservationModel:
     # ------------------------------------------------------------------ #
     # Daily sampling
     # ------------------------------------------------------------------ #
-    def day_exposure(self, view: DayView) -> DayExposure:
-        """Draw the per-peer daily exposure indicators for a day view.
+    @staticmethod
+    def exposure_probabilities(
+        activity: np.ndarray, hidden: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-peer daily flood / tunnel exposure probabilities."""
+        flood_prob = np.clip(0.55 + 0.40 * activity, 0.0, 1.0)
+        tunnel_prob = np.clip(0.15 + 0.80 * activity, 0.0, 1.0) * (1.0 - 0.3 * hidden)
+        return flood_prob, tunnel_prob
+
+    @classmethod
+    def draw_day_exposure(
+        cls, view: DayView, rng: np.random.Generator
+    ) -> DayExposure:
+        """Draw a :class:`DayExposure` for ``view`` from an explicit generator.
+
+        This is the pure core behind :meth:`day_exposure`; the shared
+        exposure engine calls it with its own dedicated stream so exposure
+        draws no longer depend on how many monitors sampled earlier days.
+        Indicators are returned as booleans.
+        """
+        activity, visibility, hidden = cls._exposure_inputs(view)
+        flood_prob, tunnel_prob = cls.exposure_probabilities(activity, hidden)
+        count = activity.size
+        flood_exposed = rng.random(count) < flood_prob
+        tunnel_exposed = rng.random(count) < tunnel_prob
+        return DayExposure(
+            flood_exposed=flood_exposed,
+            tunnel_exposed=tunnel_exposed,
+            visibility=visibility,
+        )
+
+    @staticmethod
+    def _exposure_inputs(view: DayView) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Extract (activity, visibility, hidden) arrays from a day view.
 
         Columnar views are read straight from their arrays; snapshot-backed
         views fall back to one pass over the snapshot list.
@@ -158,36 +197,42 @@ class ObservationModel:
                 dtype=float,
                 count=count,
             )
-        flood_prob = np.clip(0.55 + 0.40 * activity, 0.0, 1.0)
-        tunnel_prob = np.clip(0.15 + 0.80 * activity, 0.0, 1.0) * (1.0 - 0.3 * hidden)
-        flood_exposed = self._rng.random(count) < flood_prob
-        tunnel_exposed = self._rng.random(count) < tunnel_prob
+        return activity, visibility, hidden
+
+    def day_exposure(self, view: DayView) -> DayExposure:
+        """Draw the per-peer daily exposure indicators for a day view.
+
+        Uses the model's own sequential stream (the historical draw order);
+        indicators come back as 0/1 floats for backwards compatibility.
+        """
+        exposure = self.draw_day_exposure(view, self._rng)
         return DayExposure(
-            flood_exposed=flood_exposed.astype(float),
-            tunnel_exposed=tunnel_exposed.astype(float),
-            visibility=visibility,
+            flood_exposed=exposure.flood_exposed.astype(float),
+            tunnel_exposed=exposure.tunnel_exposed.astype(float),
+            visibility=exposure.visibility,
         )
 
+    @classmethod
     def observation_probabilities(
-        self, exposure: DayExposure, monitor: MonitorSpec
+        cls, exposure: DayExposure, monitor: MonitorSpec
     ) -> np.ndarray:
         """Per-snapshot probability that ``monitor`` observes each peer today."""
-        bias = self.selection_bias(monitor.mode)
+        bias = cls.selection_bias(monitor.mode)
         vis = np.power(np.clip(exposure.visibility, 0.0, 1.6), bias)
         flood_term = (
             exposure.flood_exposed
-            * self.flood_coverage(monitor.mode, monitor.shared_kbps)
+            * cls.flood_coverage(monitor.mode, monitor.shared_kbps)
             * vis
         )
         tunnel_term = (
             exposure.tunnel_exposed
-            * self.tunnel_coverage(monitor.mode, monitor.shared_kbps)
+            * cls.tunnel_coverage(monitor.mode, monitor.shared_kbps)
             * vis
         )
         probability = 1.0 - (1.0 - np.clip(flood_term, 0.0, 1.0)) * (
             1.0 - np.clip(tunnel_term, 0.0, 1.0)
         )
-        return np.clip(probability, 0.0, self.MAX_PROBABILITY)
+        return np.clip(probability, 0.0, cls.MAX_PROBABILITY)
 
     def observe_day(
         self,

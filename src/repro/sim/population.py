@@ -26,10 +26,16 @@ built once at population bootstrap and appended to as arrivals join.  A
 row-oriented :class:`~repro.sim.peer.PeerDaySnapshot` objects are only
 materialised *lazily* — on first access to ``DayView.snapshots`` — so the
 vectorised observation pipeline never pays for them while legacy callers
-(usability sampling, CLI inspection, tests) keep working unchanged.  The
-per-day RNG draw order (arrival Poisson, IP rotation, flapping splits)
-matches the historical row-oriented engine exactly, so fixed seeds
-reproduce identical campaigns.
+(usability sampling, CLI inspection, tests) keep working unchanged.
+
+RNG scheme: *bootstrap* draws whole attribute columns at a time from the
+dedicated NumPy ``"bootstrap"`` substream (a documented draw-order break
+from the historical per-peer sampling — see
+:meth:`I2PPopulation._bootstrap_initial_population`; the marginal
+distributions are unchanged and locked in by
+``tests/sim/test_bootstrap_distribution.py``).  The per-day evolution draw
+order (arrival Poisson, IP rotation, flapping splits) is unchanged, and
+fixed seeds reproduce identical campaigns run-to-run.
 """
 
 from __future__ import annotations
@@ -45,6 +51,7 @@ from .bandwidth import BandwidthModel, TierAssignment
 from .churn import ChurnModel, PresenceSchedule
 from .columns import (
     TIER_ORDER,
+    VIS_CODE,
     VIS_FIREWALLED,
     VIS_FLAPPING,
     VIS_HIDDEN,
@@ -56,7 +63,11 @@ from .geo import GeoRegistry, default_registry
 from .ip import IpAssignmentManager
 from .peer import PeerDaySnapshot, PeerRecord, VisibilityClass
 from .rng import SeededStreams
-from ..transport.ports import random_i2p_port
+from ..netdb.identity import IDENTITY_KEY_LENGTH
+from ..transport.ports import random_i2p_port, random_i2p_ports_batch
+
+#: Reverse of :data:`repro.sim.columns.VIS_CODE`.
+_VIS_CLASS_BY_CODE = {code: cls for cls, code in VIS_CODE.items()}
 
 __all__ = [
     "PopulationConfig",
@@ -409,13 +420,28 @@ class I2PPopulation:
         return record
 
     def _bootstrap_initial_population(self) -> None:
-        """Create the steady-state population present on day 0.
+        """Create the steady-state population present on day 0, batched.
 
         Initial members are sampled with *length-biased* lifetimes (a
         stationary population over-represents long-lived peers relative to
         the arrival distribution), then back-dated uniformly within their
         lifetime so day 0 is statistically indistinguishable from any later
         day.
+
+        **Batched RNG scheme (documented draw-order break).**  Historically
+        every bootstrap attribute was drawn per peer from the ``churn`` /
+        ``attributes`` / ``ip`` Python streams, which cost ~2.3s of a
+        paper-scale campaign (≈2.3M scalar draws for the presence vectors
+        alone).  Bootstrap now draws whole columns at a time from the
+        dedicated NumPy ``"bootstrap"`` substream: schedules, the presence
+        bitmatrix, identity key material, countries, IP profiles, tiers,
+        visibility, activity, and ports, in that fixed order.  Populations
+        generated at a fixed seed therefore differ peer-by-peer from
+        pre-batch versions, but every marginal distribution (lifetime
+        classes, country weights, tier weights, visibility fractions,
+        presence statistics) is unchanged —
+        ``tests/sim/test_bootstrap_distribution.py`` locks that in against
+        the per-peer reference sampler, which arrivals still use.
         """
         target_members = int(
             round(
@@ -423,31 +449,165 @@ class I2PPopulation:
                 / self._expected_online_probability
             )
         )
+        boot = self.streams.numpy("bootstrap")
+        horizon = self.config.horizon_days
+        n = target_members
+
+        # 1. Length-biased schedules.
         classes = self.churn_model._classes  # calibrated mixture
-        length_biased_weights = [
-            cls.weight * (cls.min_days + cls.max_days) / 2.0 for cls in classes
+        length_biased = np.asarray(
+            [cls.weight * (cls.min_days + cls.max_days) / 2.0 for cls in classes]
+        )
+        class_cum = np.cumsum(length_biased / length_biased.sum())
+        cls_idx = np.minimum(
+            np.searchsorted(class_cum, boot.random(n), side="left"), len(classes) - 1
+        )
+        min_days = np.asarray([c.min_days for c in classes])[cls_idx]
+        max_days = np.asarray([c.max_days for c in classes])[cls_idx]
+        lifetimes = np.maximum(
+            1, np.round(min_days + boot.random(n) * (max_days - min_days)).astype(np.int64)
+        )
+        elapsed = np.minimum(
+            (boot.random(n) * lifetimes).astype(np.int64), lifetimes - 1
+        )
+        p_lo = np.asarray([c.online_probability_range[0] for c in classes])[cls_idx]
+        p_hi = np.asarray([c.online_probability_range[1] for c in classes])[cls_idx]
+        online_p = p_lo + boot.random(n) * (p_hi - p_lo)
+        join_days = -elapsed
+        leave_days = join_days + lifetimes
+
+        # 2. Presence bitmatrix: one uniform matrix instead of ~n × horizon
+        # scalar draws; membership boundary days are forced online.
+        day_index = np.arange(horizon)
+        member = (day_index >= join_days[:, None]) & (day_index < leave_days[:, None])
+        presence = member & (boot.random((n, horizon)) < online_p[:, None])
+        rows = np.arange(n)
+        join_in = (join_days >= 0) & (join_days < horizon)
+        presence[rows[join_in], join_days[join_in]] = True
+        last_days = leave_days - 1
+        last_in = (last_days >= 0) & (last_days < horizon)
+        presence[rows[last_in], last_days[last_in]] = True
+
+        # 3. Identities, countries, IP profiles.
+        material = boot.bytes(n * IDENTITY_KEY_LENGTH)
+        identities = [
+            RouterIdentity(material[i * IDENTITY_KEY_LENGTH : (i + 1) * IDENTITY_KEY_LENGTH])
+            for i in range(n)
         ]
-        total_weight = sum(length_biased_weights)
-        for _ in range(target_members):
-            point = self._churn_rng.random() * total_weight
-            acc = 0.0
-            chosen = classes[-1]
-            for cls, weight in zip(classes, length_biased_weights):
-                acc += weight
-                if point <= acc:
-                    chosen = cls
-                    break
-            lifetime = max(1, int(round(self._churn_rng.uniform(chosen.min_days, chosen.max_days))))
-            elapsed = self._churn_rng.randint(0, lifetime - 1)
+        peer_ids = [identity.hash for identity in identities]
+        countries = self.registry.sample_country_codes_batch(n, boot).tolist()
+        assignments = self.ip_manager.register_peers_batch(peer_ids, countries, boot)
+
+        # 4. Tiers, visibility, activity, ports.
+        tiers = self.bandwidth_model.sample_batch(n, boot)
+        poor = np.asarray(
+            [self.registry.country(code).poor_press_freedom for code in countries],
+            dtype=bool,
+        )
+        vis_codes = self._sample_visibility_classes_batch(poor, boot.random(n))
+        base_visibility = self._sample_base_visibility_batch(
+            vis_codes, tiers, boot.random(n), boot.random(n)
+        )
+        fast_tier = np.asarray(
+            [t.primary_tier.value in ("N", "O", "P", "X") for t in tiers], dtype=float
+        )
+        activity = np.minimum(1.0, 0.25 + 0.75 * boot.random(n) + 0.05 * fast_tier)
+        ports = random_i2p_ports_batch(n, boot)
+
+        # 5. Install the records (per-peer object assembly, no draws).
+        class_names = [c.name for c in classes]
+        for i in range(n):
             schedule = PresenceSchedule(
-                join_day=-elapsed,
-                leave_day=-elapsed + lifetime,
-                online_probability=self._churn_rng.uniform(
-                    *chosen.online_probability_range
-                ),
-                lifetime_class=chosen.name,
+                join_day=int(join_days[i]),
+                leave_day=int(leave_days[i]),
+                online_probability=float(online_p[i]),
+                lifetime_class=class_names[int(cls_idx[i])],
             )
-            self._create_peer(schedule)
+            assignment = assignments[i]
+            asys = self.registry.autonomous_system(assignment.asn)
+            record = PeerRecord(
+                index=self._next_index,
+                identity=identities[i],
+                tier=tiers[i],
+                visibility_class=_VIS_CLASS_BY_CODE[int(vis_codes[i])],
+                schedule=schedule,
+                country_code=assignment.country_code,
+                home_asn=assignment.asn,
+                port=int(ports[i]),
+                base_visibility=float(base_visibility[i]),
+                activity=float(activity[i]),
+                supports_ipv6=asys.supports_ipv6,
+                presence=presence[i],
+            )
+            self._next_index += 1
+            profile = self.ip_manager.profile(record.peer_id)
+            self._columns.append(
+                record,
+                static_ip=profile.change_interval_days == float("inf"),
+                assignment=assignment,
+            )
+            self._peers_by_id[record.peer_id] = record
+
+    def _sample_visibility_classes_batch(
+        self, poor: np.ndarray, rolls: np.ndarray
+    ) -> np.ndarray:
+        """Visibility-class codes for a batch, split by press-freedom branch.
+
+        Mirrors :meth:`_sample_visibility_class` exactly, including the
+        hidden-by-default boost for poor-press-freedom countries.
+        """
+        cfg = self.config
+        boost = cfg.poor_press_freedom_hidden_boost
+        poor_cuts = np.cumsum(
+            [
+                cfg.hidden_fraction + cfg.public_fraction * boost,
+                cfg.public_fraction * (1.0 - boost),
+                cfg.firewalled_fraction,
+            ]
+        )
+        poor_classes = np.asarray(
+            [VIS_HIDDEN, VIS_PUBLIC, VIS_FIREWALLED, VIS_FLAPPING], dtype=np.uint8
+        )
+        normal_cuts = np.cumsum(
+            [cfg.public_fraction, cfg.firewalled_fraction, cfg.hidden_fraction]
+        )
+        normal_classes = np.asarray(
+            [VIS_PUBLIC, VIS_FIREWALLED, VIS_HIDDEN, VIS_FLAPPING], dtype=np.uint8
+        )
+        codes = np.empty(rolls.size, dtype=np.uint8)
+        codes[poor] = poor_classes[
+            np.searchsorted(poor_cuts, rolls[poor], side="right")
+        ]
+        codes[~poor] = normal_classes[
+            np.searchsorted(normal_cuts, rolls[~poor], side="right")
+        ]
+        return codes
+
+    def _sample_base_visibility_batch(
+        self,
+        vis_codes: np.ndarray,
+        tiers: List[TierAssignment],
+        mixture_rolls: np.ndarray,
+        value_rolls: np.ndarray,
+    ) -> np.ndarray:
+        """Batch counterpart of :meth:`_sample_base_visibility`."""
+        weights = np.asarray([w for w, _ in self._VISIBILITY_MIXTURE])
+        bounds = np.asarray([b for _, b in self._VISIBILITY_MIXTURE])
+        component = np.minimum(
+            np.searchsorted(np.cumsum(weights), mixture_rolls, side="left"),
+            len(self._VISIBILITY_MIXTURE) - 1,
+        )
+        low = bounds[component, 0]
+        high = bounds[component, 1]
+        value = low + value_rolls * (high - low)
+        value = np.where(vis_codes == VIS_HIDDEN, value * 0.55, value)
+        value = np.where(vis_codes == VIS_FIREWALLED, value * 0.85, value)
+        value = np.where(vis_codes == VIS_FLAPPING, value * 0.75, value)
+        high_end = np.asarray(
+            [t.primary_tier.value in ("O", "P", "X") for t in tiers], dtype=bool
+        )
+        value = np.where(high_end, value * 1.10, value)
+        return np.minimum(value, 1.6)
 
     # ------------------------------------------------------------------ #
     # Day-by-day evolution

@@ -18,6 +18,7 @@ __all__ = [
     "NTP_PORT",
     "WELL_KNOWN_PORTS",
     "random_i2p_port",
+    "random_i2p_ports_batch",
     "is_possible_i2p_port",
     "PortRegistry",
 ]
@@ -53,6 +54,25 @@ def random_i2p_port(rng: Optional[random.Random] = None) -> int:
         port = rng.randint(low, high)
         if port not in WELL_KNOWN_PORTS:
             return port
+
+
+def random_i2p_ports_batch(count: int, rng: "np.random.Generator") -> "np.ndarray":
+    """``count`` ports drawn like :func:`random_i2p_port`, vectorised.
+
+    Rejection sampling over the well-known ports is done in whole-array
+    passes; the marginal distribution matches the scalar helper.
+    """
+    import numpy as np
+
+    low, high = I2P_PORT_RANGE
+    ports = rng.integers(low, high + 1, size=count)
+    blocked = np.asarray(sorted(WELL_KNOWN_PORTS), dtype=np.int64)
+    while True:
+        bad = np.isin(ports, blocked)
+        bad_count = int(np.count_nonzero(bad))
+        if not bad_count:
+            return ports
+        ports[bad] = rng.integers(low, high + 1, size=bad_count)
 
 
 def is_possible_i2p_port(port: int) -> bool:

@@ -25,6 +25,23 @@ class TestFigureSeries:
         assert increasing.is_monotonic_nondecreasing()
         assert not decreasing.is_monotonic_nondecreasing()
 
+    def test_y_at_index_updates_after_add(self):
+        series = FigureSeries("s")
+        series.add(1, 10)
+        assert series.y_at(1) == 10.0  # builds the index
+        series.add(2, 20)  # must invalidate it
+        assert series.y_at(2) == 20.0
+        assert series.y_at(1) == 10.0
+        assert series.y_at(99) is None
+
+    def test_y_at_duplicate_x_keeps_first(self):
+        series = FigureSeries("s", [(1, 10), (1, 99)])
+        assert series.y_at(1) == 10.0
+
+    def test_y_at_on_constructor_points(self):
+        series = FigureSeries("s", [(3, 30), (4, 40)])
+        assert series.y_at(4) == 40.0
+
 
 class TestFigureData:
     def test_new_series_and_get(self):

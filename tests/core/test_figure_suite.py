@@ -1,0 +1,194 @@
+"""Tests for the shared-exposure figure suite and cache equivalence.
+
+The acceptance contract of the exposure engine: sweep outputs served from a
+warm cache are byte-identical to a rebuild-from-scratch run at the same
+seed, and the whole suite shares exactly one population build.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import (
+    bandwidth_sweep,
+    router_count_sweep,
+    run_figure_suite,
+    run_main_campaign,
+    single_router_experiment,
+)
+from repro.sim.exposure import ExposureEngine
+
+SCALE = 0.02
+SEED = 424
+DAYS = 6
+
+
+def figure_points(figure):
+    return {name: series.points for name, series in figure.series.items()}
+
+
+class TestCachedEquivalence:
+    """Cached-exposure results == rebuild-from-scratch results, byte for byte."""
+
+    def test_bandwidth_sweep_identical_on_warm_engine(self):
+        warm = ExposureEngine()
+        # Warm the cache with a different experiment over the same key.
+        run_main_campaign(days=DAYS, scale=SCALE, seed=SEED, engine=warm, horizon_days=DAYS)
+        cached = bandwidth_sweep(
+            bandwidths_kbps=(128, 2000, 5000), days=3, scale=SCALE, seed=SEED,
+            engine=warm, horizon_days=DAYS,
+        )
+        scratch = bandwidth_sweep(
+            bandwidths_kbps=(128, 2000, 5000), days=3, scale=SCALE, seed=SEED,
+            engine=ExposureEngine(), horizon_days=DAYS,
+        )
+        assert figure_points(cached) == figure_points(scratch)
+        assert warm.hits >= 1
+
+    def test_router_count_sweep_identical_on_warm_engine(self):
+        warm = ExposureEngine()
+        run_main_campaign(days=DAYS, scale=SCALE, seed=SEED, engine=warm, horizon_days=DAYS)
+        cached_fig, cached_result = router_count_sweep(
+            max_routers=8, days=3, scale=SCALE, seed=SEED, engine=warm, horizon_days=DAYS
+        )
+        scratch_fig, scratch_result = router_count_sweep(
+            max_routers=8, days=3, scale=SCALE, seed=SEED,
+            engine=ExposureEngine(), horizon_days=DAYS,
+        )
+        assert figure_points(cached_fig) == figure_points(scratch_fig)
+        assert cached_result.cumulative_union_by_day == scratch_result.cumulative_union_by_day
+        assert [d.observed_peers for d in cached_result.log.daily] == [
+            d.observed_peers for d in scratch_result.log.daily
+        ]
+        assert cached_result.daily_online_population == scratch_result.daily_online_population
+
+    def test_single_router_experiment_identical_on_warm_engine(self):
+        warm = ExposureEngine()
+        bandwidth_sweep(days=2, scale=SCALE, seed=SEED, engine=warm, horizon_days=DAYS)
+        cached = single_router_experiment(
+            days_per_mode=2, scale=SCALE, seed=SEED, engine=warm, horizon_days=DAYS
+        )
+        scratch = single_router_experiment(
+            days_per_mode=2, scale=SCALE, seed=SEED,
+            engine=ExposureEngine(), horizon_days=DAYS,
+        )
+        assert figure_points(cached) == figure_points(scratch)
+
+    def test_main_campaign_identical_across_engines(self):
+        a = run_main_campaign(days=3, scale=SCALE, seed=SEED, engine=ExposureEngine())
+        b = run_main_campaign(days=3, scale=SCALE, seed=SEED, engine=ExposureEngine())
+        assert [d.observed_peers for d in a.log.daily] == [
+            d.observed_peers for d in b.log.daily
+        ]
+        assert a.monitors[0].cumulative_peer_ids == b.monitors[0].cumulative_peer_ids
+
+    def test_monitor_masks_shared_across_experiments(self):
+        """Identically named monitors see identical peers across experiments."""
+        engine = ExposureEngine()
+        campaign = run_main_campaign(
+            days=3, scale=SCALE, seed=SEED, engine=engine, horizon_days=DAYS,
+            floodfill_monitors=2, non_floodfill_monitors=2,
+        )
+        _, sweep_result = router_count_sweep(
+            max_routers=4, days=3, scale=SCALE, seed=SEED,
+            engine=engine, horizon_days=DAYS,
+        )
+        campaign_by_name = {m.name: m for m in campaign.monitors}
+        sweep_by_name = {m.name: m for m in sweep_result.monitors}
+        shared_names = set(campaign_by_name) & set(sweep_by_name)
+        assert shared_names
+        for name in shared_names:
+            assert (
+                campaign_by_name[name].daily_observed_counts
+                == sweep_by_name[name].daily_observed_counts
+            )
+
+
+class TestFigureSuite:
+    def test_suite_structure_and_single_population_build(self):
+        suite = run_figure_suite(days=DAYS, scale=SCALE, seed=SEED, max_routers=6)
+        # One population build serves the campaign, fig 2, and both sweeps.
+        assert suite.engine.misses == 1
+        assert suite.engine.hits >= 3
+        assert suite.campaign.log.days_recorded == DAYS
+        for figure in (suite.figure2, suite.figure3, suite.figure4):
+            assert figure.series
+            for series in figure.series.values():
+                assert series.points
+        assert suite.ip_churn.known_ip_peers > 0
+        assert suite.flag_distribution
+        assert set(suite.bandwidth_breakdown) == {
+            "floodfill", "reachable", "unreachable", "total",
+        }
+        for values in suite.longevity.values():
+            assert values["intermittent"] >= values["continuous"]
+
+    def test_suite_deterministic(self):
+        a = run_figure_suite(days=4, scale=SCALE, seed=11, max_routers=4)
+        b = run_figure_suite(days=4, scale=SCALE, seed=11, max_routers=4)
+        assert figure_points(a.figure3) == figure_points(b.figure3)
+        assert figure_points(a.figure4) == figure_points(b.figure4)
+        assert a.ip_churn.as_dict() == b.ip_churn.as_dict()
+        assert a.longevity == b.longevity
+
+    def test_suite_rejects_tiny_runs(self):
+        with pytest.raises(ValueError):
+            run_figure_suite(days=1, scale=SCALE)
+
+
+class TestColumnarAnalysisEquivalence:
+    """The accumulator-backed analyses equal the aggregate-based reference."""
+
+    def test_fast_paths_match_aggregates(self):
+        from repro.core.churn_analysis import ip_churn, longevity
+
+        campaign = run_main_campaign(days=5, scale=SCALE, seed=77)
+        log = campaign.log
+        peers = list(log.peers.values())
+
+        continuous, intermittent = log.presence_lengths()
+        assert sorted(continuous.tolist()) == sorted(
+            p.longest_continuous_run() for p in peers
+        )
+        assert sorted(intermittent.tolist()) == sorted(
+            p.observation_span_days for p in peers
+        )
+
+        counts = log.ipv4_address_counts()
+        known = [p for p in peers if p.has_known_ip]
+        assert sorted(counts.tolist()) == sorted(p.address_count for p in known)
+
+        summary = ip_churn(log)
+        assert summary.known_ip_peers == len(known)
+        assert summary.single_ip_peers == sum(
+            1 for p in known if p.address_count == 1
+        )
+
+        values = longevity(log, thresholds=(2, 4))
+        for threshold in (2, 4):
+            expected_cont = (
+                sum(1 for p in peers if p.longest_continuous_run() > threshold)
+                / len(peers) * 100.0
+            )
+            assert values[threshold]["continuous"] == pytest.approx(expected_cont)
+
+    def test_breakdown_matches_aggregates(self):
+        from repro.core.capacity_analysis import bandwidth_breakdown
+
+        campaign = run_main_campaign(days=4, scale=SCALE, seed=78)
+        log = campaign.log
+        breakdown = bandwidth_breakdown(log)
+        peers = list(log.peers.values())
+        total = len(peers)
+        for tier, share in breakdown["total"].items():
+            expected = (
+                sum(1 for p in peers if tier in p.advertised_flag_days)
+                / total * 100.0
+            )
+            assert share == pytest.approx(expected)
+        floodfills = [p for p in peers if p.floodfill_days > 0]
+        for tier, share in breakdown["floodfill"].items():
+            expected = (
+                sum(1 for p in floodfills if tier in p.advertised_flag_days)
+                / len(floodfills) * 100.0
+            )
+            assert share == pytest.approx(expected)

@@ -1,0 +1,245 @@
+"""Equivalence-of-distributions tests for the batched bootstrap RNG scheme.
+
+The bootstrap no longer draws per peer from the ``churn``/``attributes``/
+``ip`` Python streams; it draws whole columns from the NumPy ``bootstrap``
+substream (a documented draw-order break — see
+``I2PPopulation._bootstrap_initial_population``).  These tests lock in the
+contract that came with the break: at a fixed seed the *marginal
+distributions* of every bootstrap attribute match the per-peer reference
+sampler (which day-by-day arrivals still use).
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.sim.bandwidth import BandwidthModel, DEFAULT_TIER_WEIGHTS
+from repro.sim.churn import ChurnModel
+from repro.sim.geo import default_registry
+from repro.sim.ip import IpAssignmentManager
+from repro.sim.population import I2PPopulation, PopulationConfig
+
+
+SEED = 20180101
+
+
+@pytest.fixture(scope="module")
+def population():
+    """A bootstrap-only population, large enough for tight tolerances."""
+    return I2PPopulation(
+        PopulationConfig(target_daily_population=12_000, horizon_days=30, seed=SEED)
+    )
+
+
+def shares(values):
+    total = len(values)
+    counts = {}
+    for value in values:
+        counts[value] = counts.get(value, 0) + 1
+    return {key: count / total for key, count in counts.items()}
+
+
+class TestScheduleMarginals:
+    def test_lifetime_class_shares_are_length_biased(self, population):
+        classes = ChurnModel()._classes
+        weights = {
+            cls.name: cls.weight * (cls.min_days + cls.max_days) / 2.0
+            for cls in classes
+        }
+        total = sum(weights.values())
+        expected = {name: weight / total for name, weight in weights.items()}
+        observed = shares([p.schedule.lifetime_class for p in population.peers])
+        for name, share in expected.items():
+            assert observed.get(name, 0.0) == pytest.approx(share, abs=0.02)
+
+    def test_lifetime_distribution_matches_reference_sampler(self, population):
+        """Batched lifetimes vs the per-peer reference, quantile by quantile."""
+        classes = ChurnModel()._classes
+        weights = [cls.weight * (cls.min_days + cls.max_days) / 2.0 for cls in classes]
+        total = sum(weights)
+        rng = random.Random(99)
+        reference = []
+        for _ in range(len(population.peers)):
+            point = rng.random() * total
+            acc = 0.0
+            chosen = classes[-1]
+            for cls, weight in zip(classes, weights):
+                acc += weight
+                if point <= acc:
+                    chosen = cls
+                    break
+            reference.append(
+                max(1, int(round(rng.uniform(chosen.min_days, chosen.max_days))))
+            )
+        batched = sorted(p.schedule.membership_days for p in population.peers)
+        reference = sorted(reference)
+        for q in (0.1, 0.25, 0.5, 0.75, 0.9):
+            i = int(q * (len(batched) - 1))
+            assert batched[i] == pytest.approx(reference[i], rel=0.15, abs=2.0)
+
+    def test_backdating_is_uniform(self, population):
+        """Elapsed lifetime at day 0 ~ U(0, lifetime-1): mean ≈ (L-1)/2."""
+        ratios = [
+            -p.schedule.join_day / (p.schedule.membership_days - 1)
+            for p in population.peers
+            if p.schedule.membership_days > 10
+        ]
+        assert float(np.mean(ratios)) == pytest.approx(0.5, abs=0.03)
+
+    def test_boundary_days_always_online(self, population):
+        horizon = population.config.horizon_days
+        for record in population.peers[:500]:
+            last = record.schedule.leave_day - 1
+            if 0 <= last < horizon:
+                assert record.presence[last]
+            if 0 <= record.schedule.join_day < horizon:
+                assert record.presence[record.schedule.join_day]
+
+    def test_presence_rate_tracks_online_probability(self, population):
+        """Interior membership days are online w.p. online_probability."""
+        observed = []
+        expected = []
+        horizon = population.config.horizon_days
+        for record in population.peers:
+            start = max(0, record.schedule.join_day + 1)
+            end = min(horizon, record.schedule.leave_day - 1)
+            interior = end - start
+            if interior < 5:
+                continue
+            observed.append(
+                float(np.count_nonzero(record.presence[start:end])) / interior
+            )
+            expected.append(record.schedule.online_probability)
+        assert float(np.mean(observed)) == pytest.approx(
+            float(np.mean(expected)), abs=0.01
+        )
+
+
+class TestAttributeMarginals:
+    def test_tier_shares(self, population):
+        total_weight = sum(DEFAULT_TIER_WEIGHTS.values())
+        observed = shares([p.tier.primary_tier for p in population.peers])
+        for tier, weight in DEFAULT_TIER_WEIGHTS.items():
+            assert observed.get(tier, 0.0) == pytest.approx(
+                weight / total_weight, abs=0.015
+            )
+
+    def test_country_shares(self, population):
+        registry = default_registry()
+        total = sum(c.weight for c in registry.countries)
+        observed = shares([p.country_code for p in population.peers])
+        top = sorted(registry.countries, key=lambda c: -c.weight)[:5]
+        for country in top:
+            assert observed.get(country.code, 0.0) == pytest.approx(
+                country.weight / total, abs=0.02
+            )
+
+    def test_visibility_class_shares_match_reference(self, population):
+        """Batched visibility classes vs the per-peer branchy sampler."""
+        registry = population.registry
+        cfg = population.config
+        rng = random.Random(7)
+        reference = []
+        codes = [p.country_code for p in population.peers]
+        for code in codes:
+            roll = rng.random()
+            if registry.country(code).poor_press_freedom:
+                boost = cfg.poor_press_freedom_hidden_boost
+                hidden_cut = cfg.hidden_fraction + cfg.public_fraction * boost
+                public_cut = hidden_cut + cfg.public_fraction * (1.0 - boost)
+                firewalled_cut = public_cut + cfg.firewalled_fraction
+                if roll < hidden_cut:
+                    reference.append("hidden")
+                elif roll < public_cut:
+                    reference.append("public")
+                elif roll < firewalled_cut:
+                    reference.append("firewalled")
+                else:
+                    reference.append("flapping")
+            else:
+                public_cut = cfg.public_fraction
+                firewalled_cut = public_cut + cfg.firewalled_fraction
+                hidden_cut = firewalled_cut + cfg.hidden_fraction
+                if roll < public_cut:
+                    reference.append("public")
+                elif roll < firewalled_cut:
+                    reference.append("firewalled")
+                elif roll < hidden_cut:
+                    reference.append("hidden")
+                else:
+                    reference.append("flapping")
+        expected = shares(reference)
+        observed = shares([p.visibility_class.value for p in population.peers])
+        for name, share in expected.items():
+            assert observed.get(name, 0.0) == pytest.approx(share, abs=0.02)
+
+    def test_activity_and_visibility_moments(self, population):
+        activity = np.asarray([p.activity for p in population.peers])
+        assert 0.25 <= activity.min()
+        assert activity.max() <= 1.0
+        base = np.asarray([p.base_visibility for p in population.peers])
+        assert base.max() <= 1.6
+        # The mixture's overall mean (before class multipliers) is ≈1.0;
+        # multipliers pull it down a bit.
+        assert 0.75 <= float(base.mean()) <= 1.05
+
+    def test_ports_in_i2p_range(self, population):
+        from repro.transport.ports import WELL_KNOWN_PORTS
+
+        ports = [p.port for p in population.peers]
+        assert all(9000 <= port <= 31000 for port in ports)
+        assert not any(port in WELL_KNOWN_PORTS for port in ports)
+
+
+class TestIpProfileMarginals:
+    def test_static_and_nomadic_fractions(self, population):
+        manager = population.ip_manager
+        profiles = [manager.profile(p.peer_id) for p in population.peers]
+        static = sum(
+            1 for pr in profiles if pr.change_interval_days == float("inf")
+        ) / len(profiles)
+        nomadic = sum(1 for pr in profiles if pr.nomadic) / len(profiles)
+        assert static == pytest.approx(IpAssignmentManager.STATIC_FRACTION, abs=0.02)
+        assert nomadic == pytest.approx(IpAssignmentManager.NOMADIC_FRACTION, abs=0.02)
+
+    def test_dynamic_interval_support(self, population):
+        manager = population.ip_manager
+        dynamic = [
+            manager.profile(p.peer_id).change_interval_days
+            for p in population.peers
+            if not manager.profile(p.peer_id).nomadic
+            and manager.profile(p.peer_id).change_interval_days != float("inf")
+        ]
+        assert set(dynamic) <= set(IpAssignmentManager.DYNAMIC_INTERVALS)
+
+    def test_nomad_pools_plausible(self, population):
+        manager = population.ip_manager
+        pools = [
+            manager.profile(p.peer_id).nomad_as_pool
+            for p in population.peers
+            if manager.profile(p.peer_id).nomadic
+        ]
+        assert pools
+        sizes = [len(pool) for pool in pools]
+        assert min(sizes) >= 2
+        assert max(sizes) <= 39
+        # Extreme nomads (pool > 10) are roughly half of nomadic peers.
+        extreme_share = sum(1 for s in sizes if s > 10) / len(sizes)
+        assert extreme_share == pytest.approx(
+            IpAssignmentManager.EXTREME_NOMAD_FRACTION, abs=0.06
+        )
+        for pool in pools[:200]:
+            assert len(set(pool)) == len(pool)
+
+
+class TestDeterminism:
+    def test_same_seed_same_bootstrap(self):
+        config = PopulationConfig(target_daily_population=500, horizon_days=4, seed=3)
+        a = I2PPopulation(config)
+        b = I2PPopulation(config)
+        assert [p.peer_id for p in a.peers] == [p.peer_id for p in b.peers]
+        assert [p.port for p in a.peers] == [p.port for p in b.peers]
+        assert np.array_equal(a.columns.presence, b.columns.presence)
+        assert np.array_equal(a.columns.advertised_mask, b.columns.advertised_mask)

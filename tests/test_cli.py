@@ -61,6 +61,23 @@ class TestCalibrateCommand:
         assert "figure_04" in captured
 
 
+class TestSuiteCommand:
+    def test_suite_prints_figures_and_analyses(self, capsys):
+        exit_code = main(
+            ["--scale", "0.01", "suite", "--days", "4", "--max-routers", "4"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "figure_02" in captured
+        assert "figure_03" in captured
+        assert "figure_04" in captured
+        assert "Table 1" in captured
+        assert "longevity" in captured
+        assert "ip churn" in captured
+        # One shared exposure serves the whole suite.
+        assert "1 population build(s)" in captured
+
+
 class TestCensorCommand:
     def test_censor_prints_blocking_and_usability(self, capsys):
         exit_code = main(
