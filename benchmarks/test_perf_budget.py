@@ -23,7 +23,11 @@ root with:
 * ``columnar_longevity_seconds`` / ``columnar_ip_churn_seconds`` — the
   accumulator-backed heavy analyses;
 * ``network_messages_per_second`` — DatabaseStore/Lookup throughput of a
-  300-router message-level network convergence round.
+  300-router message-level network convergence round;
+* ``accumulator_bytes`` / ``accumulator_peak_bytes`` — the observation
+  log's columnar accumulator footprint (current and high-water), i.e. the
+  working set of every streamed analysis;
+* ``peak_rss_kib`` — process-wide peak resident set size (``ru_maxrss``).
 
 The wall-clock assertions are deliberately loose sanity floors (CI
 machines vary), **except** the peer-days/sec regression guard: if the
@@ -34,6 +38,8 @@ to PR must stay monotone on comparable hardware.
 
 import json
 import os
+import resource
+import sys
 import time
 
 from repro.core.campaign import run_figure_suite, run_main_campaign
@@ -45,7 +51,7 @@ from repro.sim.population import reset_snapshot_allocations, snapshot_allocation
 
 BENCH_DAYS = 10
 BENCH_SCALE = 1.0
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Allowed relative drop of peer-days/sec vs the committed baseline.
 REGRESSION_TOLERANCE = 0.20
@@ -94,6 +100,7 @@ def _bench_campaign():
     )
     wall = time.perf_counter() - start
     peer_days = int(sum(result.daily_online_population))
+    acc_now, acc_peak = result.log.accumulator_memory_bytes()
     return {
         "campaign_days": result.log.days_recorded,
         "campaign_scale": BENCH_SCALE,
@@ -103,6 +110,13 @@ def _bench_campaign():
         "campaign_peer_days_per_second": round(peer_days / wall, 1),
         "campaign_unique_peers": result.log.unique_peer_count,
         "snapshot_allocations": snapshot_allocations(),
+        # Memory telemetry: the observation log's accumulator arrays (the
+        # streamed-analysis working set) and the process-wide peak RSS.
+        # ru_maxrss is KiB on Linux but bytes on macOS — normalise to KiB.
+        "accumulator_bytes": acc_now,
+        "accumulator_peak_bytes": acc_peak,
+        "peak_rss_kib": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        // (1024 if sys.platform == "darwin" else 1),
     }
 
 
@@ -176,6 +190,9 @@ def test_perf_budget():
 
     # The columnar hot path must not materialise a single snapshot.
     assert payload["snapshot_allocations"] == 0
+    # Memory telemetry must be live (Linux reports ru_maxrss in KiB).
+    assert payload["accumulator_peak_bytes"] >= payload["accumulator_bytes"] > 0
+    assert payload["peak_rss_kib"] > 0
     # Generous wall-clock ceiling: the row-oriented engine needed ~12s for
     # this configuration; the columnar engine runs it in a few seconds.
     assert payload["campaign_wall_seconds"] < 60.0

@@ -1,6 +1,6 @@
 """Command-line interface for the I2P measurement reproduction.
 
-Three subcommands mirror the three stages of the paper:
+The subcommands mirror the stages of the paper plus the scenario registry:
 
 ``repro measure``
     Run the main measurement campaign (Section 5) and print the campaign
@@ -14,6 +14,25 @@ Three subcommands mirror the three stages of the paper:
     Run the censorship analyses of Section 6 (Figures 13–14) on top of a
     fresh campaign.
 
+``repro suite``
+    Run the whole figure suite off one shared exposure cache (executed
+    through the scenario registry's ``figure_suite`` spec).
+
+``repro scenarios``
+    List every registered scenario spec with a one-line description.
+
+``repro run <scenario>``
+    Execute any registered scenario through the declarative engine.
+
+``repro cache ls|clear``
+    Inspect / empty the on-disk npz exposure cache that lets repeated CLI
+    runs reuse paper-scale populations across processes.
+
+Every campaign-running command consults the exposure cache directory
+(``--cache-dir``, the ``REPRO_CACHE_DIR`` environment variable, or
+``~/.cache/repro/exposure`` by default; ``--no-cache`` disables), so a
+second run of the same scenario skips the population rebuild entirely.
+
 Installed as the ``repro`` console script (see ``pyproject.toml``), and also
 runnable as ``python -m repro.cli``.
 """
@@ -21,6 +40,7 @@ runnable as ``python -m repro.cli``.
 from __future__ import annotations
 
 import argparse
+import os
 import random
 import sys
 from pathlib import Path
@@ -28,6 +48,7 @@ from typing import List, Optional, Sequence
 
 from .analysis.export import write_figure_csv, write_figure_json
 from .analysis.series import FigureData
+from .analysis.tables import format_kv
 from .core import (
     bandwidth_sweep,
     blocking_curve,
@@ -38,18 +59,21 @@ from .core import (
     asn_span_figure,
     daily_population_figure,
     ip_churn_figure,
+    list_scenarios,
     longevity_figure,
     render_campaign_summary,
     render_figure,
     render_table1,
     router_count_sweep,
-    run_figure_suite,
     run_main_campaign,
+    run_scenario,
     single_router_experiment,
     unknown_ip_figure,
     usability_curve,
 )
+from .core.scenario import ScenarioResult
 from .sim import ExposureEngine, I2PPopulation, PopulationConfig
+from .sim import exposure_cache
 
 __all__ = ["main", "build_parser"]
 
@@ -65,6 +89,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.05,
         help="population scale relative to the paper's ~30.5K daily peers",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="directory for the on-disk exposure cache (default: "
+        "$REPRO_CACHE_DIR or ~/.cache/repro/exposure)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk exposure cache for this run",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -96,7 +132,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     suite.add_argument("--days", type=int, default=10, help="campaign days")
     suite.add_argument("--max-routers", type=int, default=40)
+
+    subparsers.add_parser(
+        "scenarios", help="list every registered scenario spec"
+    )
+
+    run = subparsers.add_parser(
+        "run", help="execute one registered scenario through the engine"
+    )
+    run.add_argument("scenario", help="a registered scenario name (see `repro scenarios`)")
+    run.add_argument(
+        "--days", type=int, default=None, help="override the spec's horizon"
+    )
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or empty the on-disk exposure cache"
+    )
+    cache.add_argument("action", choices=("ls", "clear"))
     return parser
+
+
+def _resolve_cache_dir(args: argparse.Namespace) -> Optional[Path]:
+    """The exposure cache directory this invocation uses (None = disabled)."""
+    if args.no_cache:
+        return None
+    if args.cache_dir is not None:
+        return args.cache_dir
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "exposure"
+
+
+def _make_engine(args: argparse.Namespace) -> ExposureEngine:
+    return ExposureEngine(cache_dir=_resolve_cache_dir(args))
 
 
 def _export_figures(figures: Sequence[FigureData], export_dir: Path) -> List[Path]:
@@ -108,7 +177,10 @@ def _export_figures(figures: Sequence[FigureData], export_dir: Path) -> List[Pat
 
 
 def _cmd_measure(args: argparse.Namespace) -> int:
-    result = run_main_campaign(days=args.days, scale=args.scale, seed=args.seed)
+    engine = _make_engine(args)
+    result = run_main_campaign(
+        days=args.days, scale=args.scale, seed=args.seed, engine=engine
+    )
     print(render_campaign_summary(result))
     print()
     print(render_table1(result.log))
@@ -134,7 +206,7 @@ def _cmd_measure(args: argparse.Namespace) -> int:
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     # One shared exposure (10-day horizon covers the longest experiment)
     # serves all three methodology figures: the population is built once.
-    engine = ExposureEngine()
+    engine = _make_engine(args)
     horizon = 10
     print(
         render_figure(
@@ -167,12 +239,23 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
-    suite = run_figure_suite(
-        days=args.days,
+    from dataclasses import replace
+
+    from .core import get_scenario
+
+    spec = get_scenario("figure_suite")
+    spec = replace(
+        spec, params={**dict(spec.params), "max_routers": args.max_routers}
+    )
+    result = run_scenario(
+        spec,
         scale=args.scale,
         seed=args.seed,
-        max_routers=args.max_routers,
+        days=args.days,
+        engine=_make_engine(args),
     )
+    suite = result.suite
+    assert suite is not None
     print(render_campaign_summary(suite.campaign))
     print()
     for figure in (suite.figure2, suite.figure3, suite.figure4):
@@ -190,15 +273,108 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         f"ip churn: {churn.known_ip_peers} known-IP peers, "
         f"{churn.multi_ip_share * 100:.1f}% with 2+ addresses"
     )
+    engine = result.engine
+    assert engine is not None
     print(
-        f"exposure cache: {suite.engine.misses} population build(s), "
-        f"{suite.engine.hits} cache hit(s)"
+        f"exposure cache: {engine.misses} population build(s), "
+        f"{engine.hits} cache hit(s), {engine.disk_hits} disk hit(s)"
     )
     return 0
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    specs = list_scenarios()
+    width = max(len(spec.name) for spec in specs)
+    print(f"{len(specs)} registered scenarios:\n")
+    for spec in specs:
+        print(f"  {spec.name:<{width}}  [{spec.kind}] {spec.description}")
+    print(
+        "\nrun one with: repro [--scale S] [--seed N] run <scenario> [--days D]"
+    )
+    return 0
+
+
+def _print_scenario_result(result: ScenarioResult) -> None:
+    spec = result.spec
+    print(
+        f"scenario {spec.name} [{spec.kind}]: days={spec.days} "
+        f"scale={result.scale:g} seed={result.seed}"
+    )
+    print(spec.description)
+    print()
+    if "campaign_summary" in result.tables:
+        print(result.tables["campaign_summary"])
+        print()
+    for figure_id in sorted(result.figures):
+        print(render_figure(result.figures[figure_id], ".1f"))
+        print()
+    for name, table in result.tables.items():
+        if name == "campaign_summary":
+            continue
+        print(table)
+        print()
+    for name, summary in result.summaries.items():
+        print(format_kv({str(k): v for k, v in summary.items()}, title=name))
+        print()
+    engine = result.engine
+    if engine is not None:
+        print(
+            f"exposure cache: {engine.misses} population build(s), "
+            f"{engine.hits} cache hit(s), {engine.disk_hits} disk hit(s)"
+        )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .core.scenario import resolve_scenario
+
+    # Only resolution/validation errors are usage errors; anything raised
+    # during execution is a real failure and keeps its traceback.
+    try:
+        spec = resolve_scenario(args.scenario, days=args.days)
+    except (KeyError, ValueError) as error:
+        print(error.args[0] if error.args else str(error), file=sys.stderr)
+        return 2
+    result = run_scenario(
+        spec, scale=args.scale, seed=args.seed, engine=_make_engine(args)
+    )
+    _print_scenario_result(result)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache_dir = _resolve_cache_dir(args)
+    if cache_dir is None:
+        print("exposure cache disabled (--no-cache)", file=sys.stderr)
+        return 2
+    if args.action == "clear":
+        removed = exposure_cache.clear_cache(cache_dir)
+        print(f"removed {removed} cache file(s) from {cache_dir}")
+        return 0
+    entries = exposure_cache.cache_entries(cache_dir)
+    total_mb = sum(int(entry["bytes"]) for entry in entries) / 1e6
+    print(
+        f"exposure cache at {cache_dir}: {len(entries)} entr(y/ies), "
+        f"{total_mb:.1f} MB total (no automatic eviction - use `repro cache "
+        f"clear` to reclaim)"
+    )
+    for entry in entries:
+        if "error" in entry:
+            print(f"  {entry['digest']}  <{entry['error']}>")
+            continue
+        size_mb = int(entry["bytes"]) / 1e6
+        print(
+            f"  {entry['digest']}  days={entry['days']} peers={entry['peers']} "
+            f"daily={entry['daily_population']} seed={entry['seed']} "
+            f"({size_mb:.1f} MB)"
+        )
+    return 0
+
+
 def _cmd_censor(args: argparse.Namespace) -> int:
-    result = run_main_campaign(days=args.days, scale=args.scale, seed=args.seed)
+    engine = _make_engine(args)
+    result = run_main_campaign(
+        days=args.days, scale=args.scale, seed=args.seed, engine=engine
+    )
     print(render_figure(blocking_curve(result), ".1f"))
     population = I2PPopulation(
         PopulationConfig(
@@ -228,16 +404,20 @@ def _cmd_censor(args: argparse.Namespace) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "measure":
-        return _cmd_measure(args)
-    if args.command == "calibrate":
-        return _cmd_calibrate(args)
-    if args.command == "censor":
-        return _cmd_censor(args)
-    if args.command == "suite":
-        return _cmd_suite(args)
-    parser.error(f"unknown command {args.command!r}")
-    return 2
+    commands = {
+        "measure": _cmd_measure,
+        "calibrate": _cmd_calibrate,
+        "censor": _cmd_censor,
+        "suite": _cmd_suite,
+        "scenarios": _cmd_scenarios,
+        "run": _cmd_run,
+        "cache": _cmd_cache,
+    }
+    handler = commands.get(args.command)
+    if handler is None:
+        parser.error(f"unknown command {args.command!r}")
+        return 2
+    return handler(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

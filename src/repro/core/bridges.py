@@ -16,14 +16,11 @@ finished measurement campaign:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
-
-import numpy as np
+from typing import Dict, List, Optional, Set
 
 from ..analysis.series import FigureData
 from .blocking import censor_blacklist
 from .campaign import CampaignResult
-from .monitor import ObservationLog
 
 __all__ = [
     "BridgePoolSummary",
@@ -72,13 +69,6 @@ class BridgePoolSummary:
         }
 
 
-def _log_peer_age_days(log: ObservationLog, peer_id: bytes, day: int) -> Optional[int]:
-    aggregate = log.peers.get(peer_id)
-    if aggregate is None:
-        return None
-    return day - aggregate.first_day
-
-
 def bridge_pool_summary(
     result: CampaignResult,
     censor_routers: int = 10,
@@ -91,7 +81,10 @@ def bridge_pool_summary(
     The candidate pool is assessed against the *union* of all monitoring
     observations for that day (the best available approximation of the
     daily online population), while the censor uses only its first
-    ``censor_routers`` routers and its blacklist window.
+    ``censor_routers`` routers and its blacklist window.  The per-peer
+    walk streams off the observation log's accumulator arrays
+    (:meth:`ObservationLog.known_ip_presence_on`); no per-peer aggregates
+    are materialised for columnar runs.
     """
     if evaluation_day is None:
         evaluation_day = len(result.log.daily) - 1
@@ -99,26 +92,18 @@ def bridge_pool_summary(
         result.monitors, censor_routers, evaluation_day, blacklist_window_days
     )
 
-    total_known_ip = 0
     unblocked = 0
     unblocked_new = 0
     unblocked_old = 0
-    firewalled_pool = 0
-    day_stats = result.log.daily[evaluation_day]
-    firewalled_pool = day_stats.firewalled_peers
+    firewalled_pool = result.log.daily[evaluation_day].firewalled_peers
 
-    for peer_id, aggregate in result.log.peers.items():
-        if evaluation_day not in aggregate.days_observed:
-            continue
-        if not aggregate.has_known_ip:
-            continue
-        total_known_ip += 1
-        peer_ips = aggregate.ipv4_addresses | aggregate.ipv6_addresses
+    first_days, address_sets = result.log.known_ip_presence_on(evaluation_day)
+    total_known_ip = len(address_sets)
+    for first_day, peer_ips in zip(first_days.tolist(), address_sets):
         if peer_ips & blacklist:
             continue
         unblocked += 1
-        age = _log_peer_age_days(result.log, peer_id, evaluation_day)
-        if age is not None and age <= new_peer_age_days:
+        if evaluation_day - first_day <= new_peer_age_days:
             unblocked_new += 1
         else:
             unblocked_old += 1
@@ -152,11 +137,7 @@ def bridge_survival_curve(
         cohort_day = max(0, len(result.log.daily) - horizon_days - 1)
     last_day = min(len(result.log.daily) - 1, cohort_day + horizon_days)
 
-    cohort: List[bytes] = [
-        peer_id
-        for peer_id, aggregate in result.log.peers.items()
-        if aggregate.first_day == cohort_day and aggregate.has_known_ip
-    ]
+    cohort: List[Set[str]] = result.log.known_ip_cohort_addresses(cohort_day)
     figure = FigureData(
         figure_id="ablation_bridges",
         title="Survival of newly joined peers as censorship bridges",
@@ -172,12 +153,7 @@ def bridge_survival_curve(
         blacklist = censor_blacklist(
             result.monitors, censor_routers, day, blacklist_window_days
         )
-        surviving = 0
-        for peer_id in cohort:
-            aggregate = result.log.peers[peer_id]
-            peer_ips = aggregate.ipv4_addresses | aggregate.ipv6_addresses
-            if not (peer_ips & blacklist):
-                surviving += 1
+        surviving = sum(1 for peer_ips in cohort if not (peer_ips & blacklist))
         series.add(day - cohort_day, surviving / len(cohort) * 100.0)
     figure.add_note(
         f"cohort: {len(cohort)} peers first observed on day {cohort_day + 1}; "

@@ -54,6 +54,7 @@ __all__ = [
     "CampaignResult",
     "FigureSuiteResult",
     "MeasurementCampaign",
+    "campaign_observation_seed",
     "scaled_population_config",
     "single_router_experiment",
     "bandwidth_sweep",
@@ -93,6 +94,16 @@ def scaled_population_config(
     )
 
 
+def campaign_observation_seed(seed: int) -> int:
+    """The observation-stream seed a campaign seed resolves to.
+
+    This derivation is half of the exposure cache key; every consumer
+    (campaigns, the scenario engine) must share it so experiments over the
+    same population config resolve to the same ``SharedExposure`` entry.
+    """
+    return derive_seed(seed, "observation")
+
+
 def _campaign_exposure(
     config: CampaignConfig, engine: Optional[ExposureEngine]
 ) -> SharedExposure:
@@ -100,7 +111,7 @@ def _campaign_exposure(
     if engine is None:
         engine = default_engine()
     return engine.get(
-        config.population, derive_seed(config.seed, "observation"), days=config.days
+        config.population, campaign_observation_seed(config.seed), days=config.days
     )
 
 

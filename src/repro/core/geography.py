@@ -3,9 +3,11 @@
 The paper resolves peer IP addresses to countries and ASNs with an offline
 MaxMind database and counts each peer once per country/AS it was seen in
 (Section 5.3.2); a peer seen with several IPs inside the same AS or country
-is counted only once there.  The analyses here consume the aggregated
-per-peer address sets of an :class:`ObservationLog` and a
-:class:`GeoRegistry` (the offline MaxMind stand-in).
+is counted only once there.  The analyses here stream straight off an
+:class:`ObservationLog`'s columnar address-event accumulators (one
+``np.unique`` pass over interned (peer, country/ASN) keys) and a
+:class:`GeoRegistry` (the offline MaxMind stand-in); no per-peer aggregate
+objects are materialised.
 
 * Figure 10 — top-20 countries by observed peers, with a cumulative-share
   series; plus the poor-press-freedom group summary the paper highlights.
@@ -60,29 +62,22 @@ class GeographicSummary:
 
 
 def country_distribution(log: ObservationLog) -> Counter:
-    """Peers per country (a peer counts once in every country it was seen in)."""
-    counts: Counter = Counter()
-    for aggregate in log.peers.values():
-        for country in aggregate.countries:
-            counts[country] += 1
-    return counts
+    """Peers per country (a peer counts once in every country it was seen in).
+
+    Streams off the observation log's columnar address-event accumulators;
+    no per-peer aggregates are materialised for columnar runs.
+    """
+    return log.country_counts()
 
 
 def asn_distribution(log: ObservationLog) -> Counter:
     """Peers per ASN (a peer counts once in every AS it was seen in)."""
-    counts: Counter = Counter()
-    for aggregate in log.peers.values():
-        for asn in aggregate.asns:
-            counts[asn] += 1
-    return counts
+    return log.asn_counts()
 
 
 def asn_span(log: ObservationLog) -> Counter:
     """Histogram of the number of distinct ASes per known-IP peer."""
-    counts: Counter = Counter()
-    for aggregate in log.known_ip_peers():
-        counts[len(aggregate.asns)] += 1
-    return counts
+    return log.asn_span_counts()
 
 
 def country_figure(log: ObservationLog, top_n: int = 20) -> FigureData:

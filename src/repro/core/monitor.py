@@ -18,11 +18,15 @@ Recording has two paths.  Columnar day views (the kind
 :class:`~repro.sim.population.I2PPopulation` produces) are recorded with
 NumPy mask arithmetic: cumulative coverage is a boolean vector over the
 global peer index, daily statistics are ``count_nonzero`` over the day's
-masks, and per-peer address history is only touched when a peer's IP
-assignment *version* actually advanced.  The per-peer
-:class:`PeerObservationAggregate` objects the figure analyses iterate are
-materialised lazily, once, when :attr:`ObservationLog.peers` is first read
-after recording.  Snapshot-backed views fall back to the original
+masks, and per-peer address history is appended to a columnar *event log*
+(one row per IP-assignment capture, countries interned to integer codes)
+only when a peer's assignment *version* actually advanced.  Every figure
+analysis — longevity, churn, capacity, geography, population split,
+bridges, blocking — consumes the accumulator arrays directly through the
+``ObservationLog`` accessors; the per-peer
+:class:`PeerObservationAggregate` objects remain available as a lazily
+materialised compatibility view (:attr:`ObservationLog.peers`) for tests
+and external callers.  Snapshot-backed views fall back to the original
 row-oriented loop, which the equivalence tests use as the reference.
 """
 
@@ -364,17 +368,86 @@ class _LogAccumulator:
 
     All arrays are indexed by the population's *global* peer index; the
     per-peer aggregate objects are reconstructed from them on demand.
+
+    Address captures are stored as a *columnar event log* rather than a
+    per-peer dict of tuples: one row per (peer, IP-assignment version)
+    capture, appended only when a peer is observed with a valid IP and a
+    new assignment version, so the event count tracks rotations, not
+    peer-days.  Countries are interned to small integer codes
+    (``country_labels``) so the geography analyses reduce to
+    ``np.unique`` passes over integer keys.
     """
 
     def __init__(self, store: PeerColumns) -> None:
         self.store = store
         self.horizon = store.horizon_days
         self.capacity = 0
+        #: High-water mark of accumulator array memory (bytes), updated on
+        #: every (re)allocation — recorded by the perf-budget benchmark.
+        self.peak_nbytes = 0
+        # ---- columnar address-event log -------------------------------- #
+        self.event_count = 0
+        self._event_capacity = 1024
+        self.event_peer = np.empty(self._event_capacity, dtype=np.int64)
+        self.event_asn = np.empty(self._event_capacity, dtype=np.int64)
+        self.event_country = np.empty(self._event_capacity, dtype=np.int32)
+        #: Parallel per-event address strings (object lists: IPs are
+        #: arbitrary-length strings and may be ``None`` for IPv6 slots).
+        self.event_ip: List[Optional[str]] = []
+        self.event_ipv6: List[Optional[str]] = []
+        self.country_codes: Dict[str, int] = {}
+        self.country_labels: List[str] = []
         self._allocate(max(store.size, 1024))
-        #: Per-peer list of (ip, ipv6, country, asn) captures; appended only
-        #: when a peer is observed with a valid IP and a new assignment
-        #: version, so the list length tracks rotations, not peer-days.
-        self.addr_events: Dict[int, List[Tuple[str, Optional[str], str, int]]] = {}
+
+    def country_code(self, country: object) -> int:
+        """Intern a country string to a stable small code (-1 for unset)."""
+        if not country:
+            return -1
+        code = self.country_codes.get(country)  # type: ignore[arg-type]
+        if code is None:
+            code = len(self.country_labels)
+            self.country_codes[str(country)] = code
+            self.country_labels.append(str(country))
+        return code
+
+    def ensure_events(self, extra: int) -> None:
+        needed = self.event_count + extra
+        if needed <= self._event_capacity:
+            return
+        while self._event_capacity < needed:
+            self._event_capacity *= 2
+        for name in ("event_peer", "event_asn", "event_country"):
+            old = getattr(self, name)
+            grown = np.empty(self._event_capacity, dtype=old.dtype)
+            grown[: self.event_count] = old[: self.event_count]
+            setattr(self, name, grown)
+        self._note_memory()
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate resident size of the accumulator arrays."""
+        total = (
+            self.observed.nbytes
+            + self.first_day.nbytes
+            + self.last_day.nbytes
+            + self.firewalled_days.nbytes
+            + self.hidden_days.nbytes
+            + self.reachable_days.nbytes
+            + self.unreachable_days.nbytes
+            + self.floodfill_days.nbytes
+            + self.seen_version.nbytes
+            + self.ipv4_count.nbytes
+            + self.event_peer.nbytes
+            + self.event_asn.nbytes
+            + self.event_country.nbytes
+        )
+        # Event address strings: 8-byte list slots; string storage itself is
+        # shared with the population columns, so only count the references.
+        total += 8 * (len(self.event_ip) + len(self.event_ipv6))
+        return total
+
+    def _note_memory(self) -> None:
+        self.peak_nbytes = max(self.peak_nbytes, self.nbytes)
 
     def _allocate(self, capacity: int) -> None:
         old_capacity = self.capacity
@@ -415,6 +488,7 @@ class _LogAccumulator:
         for name, array in arrays.items():
             getattr(self, name)[:old_capacity] = array
         self.capacity = capacity
+        self._note_memory()
 
     def ensure(self, size: int) -> None:
         if size > self.capacity:
@@ -431,6 +505,8 @@ class ObservationLog:
         self._acc: Optional[_LogAccumulator] = None
         self._peers_cache: Optional[Dict[bytes, PeerObservationAggregate]] = None
         self._peers_cache_days = -1
+        self._addr_sets_cache: Optional[Dict[int, Set[str]]] = None
+        self._addr_sets_events = -1
 
     @property
     def peers(self) -> Dict[bytes, PeerObservationAggregate]:
@@ -538,16 +614,19 @@ class ObservationLog:
         address_changed = valid & (acc.seen_version[observed_global] != versions)
         if np.any(address_changed):
             changed_global = observed_global[address_changed]
-            changed_ipv6 = cols.ipv6[mask][address_changed]
-            events = acc.addr_events
-            for g, ip, ipv6_addr, country, asn in zip(
-                changed_global.tolist(),
-                cols.ip[mask][address_changed].tolist(),
-                changed_ipv6.tolist(),
-                cols.country[mask][address_changed].tolist(),
-                cols.asn[mask][address_changed].tolist(),
-            ):
-                events.setdefault(g, []).append((ip, ipv6_addr, country, asn))
+            added = int(changed_global.size)
+            acc.ensure_events(added)
+            start = acc.event_count
+            end = start + added
+            acc.event_peer[start:end] = changed_global
+            acc.event_asn[start:end] = cols.asn[mask][address_changed]
+            countries = cols.country[mask][address_changed].tolist()
+            acc.event_country[start:end] = [
+                acc.country_code(country) for country in countries
+            ]
+            acc.event_ip.extend(cols.ip[mask][address_changed].tolist())
+            acc.event_ipv6.extend(cols.ipv6[mask][address_changed].tolist())
+            acc.event_count = end
             acc.seen_version[changed_global] = versions[address_changed]
             acc.ipv4_count[changed_global] += 1
 
@@ -629,7 +708,8 @@ class ObservationLog:
 
         peer_ids = store.peer_ids
         tier_codes = store.tier_code
-        records = store.records
+        advertised_masks = store.advertised_mask
+        events_by_peer = self._events_by_peer()
         peers: Dict[bytes, PeerObservationAggregate] = {}
         for row, global_index in enumerate(observed_rows.tolist()):
             day_list = day_groups[row]
@@ -645,20 +725,30 @@ class ObservationLog:
                 firewalled_days=int(acc.firewalled_days[global_index]),
                 hidden_days=int(acc.hidden_days[global_index]),
             )
-            for ip, ipv6_addr, country, asn in acc.addr_events.get(global_index, ()):
+            for event in events_by_peer.get(global_index, ()):
+                ip = acc.event_ip[event]
+                ipv6_addr = acc.event_ipv6[event]
+                country_code = int(acc.event_country[event])
+                asn = int(acc.event_asn[event])
                 if ip is not None:
                     aggregate.ipv4_addresses.add(ip)
                 if ipv6_addr is not None:
                     aggregate.ipv6_addresses.add(ipv6_addr)
-                if country:
-                    aggregate.countries.add(country)
-                if asn is not None and asn >= 0:
-                    aggregate.asns.add(int(asn))
+                if country_code >= 0:
+                    aggregate.countries.add(acc.country_labels[country_code])
+                if asn >= 0:
+                    aggregate.asns.add(asn)
             aggregate.primary_tier_days[TIER_ORDER[tier_codes[global_index]].value] = (
                 observed_days
             )
-            for tier in records[global_index].tier.advertised_tiers:
-                aggregate.advertised_flag_days[tier.value] += observed_days
+            # Advertised tiers come from the static bitmask column (not the
+            # row-oriented records), so the compatibility view also works on
+            # populations restored from the npz cache, which carry no
+            # PeerRecord objects.
+            mask_bits = int(advertised_masks[global_index])
+            for code, tier in enumerate(TIER_ORDER):
+                if mask_bits & (1 << code):
+                    aggregate.advertised_flag_days[tier.value] += observed_days
             peers[aggregate.peer_id] = aggregate
         return peers
 
@@ -688,6 +778,210 @@ class ObservationLog:
         assert acc is not None
         size = acc.store.size
         return np.nonzero(acc.first_day[:size] >= 0)[0]
+
+    def _events_by_peer(self) -> Dict[int, List[int]]:
+        """Event indices grouped by global peer row (insertion order kept)."""
+        acc = self._acc
+        assert acc is not None
+        groups: Dict[int, List[int]] = {}
+        for event, peer in enumerate(acc.event_peer[: acc.event_count].tolist()):
+            groups.setdefault(peer, []).append(event)
+        return groups
+
+    def _peer_address_sets(self) -> Dict[int, Set[str]]:
+        """Per-peer observed address set (IPv4 ∪ IPv6), cached per event count."""
+        acc = self._acc
+        assert acc is not None
+        if (
+            self._addr_sets_cache is None
+            or self._addr_sets_events != acc.event_count
+        ):
+            sets: Dict[int, Set[str]] = {}
+            peers = acc.event_peer[: acc.event_count].tolist()
+            for event, peer in enumerate(peers):
+                addresses = sets.get(peer)
+                if addresses is None:
+                    addresses = sets[peer] = set()
+                ip = acc.event_ip[event]
+                if ip is not None:
+                    addresses.add(ip)
+                ipv6 = acc.event_ipv6[event]
+                if ipv6 is not None:
+                    addresses.add(ipv6)
+            self._addr_sets_cache = sets
+            self._addr_sets_events = acc.event_count
+        return self._addr_sets_cache
+
+    def country_counts(self) -> Counter:
+        """Observed peers per country (each peer counts once per country).
+
+        Columnar runs reduce the interned address-event columns with one
+        ``np.unique`` pass over (peer, country) keys; row-oriented runs
+        fall back to the per-peer aggregates.
+        """
+        counts: Counter = Counter()
+        if self._acc is None:
+            for aggregate in self.peers.values():
+                for country in aggregate.countries:
+                    counts[country] += 1
+            return counts
+        acc = self._acc
+        n = acc.event_count
+        n_labels = len(acc.country_labels)
+        if not n or not n_labels:
+            return counts
+        codes = acc.event_country[:n]
+        valid = codes >= 0
+        keys = acc.event_peer[:n][valid] * np.int64(n_labels) + codes[valid]
+        unique_codes = np.unique(keys) % n_labels
+        per_code = np.bincount(unique_codes.astype(np.int64), minlength=n_labels)
+        for code, count in enumerate(per_code.tolist()):
+            if count:
+                counts[acc.country_labels[code]] = count
+        return counts
+
+    def _unique_peer_asn_pairs(self) -> np.ndarray:
+        """Distinct (peer row, ASN) keys packed as ``row << 32 | asn``."""
+        acc = self._acc
+        assert acc is not None
+        n = acc.event_count
+        if not n:
+            return np.empty(0, dtype=np.int64)
+        asns = acc.event_asn[:n]
+        valid = asns >= 0
+        keys = (acc.event_peer[:n][valid] << np.int64(32)) | asns[valid]
+        return np.unique(keys)
+
+    def asn_counts(self) -> Counter:
+        """Observed peers per ASN (each peer counts once per AS)."""
+        counts: Counter = Counter()
+        if self._acc is None:
+            for aggregate in self.peers.values():
+                for asn in aggregate.asns:
+                    counts[asn] += 1
+            return counts
+        pairs = self._unique_peer_asn_pairs()
+        if not pairs.size:
+            return counts
+        asns, per_asn = np.unique(pairs & np.int64(0xFFFFFFFF), return_counts=True)
+        for asn, count in zip(asns.tolist(), per_asn.tolist()):
+            counts[int(asn)] = int(count)
+        return counts
+
+    def asn_span_counts(self) -> Counter:
+        """Histogram of distinct-AS counts over known-IP peers (Figure 12)."""
+        counts: Counter = Counter()
+        if self._acc is None:
+            for aggregate in self.peers.values():
+                if aggregate.has_known_ip:
+                    counts[len(aggregate.asns)] += 1
+            return counts
+        acc = self._acc
+        rows = self._observed_rows()
+        known_peers = int(np.count_nonzero(acc.ipv4_count[rows] > 0))
+        pairs = self._unique_peer_asn_pairs()
+        if pairs.size:
+            _, spans = np.unique(pairs >> np.int64(32), return_counts=True)
+            span_values, span_counts = np.unique(spans, return_counts=True)
+            for span, count in zip(span_values.tolist(), span_counts.tolist()):
+                counts[int(span)] = int(count)
+            known_peers -= int(spans.size)
+        if known_peers > 0:
+            # Known-IP peers whose captures never carried a resolvable ASN.
+            counts[0] += known_peers
+        return counts
+
+    def unknown_ip_classification(self) -> Dict[str, int]:
+        """Campaign-level unknown-IP split (ever firewalled / hidden / both /
+        never addressed), straight off the accumulator counters."""
+        if self._acc is None:
+            ever_firewalled = ever_hidden = both = never_addressed = 0
+            for aggregate in self.peers.values():
+                was_firewalled = aggregate.firewalled_days > 0
+                was_hidden = aggregate.hidden_days > 0
+                if was_firewalled:
+                    ever_firewalled += 1
+                if was_hidden:
+                    ever_hidden += 1
+                if was_firewalled and was_hidden:
+                    both += 1
+                if not aggregate.has_known_ip:
+                    never_addressed += 1
+        else:
+            acc = self._acc
+            rows = self._observed_rows()
+            was_firewalled = acc.firewalled_days[rows] > 0
+            was_hidden = acc.hidden_days[rows] > 0
+            ever_firewalled = int(np.count_nonzero(was_firewalled))
+            ever_hidden = int(np.count_nonzero(was_hidden))
+            both = int(np.count_nonzero(was_firewalled & was_hidden))
+            never_addressed = int(np.count_nonzero(acc.ipv4_count[rows] == 0))
+        return {
+            "ever_firewalled": ever_firewalled,
+            "ever_hidden": ever_hidden,
+            "both_statuses": both,
+            "never_published_address": never_addressed,
+        }
+
+    def known_ip_presence_on(
+        self, day: int
+    ) -> Tuple[np.ndarray, List[Set[str]]]:
+        """Known-IP peers observed on ``day``: (first days, address sets).
+
+        Returns one entry per known-IP peer observed on ``day``: the day it
+        was first observed, and its full observed address set (IPv4 ∪ IPv6
+        over the whole campaign).  The bridge analyses consume this without
+        materialising per-peer aggregates on columnar runs.
+        """
+        if self._acc is None:
+            first_days: List[int] = []
+            address_sets: List[Set[str]] = []
+            for aggregate in self.peers.values():
+                if day in aggregate.days_observed and aggregate.has_known_ip:
+                    first_days.append(aggregate.first_day)
+                    address_sets.append(
+                        aggregate.ipv4_addresses | aggregate.ipv6_addresses
+                    )
+            return np.asarray(first_days, dtype=np.int64), address_sets
+        acc = self._acc
+        size = acc.store.size
+        if day < 0 or day >= acc.horizon:
+            return np.empty(0, dtype=np.int64), []
+        rows = np.nonzero(
+            acc.observed[:size, day] & (acc.ipv4_count[:size] > 0)
+        )[0]
+        sets_by_row = self._peer_address_sets()
+        return (
+            acc.first_day[rows].astype(np.int64),
+            [sets_by_row[row] for row in rows.tolist()],
+        )
+
+    def known_ip_cohort_addresses(self, first_day: int) -> List[Set[str]]:
+        """Address sets of known-IP peers *first* observed on ``first_day``
+        (the bridge-survival cohort)."""
+        if self._acc is None:
+            return [
+                aggregate.ipv4_addresses | aggregate.ipv6_addresses
+                for aggregate in self.peers.values()
+                if aggregate.first_day == first_day and aggregate.has_known_ip
+            ]
+        acc = self._acc
+        size = acc.store.size
+        rows = np.nonzero(
+            (acc.first_day[:size] == first_day) & (acc.ipv4_count[:size] > 0)
+        )[0]
+        sets_by_row = self._peer_address_sets()
+        return [sets_by_row[row] for row in rows.tolist()]
+
+    def accumulator_memory_bytes(self) -> Tuple[int, int]:
+        """(current, peak) accumulator array footprint in bytes (0 for
+        row-oriented logs)."""
+        if self._acc is None:
+            return 0, 0
+        # The event lists grow between allocations; fold the current size
+        # into the high-water mark before reporting.
+        self._acc._note_memory()
+        return self._acc.nbytes, self._acc.peak_nbytes
 
     def presence_lengths(self) -> Tuple[np.ndarray, np.ndarray]:
         """Per observed peer: (longest continuous run, observation span).

@@ -137,24 +137,4 @@ def classify_unknown_ip(log: ObservationLog) -> Dict[str, int]:
     observed as hidden, the overlap (observed as both at different times),
     and peers that never published a valid address at all.
     """
-    ever_firewalled = 0
-    ever_hidden = 0
-    both = 0
-    never_addressed = 0
-    for aggregate in log.peers.values():
-        was_firewalled = aggregate.firewalled_days > 0
-        was_hidden = aggregate.hidden_days > 0
-        if was_firewalled:
-            ever_firewalled += 1
-        if was_hidden:
-            ever_hidden += 1
-        if was_firewalled and was_hidden:
-            both += 1
-        if not aggregate.has_known_ip:
-            never_addressed += 1
-    return {
-        "ever_firewalled": ever_firewalled,
-        "ever_hidden": ever_hidden,
-        "both_statuses": both,
-        "never_published_address": never_addressed,
-    }
+    return log.unknown_ip_classification()

@@ -20,7 +20,13 @@ from .geo import (
     GeoRegistry,
     default_registry,
 )
-from .exposure import ExposureEngine, SharedExposure, default_engine, set_default_engine
+from .exposure import (
+    CachedExposure,
+    ExposureEngine,
+    SharedExposure,
+    default_engine,
+    set_default_engine,
+)
 from .ip import AddressProfile, IpAssignment, IpAssignmentManager
 from .network import I2PNetwork, SimulatedRouter
 from .observation import (
@@ -68,6 +74,7 @@ __all__ = [
     "Country",
     "GeoRegistry",
     "default_registry",
+    "CachedExposure",
     "ExposureEngine",
     "SharedExposure",
     "default_engine",

@@ -64,6 +64,7 @@ from .population import DayView, I2PPopulation, PopulationConfig
 from .rng import derive_seed
 
 __all__ = [
+    "CachedExposure",
     "ExposureEngine",
     "SharedExposure",
     "default_engine",
@@ -121,11 +122,28 @@ def _pool_compute(
     return (name, mode_value, kbps, day, np.packbits(mask), mask.size)
 
 
-def _env_workers() -> int:
+def _parse_workers(value: object, source: str) -> int:
+    """Validate a worker count: non-negative integer, clear error otherwise."""
     try:
-        return int(os.environ.get("REPRO_EXPOSURE_WORKERS", "0"))
-    except ValueError:
+        workers = int(str(value))
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{source} must be a non-negative integer "
+            f"(0 disables the process pool); got {value!r}"
+        ) from None
+    if workers < 0:
+        raise ValueError(
+            f"{source} must be a non-negative integer "
+            f"(0 disables the process pool); got {workers}"
+        )
+    return workers
+
+
+def _env_workers() -> int:
+    value = os.environ.get("REPRO_EXPOSURE_WORKERS")
+    if value is None or value.strip() == "":
         return 0
+    return _parse_workers(value, "REPRO_EXPOSURE_WORKERS")
 
 
 class SharedExposure:
@@ -230,8 +248,15 @@ class SharedExposure:
         variable (0 = serial).  Results are bit-for-bit identical to the
         serial path — each mask has its own derived seed — so the pool is a
         pure wall-time optimisation for large fleets.  Any pool failure
-        falls back to serial computation.
+        falls back to serial computation.  A non-integer or negative worker
+        count (explicit or via the environment variable) raises
+        ``ValueError`` up front.
         """
+        workers = (
+            _env_workers()
+            if workers is None
+            else _parse_workers(workers, "workers")
+        )
         self.ensure_days(days)
         pending: List[Tuple[MonitorSpec, int]] = []
         for spec in specs:
@@ -241,7 +266,6 @@ class SharedExposure:
                     pending.append((spec, day))
         if not pending:
             return
-        workers = _env_workers() if workers is None else workers
         if workers > 1 and len(pending) >= workers * min_tasks_per_worker:
             try:
                 self._prefetch_pool(pending, days, workers)
@@ -291,18 +315,69 @@ class SharedExposure:
         )
 
 
-class ExposureEngine:
-    """LRU cache of :class:`SharedExposure` entries."""
+class CachedExposure(SharedExposure):
+    """A read-only :class:`SharedExposure` restored from the npz disk cache.
 
-    def __init__(self, capacity: int = 4) -> None:
+    Day state comes fully materialised from the archive (see
+    :mod:`repro.sim.exposure_cache` for the format); per-monitor masks are
+    recomputed on demand from the restored exposure draws, bit-identically
+    to a freshly built entry.  Restored entries cannot be extended — the
+    population behind them is an array-only stub — so asking for more days
+    than were persisted raises ``RuntimeError`` (the engine reacts by
+    rebuilding from scratch).
+    """
+
+    def __init__(
+        self,
+        population_config: PopulationConfig,
+        observation_seed: int,
+        population,
+        views: List[DayView],
+        exposures: List["DayExposure"],
+    ) -> None:
+        self.population_config = population_config
+        self.observation_seed = observation_seed
+        self.population = population
+        self.views = list(views)
+        self._exposures = list(exposures)
+        self._masks = {}
+
+    def ensure_days(self, days: int) -> None:
+        if days > len(self.views):
+            raise RuntimeError(
+                f"this exposure was restored from the disk cache with only "
+                f"{len(self.views)} day(s) materialised and cannot be "
+                f"extended to {days}; rebuild through an ExposureEngine"
+            )
+
+
+class ExposureEngine:
+    """LRU cache of :class:`SharedExposure` entries, optionally disk-backed.
+
+    With ``cache_dir`` set, entries are persisted as compressed npz files
+    keyed by a digest of ``(population config, observation seed)`` (see
+    :mod:`repro.sim.exposure_cache`), and ``get`` consults the directory
+    before building a population — so repeated CLI runs across *processes*
+    reuse paper-scale populations.  Disk entries holding at least the
+    requested number of days are loaded read-only; shorter ones are
+    rebuilt and overwritten with the longer day range.
+    """
+
+    def __init__(
+        self, capacity: int = 4, cache_dir: Optional["os.PathLike"] = None
+    ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
+        self.cache_dir = None if cache_dir is None else str(cache_dir)
         self._entries: "OrderedDict[Tuple[PopulationConfig, int], SharedExposure]" = (
             OrderedDict()
         )
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+        #: Days already persisted per key (avoids rewriting unchanged files).
+        self._persisted_days: Dict[Tuple[PopulationConfig, int], int] = {}
 
     def get(
         self,
@@ -316,19 +391,81 @@ class ExposureEngine:
         before returning.
         """
         key = (population_config, observation_seed)
+        needed = 0 if days is None else days
         entry = self._entries.get(key)
+        if entry is not None and (
+            isinstance(entry, CachedExposure) and needed > entry.days_materialised
+        ):
+            # The restored entry is too short and cannot be extended.
+            del self._entries[key]
+            entry = None
+        if entry is None:
+            entry = self._load_from_disk(population_config, observation_seed, needed)
         if entry is None:
             self.misses += 1
             entry = SharedExposure(population_config, observation_seed)
-            self._entries[key] = entry
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
         else:
             self.hits += 1
-            self._entries.move_to_end(key)
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
         if days is not None:
             entry.ensure_days(days)
+        self._maybe_persist(key, entry)
         return entry
+
+    # ------------------------------------------------------------------ #
+    # Disk cache
+    # ------------------------------------------------------------------ #
+    def _load_from_disk(
+        self,
+        population_config: PopulationConfig,
+        observation_seed: int,
+        needed_days: int,
+    ) -> Optional[SharedExposure]:
+        if self.cache_dir is None:
+            return None
+        from . import exposure_cache
+
+        path = exposure_cache.cache_path(
+            self.cache_dir, population_config, observation_seed
+        )
+        if not path.is_file():
+            return None
+        try:
+            # Peek the meta record first: rejecting a too-short file must
+            # not pay for decoding its full day state.
+            meta = exposure_cache.read_meta(path)
+            if needed_days > int(meta.get("days", -1)):
+                return None
+            entry = exposure_cache.load_exposure(path)
+        except Exception:  # noqa: BLE001 - any unreadable/corrupt/foreign
+            # file (truncated zip, bad JSON meta, missing keys, wrong
+            # schema) is a plain cache miss: rebuild and overwrite.
+            return None
+        if needed_days > entry.days_materialised:
+            return None
+        key = (population_config, observation_seed)
+        self._persisted_days[key] = entry.days_materialised
+        self.disk_hits += 1
+        return entry
+
+    def _maybe_persist(
+        self, key: Tuple[PopulationConfig, int], entry: SharedExposure
+    ) -> None:
+        if self.cache_dir is None or isinstance(entry, CachedExposure):
+            return
+        days = entry.days_materialised
+        if days <= 0 or days <= self._persisted_days.get(key, 0):
+            return
+        from . import exposure_cache
+
+        try:
+            exposure_cache.save_exposure(entry, self.cache_dir)
+        except OSError:  # cache dir unwritable: stay in-memory only
+            return
+        self._persisted_days[key] = days
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -16,6 +16,18 @@ from repro.sim import I2PNetwork, I2PPopulation, PopulationConfig
 from repro.netdb.routerinfo import BandwidthTier
 
 
+@pytest.fixture(autouse=True)
+def _isolated_exposure_cache(tmp_path, monkeypatch):
+    """Point the CLI's default on-disk exposure cache at a per-test tmp dir.
+
+    Without this, CLI-invoking tests would read/write the developer's real
+    ``~/.cache/repro/exposure`` — polluting it and making repeated test
+    runs depend on its contents (a second run would hit the disk cache and
+    change the printed build counts).
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "exposure-cache"))
+
+
 @pytest.fixture(scope="session")
 def small_campaign() -> CampaignResult:
     """A 12-day, ~900-peer campaign with victim client and daily IPs."""

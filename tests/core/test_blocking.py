@@ -119,3 +119,28 @@ class TestBlockingCurve:
         result = run_main_campaign(days=2, scale=0.01, include_victim_client=False)
         with pytest.raises(ValueError):
             blocking_curve(result)
+
+
+class TestBlockingCurveIncrementalSemantics:
+    """The incremental blacklist rewrite preserves the original contract."""
+
+    def test_non_positive_router_count_rejected(self, small_campaign):
+        with pytest.raises(ValueError, match="router_count must be positive"):
+            blocking_curve(small_campaign, router_counts=[0], windows=(1,))
+
+    def test_too_many_routers_rejected(self, small_campaign):
+        too_many = len(small_campaign.monitors) + 1
+        with pytest.raises(ValueError, match="censor has only"):
+            blocking_curve(small_campaign, router_counts=[too_many], windows=(1,))
+
+    def test_caller_order_and_duplicates_preserved(self, small_campaign):
+        figure = blocking_curve(
+            small_campaign, router_counts=[6, 1, 6], windows=(1,)
+        )
+        points = figure.get("1 day").points
+        assert [x for x, _ in points] == [6.0, 1.0, 6.0]
+        ascending = blocking_curve(
+            small_campaign, router_counts=[1, 6], windows=(1,)
+        ).get("1 day")
+        assert points[0][1] == ascending.y_at(6)
+        assert points[1][1] == ascending.y_at(1)

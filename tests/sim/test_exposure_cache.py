@@ -1,0 +1,229 @@
+"""Tests for the on-disk npz exposure cache (``sim/exposure_cache.py``)."""
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import run_main_campaign, scaled_population_config
+from repro.core.reporting import render_campaign_summary, render_table1
+from repro.core.blocking import blocking_curve
+from repro.core.population import daily_population_figure
+from repro.sim.exposure import CachedExposure, ExposureEngine
+from repro.sim import exposure_cache
+from repro.sim.rng import derive_seed
+
+
+def _key(scale=0.02, days=4, seed=2018):
+    config = scaled_population_config(scale, days=days, seed=seed)
+    return config, derive_seed(seed, "observation")
+
+
+class TestDigest:
+    def test_digest_is_stable(self):
+        config, obs_seed = _key()
+        assert exposure_cache.exposure_digest(
+            config, obs_seed
+        ) == exposure_cache.exposure_digest(config, obs_seed)
+
+    def test_digest_varies_with_config_and_seed(self):
+        config, obs_seed = _key()
+        other_config, _ = _key(scale=0.03)
+        digests = {
+            exposure_cache.exposure_digest(config, obs_seed),
+            exposure_cache.exposure_digest(other_config, obs_seed),
+            exposure_cache.exposure_digest(config, obs_seed + 1),
+        }
+        assert len(digests) == 3
+
+
+class TestRoundTrip:
+    def test_save_load_roundtrip_arrays(self, tmp_path):
+        config, obs_seed = _key()
+        engine = ExposureEngine()
+        exposure = engine.get(config, obs_seed, days=3)
+        path = exposure_cache.save_exposure(exposure, tmp_path)
+        assert path.is_file()
+
+        restored = exposure_cache.load_exposure(path)
+        assert isinstance(restored, CachedExposure)
+        assert restored.days_materialised == 3
+        for day in range(3):
+            original = exposure.views[day].columns
+            loaded = restored.views[day].columns
+            np.testing.assert_array_equal(original.indices, loaded.indices)
+            np.testing.assert_array_equal(original.firewalled, loaded.firewalled)
+            np.testing.assert_array_equal(original.valid_ip, loaded.valid_ip)
+            assert original.ip.tolist() == loaded.ip.tolist()
+            assert original.ipv6.tolist() == loaded.ipv6.tolist()
+            assert original.country.tolist() == loaded.country.tolist()
+            np.testing.assert_array_equal(original.asn, loaded.asn)
+            np.testing.assert_array_equal(
+                np.asarray(exposure._exposures[day].visibility),
+                np.asarray(restored._exposures[day].visibility),
+            )
+            assert (
+                exposure.views[day].columns.peer_ids.tolist()
+                == restored.views[day].columns.peer_ids.tolist()
+            )
+
+    def test_restored_masks_are_bit_identical(self, tmp_path):
+        from repro.sim.observation import MonitorMode, MonitorSpec
+
+        config, obs_seed = _key()
+        engine = ExposureEngine()
+        exposure = engine.get(config, obs_seed, days=2)
+        spec = MonitorSpec("ff-0", MonitorMode.FLOODFILL, 8000.0)
+        expected = exposure.monitor_day_mask(spec, 1)
+        path = exposure_cache.save_exposure(exposure, tmp_path)
+        restored = exposure_cache.load_exposure(path)
+        np.testing.assert_array_equal(expected, restored.monitor_day_mask(spec, 1))
+
+    def test_restored_exposure_cannot_extend(self, tmp_path):
+        config, obs_seed = _key()
+        exposure = ExposureEngine().get(config, obs_seed, days=2)
+        restored = exposure_cache.load_exposure(
+            exposure_cache.save_exposure(exposure, tmp_path)
+        )
+        with pytest.raises(RuntimeError, match="restored from the disk cache"):
+            restored.ensure_days(3)
+
+    def test_restored_population_is_read_only(self, tmp_path):
+        config, obs_seed = _key()
+        exposure = ExposureEngine().get(config, obs_seed, days=1)
+        restored = exposure_cache.load_exposure(
+            exposure_cache.save_exposure(exposure, tmp_path)
+        )
+        with pytest.raises(RuntimeError, match="read-only"):
+            restored.population.day_view(0)
+        assert restored.population.total_identities() == exposure.population.columns.size
+
+
+class TestEngineIntegration:
+    def test_second_engine_loads_from_disk_and_skips_build(self, tmp_path):
+        first = ExposureEngine(cache_dir=tmp_path)
+        result_fresh = run_main_campaign(days=4, scale=0.02, seed=5, engine=first)
+        assert first.misses == 1 and first.disk_hits == 0
+        assert list(tmp_path.glob("*.npz"))
+
+        second = ExposureEngine(cache_dir=tmp_path)
+        result_cached = run_main_campaign(days=4, scale=0.02, seed=5, engine=second)
+        assert second.misses == 0
+        assert second.disk_hits == 1
+
+        # Full pipeline byte-identity between fresh and cache-restored runs.
+        assert render_campaign_summary(result_fresh) == render_campaign_summary(
+            result_cached
+        )
+        assert render_table1(result_fresh.log) == render_table1(result_cached.log)
+        assert blocking_curve(result_fresh).to_text() == blocking_curve(
+            result_cached
+        ).to_text()
+        assert daily_population_figure(result_fresh.log).to_text() == (
+            daily_population_figure(result_cached.log).to_text()
+        )
+
+    def test_restored_run_supports_the_aggregate_compatibility_view(self, tmp_path):
+        """log.peers must still materialise on a cache-restored campaign
+        (advertised tiers come from the persisted bitmask column, not the
+        absent PeerRecord objects)."""
+        first = ExposureEngine(cache_dir=tmp_path)
+        fresh = run_main_campaign(days=3, scale=0.02, seed=6, engine=first)
+        second = ExposureEngine(cache_dir=tmp_path)
+        cached = run_main_campaign(days=3, scale=0.02, seed=6, engine=second)
+        assert second.disk_hits == 1
+        fresh_peers = fresh.log.peers
+        cached_peers = cached.log.peers
+        assert set(fresh_peers) == set(cached_peers)
+        for peer_id, reference in fresh_peers.items():
+            restored = cached_peers[peer_id]
+            assert restored.days_observed == reference.days_observed
+            assert restored.countries == reference.countries
+            assert restored.asns == reference.asns
+            assert restored.advertised_flag_days == reference.advertised_flag_days
+            assert restored.primary_tier_days == reference.primary_tier_days
+        assert len(cached.log.known_ip_peers()) == len(fresh.log.known_ip_peers())
+
+    def test_short_cache_entry_is_rebuilt_and_overwritten(self, tmp_path):
+        config, obs_seed = _key(days=6)
+        short_engine = ExposureEngine(cache_dir=tmp_path)
+        short_engine.get(config, obs_seed, days=2)
+
+        long_engine = ExposureEngine(cache_dir=tmp_path)
+        entry = long_engine.get(config, obs_seed, days=5)
+        # Too short on disk: a fresh build, not a restored entry.
+        assert long_engine.misses == 1 and long_engine.disk_hits == 0
+        assert not isinstance(entry, CachedExposure)
+        assert entry.days_materialised >= 5
+
+        # The overwritten file now serves the longer request.
+        third = ExposureEngine(cache_dir=tmp_path)
+        third.get(config, obs_seed, days=5)
+        assert third.disk_hits == 1
+
+    def test_in_memory_restored_entry_rebuilds_on_longer_request(self, tmp_path):
+        config, obs_seed = _key(days=6)
+        ExposureEngine(cache_dir=tmp_path).get(config, obs_seed, days=2)
+        engine = ExposureEngine(cache_dir=tmp_path)
+        restored = engine.get(config, obs_seed, days=2)
+        assert isinstance(restored, CachedExposure)
+        rebuilt = engine.get(config, obs_seed, days=4)
+        assert not isinstance(rebuilt, CachedExposure)
+        assert rebuilt.days_materialised >= 4
+
+    def test_corrupt_cache_file_is_a_miss(self, tmp_path):
+        config, obs_seed = _key()
+        path = exposure_cache.cache_path(tmp_path, config, obs_seed)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not an npz archive")
+        engine = ExposureEngine(cache_dir=tmp_path)
+        entry = engine.get(config, obs_seed, days=2)
+        assert engine.misses == 1 and engine.disk_hits == 0
+        assert entry.days_materialised >= 2
+
+    def test_engine_without_cache_dir_writes_nothing(self, tmp_path):
+        config, obs_seed = _key()
+        ExposureEngine().get(config, obs_seed, days=2)
+        assert not list(tmp_path.glob("*.npz"))
+
+
+class TestCacheMaintenance:
+    def test_cache_entries_and_clear(self, tmp_path):
+        config, obs_seed = _key()
+        exposure = ExposureEngine().get(config, obs_seed, days=2)
+        exposure_cache.save_exposure(exposure, tmp_path)
+        entries = exposure_cache.cache_entries(tmp_path)
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry["days"] == 2
+        assert entry["peers"] == exposure.population.columns.size
+        assert entry["seed"] == config.seed
+        assert exposure_cache.clear_cache(tmp_path) == 1
+        assert exposure_cache.cache_entries(tmp_path) == []
+
+    def test_cache_entries_flags_unreadable_files(self, tmp_path):
+        (tmp_path / "deadbeef.npz").write_bytes(b"junk")
+        entries = exposure_cache.cache_entries(tmp_path)
+        assert entries and entries[0]["error"] == "unreadable"
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        missing = tmp_path / "nope"
+        assert exposure_cache.cache_entries(missing) == []
+        assert exposure_cache.clear_cache(missing) == 0
+
+
+class TestCorruptArchives:
+    def test_truncated_zip_is_a_miss_not_a_crash(self, tmp_path):
+        """A file with a valid PK magic but garbage body (e.g. a torn copy)
+        must degrade to a rebuild, not raise zipfile.BadZipFile."""
+        config, obs_seed = _key()
+        path = exposure_cache.cache_path(tmp_path, config, obs_seed)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"PK\x03\x04" + b"\x00" * 64)
+        engine = ExposureEngine(cache_dir=tmp_path)
+        entry = engine.get(config, obs_seed, days=2)
+        assert engine.misses == 1 and engine.disk_hits == 0
+        assert entry.days_materialised >= 2
+
+    def test_cache_entries_survive_truncated_zip(self, tmp_path):
+        (tmp_path / "cafecafe.npz").write_bytes(b"PK\x03\x04" + b"\x00" * 64)
+        entries = exposure_cache.cache_entries(tmp_path)
+        assert entries and entries[0]["error"] == "unreadable"

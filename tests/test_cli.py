@@ -87,3 +87,98 @@ class TestCensorCommand:
         assert exit_code == 0
         assert "figure_13" in captured
         assert "figure_14" in captured
+
+
+class TestScenariosCommand:
+    def test_scenarios_lists_registered_specs(self, capsys):
+        exit_code = main(["scenarios"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        for name in (
+            "main_campaign",
+            "single_router",
+            "bandwidth_sweep",
+            "router_count_sweep",
+            "figure_suite",
+            "monitor_fraction_sweep",
+            "country_blocking",
+            "reseed_denial",
+        ):
+            assert name in captured
+        # At least seven registered specs are announced in the header.
+        first_line = captured.splitlines()[0]
+        assert int(first_line.split()[0]) >= 7
+
+
+class TestRunCommand:
+    def test_run_executes_a_scenario(self, capsys):
+        exit_code = main(
+            ["--scale", "0.01", "run", "monitor_fraction_sweep", "--days", "2"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "scenario monitor_fraction_sweep" in captured
+        assert "scenario_monitor_fraction" in captured
+        assert "population build(s)" in captured
+
+    def test_run_unknown_scenario_fails_with_catalogue(self, capsys):
+        exit_code = main(["run", "does-not-exist"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "main_campaign" in captured.err
+
+
+class TestCacheCommandAndReuse:
+    def test_second_run_hits_disk_cache(self, capsys):
+        argv = ["--scale", "0.01", "run", "bandwidth_sweep", "--days", "2"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "1 population build(s)" in first
+        # Same process-external cache (REPRO_CACHE_DIR fixture), new engine:
+        # the second run restores the population from npz instead of
+        # rebuilding it.
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "0 population build(s)" in second
+        assert "1 disk hit(s)" in second
+
+    def test_cache_ls_and_clear(self, capsys):
+        assert main(["--scale", "0.01", "run", "bandwidth_sweep", "--days", "2"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "ls"]) == 0
+        listing = capsys.readouterr().out
+        assert "1 entr" in listing
+        assert "days=2" in listing
+        assert main(["cache", "clear"]) == 0
+        assert "removed 1 cache file(s)" in capsys.readouterr().out
+        assert main(["cache", "ls"]) == 0
+        assert "0 entr" in capsys.readouterr().out
+
+    def test_no_cache_flag_disables_disk_cache(self, capsys):
+        argv = ["--scale", "0.01", "--no-cache", "run", "bandwidth_sweep", "--days", "2"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(["cache", "ls"]) == 0
+        assert "0 entr" in capsys.readouterr().out
+        assert main(["--no-cache", "cache", "ls"]) == 2
+
+
+class TestSuiteMaxRouters:
+    def test_suite_respects_max_routers(self, capsys):
+        exit_code = main(
+            ["--scale", "0.01", "suite", "--days", "4", "--max-routers", "4"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        figure4 = captured[captured.index("figure_04") :].split("\n\n")[0]
+        rows = [line.split()[0] for line in figure4.splitlines() if line[:1].isdigit()]
+        assert rows, figure4
+        assert max(float(x) for x in rows) == 4.0
+
+
+class TestRunCommandErrors:
+    def test_run_invalid_days_override_fails_cleanly(self, capsys):
+        exit_code = main(["run", "reseed_denial", "--days", "5"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "no day horizon" in captured.err
