@@ -22,8 +22,11 @@ root with:
   re-run against the warm engine (pure cache hits);
 * ``columnar_longevity_seconds`` / ``columnar_ip_churn_seconds`` — the
   accumulator-backed heavy analyses;
-* ``network_messages_per_second`` — DatabaseStore/Lookup throughput of a
-  300-router message-level network convergence round;
+* ``network_curve`` — netDb publish throughput (DatabaseStoreMessages per
+  second, steady state on the batched message plane) across network sizes
+  (default 300 / 1 000 / 10 000 routers; override the axis with a
+  comma-separated ``REPRO_BENCH_NETDB_COUNTS``).  Replaces the schema-v3
+  single-point ``network_messages_per_second``;
 * ``accumulator_bytes`` / ``accumulator_peak_bytes`` — the observation
   log's columnar accumulator footprint (current and high-water), i.e. the
   working set of every streamed analysis;
@@ -44,14 +47,13 @@ import time
 
 from repro.core.campaign import run_figure_suite, run_main_campaign
 from repro.core.churn_analysis import ip_churn, longevity
-from repro.netdb.routerinfo import BandwidthTier
 from repro.sim.exposure import ExposureEngine
-from repro.sim.network import I2PNetwork
+from repro.sim.netdb_scale import DEFAULT_ROUTER_COUNTS, measure_netdb_scale
 from repro.sim.population import reset_snapshot_allocations, snapshot_allocations
 
 BENCH_DAYS = 10
 BENCH_SCALE = 1.0
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: Allowed relative drop of peer-days/sec vs the committed baseline.
 REGRESSION_TOLERANCE = 0.20
@@ -156,22 +158,24 @@ def _bench_figure_suite():
     }
 
 
-def _bench_network(router_count: int = 300, floodfill_count: int = 30):
-    network = I2PNetwork(seed=2018)
-    for _ in range(floodfill_count):
-        network.add_router(floodfill=True, bandwidth_tier=BandwidthTier.O)
-    network.batch_add_routers(router_count - floodfill_count)
-    before = network.messages_delivered
-    start = time.perf_counter()
-    network.run_convergence_rounds(rounds=1)
-    wall = time.perf_counter() - start
-    messages = network.messages_delivered - before
-    return {
-        "network_routers": router_count,
-        "network_convergence_messages": messages,
-        "network_convergence_seconds": round(wall, 3),
-        "network_messages_per_second": round(messages / wall, 1),
-    }
+def _netdb_counts():
+    """The throughput curve's router-count axis (env-overridable)."""
+    raw = os.environ.get("REPRO_BENCH_NETDB_COUNTS", "")
+    if not raw.strip():
+        return DEFAULT_ROUTER_COUNTS
+    return tuple(int(part) for part in raw.split(",") if part.strip())
+
+
+def _bench_network():
+    """Steady-state netDb publish throughput across network sizes."""
+    curve = []
+    for router_count in _netdb_counts():
+        point = measure_netdb_scale(router_count, seed=2018)
+        entry = point.as_dict()
+        entry["messages_per_second"] = round(entry["messages_per_second"], 1)
+        entry["median_round_seconds"] = round(entry["median_round_seconds"], 5)
+        curve.append(entry)
+    return {"network_curve": curve}
 
 
 def test_perf_budget():
@@ -197,7 +201,11 @@ def test_perf_budget():
     # this configuration; the columnar engine runs it in a few seconds.
     assert payload["campaign_wall_seconds"] < 60.0
     assert payload["campaign_peer_days_per_second"] > 10_000
-    assert payload["network_messages_per_second"] > 100
+    # The throughput curve must cover at least three network sizes by
+    # default, with live numbers at every point.
+    curve = payload["network_curve"]
+    assert len(curve) >= (3 if not os.environ.get("REPRO_BENCH_NETDB_COUNTS") else 1)
+    assert all(point["messages_per_second"] > 100 for point in curve)
 
     # Shared-exposure headline: the whole figure suite costs at most 1.5×
     # one campaign, and warm sweeps are a small fraction of a campaign.
@@ -211,15 +219,36 @@ def test_perf_budget():
     # not a warning).  Hardware-relative, so runs on machines unrelated to
     # the one that committed the baseline (e.g. shared CI runners) may opt
     # out; the dedicated benchmark job and local development keep it on.
-    baseline = previous.get("campaign_peer_days_per_second")
-    if os.environ.get("REPRO_BENCH_SKIP_REGRESSION_GUARD"):
-        baseline = None
+    skip_guard = bool(os.environ.get("REPRO_BENCH_SKIP_REGRESSION_GUARD"))
+    baseline = None if skip_guard else previous.get("campaign_peer_days_per_second")
     if baseline:
         floor = (1.0 - REGRESSION_TOLERANCE) * float(baseline)
         assert payload["campaign_peer_days_per_second"] >= floor, (
             f"campaign throughput regressed more than "
             f"{REGRESSION_TOLERANCE:.0%}: {payload['campaign_peer_days_per_second']}"
             f" peer-days/s vs committed {baseline} (floor {floor:.1f})"
+        )
+
+    # The same guard on the 300-router netDb throughput entry.  A schema-v4
+    # baseline carries the curve; a v3 baseline's single-point number was a
+    # cold convergence round (publish + exploration), which steady-state
+    # publish throughput dominates, so comparing against it stays sound.
+    current_300 = next(
+        (p["messages_per_second"] for p in curve if p["router_count"] == 300), None
+    )
+    baseline_300 = None
+    if not skip_guard:
+        for point in previous.get("network_curve", ()):
+            if point.get("router_count") == 300:
+                baseline_300 = point.get("messages_per_second")
+        if baseline_300 is None:
+            baseline_300 = previous.get("network_messages_per_second")
+    if baseline_300 and current_300 is not None:
+        floor = (1.0 - REGRESSION_TOLERANCE) * float(baseline_300)
+        assert current_300 >= floor, (
+            f"netDb publish throughput (300 routers) regressed more than "
+            f"{REGRESSION_TOLERANCE:.0%}: {current_300} msgs/s vs committed "
+            f"{baseline_300} (floor {floor:.1f})"
         )
 
     # Persist only after every assertion passed: a failing run must not

@@ -138,11 +138,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     run = subparsers.add_parser(
-        "run", help="execute one registered scenario through the engine"
+        "run",
+        help="execute one registered scenario through the engine",
+        description="Execute one registered scenario through the declarative "
+        "engine.  Message-level scenarios (e.g. netdb-scale, which sweeps "
+        "netDb publish throughput over 300/1000/10000-router networks) "
+        "accept --router-count to pin the simulated-network size.  Set "
+        "REPRO_PROFILE=1 to run the scenario under cProfile and dump pstats "
+        "next to the results.",
     )
     run.add_argument("scenario", help="a registered scenario name (see `repro scenarios`)")
     run.add_argument(
         "--days", type=int, default=None, help="override the spec's horizon"
+    )
+    run.add_argument(
+        "--router-count",
+        type=int,
+        default=None,
+        help="simulated-network size for message-level scenarios "
+        "(e.g. netdb-scale); rejected for exposure-based scenarios",
     )
 
     cache = subparsers.add_parser(
@@ -289,7 +303,9 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     for spec in specs:
         print(f"  {spec.name:<{width}}  [{spec.kind}] {spec.description}")
     print(
-        "\nrun one with: repro [--scale S] [--seed N] run <scenario> [--days D]"
+        "\nrun one with: repro [--scale S] [--seed N] run <scenario> [--days D] "
+        "[--router-count N]\n"
+        "set REPRO_PROFILE=1 to dump a cProfile pstats file for the run"
     )
     return 0
 
@@ -324,19 +340,47 @@ def _print_scenario_result(result: ScenarioResult) -> None:
         )
 
 
+def _profile_enabled() -> bool:
+    value = os.environ.get("REPRO_PROFILE", "")
+    return value.strip().lower() not in ("", "0", "false", "no")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from .core.scenario import resolve_scenario
 
     # Only resolution/validation errors are usage errors; anything raised
     # during execution is a real failure and keeps its traceback.
     try:
-        spec = resolve_scenario(args.scenario, days=args.days)
+        spec = resolve_scenario(
+            args.scenario, days=args.days, router_count=args.router_count
+        )
     except (KeyError, ValueError) as error:
         print(error.args[0] if error.args else str(error), file=sys.stderr)
         return 2
-    result = run_scenario(
-        spec, scale=args.scale, seed=args.seed, engine=_make_engine(args)
-    )
+    engine = _make_engine(args)
+    if _profile_enabled():
+        # Opt-in profiling: REPRO_PROFILE=1 wraps the scenario execution
+        # in cProfile and dumps a pstats file (loadable with
+        # `python -m pstats` or snakeviz) into $REPRO_PROFILE_DIR or the
+        # working directory.
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            result = run_scenario(spec, scale=args.scale, seed=args.seed, engine=engine)
+        finally:
+            profiler.disable()
+        profile_dir = Path(os.environ.get("REPRO_PROFILE_DIR") or ".")
+        profile_dir.mkdir(parents=True, exist_ok=True)
+        profile_path = profile_dir / f"repro_profile_{spec.name}.pstats"
+        profiler.dump_stats(profile_path)
+        stats = pstats.Stats(profiler, stream=sys.stderr).sort_stats("cumulative")
+        print(f"profile written to {profile_path}", file=sys.stderr)
+        stats.print_stats(15)
+    else:
+        result = run_scenario(spec, scale=args.scale, seed=args.seed, engine=engine)
     _print_scenario_result(result)
     return 0
 

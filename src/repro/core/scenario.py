@@ -46,6 +46,10 @@ Execution templates (``ScenarioSpec.kind``)
 ``reseed_denial``
     What-if: a cohort of *new* clients under reseed-server denial, with
     and without manual ``i2pseeds.su3`` rescue (Section 6.1).
+``netdb_scale``
+    Message-level: netDb publish throughput (DatabaseStoreMessages per
+    second) across network sizes on the batched message plane
+    (``repro run netdb-scale``, optionally ``--router-count N``).
 
 All scenario outputs are collected in a :class:`ScenarioResult`
 (figures by id, key/value summaries, rendered text tables).  Figures
@@ -147,6 +151,10 @@ class ScenarioSpec:
     include_victim: bool = False
     analyses: Tuple[str, ...] = ()
     params: Mapping[str, object] = field(default_factory=dict)
+    #: Simulated-network size for message-level kinds (``netdb_scale``):
+    #: when set, the scenario runs at exactly this many routers instead
+    #: of its default sweep axis.  ``repro run --router-count`` maps here.
+    router_count: Optional[int] = None
 
 
 @dataclass
@@ -539,9 +547,63 @@ def _execute_reseed_denial(
     }
 
 
+def _execute_netdb_scale(
+    spec: ScenarioSpec,
+    out: ScenarioResult,
+    scale: float,
+    seed: int,
+    days: int,
+    engine: ExposureEngine,
+) -> None:
+    """netDb message-plane throughput sweep (routers vs DSMs/second).
+
+    A message-level scenario: it stands up real simulated networks on
+    the batched netDb plane instead of consuming the exposure cache.
+    ``spec.router_count`` (or ``repro run --router-count``) pins the
+    sweep to a single network size.
+    """
+    from ..sim.netdb_scale import DEFAULT_ROUTER_COUNTS, measure_netdb_scale
+
+    if spec.router_count is not None:
+        counts: Tuple[int, ...] = (int(spec.router_count),)
+    else:
+        counts = tuple(
+            int(c) for c in spec.params.get("router_counts", DEFAULT_ROUTER_COUNTS)
+        )
+    if not counts or min(counts) < 2:
+        raise ValueError("router_counts must contain sizes of at least 2")
+    figure = FigureData(
+        figure_id="scenario_netdb_scale",
+        title="netDb publish throughput vs network size",
+        x_label="routers",
+        y_label="DatabaseStoreMessages / second",
+    )
+    throughput = figure.new_series("batched message plane")
+    per_round = figure.new_series("messages per publish round")
+    summary: Dict[str, object] = {}
+    for count in counts:
+        point = measure_netdb_scale(
+            count,
+            floodfill_fraction=float(spec.params.get("floodfill_fraction", 0.1)),
+            seed=seed,
+            convergence_rounds=int(spec.params.get("convergence_rounds", 3)),
+            warmup_limit=int(spec.params.get("warmup_limit", 16)),
+            measure_rounds=int(spec.params.get("measure_rounds", 5)),
+        )
+        throughput.add(count, point.messages_per_second)
+        per_round.add(count, point.messages_per_round)
+        summary[str(count)] = point.as_dict()
+    figure.add_note(
+        "steady-state publish rounds on the batched message plane; "
+        "median round time over the measured window"
+    )
+    out.add_figure(figure)
+    out.summaries["netdb_scale"] = summary
+
+
 #: Kinds whose execution has no campaign day horizon (a ``days`` override
 #: would silently change nothing, so ``run_scenario`` rejects it).
-_DAYLESS_KINDS = {"reseed_denial"}
+_DAYLESS_KINDS = {"reseed_denial", "netdb_scale"}
 
 _EXECUTORS: Dict[
     str,
@@ -555,18 +617,29 @@ _EXECUTORS: Dict[
     "monitor_fraction": _execute_monitor_fraction,
     "country_blocking": _execute_country_blocking,
     "reseed_denial": _execute_reseed_denial,
+    "netdb_scale": _execute_netdb_scale,
 }
 
 
 # --------------------------------------------------------------------------- #
 # Engine
 # --------------------------------------------------------------------------- #
-def resolve_scenario(scenario: object, days: Optional[int] = None) -> ScenarioSpec:
-    """Resolve a name or spec to a validated, days-adjusted :class:`ScenarioSpec`.
+#: Kinds that consume :attr:`ScenarioSpec.router_count` (a
+#: ``--router-count`` override is rejected for the others).
+_ROUTER_COUNT_KINDS = {"netdb_scale"}
+
+
+def resolve_scenario(
+    scenario: object,
+    days: Optional[int] = None,
+    router_count: Optional[int] = None,
+) -> ScenarioSpec:
+    """Resolve a name or spec to a validated, adjusted :class:`ScenarioSpec`.
 
     Raises ``KeyError`` for unknown names, ``TypeError`` for wrong types,
-    and ``ValueError`` for invalid kinds / day overrides — the user-input
-    errors a CLI wants to catch, separated from execution itself.
+    and ``ValueError`` for invalid kinds / day / router-count overrides —
+    the user-input errors a CLI wants to catch, separated from execution
+    itself.
     """
     spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
     if not isinstance(spec, ScenarioSpec):
@@ -580,6 +653,15 @@ def resolve_scenario(scenario: object, days: Optional[int] = None) -> ScenarioSp
                 f"the days override does not apply"
             )
         spec = replace(spec, days=days)
+    if router_count is not None:
+        if spec.kind not in _ROUTER_COUNT_KINDS:
+            raise ValueError(
+                f"scenario kind {spec.kind!r} has no simulated-network size; "
+                f"the router-count override does not apply"
+            )
+        if router_count < 2:
+            raise ValueError("router count must be at least 2")
+        spec = replace(spec, router_count=router_count)
     if spec.days <= 0:
         raise ValueError("a scenario needs at least one day")
     return spec
@@ -592,15 +674,17 @@ def run_scenario(
     days: Optional[int] = None,
     engine: Optional[ExposureEngine] = None,
     cache_dir: Optional[object] = None,
+    router_count: Optional[int] = None,
 ) -> ScenarioResult:
     """Execute one scenario (by name or spec) and collect its outputs.
 
-    ``days`` overrides the spec's default horizon; ``engine`` an existing
+    ``days`` overrides the spec's default horizon; ``router_count`` the
+    simulated-network size of message-level kinds; ``engine`` an existing
     exposure engine (so several scenarios share populations); ``cache_dir``
     a directory for the cross-process npz exposure cache (ignored when an
     explicit engine is passed — configure the engine instead).
     """
-    spec = resolve_scenario(scenario, days)
+    spec = resolve_scenario(scenario, days, router_count)
     if engine is None:
         engine = ExposureEngine(cache_dir=cache_dir)
     out = ScenarioResult(spec=spec, scale=scale, seed=seed, engine=engine)
@@ -691,6 +775,16 @@ register_scenario(
         # The GeoIP censor needs no fleet blacklists — only the victim's
         # netDb, and the victim client always collects daily IPs.
         include_victim=True,
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="netdb-scale",
+        description="netDb message-plane throughput sweep: DSMs/second at "
+        "300 / 1000 / 10000 routers on the batched plane",
+        kind="netdb_scale",
+        days=1,
+        params={"router_counts": (300, 1000, 10000)},
     )
 )
 register_scenario(

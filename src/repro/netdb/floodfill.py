@@ -137,6 +137,9 @@ class FloodfillRouterState:
         self.store = store if store is not None else NetDbStore(floodfill=True)
         self._known_floodfills: Set[bytes] = set(known_floodfills or ())
         self._known_floodfills.discard(router_hash)
+        #: Bumped whenever the neighbour set actually changes; external
+        #: caches (the network's per-round flood tables) key on it.
+        self.neighbours_version = 0
 
     # ------------------------------------------------------------------ #
     # Floodfill peer bookkeeping
@@ -145,12 +148,29 @@ class FloodfillRouterState:
     def known_floodfills(self) -> Set[bytes]:
         return set(self._known_floodfills)
 
+    @property
+    def known_floodfill_count(self) -> int:
+        """Number of known floodfill neighbours, without copying the set."""
+        return len(self._known_floodfills)
+
+    def iter_known_floodfills(self) -> Iterable[bytes]:
+        """Iterate known floodfill hashes without copying the set.
+
+        Callers must not mutate the neighbour set while iterating; the
+        batched message plane uses this to build flood tables once per
+        round instead of copying the set per delivered store.
+        """
+        return iter(self._known_floodfills)
+
     def learn_floodfill(self, router_hash: bytes) -> None:
-        if router_hash != self.router_hash:
+        if router_hash != self.router_hash and router_hash not in self._known_floodfills:
             self._known_floodfills.add(router_hash)
+            self.neighbours_version += 1
 
     def forget_floodfill(self, router_hash: bytes) -> None:
-        self._known_floodfills.discard(router_hash)
+        if router_hash in self._known_floodfills:
+            self._known_floodfills.discard(router_hash)
+            self.neighbours_version += 1
 
     def flood_targets(self, key: bytes, sim_time: float) -> List[bytes]:
         """The floodfills an entry with search-key ``key`` is flooded to."""
@@ -216,12 +236,27 @@ class FloodfillRouterState:
     ) -> List[RouterInfo]:
         excluded = set(message.exclude_hashes)
         excluded.add(message.from_hash)
+        return self.exploration_infos(excluded, message.max_results)
+
+    def exploration_infos(
+        self, excluded: Set[bytes], max_results: int
+    ) -> List[RouterInfo]:
+        """RouterInfos for an exploration reply, skipping ``excluded``.
+
+        The store is scanned in insertion order and the scan stops at
+        ``max_results`` hits, so a reply touches at most
+        ``max_results + len(excluded)`` entries regardless of store size.
+        The batched message plane calls this directly with a reusable
+        exclude set, bypassing per-lookup message construction.
+        """
+        if max_results <= 0:
+            return []
         results: List[RouterInfo] = []
         for info in self.store.iter_routerinfos():
             if info.hash in excluded:
                 continue
             results.append(info)
-            if len(results) >= message.max_results:
+            if len(results) >= max_results:
                 break
         return results
 

@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 __all__ = [
     "KEY_BITS",
     "xor_distance",
@@ -23,6 +25,9 @@ __all__ = [
     "KBucket",
     "RoutingTable",
     "closest_nodes",
+    "pack_keys",
+    "select_closest_shared",
+    "select_closest_segmented",
 ]
 
 #: Width of netDb keys in bits (SHA-256).
@@ -57,6 +62,200 @@ def closest_nodes(
         raise ValueError("count must be non-negative")
     ranked = sorted(candidates, key=lambda key: (xor_distance(target, key), key))
     return ranked[:count]
+
+
+# --------------------------------------------------------------------- #
+# Vectorised batch selection
+#
+# The message-plane engine ranks thousands of (target, candidate-set)
+# pairs per convergence round.  Keys are packed as rows of four
+# big-endian uint64 words; the top word of the XOR distance orders
+# almost every comparison (two random SHA-256 keys collide in the top
+# 64 bits with probability 2^-64), so selection argpartitions on word 0
+# alone and falls back to an exact 256-bit ranking only for rows where
+# word 0 leaves the outcome ambiguous.
+# --------------------------------------------------------------------- #
+
+
+def pack_keys(keys: Sequence[bytes]) -> np.ndarray:
+    """Pack 32-byte keys into an ``(n, 4)`` matrix of big-endian uint64 words.
+
+    Row ``i`` holds key ``i`` split into four words, most-significant
+    first, so lexicographic comparison of rows matches integer
+    comparison of the keys.
+    """
+    if not keys:
+        return np.empty((0, 4), dtype=np.uint64)
+    joined = b"".join(keys)
+    if len(joined) != 32 * len(keys):
+        raise ValueError("all keys must be 32 bytes")
+    return np.frombuffer(joined, dtype=">u8").astype(np.uint64).reshape(-1, 4)
+
+
+def _rank_exact(
+    target_words: np.ndarray,
+    pool_words: np.ndarray,
+    pool_ids: Sequence[bytes],
+    cand_idx: Iterable[int],
+    count: int,
+) -> List[int]:
+    """Exact 256-bit ranking of ``cand_idx`` (pool indices) for one target.
+
+    Matches :func:`repro.netdb.routing_key.select_closest`: candidates
+    are ordered by full XOR distance, ties broken by the raw candidate
+    id bytes.
+    """
+    t0, t1, t2, t3 = (int(w) for w in target_words)
+
+    def sort_key(i: int) -> Tuple[int, bytes]:
+        w = pool_words[i]
+        distance = (
+            ((t0 ^ int(w[0])) << 192)
+            | ((t1 ^ int(w[1])) << 128)
+            | ((t2 ^ int(w[2])) << 64)
+            | (t3 ^ int(w[3]))
+        )
+        return (distance, pool_ids[i])
+
+    ranked = sorted((int(i) for i in cand_idx), key=sort_key)
+    return ranked[:count]
+
+
+def _fill_row(out_row: np.ndarray, selected: Sequence[int]) -> None:
+    for j, idx in enumerate(selected):
+        out_row[j] = idx
+
+
+def _unambiguous_rows(svals: np.ndarray, count: int) -> np.ndarray:
+    """Rows whose word-0 ordering provably equals the full-key ordering.
+
+    ``svals`` holds each row's ``count + 1`` smallest word-0 distances in
+    ascending order.  The top-k set and its internal order are decided by
+    word 0 alone iff those ``count + 1`` values are pairwise distinct.
+    """
+    good = svals[:, count] > svals[:, count - 1]
+    if count > 1:
+        good &= np.all(svals[:, 1:count] > svals[:, : count - 1], axis=1)
+    return good
+
+
+def select_closest_shared(
+    target_words: np.ndarray,
+    pool_words: np.ndarray,
+    pool_ids: Sequence[bytes],
+    cols: np.ndarray,
+    count: int,
+    chunk_rows: int = 1024,
+) -> np.ndarray:
+    """Rank-ordered closest pool indices for targets sharing one candidate set.
+
+    ``target_words`` is ``(r, 4)``; every row selects from the same
+    candidate columns ``cols`` (indices into ``pool_words`` /
+    ``pool_ids``).  Returns an ``(r, count)`` int64 matrix of pool
+    indices, ``-1``-padded when fewer than ``count`` candidates exist.
+    Results match per-row :func:`closest_nodes` over the pool keys with
+    raw-id tie-breaking, bit for bit.
+    """
+    n_rows = len(target_words)
+    out = np.full((n_rows, count), -1, dtype=np.int64)
+    if n_rows == 0 or count <= 0 or len(cols) == 0:
+        return out
+    n_cols = len(cols)
+    if n_cols <= count + 1:
+        for i in range(n_rows):
+            _fill_row(out[i], _rank_exact(target_words[i], pool_words, pool_ids, cols, count))
+        return out
+
+    col_w0 = pool_words[cols, 0]
+    target_w0 = target_words[:, 0]
+    for start in range(0, n_rows, chunk_rows):
+        stop = min(start + chunk_rows, n_rows)
+        d0 = target_w0[start:stop, None] ^ col_w0[None, :]
+        part = np.argpartition(d0, count, axis=1)[:, : count + 1]
+        vals = np.take_along_axis(d0, part, axis=1)
+        order = np.argsort(vals, axis=1, kind="stable")
+        svals = np.take_along_axis(vals, order, axis=1)
+        sel_pos = np.take_along_axis(part, order[:, :count], axis=1)
+        out[start:stop] = cols[sel_pos]
+        good = _unambiguous_rows(svals, count)
+        for local_i in np.flatnonzero(~good):
+            row = start + int(local_i)
+            _fill_row(
+                out[row],
+                _rank_exact(target_words[row], pool_words, pool_ids, cols, count),
+            )
+    return out
+
+
+def select_closest_segmented(
+    target_words: np.ndarray,
+    pool_words: np.ndarray,
+    pool_ids: Sequence[bytes],
+    cand_concat: np.ndarray,
+    row_splits: np.ndarray,
+    count: int,
+) -> np.ndarray:
+    """Per-row closest selection when every target has its own candidate set.
+
+    Candidates for row ``i`` are
+    ``cand_concat[row_splits[i]:row_splits[i + 1]]`` (pool indices).
+    Semantics and return shape match :func:`select_closest_shared`.
+    Designed for sparse rows (bootstrap-era views of a handful of
+    floodfills); cost is ``O(total candidates log total candidates)``.
+    """
+    n_rows = len(row_splits) - 1
+    out = np.full((n_rows, count), -1, dtype=np.int64)
+    if n_rows == 0 or count <= 0 or cand_concat.size == 0:
+        return out
+    lens = np.diff(row_splits)
+    pool_w0 = pool_words[:, 0]
+    target_w0 = target_words[:, 0]
+    umax = np.uint64(0xFFFFFFFFFFFFFFFF)
+    # Chunk rows by ascending candidate count so each padded chunk wastes
+    # little space, then argpartition the padded (rows, max_len) distance
+    # matrix; padding slots carry UMAX, which sorts last.  Any row where a
+    # selected/boundary value collides (including with padding) drops to
+    # the exact 256-bit ranking.
+    by_len = np.argsort(lens, kind="stable")
+    by_len = by_len[lens[by_len] > 0]
+    chunk_rows = 1024
+    for start in range(0, len(by_len), chunk_rows):
+        rows = by_len[start : start + chunk_rows]
+        max_len = int(lens[rows].max())
+        if max_len <= count + 1:
+            for row in rows:
+                row = int(row)
+                cands = cand_concat[row_splits[row] : row_splits[row + 1]]
+                _fill_row(
+                    out[row],
+                    _rank_exact(target_words[row], pool_words, pool_ids, cands, count),
+                )
+            continue
+        cmat = np.full((len(rows), max_len), -1, dtype=np.int64)
+        for i, row in enumerate(rows):
+            lo, hi = row_splits[row], row_splits[row + 1]
+            cmat[i, : hi - lo] = cand_concat[lo:hi]
+        valid = cmat >= 0
+        d0 = np.where(
+            valid,
+            pool_w0[np.maximum(cmat, 0)] ^ target_w0[rows][:, None],
+            umax,
+        )
+        part = np.argpartition(d0, count, axis=1)[:, : count + 1]
+        vals = np.take_along_axis(d0, part, axis=1)
+        order = np.argsort(vals, axis=1, kind="stable")
+        svals = np.take_along_axis(vals, order, axis=1)
+        sel_pos = np.take_along_axis(part, order[:, :count], axis=1)
+        out[rows] = np.take_along_axis(cmat, sel_pos, axis=1)
+        good = _unambiguous_rows(svals, count)
+        for local_i in np.flatnonzero(~good):
+            row = int(rows[local_i])
+            cands = cand_concat[row_splits[row] : row_splits[row + 1]]
+            _fill_row(
+                out[row],
+                _rank_exact(target_words[row], pool_words, pool_ids, cands, count),
+            )
+    return out
 
 
 @dataclass

@@ -19,6 +19,7 @@ paper does in Section 5.1.
 
 from __future__ import annotations
 
+import copy
 import enum
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -350,7 +351,17 @@ class RouterInfo:
     # Mutation helpers (RouterInfos are republished on change)
     # ------------------------------------------------------------------ #
     def republished(self, published_at: float, **changes) -> "RouterInfo":
-        """Return a copy with a new publication time and optional changes."""
+        """Return a copy with a new publication time and optional changes.
+
+        The no-``changes`` form is the message plane's per-round re-stamp
+        (one per router per publish round), so it bypasses
+        :func:`dataclasses.replace` field introspection with a shallow
+        copy — safe because the class has no ``__post_init__``.
+        """
+        if not changes:
+            clone = copy.copy(self)
+            object.__setattr__(clone, "published_at", published_at)
+            return clone
         return replace(self, published_at=published_at, **changes)
 
     def with_addresses(

@@ -18,12 +18,13 @@ import math
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from .identity import sha256
-from .kademlia import xor_distance
+from .kademlia import pack_keys, xor_distance
 
 __all__ = [
     "SECONDS_PER_DAY",
     "date_string_for_time",
     "routing_key",
+    "routing_keys_packed",
     "select_closest",
     "clear_routing_key_cache",
 ]
@@ -133,6 +134,18 @@ def select_closest(
         ranked.append((xor_distance(target_routing_key, candidate_key), candidate))
     ranked.sort(key=lambda item: (item[0], item[1]))
     return [candidate for _, candidate in ranked[:count]]
+
+
+def routing_keys_packed(search_keys: Sequence[bytes], sim_time: float):
+    """Daily routing keys for ``search_keys``, packed for vectorised XOR.
+
+    Returns an ``(n, 4)`` uint64 word matrix (see
+    :func:`repro.netdb.kademlia.pack_keys`); row ``i`` is the routing key
+    of ``search_keys[i]``.  Keys come from the same memoised cache as
+    :func:`routing_key`, so repeated packing within a simulated day costs
+    one dict hit per key.
+    """
+    return pack_keys([routing_key(key, sim_time) for key in search_keys])
 
 
 def keys_rotate_between(time_a: float, time_b: float) -> bool:

@@ -91,6 +91,25 @@ class NetDbStore:
         self._routerinfos: Dict[bytes, RouterInfo] = {}
         self._leasesets: Dict[bytes, LeaseSet] = {}
         self.stats = StoreStats()
+        #: Lower bound on the oldest stored publication time.  Lets
+        #: :meth:`expire` skip the full scan when nothing can be stale —
+        #: the dominant case inside convergence rounds, where every entry
+        #: was published within the last simulated hour.  Removals leave
+        #: the bound conservatively low; only a real expiry scan tightens
+        #: it again.
+        self._min_published = float("inf")
+        #: Upper bound on the newest stored publication time (monotone —
+        #: removals never lower it).  The batched message plane's replay
+        #: fast path uses it to prove a whole publish round is strictly
+        #: fresher than anything any store holds.
+        self._max_published = float("-inf")
+        #: Number of full expiry scans actually performed (perf tests
+        #: assert the skip path holds during steady-state rounds).
+        self.expiry_scan_passes = 0
+        #: Bumped whenever entries are *removed* (expiry / remove / clear).
+        #: Insertion order of surviving keys only changes on removal, so
+        #: caches of the store's leading key prefix key on this.
+        self.order_epoch = 0
 
     # ------------------------------------------------------------------ #
     # RouterInfo handling
@@ -106,20 +125,72 @@ class NetDbStore:
         publication), which is the condition under which a floodfill router
         floods the entry onward (Section 4.2).
         """
-        existing = self._routerinfos.get(info.hash)
+        router_hash = info.hash
+        existing = self._routerinfos.get(router_hash)
         if existing is None:
-            self._routerinfos[info.hash] = info
+            self._routerinfos[router_hash] = info
             self.stats.stores_accepted += 1
+            if info.published_at < self._min_published:
+                self._min_published = info.published_at
+            if info.published_at > self._max_published:
+                self._max_published = info.published_at
             return True
         if info.published_at > existing.published_at:
-            self._routerinfos[info.hash] = info
+            self._routerinfos[router_hash] = info
             self.stats.stores_refreshed += 1
+            if info.published_at < self._min_published:
+                self._min_published = info.published_at
+            if info.published_at > self._max_published:
+                self._max_published = info.published_at
             return True
         self.stats.stores_rejected_stale += 1
         return False
 
+    def store_routerinfos_batch(self, infos: Iterable[RouterInfo]) -> None:
+        """Apply a queue of store messages in delivery order.
+
+        Semantically identical to calling :meth:`store_routerinfo` per
+        entry; the loop is inlined with local bindings because the batched
+        message plane funnels every store message of a round through here.
+        """
+        routerinfos = self._routerinfos
+        get = routerinfos.get
+        accepted = refreshed = stale = 0
+        min_published = self._min_published
+        max_published = self._max_published
+        for info in infos:
+            router_hash = info.identity._hash
+            existing = get(router_hash)
+            if existing is None:
+                routerinfos[router_hash] = info
+                accepted += 1
+                if info.published_at < min_published:
+                    min_published = info.published_at
+                if info.published_at > max_published:
+                    max_published = info.published_at
+            elif info.published_at > existing.published_at:
+                routerinfos[router_hash] = info
+                refreshed += 1
+                if info.published_at < min_published:
+                    min_published = info.published_at
+                if info.published_at > max_published:
+                    max_published = info.published_at
+            else:
+                stale += 1
+        stats = self.stats
+        stats.stores_accepted += accepted
+        stats.stores_refreshed += refreshed
+        stats.stores_rejected_stale += stale
+        self._min_published = min_published
+        self._max_published = max_published
+
     def get_routerinfo(self, router_hash: bytes) -> Optional[RouterInfo]:
         return self._routerinfos.get(router_hash)
+
+    def published_at_of(self, router_hash: bytes) -> Optional[float]:
+        """Publication time of the stored record for ``router_hash``, if any."""
+        info = self._routerinfos.get(router_hash)
+        return None if info is None else info.published_at
 
     def __contains__(self, router_hash: bytes) -> bool:
         return router_hash in self._routerinfos
@@ -138,12 +209,22 @@ class NetDbStore:
         """Iterate stored router hashes without copying the key set."""
         return iter(self._routerinfos.keys())
 
+    def router_hashes_view(self):
+        """Live, set-like view of the stored router hashes (no copy)."""
+        return self._routerinfos.keys()
+
     def iter_routerinfos(self) -> Iterator[RouterInfo]:
-        return iter(list(self._routerinfos.values()))
+        """Iterate stored RouterInfos without copying the value list.
+
+        Callers must not mutate the store while iterating (none of the
+        netDb handlers do — exploration replies only read).
+        """
+        return iter(self._routerinfos.values())
 
     def remove_routerinfo(self, router_hash: bytes) -> bool:
         if router_hash in self._routerinfos:
             del self._routerinfos[router_hash]
+            self.order_epoch += 1
             return True
         return False
 
@@ -151,17 +232,26 @@ class NetDbStore:
         """Expire stale RouterInfos and LeaseSets; return how many were removed."""
         removed = 0
         cutoff = now - self._routerinfo_expiry
-        for router_hash, info in list(self._routerinfos.items()):
-            if info.published_at < cutoff:
-                del self._routerinfos[router_hash]
-                removed += 1
+        if self._routerinfos and self._min_published < cutoff:
+            self.expiry_scan_passes += 1
+            min_published = float("inf")
+            for router_hash, info in list(self._routerinfos.items()):
+                if info.published_at < cutoff:
+                    del self._routerinfos[router_hash]
+                    removed += 1
+                elif info.published_at < min_published:
+                    min_published = info.published_at
+            self._min_published = min_published
+            if removed:
+                self.order_epoch += 1
         self.stats.expirations += removed
 
         leaseset_removed = 0
-        for dest_hash, leaseset in list(self._leasesets.items()):
-            if leaseset.is_expired(now - self._leaseset_grace):
-                del self._leasesets[dest_hash]
-                leaseset_removed += 1
+        if self._leasesets:
+            for dest_hash, leaseset in list(self._leasesets.items()):
+                if leaseset.is_expired(now - self._leaseset_grace):
+                    del self._leasesets[dest_hash]
+                    leaseset_removed += 1
         self.stats.leaseset_expirations += leaseset_removed
         return removed + leaseset_removed
 
@@ -169,6 +259,9 @@ class NetDbStore:
         """Wipe all RouterInfos (the measurement pipeline's daily cleanup)."""
         count = len(self._routerinfos)
         self._routerinfos.clear()
+        self._min_published = float("inf")
+        if count:
+            self.order_epoch += 1
         return count
 
     # ------------------------------------------------------------------ #

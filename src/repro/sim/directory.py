@@ -1,0 +1,104 @@
+"""Columnar registry of router identities for the message-plane engine.
+
+The batched netDb message plane (:mod:`repro.sim.network`) ranks tens of
+thousands of XOR-distance selections per convergence round.  Doing that
+through per-router Python sets and 32-byte ``bytes`` keys dominates the
+profile, so the network keeps one append-only directory of every router
+hash it has ever seen and refers to routers by their integer directory
+index:
+
+* ``hashes`` / ``index`` map between raw hashes and indices;
+* per-day routing keys are packed once into an ``(n, 4)`` uint64 word
+  matrix (see :func:`repro.netdb.kademlia.pack_keys`) and re-used by every
+  selection in the round;
+* IPs and last-published timestamps live in flat NumPy columns instead of
+  being re-derived from RouterInfo objects.
+
+Indices are stable for the lifetime of the network — removal of a router
+leaves its row in place (the network's liveness checks filter dead
+routers), which keeps every cached index array valid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..netdb.routing_key import date_string_for_time, routing_keys_packed
+
+__all__ = ["RouterDirectory"]
+
+_INITIAL_CAPACITY = 256
+
+
+class RouterDirectory:
+    """Append-only columnar store of router hashes and per-router scalars."""
+
+    def __init__(self) -> None:
+        self.hashes: List[bytes] = []
+        self.index: Dict[bytes, int] = {}
+        self._capacity = _INITIAL_CAPACITY
+        self.ip_u32 = np.zeros(self._capacity, dtype=np.uint32)
+        self.last_published = np.full(self._capacity, -np.inf, dtype=np.float64)
+        self._key_date: Optional[str] = None
+        self._key_count = 0
+        self._key_words = np.empty((0, 4), dtype=np.uint64)
+
+    def __len__(self) -> int:
+        return len(self.hashes)
+
+    def _grow(self, needed: int) -> None:
+        capacity = self._capacity
+        while capacity < needed:
+            capacity *= 2
+        ip_u32 = np.zeros(capacity, dtype=np.uint32)
+        ip_u32[: self._capacity] = self.ip_u32
+        last_published = np.full(capacity, -np.inf, dtype=np.float64)
+        last_published[: self._capacity] = self.last_published
+        self.ip_u32 = ip_u32
+        self.last_published = last_published
+        self._capacity = capacity
+
+    def register(self, router_hash: bytes) -> int:
+        """Index of ``router_hash``, assigning the next row when unseen."""
+        idx = self.index.get(router_hash)
+        if idx is not None:
+            return idx
+        idx = len(self.hashes)
+        if idx >= self._capacity:
+            self._grow(idx + 1)
+        self.hashes.append(router_hash)
+        self.index[router_hash] = idx
+        return idx
+
+    def indices_of(self, router_hashes: Sequence[bytes]) -> np.ndarray:
+        """Directory indices for ``router_hashes``, registering unseen ones."""
+        index = self.index
+        try:
+            return np.array([index[h] for h in router_hashes], dtype=np.int64)
+        except KeyError:
+            register = self.register
+            return np.array([register(h) for h in router_hashes], dtype=np.int64)
+
+    def set_ip(self, idx: int, ip_u32: int) -> None:
+        self.ip_u32[idx] = ip_u32
+
+    def note_published(self, indices: np.ndarray, now: float) -> None:
+        """Record that the routers at ``indices`` published at ``now``."""
+        self.last_published[indices] = now
+
+    def key_words(self, sim_time: float) -> np.ndarray:
+        """Packed routing-key words for every registered hash.
+
+        Rebuilt only when the simulated UTC date rotates or new hashes
+        were registered since the last build; within one convergence
+        round every selection shares the same matrix.
+        """
+        date = date_string_for_time(sim_time)
+        count = len(self.hashes)
+        if self._key_date != date or self._key_count != count:
+            self._key_words = routing_keys_packed(self.hashes, sim_time)
+            self._key_date = date
+            self._key_count = count
+        return self._key_words

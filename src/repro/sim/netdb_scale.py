@@ -1,0 +1,126 @@
+"""netDb message-plane throughput measurement (routers vs msgs/sec).
+
+One measurement point stands up a network of ``router_count`` routers
+(10% floodfills by default, mirroring the I2P network's observed ratio),
+converges it, and times steady-state publish rounds on the message
+plane.  The same routine backs the ``netdb-scale`` scenario and the
+``benchmarks/test_perf_budget.py`` throughput curve, so the CLI and the
+regression guard always report the same quantity.
+
+Methodology
+-----------
+
+* convergence rounds (publish + explore + expiry) grow every router's
+  floodfill view to the fixpoint;
+* warm-up publish rounds run until the batched plane reaches its steady
+  state — two consecutive rounds served by the replay fast path — or a
+  round cap is hit.  Early rounds are slower by construction: candidate
+  sets are still growing, and one-off store writes from those unstable
+  rounds keep expiring (and invalidating the replay cache) for one
+  simulated expiry window afterwards;
+* the measured rounds advance the simulation clock like the convergence
+  loop does and time ``publish_all`` alone; the reported throughput is
+  the round's message count over the **median** round time, which is
+  robust against a stray slow round (GC, cache rebuild).
+"""
+
+from __future__ import annotations
+
+import gc
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..netdb.routerinfo import BandwidthTier
+from .network import I2PNetwork
+
+__all__ = ["NetDbScalePoint", "measure_netdb_scale", "DEFAULT_ROUTER_COUNTS"]
+
+#: The curve recorded by the benchmark suite and the bundled scenario.
+DEFAULT_ROUTER_COUNTS: Tuple[int, ...] = (300, 1_000, 10_000)
+
+
+@dataclass(frozen=True)
+class NetDbScalePoint:
+    """One measured (network size, publish throughput) point."""
+
+    router_count: int
+    floodfill_count: int
+    messages_per_round: int
+    rounds_measured: int
+    median_round_seconds: float
+    messages_per_second: float
+    warmup_rounds: int
+    replay_rounds: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "router_count": self.router_count,
+            "floodfill_count": self.floodfill_count,
+            "messages_per_round": self.messages_per_round,
+            "rounds_measured": self.rounds_measured,
+            "median_round_seconds": self.median_round_seconds,
+            "messages_per_second": self.messages_per_second,
+            "warmup_rounds": self.warmup_rounds,
+            "replay_rounds": self.replay_rounds,
+        }
+
+
+def measure_netdb_scale(
+    router_count: int,
+    floodfill_fraction: float = 0.1,
+    seed: int = 2018,
+    convergence_rounds: int = 3,
+    warmup_limit: int = 16,
+    measure_rounds: int = 5,
+    batched: bool = True,
+) -> NetDbScalePoint:
+    """Measure steady-state publish throughput at ``router_count`` routers."""
+    if router_count < 2:
+        raise ValueError("need at least two routers")
+    floodfill_count = max(1, int(round(router_count * floodfill_fraction)))
+    net = I2PNetwork(seed=seed, batched=batched)
+    for _ in range(floodfill_count):
+        net.add_router(floodfill=True, bandwidth_tier=BandwidthTier.O)
+    net.batch_add_routers(router_count - floodfill_count)
+    net.run_convergence_rounds(rounds=convergence_rounds)
+
+    warmup = 0
+    replay_streak = 0
+    while warmup < warmup_limit and replay_streak < 2:
+        replays_before = net.plane_stats["replay_rounds"]
+        net.step_hours(0.25)
+        net.publish_all()
+        warmup += 1
+        if net.plane_stats["replay_rounds"] > replays_before:
+            replay_streak += 1
+        else:
+            replay_streak = 0
+
+    round_seconds = []
+    messages_per_round = 0
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(measure_rounds):
+            net.step_hours(0.25)
+            start = time.perf_counter()
+            messages_per_round = net.publish_all()
+            round_seconds.append(time.perf_counter() - start)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    median_seconds = statistics.median(round_seconds)
+    return NetDbScalePoint(
+        router_count=router_count,
+        floodfill_count=floodfill_count,
+        messages_per_round=messages_per_round,
+        rounds_measured=measure_rounds,
+        median_round_seconds=median_seconds,
+        messages_per_second=messages_per_round / median_seconds
+        if median_seconds > 0
+        else float("inf"),
+        warmup_rounds=warmup,
+        replay_rounds=net.plane_stats["replay_rounds"],
+    )

@@ -1,0 +1,94 @@
+"""Tests for the netDb throughput measurement and the netdb-scale scenario."""
+
+import pytest
+
+from repro.core.scenario import get_scenario, resolve_scenario, run_scenario
+from repro.sim.netdb_scale import (
+    DEFAULT_ROUTER_COUNTS,
+    NetDbScalePoint,
+    measure_netdb_scale,
+)
+
+
+class TestMeasureNetDbScale:
+    def test_point_fields_are_live(self):
+        point = measure_netdb_scale(
+            40, seed=7, convergence_rounds=2, warmup_limit=8, measure_rounds=3
+        )
+        assert isinstance(point, NetDbScalePoint)
+        assert point.router_count == 40
+        assert point.floodfill_count == 4
+        assert point.messages_per_round > 0
+        assert point.messages_per_second > 0
+        assert point.rounds_measured == 3
+        assert point.median_round_seconds > 0
+        round_tripped = point.as_dict()
+        assert round_tripped["router_count"] == 40
+        assert round_tripped["messages_per_second"] == point.messages_per_second
+
+    def test_steady_state_reaches_replay(self):
+        """At a converged small network the warm-up must end on the
+        replay fast path, not on the round cap."""
+        point = measure_netdb_scale(
+            40, seed=7, convergence_rounds=3, warmup_limit=12, measure_rounds=2
+        )
+        assert point.replay_rounds >= 2
+        assert point.warmup_rounds < 12
+
+    def test_rejects_trivial_network(self):
+        with pytest.raises(ValueError):
+            measure_netdb_scale(1)
+
+    def test_default_curve_covers_three_decades(self):
+        assert DEFAULT_ROUTER_COUNTS == (300, 1_000, 10_000)
+
+
+class TestNetDbScaleScenario:
+    def test_registered_spec(self):
+        spec = get_scenario("netdb-scale")
+        assert spec.kind == "netdb_scale"
+        assert tuple(spec.params["router_counts"]) == (300, 1000, 10000)
+        assert spec.router_count is None
+
+    def test_router_count_override_pins_the_sweep(self):
+        spec = resolve_scenario("netdb-scale", router_count=36)
+        assert spec.router_count == 36
+        result = run_scenario(spec, seed=11)
+        summary = result.summaries["netdb_scale"]
+        assert list(summary) == ["36"]
+        assert summary["36"]["messages_per_second"] > 0
+        figure = result.figures["scenario_netdb_scale"]
+        assert figure.figure_id == "scenario_netdb_scale"
+
+    def test_days_override_rejected_for_dayless_kind(self):
+        with pytest.raises(ValueError):
+            resolve_scenario("netdb-scale", days=5)
+
+    def test_router_count_rejected_for_exposure_scenarios(self):
+        with pytest.raises(ValueError):
+            resolve_scenario("main_campaign", router_count=300)
+
+    def test_router_count_must_be_sane(self):
+        with pytest.raises(ValueError):
+            resolve_scenario("netdb-scale", router_count=1)
+
+    def test_small_sweep_produces_monotone_message_counts(self):
+        """More routers publish more store messages per round."""
+        spec = get_scenario("netdb-scale")
+        from dataclasses import replace
+
+        spec = replace(
+            spec,
+            params={
+                "router_counts": (24, 48),
+                "convergence_rounds": 2,
+                "warmup_limit": 6,
+                "measure_rounds": 2,
+            },
+        )
+        result = run_scenario(spec, seed=5)
+        summary = result.summaries["netdb_scale"]
+        assert list(summary) == ["24", "48"]
+        assert (
+            summary["48"]["messages_per_round"] > summary["24"]["messages_per_round"]
+        )

@@ -1,0 +1,220 @@
+"""Batched message plane vs the legacy per-message loop: exact equivalence.
+
+The batched plane (``I2PNetwork(batched=True)``, the default) must leave
+the network in a **byte-identical** netDb end state to the legacy loop at
+a fixed seed — including each store's dict *insertion order*, which
+exploration replies scan (first ``max_results`` non-excluded entries).
+These tests compare raw insertion-ordered store items, known-floodfill
+sets, floodfill neighbour sets, store statistics, reseed-server contents,
+and the delivered-message count.
+
+The replay fast path (steady-state rounds re-applied from the memoised
+write structure) is exercised explicitly: stepped-clock repeated publish
+rounds must engage it *and* stay exact, and topology changes must
+invalidate it.
+"""
+
+import pytest
+
+from repro.netdb.routerinfo import BandwidthTier
+from repro.sim.network import I2PNetwork
+
+
+def _build_mixed(batched: bool, seed: int = 15) -> I2PNetwork:
+    """A small heterogeneous network: O-tier floodfills added one by one,
+    an L-tier batch, a hidden router, and a late N-tier floodfill batch."""
+    net = I2PNetwork(seed=seed, batched=batched)
+    for _ in range(6):
+        net.add_router(floodfill=True, bandwidth_tier=BandwidthTier.O)
+    net.batch_add_routers(20, bandwidth_tier=BandwidthTier.L)
+    net.add_router(hidden=True)
+    net.batch_add_routers(4, floodfill=True, bandwidth_tier=BandwidthTier.N)
+    return net
+
+
+def _netdb_state(net: I2PNetwork) -> dict:
+    """The complete observable netDb end state, insertion order included."""
+    state = {}
+    for router_hash, router in net.routers.items():
+        state[router_hash] = (
+            # RAW insertion-ordered store items — exploration replies
+            # depend on this order, so it is part of the contract.
+            [(key, info.published_at) for key, info in router.store._routerinfos.items()],
+            sorted(router.known_floodfills),
+            sorted(router.floodfill_state._known_floodfills)
+            if router.floodfill_state is not None
+            else None,
+            router.store.stats.as_dict(),
+        )
+    state["reseed"] = [
+        sorted((info.hash, info.published_at) for info in server.known_routerinfos)
+        for server in net.reseed_servers
+    ]
+    state["messages"] = net.messages_delivered
+    return state
+
+
+class TestExactEquivalence:
+    def test_convergence_and_repeated_publish(self):
+        """Convergence rounds plus a same-time double publish end
+        byte-identical across the two planes."""
+        nets = []
+        for batched in (True, False):
+            net = _build_mixed(batched)
+            net.run_convergence_rounds(rounds=3)
+            net.publish_all()
+            net.publish_all()  # same-now republish: all writes stale
+            nets.append(net)
+        assert _netdb_state(nets[0]) == _netdb_state(nets[1])
+
+    def test_stepped_clock_publishes_replay_and_stay_exact(self):
+        """Steady-state stepped publishes hit the replay fast path on the
+        batched plane and still match the legacy loop exactly."""
+        nets = []
+        for batched in (True, False):
+            net = _build_mixed(batched)
+            net.run_convergence_rounds(rounds=3)
+            for _ in range(4):
+                net.clock.advance_hours(0.25)
+                net.publish_all()
+            nets.append(net)
+        assert nets[0].plane_stats["replay_rounds"] >= 2
+        assert _netdb_state(nets[0]) == _netdb_state(nets[1])
+
+    def test_topology_change_invalidates_replay_but_stays_exact(self):
+        """Adding a router after replay rounds forces a slow round; the
+        planes must still agree afterwards."""
+        nets = []
+        for batched in (True, False):
+            net = _build_mixed(batched)
+            net.run_convergence_rounds(rounds=3)
+            for _ in range(3):
+                net.clock.advance_hours(0.25)
+                net.publish_all()
+            net.add_router(bandwidth_tier=BandwidthTier.M)
+            net.clock.advance_hours(0.25)
+            net.publish_all()
+            net.clock.advance_hours(0.25)
+            net.publish_all()
+            nets.append(net)
+        assert _netdb_state(nets[0]) == _netdb_state(nets[1])
+
+    def test_exploration_replies_identical(self):
+        """Exploration learning depends on store insertion order; a
+        newcomer must learn the exact same infos from both planes."""
+        results = []
+        for batched in (True, False):
+            net = _build_mixed(batched)
+            net.run_convergence_rounds(rounds=2)
+            newcomer = net.add_router(do_bootstrap=False)
+            newcomer.known_floodfills.update(net.floodfill_hashes())
+            net.explore(newcomer.hash, lookups=3)
+            results.append(sorted(newcomer.store.router_hashes()))
+        assert results[0] == results[1]
+
+
+class TestReplayFastPath:
+    def test_replay_engages_in_steady_state(self):
+        net = _build_mixed(True)
+        net.run_convergence_rounds(rounds=3)
+        baseline = net.publish_all()
+        replays_before = net.plane_stats["replay_rounds"]
+        for _ in range(4):
+            net.clock.advance_hours(0.25)
+            delivered = net.publish_all()
+            # Replay rounds deliver the identical message count.
+            assert delivered == baseline
+        assert net.plane_stats["replay_rounds"] >= replays_before + 2
+
+    def test_replay_preserves_store_statistics(self):
+        """A replayed round refreshes each unique (store, hash) pair once
+        and rejects the duplicates stale — same accounting as a slow
+        round, with zero new acceptances."""
+        net = _build_mixed(True)
+        net.run_convergence_rounds(rounds=3)
+        net.clock.advance_hours(0.25)
+        net.publish_all()  # build round (or earlier replay)
+        net.clock.advance_hours(0.25)
+        before = {
+            h: r.store.stats.as_dict() for h, r in net.routers.items()
+        }
+        replays_before = net.plane_stats["replay_rounds"]
+        net.publish_all()
+        assert net.plane_stats["replay_rounds"] == replays_before + 1
+        for router_hash, router in net.routers.items():
+            after = router.store.stats.as_dict()
+            assert after["stores_accepted"] == before[router_hash]["stores_accepted"]
+            assert (
+                after["stores_refreshed"] + after["stores_rejected_stale"]
+                > before[router_hash]["stores_refreshed"]
+                + before[router_hash]["stores_rejected_stale"]
+            )
+
+    def test_stale_republish_never_replays(self):
+        """A same-now republish is not fresh and must take the slow path
+        (every write is stale-rejected, not refreshed)."""
+        net = _build_mixed(True)
+        net.run_convergence_rounds(rounds=3)
+        net.clock.advance_hours(0.25)
+        net.publish_all()
+        net.clock.advance_hours(0.25)
+        net.publish_all()
+        replays = net.plane_stats["replay_rounds"]
+        net.publish_all()  # same simulated instant
+        assert net.plane_stats["replay_rounds"] == replays
+
+
+class TestSteadyStateChurn:
+    def test_caches_and_expiry_stay_flat(self):
+        """Once converged, stepped publish rounds run with zero cache
+        rebuilds, zero expirations, and every round replayed (which
+        itself proves no store removal happened in between).  Expiry
+        scans are not strictly zero — each floodfill store performs one
+        removal-free ``_min_published`` tightening scan per simulated
+        hour — but they must stay bounded by the store count, never
+        O(stores) per round."""
+        net = _build_mixed(True)
+        net.run_convergence_rounds(rounds=4)
+        # Drain the expiry residue of the pre-convergence rounds.
+        for _ in range(6):
+            net.step_hours(0.25)
+            net.publish_all()
+        churn_before = dict(net.plane_stats)
+        scans_before = sum(r.store.expiry_scan_passes for r in net.routers.values())
+        removed_before = sum(r.store.stats.expirations for r in net.routers.values())
+        for _ in range(3):
+            net.step_hours(0.25)
+            net.publish_all()
+        churn_after = dict(net.plane_stats)
+        scans_after = sum(r.store.expiry_scan_passes for r in net.routers.values())
+        removed_after = sum(r.store.stats.expirations for r in net.routers.values())
+        assert churn_after["ff_view_rebuilds"] == churn_before["ff_view_rebuilds"]
+        assert churn_after["flood_table_rebuilds"] == churn_before["flood_table_rebuilds"]
+        assert churn_after["replay_rounds"] == churn_before["replay_rounds"] + 3
+        assert removed_after == removed_before
+        assert scans_after - scans_before <= len(net.routers)
+
+    def test_ip_allocation_is_arithmetic(self):
+        """_allocate_ip derives the address from a counter — adding many
+        routers must not allocate per-router scratch state beyond the
+        router itself (unique IPs prove the arithmetic stays collision
+        free)."""
+        net = I2PNetwork(seed=21)
+        routers = net.batch_add_routers(300)
+        ips = {router.ip for router in routers}
+        assert len(ips) == 300
+
+
+@pytest.mark.parametrize("seed", [15, 99])
+def test_bench_sized_equivalence(seed):
+    """The benchmark configuration (10% O-tier floodfills) converges to
+    identical end states on both planes."""
+    nets = []
+    for batched in (True, False):
+        net = I2PNetwork(seed=seed, batched=batched)
+        for _ in range(8):
+            net.add_router(floodfill=True, bandwidth_tier=BandwidthTier.O)
+        net.batch_add_routers(72)
+        net.run_convergence_rounds(rounds=2)
+        nets.append(net)
+    assert _netdb_state(nets[0]) == _netdb_state(nets[1])

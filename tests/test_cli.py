@@ -182,3 +182,49 @@ class TestRunCommandErrors:
         captured = capsys.readouterr()
         assert exit_code == 2
         assert "no day horizon" in captured.err
+
+    def test_run_router_count_on_exposure_scenario_fails_cleanly(self, capsys):
+        exit_code = main(["run", "main_campaign", "--router-count", "300"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "no simulated-network size" in captured.err
+
+
+class TestRunNetDbScale:
+    def test_parser_accepts_router_count(self):
+        args = build_parser().parse_args(["run", "netdb-scale", "--router-count", "60"])
+        assert args.command == "run"
+        assert args.scenario == "netdb-scale"
+        assert args.router_count == 60
+
+    def test_run_pinned_netdb_scale(self, capsys):
+        exit_code = main(["run", "netdb-scale", "--router-count", "40"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "scenario netdb-scale" in captured
+        assert "scenario_netdb_scale" in captured
+        assert "netdb_scale" in captured
+
+    def test_profile_hook_dumps_pstats(self, capsys, tmp_path, monkeypatch):
+        """REPRO_PROFILE=1 wraps the run in cProfile and writes a pstats
+        file into $REPRO_PROFILE_DIR."""
+        import pstats
+
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        monkeypatch.setenv("REPRO_PROFILE_DIR", str(tmp_path / "profiles"))
+        exit_code = main(["run", "netdb-scale", "--router-count", "30"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        profile_path = tmp_path / "profiles" / "repro_profile_netdb-scale.pstats"
+        assert profile_path.is_file()
+        assert "profile written to" in captured.err
+        # The dump must be loadable and contain the publish hot path.
+        stats = pstats.Stats(str(profile_path))
+        assert stats.total_calls > 0
+
+    def test_profile_disabled_by_default(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_PROFILE", "0")
+        monkeypatch.setenv("REPRO_PROFILE_DIR", str(tmp_path))
+        assert main(["run", "netdb-scale", "--router-count", "30"]) == 0
+        capsys.readouterr()
+        assert not list(tmp_path.glob("*.pstats"))
