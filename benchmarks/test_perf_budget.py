@@ -27,6 +27,11 @@ root with:
   (default 300 / 1 000 / 10 000 routers; override the axis with a
   comma-separated ``REPRO_BENCH_NETDB_COUNTS``).  Replaces the schema-v3
   single-point ``network_messages_per_second``;
+* ``network_fault_overhead_ratio`` — 300-router steady-state publish
+  round time with an attached all-zero ``FaultPlan`` over the plain
+  round time.  The zero-fault path must cost nothing measurable
+  (< 5 %): a no-op plan never builds an injector, so every fault check
+  is one ``is None`` branch;
 * ``accumulator_bytes`` / ``accumulator_peak_bytes`` — the observation
   log's columnar accumulator footprint (current and high-water), i.e. the
   working set of every streamed analysis;
@@ -53,7 +58,11 @@ from repro.sim.population import reset_snapshot_allocations, snapshot_allocation
 
 BENCH_DAYS = 10
 BENCH_SCALE = 1.0
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
+
+#: Allowed relative slowdown of a publish round with a no-op FaultPlan
+#: attached (the disabled-fault path must stay on the fast path).
+FAULT_OVERHEAD_TOLERANCE = 0.05
 
 #: Allowed relative drop of peer-days/sec vs the committed baseline.
 REGRESSION_TOLERANCE = 0.20
@@ -167,15 +176,61 @@ def _netdb_counts():
 
 
 def _bench_network():
-    """Steady-state netDb publish throughput across network sizes."""
+    """Steady-state netDb publish throughput across network sizes.
+
+    The 300-router entry feeds the regression guard, and its rounds take
+    ~1ms each — a single scheduler hiccup during the nine measured
+    rounds reads as a double-digit "regression".  That entry keeps the
+    best of three repetitions (noise only ever slows a run down); the
+    larger, unguarded points stay single-shot.
+    """
     curve = []
     for router_count in _netdb_counts():
-        point = measure_netdb_scale(router_count, seed=2018)
+        repetitions = 3 if router_count == 300 else 1
+        point = None
+        for _ in range(repetitions):
+            sample = measure_netdb_scale(router_count, seed=2018)
+            if point is None or sample.messages_per_second > point.messages_per_second:
+                point = sample
         entry = point.as_dict()
         entry["messages_per_second"] = round(entry["messages_per_second"], 1)
         entry["median_round_seconds"] = round(entry["median_round_seconds"], 5)
         curve.append(entry)
     return {"network_curve": curve}
+
+
+def _bench_fault_overhead():
+    """Publish round time at 300 routers: all-zero FaultPlan vs no plan.
+
+    The quantity under test is a ratio of two ~1ms timings, where a
+    stray scheduler hiccup reads as several percent, so the estimator is
+    deliberately sturdier than the throughput curve's: three alternating
+    repetitions per side (alternation cancels slow machine-wide drift)
+    and the *minimum* of the per-repetition medians (real overhead slows
+    the best case too; noise only ever slows a run down).
+    """
+    from repro.sim.faults import FaultPlan
+
+    base_medians = []
+    zero_plan_medians = []
+    for _ in range(3):
+        base_medians.append(
+            measure_netdb_scale(300, seed=2018, measure_rounds=9).median_round_seconds
+        )
+        zero_plan_medians.append(
+            measure_netdb_scale(
+                300, seed=2018, measure_rounds=9, fault_plan=FaultPlan()
+            ).median_round_seconds
+        )
+    base = min(base_medians)
+    zero_plan = min(zero_plan_medians)
+    return {
+        "network_fault_base_seconds": round(base, 5),
+        "network_fault_zero_plan_seconds": round(zero_plan, 5),
+        "network_fault_overhead_ratio": round(
+            zero_plan / base if base > 0 else 1.0, 4
+        ),
+    }
 
 
 def test_perf_budget():
@@ -187,6 +242,7 @@ def test_perf_budget():
     payload.update(_bench_campaign())
     payload.update(_bench_figure_suite())
     payload.update(_bench_network())
+    payload.update(_bench_fault_overhead())
     payload["figure_suite_to_campaign_ratio"] = round(
         payload["figure_suite_wall_seconds"] / payload["campaign_wall_seconds"], 3
     )
@@ -249,6 +305,17 @@ def test_perf_budget():
             f"netDb publish throughput (300 routers) regressed more than "
             f"{REGRESSION_TOLERANCE:.0%}: {current_300} msgs/s vs committed "
             f"{baseline_300} (floor {floor:.1f})"
+        )
+
+    # A network with a no-op FaultPlan attached must publish as fast as one
+    # that never attached a plan.  Timing-sensitive like the guards above,
+    # so it honours the same opt-out for shared CI runners.
+    if not skip_guard:
+        ratio = payload["network_fault_overhead_ratio"]
+        assert ratio < 1.0 + FAULT_OVERHEAD_TOLERANCE, (
+            f"disabled-fault publish path costs {ratio:.3f}x the plain path "
+            f"(budget {1.0 + FAULT_OVERHEAD_TOLERANCE:.2f}x) — the zero-fault "
+            f"plane is no longer free"
         )
 
     # Persist only after every assertion passed: a failing run must not

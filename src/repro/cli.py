@@ -141,11 +141,15 @@ def build_parser() -> argparse.ArgumentParser:
         "run",
         help="execute one registered scenario through the engine",
         description="Execute one registered scenario through the declarative "
-        "engine.  Message-level scenarios (e.g. netdb-scale, which sweeps "
-        "netDb publish throughput over 300/1000/10000-router networks) "
-        "accept --router-count to pin the simulated-network size.  Set "
-        "REPRO_PROFILE=1 to run the scenario under cProfile and dump pstats "
-        "next to the results.",
+        "engine.  Message-level scenarios accept --router-count to pin the "
+        "simulated-network size: netdb-scale sweeps netDb publish throughput "
+        "over 300/1000/10000-router networks, and the fault-injection "
+        "scenarios (floodfill-takedown, reseed-outage, lossy-network) replay "
+        "a deterministic FaultPlan — seeded message drops, floodfill "
+        "crash/recover windows, reseed outages, regional link blackouts — "
+        "and report per-round publish success, lookup latency and netDb "
+        "coverage.  Set REPRO_PROFILE=1 to run the scenario under cProfile "
+        "and dump pstats next to the results.",
     )
     run.add_argument("scenario", help="a registered scenario name (see `repro scenarios`)")
     run.add_argument(
@@ -305,6 +309,11 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     print(
         "\nrun one with: repro [--scale S] [--seed N] run <scenario> [--days D] "
         "[--router-count N]\n"
+        "fault-injection scenarios replay a seeded FaultPlan (drop_probability, "
+        "crash_fraction,\n"
+        "reseed_fraction, blackout_region, outage_start_round/outage_end_round, "
+        "store/lookup\n"
+        "retry budgets) and chart publish success + netDb coverage per round\n"
         "set REPRO_PROFILE=1 to dump a cProfile pstats file for the run"
     )
     return 0

@@ -50,6 +50,12 @@ Execution templates (``ScenarioSpec.kind``)
     Message-level: netDb publish throughput (DatabaseStoreMessages per
     second) across network sizes on the batched message plane
     (``repro run netdb-scale``, optionally ``--router-count N``).
+``fault_injection``
+    Message-level: netDb degradation under a deterministic
+    :class:`repro.sim.faults.FaultPlan` — floodfill takedowns, reseed
+    outages, lossy links — measuring per-round publish success, lookup
+    latency, and coverage (``repro run floodfill-takedown`` /
+    ``reseed-outage`` / ``lossy-network``).
 
 All scenario outputs are collected in a :class:`ScenarioResult`
 (figures by id, key/value summaries, rendered text tables).  Figures
@@ -601,9 +607,68 @@ def _execute_netdb_scale(
     out.summaries["netdb_scale"] = summary
 
 
+def _execute_fault_injection(
+    spec: ScenarioSpec,
+    out: ScenarioResult,
+    scale: float,
+    seed: int,
+    days: int,
+    engine: ExposureEngine,
+) -> None:
+    """netDb degradation under a deterministic fault plan.
+
+    A message-level scenario: it converges a real simulated network,
+    attaches the :class:`~repro.sim.faults.FaultPlan` described by
+    ``spec.params``, and records per-round publish success, lookup
+    latency, and netDb coverage while the plan's failure windows open
+    and close.  ``spec.router_count`` (or ``repro run --router-count``)
+    pins the network size.
+    """
+    from ..sim.faults import measure_degradation, scenario_fault_plan
+
+    router_count = int(
+        spec.router_count
+        if spec.router_count is not None
+        else spec.params.get("router_count", 300)
+    )
+    if router_count < 2:
+        raise ValueError("router count must be at least 2")
+    round_hours = float(spec.params.get("round_hours", 0.25))
+    plan = scenario_fault_plan(spec.params, round_seconds=round_hours * 3600.0)
+    result = measure_degradation(
+        plan,
+        router_count=router_count,
+        floodfill_fraction=float(spec.params.get("floodfill_fraction", 0.1)),
+        seed=seed,
+        convergence_rounds=int(spec.params.get("convergence_rounds", 3)),
+        rounds=int(spec.params.get("rounds", 24)),
+        round_hours=round_hours,
+        lookup_probes=int(spec.params.get("lookup_probes", 8)),
+        joiners_per_round=int(spec.params.get("joiners_per_round", 0)),
+    )
+    figure = FigureData(
+        figure_id="scenario_fault_injection",
+        title=f"netDb degradation under faults ({spec.name})",
+        x_label="publish round",
+        y_label="ratio",
+    )
+    success = figure.new_series("publish success ratio")
+    coverage = figure.new_series("netDb coverage")
+    for sample in result.samples:
+        success.add(sample.round_index, sample.publish_success_ratio)
+        coverage.add(sample.round_index, sample.netdb_coverage)
+    figure.add_note(
+        "publish success = publishers reaching full flood redundancy that "
+        "round; coverage = mean fraction of the network present per "
+        "floodfill netDb"
+    )
+    out.add_figure(figure)
+    out.summaries["fault_injection"] = result.summary()
+
+
 #: Kinds whose execution has no campaign day horizon (a ``days`` override
 #: would silently change nothing, so ``run_scenario`` rejects it).
-_DAYLESS_KINDS = {"reseed_denial", "netdb_scale"}
+_DAYLESS_KINDS = {"reseed_denial", "netdb_scale", "fault_injection"}
 
 _EXECUTORS: Dict[
     str,
@@ -618,6 +683,7 @@ _EXECUTORS: Dict[
     "country_blocking": _execute_country_blocking,
     "reseed_denial": _execute_reseed_denial,
     "netdb_scale": _execute_netdb_scale,
+    "fault_injection": _execute_fault_injection,
 }
 
 
@@ -626,7 +692,7 @@ _EXECUTORS: Dict[
 # --------------------------------------------------------------------------- #
 #: Kinds that consume :attr:`ScenarioSpec.router_count` (a
 #: ``--router-count`` override is rejected for the others).
-_ROUTER_COUNT_KINDS = {"netdb_scale"}
+_ROUTER_COUNT_KINDS = {"netdb_scale", "fault_injection"}
 
 
 def resolve_scenario(
@@ -785,6 +851,47 @@ register_scenario(
         kind="netdb_scale",
         days=1,
         params={"router_counts": (300, 1000, 10000)},
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="floodfill-takedown",
+        description="Fault injection: half the floodfills crash for rounds "
+        "8-16 - publish success drops, then recovers after restart",
+        kind="fault_injection",
+        days=1,
+        params={
+            "crash_fraction": 0.5,
+            "outage_start_round": 8,
+            "outage_end_round": 16,
+            "rounds": 24,
+        },
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="reseed-outage",
+        description="Fault injection: every reseed server is unreachable "
+        "for rounds 6-14 while new routers keep trying to join",
+        kind="fault_injection",
+        days=1,
+        params={
+            "reseed_fraction": 1.0,
+            "outage_start_round": 6,
+            "outage_end_round": 14,
+            "rounds": 20,
+            "joiners_per_round": 3,
+        },
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="lossy-network",
+        description="Fault injection: 20% iid message loss on every link "
+        "for the whole run - retries and timeouts absorb the loss",
+        kind="fault_injection",
+        days=1,
+        params={"drop_probability": 0.2, "rounds": 16},
     )
 )
 register_scenario(

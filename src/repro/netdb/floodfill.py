@@ -140,6 +140,11 @@ class FloodfillRouterState:
         #: Bumped whenever the neighbour set actually changes; external
         #: caches (the network's per-round flood tables) key on it.
         self.neighbours_version = 0
+        #: Set by the network's fault plane while this floodfill is inside
+        #: an active crash window.  A crashed floodfill neither accepts
+        #: stores nor answers lookups; its store keeps expiring, so a long
+        #: outage genuinely loses state.
+        self.crashed = False
 
     # ------------------------------------------------------------------ #
     # Floodfill peer bookkeeping
@@ -193,6 +198,8 @@ class FloodfillRouterState:
         a direct publication from the owner rather than an incoming flood)
         and the entry was fresher than the stored one — Section 4.2.
         """
+        if self.crashed:
+            return FloodResult(stored=False)
         if message.is_routerinfo:
             changed = self.store.store_routerinfo(message.entry)  # type: ignore[arg-type]
         else:
@@ -205,7 +212,9 @@ class FloodfillRouterState:
 
     def handle_lookup(
         self, message: DatabaseLookupMessage, sim_time: float
-    ) -> Union[DatabaseStoreMessage, DatabaseSearchReplyMessage, List[RouterInfo]]:
+    ) -> Optional[
+        Union[DatabaseStoreMessage, DatabaseSearchReplyMessage, List[RouterInfo]]
+    ]:
         """Answer a DLM.
 
         * RouterInfo lookups return a DSM with the entry if known, else a
@@ -215,7 +224,11 @@ class FloodfillRouterState:
           does not already know (bounded by ``max_results``) — this is the
           mechanism non-floodfill routers use to grow their netDb
           (Section 4.2, second discovery mechanism).
+
+        A crashed floodfill returns ``None`` — the requester times out.
         """
+        if self.crashed:
+            return None
         if message.lookup_type is LookupType.EXPLORATION:
             return self._handle_exploration(message)
 
@@ -249,7 +262,7 @@ class FloodfillRouterState:
         The batched message plane calls this directly with a reusable
         exclude set, bypassing per-lookup message construction.
         """
-        if max_results <= 0:
+        if max_results <= 0 or self.crashed:
             return []
         results: List[RouterInfo] = []
         for info in self.store.iter_routerinfos():

@@ -50,6 +50,9 @@ class StoreStats:
     expirations: int = 0
     leaseset_stores: int = 0
     leaseset_expirations: int = 0
+    #: Store messages addressed to this router that the fault plane
+    #: dropped in flight (the write never reached the store).
+    stores_dropped: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -59,6 +62,7 @@ class StoreStats:
             "expirations": self.expirations,
             "leaseset_stores": self.leaseset_stores,
             "leaseset_expirations": self.leaseset_expirations,
+            "stores_dropped": self.stores_dropped,
         }
 
 

@@ -27,6 +27,17 @@ from .exposure import (
     default_engine,
     set_default_engine,
 )
+from .faults import (
+    CrashWindow,
+    DegradationResult,
+    FaultInjector,
+    FaultMetrics,
+    FaultPlan,
+    LinkBlackout,
+    ReseedOutage,
+    measure_degradation,
+    scenario_fault_plan,
+)
 from .ip import AddressProfile, IpAssignment, IpAssignmentManager
 from .network import I2PNetwork, SimulatedRouter
 from .observation import (
@@ -79,6 +90,15 @@ __all__ = [
     "SharedExposure",
     "default_engine",
     "set_default_engine",
+    "CrashWindow",
+    "DegradationResult",
+    "FaultInjector",
+    "FaultMetrics",
+    "FaultPlan",
+    "LinkBlackout",
+    "ReseedOutage",
+    "measure_degradation",
+    "scenario_fault_plan",
     "AddressProfile",
     "IpAssignment",
     "IpAssignmentManager",

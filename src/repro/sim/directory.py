@@ -27,9 +27,21 @@ import numpy as np
 
 from ..netdb.routing_key import date_string_for_time, routing_keys_packed
 
-__all__ = ["RouterDirectory"]
+__all__ = ["RouterDirectory", "region_of_hash"]
 
 _INITIAL_CAPACITY = 256
+
+
+def region_of_hash(router_hash: bytes, regions: int) -> int:
+    """Deterministic region (country/AS cluster) assignment of a router.
+
+    The fault plane partitions the network into ``regions`` link regions
+    for blackout schedules; the assignment hashes only the identity so it
+    is stable across planes, runs, and topology changes.
+    """
+    if regions < 1:
+        raise ValueError("regions must be at least 1")
+    return int.from_bytes(router_hash[:4], "big") % regions
 
 
 class RouterDirectory:
@@ -44,6 +56,8 @@ class RouterDirectory:
         self._key_date: Optional[str] = None
         self._key_count = 0
         self._key_words = np.empty((0, 4), dtype=np.uint64)
+        self._region_cache: Dict[int, np.ndarray] = {}
+        self._region_count = 0
 
     def __len__(self) -> int:
         return len(self.hashes)
@@ -102,3 +116,22 @@ class RouterDirectory:
             self._key_date = date
             self._key_count = count
         return self._key_words
+
+    def region_codes(self, regions: int) -> np.ndarray:
+        """Per-row region assignment column (see :func:`region_of_hash`).
+
+        Memoised per region count; extended in place when new hashes were
+        registered since the last build.
+        """
+        count = len(self.hashes)
+        cached = self._region_cache.get(regions)
+        if cached is not None and self._region_count == count:
+            return cached
+        codes = np.fromiter(
+            (region_of_hash(h, regions) for h in self.hashes),
+            dtype=np.int64,
+            count=count,
+        )
+        self._region_cache = {regions: codes}
+        self._region_count = count
+        return codes

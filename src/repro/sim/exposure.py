@@ -440,9 +440,11 @@ class ExposureEngine:
             if needed_days > int(meta.get("days", -1)):
                 return None
             entry = exposure_cache.load_exposure(path)
-        except Exception:  # noqa: BLE001 - any unreadable/corrupt/foreign
-            # file (truncated zip, bad JSON meta, missing keys, wrong
-            # schema) is a plain cache miss: rebuild and overwrite.
+        except Exception as error:  # noqa: BLE001 - unreadable/corrupt/foreign
+            # Any failure on an existing file (truncated zip, bad JSON
+            # meta, missing keys, wrong schema) is a cache miss — but a
+            # *loud* one: warn, evict the bad file, rebuild and overwrite.
+            exposure_cache.evict_corrupt(path, error)
             return None
         if needed_days > entry.days_materialised:
             return None

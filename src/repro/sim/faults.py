@@ -1,0 +1,610 @@
+"""Deterministic fault-injection plane for the netDb message engine.
+
+The paper's censorship scenarios (Section 6) act on *membership* — which
+routers a monitor or censor can see — while the message plane of
+:mod:`repro.sim.network` models perfectly reliable delivery.  This module
+adds the missing *protocol* failure axis: a declarative, seeded
+:class:`FaultPlan` describes per-link message drops, floodfill
+crash/recover windows, reseed-server outages and region link blackouts;
+a :class:`FaultInjector` answers point queries ("is this delivery
+dropped?", "is this floodfill down right now?") that the network consults
+at delivery time.
+
+Two properties are load-bearing:
+
+* **Zero-fault exactness** — a no-op plan normalises to no injector at
+  all (``I2PNetwork.set_fault_plan`` keeps ``faults=None``), so the
+  fault-free hot path, including the replay fast path, is byte-identical
+  to a network that never heard of faults.
+* **Plane-independent determinism** — every fault decision is a pure
+  function of the plan seed and the event coordinates (channel, source,
+  target, simulated time) via a keyed blake2b hash.  No shared RNG
+  stream exists to desynchronise, so the batched and legacy planes see
+  the *same* failures in the *same* places and produce identical
+  degradation curves.
+
+:func:`measure_degradation` is the measurement driver behind the
+``floodfill-takedown`` / ``reseed-outage`` / ``lossy-network`` scenarios:
+it converges a fault-free network, attaches the plan, then runs measured
+publish/lookup rounds streaming :class:`RoundSample` records.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import struct
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, List, Mapping, Tuple
+
+from .directory import region_of_hash
+
+__all__ = [
+    "CrashWindow",
+    "ReseedOutage",
+    "LinkBlackout",
+    "FaultPlan",
+    "FaultInjector",
+    "RoundSample",
+    "FaultMetrics",
+    "DegradationResult",
+    "measure_degradation",
+    "scenario_fault_plan",
+]
+
+#: Channel tags keep the drop coins of different message kinds
+#: independent: a store and a lookup crossing the same link at the same
+#: instant fail independently.
+CHANNEL_STORE = b"S"
+CHANNEL_LOOKUP = b"L"
+CHANNEL_EXPLORE = b"E"
+
+_TWO_64 = float(2**64)
+
+
+def _check_window(start: float, end: float, fraction: float, what: str) -> None:
+    if end <= start:
+        raise ValueError(f"{what} window must end after it starts")
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"{what} fraction must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """A fraction of the floodfills is down during ``[start, end)``.
+
+    Which floodfills crash is decided per window by a seeded coin on the
+    router hash, so the same plan takes down the same routers every run.
+    Times are in simulated seconds.
+    """
+
+    start: float
+    end: float
+    fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.end, self.fraction, "crash")
+
+
+@dataclass(frozen=True)
+class ReseedOutage:
+    """A fraction of the reseed servers is blocked during ``[start, end)``."""
+
+    start: float
+    end: float
+    fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.end, self.fraction, "reseed outage")
+
+
+@dataclass(frozen=True)
+class LinkBlackout:
+    """Cross-border links of one region are cut during ``[start, end)``.
+
+    Routers are partitioned into ``FaultPlan.regions`` regions by
+    :func:`repro.sim.directory.region_of_hash`; while the blackout is
+    active, any message with exactly one endpoint inside ``region`` is
+    dropped (intra-region and fully-outside traffic still flows) —
+    the shape of a national border blackout.
+    """
+
+    start: float
+    end: float
+    region: int = 0
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.end, 1.0, "blackout")
+        if self.region < 0:
+            raise ValueError("blackout region must be non-negative")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative, seeded schedule of netDb failures.
+
+    Schedule fields
+    ---------------
+    ``drop_probability``
+        iid per-message drop probability on every link (0 disables).
+    ``floodfill_crashes``
+        :class:`CrashWindow` tuple — floodfill crash/recover windows.
+    ``reseed_outages``
+        :class:`ReseedOutage` tuple — reseed servers refuse bootstraps.
+    ``link_blackouts``
+        :class:`LinkBlackout` tuple — regional border cuts (routers are
+        hashed into ``regions`` regions).
+
+    Robustness knobs
+    ----------------
+    ``store_retry_budget``
+        extra next-closest floodfills a publisher may try after the
+        first ``FLOOD_REDUNDANCY`` store targets fail to ack.
+    ``lookup_retry_budget``
+        extra walk attempts a lookup may make, each preceded by an
+        exploration fallback (learn fresh floodfills, then re-walk).
+    ``backoff_base_seconds``
+        exponential-backoff base: the k-th retry adds
+        ``backoff_base_seconds * 2**(k-1)`` of modelled latency.
+    ``lookup_timeout_seconds`` / ``hop_seconds``
+        modelled latency of a timed-out and of a successful query hop.
+
+    All failure decisions derive from ``seed`` alone — two runs of the
+    same plan produce identical failures.
+    """
+
+    seed: int = 0
+    drop_probability: float = 0.0
+    floodfill_crashes: Tuple[CrashWindow, ...] = ()
+    reseed_outages: Tuple[ReseedOutage, ...] = ()
+    link_blackouts: Tuple[LinkBlackout, ...] = ()
+    regions: int = 4
+    store_retry_budget: int = 2
+    lookup_retry_budget: int = 1
+    backoff_base_seconds: float = 1.0
+    lookup_timeout_seconds: float = 4.0
+    hop_seconds: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise ValueError("drop_probability must be in [0, 1]")
+        if self.regions < 1:
+            raise ValueError("regions must be at least 1")
+        if self.store_retry_budget < 0 or self.lookup_retry_budget < 0:
+            raise ValueError("retry budgets must be non-negative")
+        for blackout in self.link_blackouts:
+            if blackout.region >= self.regions:
+                raise ValueError("blackout region out of range")
+
+    @property
+    def is_noop(self) -> bool:
+        """True when the plan cannot produce a single fault."""
+        return (
+            self.drop_probability == 0.0
+            and not self.floodfill_crashes
+            and not self.reseed_outages
+            and not self.link_blackouts
+        )
+
+    def shifted(self, offset: float) -> "FaultPlan":
+        """A copy with every schedule window moved ``offset`` seconds later.
+
+        Plans are naturally authored relative to a measurement start;
+        the driver shifts them onto the absolute simulation clock once
+        the network has converged.
+        """
+        return replace(
+            self,
+            floodfill_crashes=tuple(
+                replace(w, start=w.start + offset, end=w.end + offset)
+                for w in self.floodfill_crashes
+            ),
+            reseed_outages=tuple(
+                replace(w, start=w.start + offset, end=w.end + offset)
+                for w in self.reseed_outages
+            ),
+            link_blackouts=tuple(
+                replace(w, start=w.start + offset, end=w.end + offset)
+                for w in self.link_blackouts
+            ),
+        )
+
+
+class FaultInjector:
+    """Answers point fault queries for one :class:`FaultPlan`.
+
+    Every answer is a pure function of the plan and the query — there is
+    no internal RNG stream, so the answers are independent of the order
+    in which the network asks (a requirement for batched/legacy plane
+    equivalence).
+    """
+
+    __slots__ = ("plan", "_key", "_crash_cache", "_reseed_cache", "_region_cache")
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._key = plan.seed.to_bytes(8, "little", signed=True)
+        self._crash_cache: Dict[Tuple[int, bytes], bool] = {}
+        self._reseed_cache: Dict[Tuple[int, str], bool] = {}
+        self._region_cache: Dict[bytes, int] = {}
+
+    def _unit(self, *parts: bytes) -> float:
+        """Uniform [0, 1) coin keyed on the plan seed and the event parts."""
+        digest = hashlib.blake2b(b"".join(parts), digest_size=8, key=self._key)
+        return int.from_bytes(digest.digest(), "little") / _TWO_64
+
+    def region_of(self, router_hash: bytes) -> int:
+        region = self._region_cache.get(router_hash)
+        if region is None:
+            region = region_of_hash(router_hash, self.plan.regions)
+            self._region_cache[router_hash] = region
+        return region
+
+    def cut_regions(self, now: float) -> FrozenSet[int]:
+        """Regions whose border links are cut at ``now``."""
+        return frozenset(
+            w.region for w in self.plan.link_blackouts if w.start <= now < w.end
+        )
+
+    def crashed(self, router_hash: bytes, now: float) -> bool:
+        """Is this (floodfill) router inside an active crash window?"""
+        for idx, window in enumerate(self.plan.floodfill_crashes):
+            if window.start <= now < window.end:
+                key = (idx, router_hash)
+                hit = self._crash_cache.get(key)
+                if hit is None:
+                    hit = (
+                        window.fraction >= 1.0
+                        or self._unit(b"C", idx.to_bytes(4, "little"), router_hash)
+                        < window.fraction
+                    )
+                    self._crash_cache[key] = hit
+                if hit:
+                    return True
+        return False
+
+    def reseed_blocked(self, hostname: str, now: float) -> bool:
+        """Is this reseed server inside an active outage window?"""
+        for idx, window in enumerate(self.plan.reseed_outages):
+            if window.start <= now < window.end:
+                key = (idx, hostname)
+                hit = self._reseed_cache.get(key)
+                if hit is None:
+                    hit = (
+                        window.fraction >= 1.0
+                        or self._unit(
+                            b"R", idx.to_bytes(4, "little"), hostname.encode()
+                        )
+                        < window.fraction
+                    )
+                    self._reseed_cache[key] = hit
+                if hit:
+                    return True
+        return False
+
+    def message_dropped(
+        self, src_hash: bytes, dst_hash: bytes, now: float, channel: bytes
+    ) -> bool:
+        """Is a ``channel`` message from ``src`` to ``dst`` lost at ``now``?"""
+        plan = self.plan
+        if plan.link_blackouts:
+            cut = self.cut_regions(now)
+            if cut:
+                src_in = self.region_of(src_hash) in cut
+                dst_in = self.region_of(dst_hash) in cut
+                if src_in != dst_in:
+                    return True
+        probability = plan.drop_probability
+        if probability <= 0.0:
+            return False
+        return (
+            self._unit(b"D", channel, src_hash, dst_hash, struct.pack("<d", now))
+            < probability
+        )
+
+
+@dataclass(frozen=True)
+class RoundSample:
+    """Degradation metrics of one measured publish round."""
+
+    round_index: int
+    sim_time: float
+    publishers: int
+    publishers_acked: int
+    publish_success_ratio: float
+    store_attempts: int
+    store_acks: int
+    store_drops: int
+    store_retries: int
+    retry_latency_seconds: float
+    crashed_floodfills: int
+    netdb_coverage: float
+    lookup_attempts: int
+    lookup_successes: int
+    lookup_timeouts: int
+    lookup_mean_rounds: float
+    lookup_mean_latency_seconds: float
+    bootstrap_attempts: int
+    bootstrap_successes: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "round_index": self.round_index,
+            "sim_time": self.sim_time,
+            "publishers": self.publishers,
+            "publishers_acked": self.publishers_acked,
+            "publish_success_ratio": round(self.publish_success_ratio, 6),
+            "store_attempts": self.store_attempts,
+            "store_acks": self.store_acks,
+            "store_drops": self.store_drops,
+            "store_retries": self.store_retries,
+            "retry_latency_seconds": round(self.retry_latency_seconds, 6),
+            "crashed_floodfills": self.crashed_floodfills,
+            "netdb_coverage": round(self.netdb_coverage, 6),
+            "lookup_attempts": self.lookup_attempts,
+            "lookup_successes": self.lookup_successes,
+            "lookup_timeouts": self.lookup_timeouts,
+            "lookup_mean_rounds": round(self.lookup_mean_rounds, 6),
+            "lookup_mean_latency_seconds": round(
+                self.lookup_mean_latency_seconds, 6
+            ),
+            "bootstrap_attempts": self.bootstrap_attempts,
+            "bootstrap_successes": self.bootstrap_successes,
+        }
+
+
+class FaultMetrics:
+    """Accumulates per-round degradation samples while a plan is active.
+
+    Lookup and bootstrap outcomes arrive between publish rounds; they are
+    buffered and folded into the :class:`RoundSample` of the next publish
+    round, which closes the round.
+    """
+
+    def __init__(self) -> None:
+        self.rounds: List[RoundSample] = []
+        self._lookup_attempts = 0
+        self._lookup_successes = 0
+        self._lookup_timeouts = 0
+        self._lookup_rounds_sum = 0
+        self._lookup_latency_sum = 0.0
+        self._bootstrap_attempts = 0
+        self._bootstrap_successes = 0
+
+    def note_lookup(self, success: bool, rounds_used: int, latency: float) -> None:
+        self._lookup_attempts += 1
+        if success:
+            self._lookup_successes += 1
+        self._lookup_rounds_sum += rounds_used
+        self._lookup_latency_sum += latency
+
+    def note_lookup_timeout(self) -> None:
+        self._lookup_timeouts += 1
+
+    def note_bootstrap(self, success: bool) -> None:
+        self._bootstrap_attempts += 1
+        if success:
+            self._bootstrap_successes += 1
+
+    def record_publish_round(
+        self,
+        *,
+        sim_time: float,
+        publishers: int,
+        publishers_acked: int,
+        store_attempts: int,
+        store_acks: int,
+        store_drops: int,
+        store_retries: int,
+        retry_latency_seconds: float,
+        crashed_floodfills: int,
+        netdb_coverage: float,
+    ) -> RoundSample:
+        attempts = self._lookup_attempts
+        sample = RoundSample(
+            round_index=len(self.rounds),
+            sim_time=sim_time,
+            publishers=publishers,
+            publishers_acked=publishers_acked,
+            publish_success_ratio=(
+                publishers_acked / publishers if publishers else 1.0
+            ),
+            store_attempts=store_attempts,
+            store_acks=store_acks,
+            store_drops=store_drops,
+            store_retries=store_retries,
+            retry_latency_seconds=retry_latency_seconds,
+            crashed_floodfills=crashed_floodfills,
+            netdb_coverage=netdb_coverage,
+            lookup_attempts=attempts,
+            lookup_successes=self._lookup_successes,
+            lookup_timeouts=self._lookup_timeouts,
+            lookup_mean_rounds=(
+                self._lookup_rounds_sum / attempts if attempts else 0.0
+            ),
+            lookup_mean_latency_seconds=(
+                self._lookup_latency_sum / attempts if attempts else 0.0
+            ),
+            bootstrap_attempts=self._bootstrap_attempts,
+            bootstrap_successes=self._bootstrap_successes,
+        )
+        self.rounds.append(sample)
+        self._lookup_attempts = 0
+        self._lookup_successes = 0
+        self._lookup_timeouts = 0
+        self._lookup_rounds_sum = 0
+        self._lookup_latency_sum = 0.0
+        self._bootstrap_attempts = 0
+        self._bootstrap_successes = 0
+        return sample
+
+    def curve(self) -> List[Dict[str, float]]:
+        return [sample.as_dict() for sample in self.rounds]
+
+
+@dataclass(frozen=True)
+class DegradationResult:
+    """Output of :func:`measure_degradation`."""
+
+    router_count: int
+    floodfill_count: int
+    rounds: int
+    round_seconds: float
+    batched: bool
+    samples: Tuple[RoundSample, ...]
+    region_counts: Tuple[int, ...]
+
+    def curve(self) -> List[Dict[str, float]]:
+        return [sample.as_dict() for sample in self.samples]
+
+    def summary(self) -> Dict[str, float]:
+        """Scalar digest for scenario result tables."""
+        ratios = [s.publish_success_ratio for s in self.samples]
+        coverages = [s.netdb_coverage for s in self.samples]
+        lookup_attempts = sum(s.lookup_attempts for s in self.samples)
+        lookup_successes = sum(s.lookup_successes for s in self.samples)
+        return {
+            "router_count": self.router_count,
+            "floodfill_count": self.floodfill_count,
+            "rounds": self.rounds,
+            "publish_success_min": round(min(ratios), 4),
+            "publish_success_mean": round(sum(ratios) / len(ratios), 4),
+            "publish_success_final": round(ratios[-1], 4),
+            "coverage_min": round(min(coverages), 4),
+            "coverage_final": round(coverages[-1], 4),
+            "store_drops_total": sum(s.store_drops for s in self.samples),
+            "store_retries_total": sum(s.store_retries for s in self.samples),
+            "degraded_rounds": sum(1 for r in ratios if r < 1.0),
+            "lookup_success_ratio": round(
+                lookup_successes / lookup_attempts if lookup_attempts else 1.0, 4
+            ),
+            "lookup_timeouts_total": sum(s.lookup_timeouts for s in self.samples),
+            "bootstrap_attempts": sum(s.bootstrap_attempts for s in self.samples),
+            "bootstrap_successes": sum(s.bootstrap_successes for s in self.samples),
+        }
+
+
+def scenario_fault_plan(
+    params: Mapping[str, object], round_seconds: float
+) -> FaultPlan:
+    """Build a :class:`FaultPlan` from scenario parameters.
+
+    Window bounds are given in *measured publish rounds*
+    (``outage_start_round`` inclusive, ``outage_end_round`` exclusive) and
+    converted to round-relative seconds here; :func:`measure_degradation`
+    shifts them onto the absolute clock so that round ``r``'s publish
+    falls inside the window exactly when
+    ``outage_start_round <= r < outage_end_round``.
+    """
+    start_round = int(params.get("outage_start_round", 0))
+    end_round = int(params.get("outage_end_round", 0))
+    crashes: Tuple[CrashWindow, ...] = ()
+    crash_fraction = float(params.get("crash_fraction", 0.0))
+    if crash_fraction > 0.0:
+        crashes = (
+            CrashWindow(
+                start=start_round * round_seconds,
+                end=end_round * round_seconds,
+                fraction=crash_fraction,
+            ),
+        )
+    outages: Tuple[ReseedOutage, ...] = ()
+    reseed_fraction = float(params.get("reseed_fraction", 0.0))
+    if reseed_fraction > 0.0:
+        outages = (
+            ReseedOutage(
+                start=start_round * round_seconds,
+                end=end_round * round_seconds,
+                fraction=reseed_fraction,
+            ),
+        )
+    blackouts: Tuple[LinkBlackout, ...] = ()
+    if "blackout_region" in params:
+        blackouts = (
+            LinkBlackout(
+                start=start_round * round_seconds,
+                end=end_round * round_seconds,
+                region=int(params["blackout_region"]),
+            ),
+        )
+    return FaultPlan(
+        seed=int(params.get("fault_seed", 7)),
+        drop_probability=float(params.get("drop_probability", 0.0)),
+        floodfill_crashes=crashes,
+        reseed_outages=outages,
+        link_blackouts=blackouts,
+        regions=int(params.get("regions", 4)),
+        store_retry_budget=int(params.get("store_retry_budget", 2)),
+        lookup_retry_budget=int(params.get("lookup_retry_budget", 1)),
+    )
+
+
+def measure_degradation(
+    plan: FaultPlan,
+    router_count: int = 300,
+    floodfill_fraction: float = 0.1,
+    seed: int = 2018,
+    convergence_rounds: int = 3,
+    rounds: int = 24,
+    round_hours: float = 0.25,
+    lookup_probes: int = 8,
+    joiners_per_round: int = 0,
+    batched: bool = True,
+) -> DegradationResult:
+    """Measure how the netDb degrades (and recovers) under ``plan``.
+
+    A network of ``router_count`` routers converges fault-free, the plan
+    is attached (windows shifted so plan second ``r * round_seconds``
+    lines up with measured round ``r``), then ``rounds`` rounds run: the
+    clock steps, ``joiners_per_round`` new routers bootstrap, seeded
+    probe lookups measure retrieval, and the full network publishes.
+    Every round appends a :class:`RoundSample`; identical plans and
+    seeds reproduce the exact same curve on either message plane.
+    """
+    from ..netdb.routerinfo import BandwidthTier
+    from .network import I2PNetwork
+
+    if plan.is_noop:
+        raise ValueError(
+            "fault plan is a no-op; give it drops, crashes, outages or blackouts"
+        )
+    if router_count < 2:
+        raise ValueError("router count must be at least 2")
+    if rounds < 1:
+        raise ValueError("need at least one measured round")
+    floodfill_count = max(1, round(router_count * floodfill_fraction))
+    net = I2PNetwork(seed=seed, batched=batched)
+    for _ in range(floodfill_count):
+        net.add_router(floodfill=True, bandwidth_tier=BandwidthTier.O)
+    net.batch_add_routers(router_count - floodfill_count)
+    net.run_convergence_rounds(rounds=convergence_rounds)
+
+    round_seconds = round_hours * 3600.0
+    # Round r publishes after the (r+1)-th clock step, hence the extra
+    # round_seconds in the shift (see scenario_fault_plan).
+    net.set_fault_plan(plan.shifted(net.clock.now + round_seconds))
+    probe_rng = random.Random((seed << 1) ^ plan.seed ^ 0x5EED)
+    probe_hashes = sorted(net.routers)
+    for _ in range(rounds):
+        net.step_hours(round_hours)
+        for _ in range(joiners_per_round):
+            net.add_router()
+        if lookup_probes and len(probe_hashes) >= 2:
+            for _ in range(lookup_probes):
+                requester_hash, target_hash = probe_rng.sample(probe_hashes, 2)
+                net.lookup_routerinfo(requester_hash, target_hash)
+        net.publish_all()
+
+    region_codes = net.directory.region_codes(plan.regions)
+    counts = [0] * plan.regions
+    for code in region_codes.tolist():
+        counts[code] += 1
+    return DegradationResult(
+        router_count=router_count,
+        floodfill_count=floodfill_count,
+        rounds=rounds,
+        round_seconds=round_seconds,
+        batched=batched,
+        samples=tuple(net.fault_metrics.rounds),
+        region_counts=tuple(counts),
+    )

@@ -30,9 +30,10 @@ import gc
 import statistics
 import time
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..netdb.routerinfo import BandwidthTier
+from .faults import FaultPlan
 from .network import I2PNetwork
 
 __all__ = ["NetDbScalePoint", "measure_netdb_scale", "DEFAULT_ROUTER_COUNTS"]
@@ -75,12 +76,18 @@ def measure_netdb_scale(
     warmup_limit: int = 16,
     measure_rounds: int = 5,
     batched: bool = True,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> NetDbScalePoint:
-    """Measure steady-state publish throughput at ``router_count`` routers."""
+    """Measure steady-state publish throughput at ``router_count`` routers.
+
+    ``fault_plan`` attaches a fault-injection plan before convergence —
+    the benchmark suite uses an all-zero plan to assert the disabled-fault
+    path costs nothing measurable.
+    """
     if router_count < 2:
         raise ValueError("need at least two routers")
     floodfill_count = max(1, int(round(router_count * floodfill_fraction)))
-    net = I2PNetwork(seed=seed, batched=batched)
+    net = I2PNetwork(seed=seed, batched=batched, fault_plan=fault_plan)
     for _ in range(floodfill_count):
         net.add_router(floodfill=True, bandwidth_tier=BandwidthTier.O)
     net.batch_add_routers(router_count - floodfill_count)

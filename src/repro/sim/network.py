@@ -59,6 +59,14 @@ from ..netdb.store import NetDbStore
 from ..transport.ports import PortRegistry
 from .clock import SECONDS_PER_HOUR, SimulationClock
 from .directory import RouterDirectory
+from .faults import (
+    CHANNEL_EXPLORE,
+    CHANNEL_LOOKUP,
+    CHANNEL_STORE,
+    FaultInjector,
+    FaultMetrics,
+    FaultPlan,
+)
 from .reseed import DEFAULT_RESEED_SERVERS, ReseedServer, bootstrap
 from .tunnels import TunnelBuilder, TunnelDirection
 
@@ -200,7 +208,11 @@ class I2PNetwork:
     """A message-level I2P network."""
 
     def __init__(
-        self, seed: int = 0, reseed_server_count: int = 3, batched: bool = True
+        self,
+        seed: int = 0,
+        reseed_server_count: int = 3,
+        batched: bool = True,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.clock = SimulationClock()
         self.rng = random.Random(seed)
@@ -238,6 +250,35 @@ class I2PNetwork:
             "explore_exclude_rebuilds": 0,
             "replay_rounds": 0,
         }
+        #: Fault plane (see :mod:`repro.sim.faults`).  ``faults`` is None
+        #: unless a non-noop plan is attached — every fault check in the
+        #: hot paths hides behind that None test, so the fault-free plane
+        #: (including the replay fast path) is byte-identical to a network
+        #: without the feature.
+        self.fault_plan: Optional[FaultPlan] = None
+        self.faults: Optional[FaultInjector] = None
+        self.fault_metrics = FaultMetrics()
+        if fault_plan is not None:
+            self.set_fault_plan(fault_plan)
+
+    def set_fault_plan(self, plan: Optional[FaultPlan]) -> None:
+        """Attach (or detach, with ``None``) a fault-injection plan.
+
+        A no-op plan normalises to no injector at all.  Attaching or
+        detaching clears the replay fast path — its memoised write
+        structure was recorded under different failure assumptions — and
+        resets crash flags and degradation metrics.
+        """
+        self.fault_plan = plan
+        if plan is None or plan.is_noop:
+            self.faults = None
+        else:
+            self.faults = FaultInjector(plan)
+        self.fault_metrics = FaultMetrics()
+        self._replay = None
+        for router in self.routers.values():
+            if router.floodfill_state is not None:
+                router.floodfill_state.crashed = False
 
     # ------------------------------------------------------------------ #
     # Topology management
@@ -335,7 +376,11 @@ class I2PNetwork:
             # bootstrapped infos survive the next expiry pass.
             if self.clock.now - self._last_reseed_sync > RESEED_REFRESH_SECONDS:
                 self._sync_reseed_servers()
+            if self.faults is not None:
+                self._apply_reseed_outages(self.clock.now)
             result = bootstrap(ip, self.reseed_servers, rng=self.rng)
+            if self.faults is not None:
+                self.fault_metrics.note_bootstrap(result.succeeded)
             for info in result.routerinfos:
                 router.learn(info)
         return router
@@ -378,8 +423,11 @@ class I2PNetwork:
 
         Returns the number of DatabaseStoreMessages delivered (including
         flood propagation).  Dispatches to the batched message plane
-        unless the network was built with ``batched=False``.
+        unless the network was built with ``batched=False``; an active
+        fault plan routes both planes through the fault-aware path.
         """
+        if self.faults is not None:
+            return self._publish_all_faulty()
         if self.batched:
             return self._publish_all_batched()
         return self._publish_all_legacy()
@@ -403,6 +451,240 @@ class I2PNetwork:
                 delivered += self._deliver_store(target_hash, router.hash, info)
         self.messages_delivered += delivered
         return delivered
+
+    # ------------------------------------------------------------------ #
+    # Fault-aware message plane (active only while a plan is attached)
+    # ------------------------------------------------------------------ #
+    def _apply_crash_flags(self, now: float) -> Set[bytes]:
+        """Refresh every floodfill's crash flag; returns the crashed set."""
+        faults = self.faults
+        assert faults is not None
+        crashed: Set[bytes] = set()
+        for router_hash, router in self.routers.items():
+            state = router.floodfill_state
+            if state is None:
+                continue
+            is_crashed = faults.crashed(router_hash, now)
+            state.crashed = is_crashed
+            if is_crashed:
+                crashed.add(router_hash)
+        return crashed
+
+    def _apply_reseed_outages(self, now: float) -> None:
+        """Refresh reseed ``blocked`` flags from the plan's outage windows."""
+        faults = self.faults
+        assert faults is not None
+        for server in self.reseed_servers:
+            server.blocked = faults.reseed_blocked(server.hostname, now)
+
+    def _publish_all_faulty(self) -> int:
+        """Publish round under an active fault plan, on either plane.
+
+        Semantics extend the fault-free round with robustness: a
+        publisher ranks ``FLOOD_REDUNDANCY + store_retry_budget`` closest
+        candidates and walks them in order until ``FLOOD_REDUNDANCY``
+        stores are acknowledged — a delivery to a crashed floodfill or a
+        dropped message consumes an attempt (the next-closest candidate
+        is the retry), and each retry beyond the first three attempts
+        adds exponential-backoff latency to the round's modelled retry
+        latency.  Every fault decision is a stateless seeded coin, so the
+        batched (``queue_mode``: writes coalesced per store, applied once
+        at round end — order-equivalent by PR 6's cascade argument) and
+        legacy (immediate writes) planes fail identically and produce
+        identical degradation curves.  The round closes by recording a
+        :class:`repro.sim.faults.RoundSample`.
+        """
+        faults = self.faults
+        assert faults is not None
+        plan = faults.plan
+        now = self.clock.now
+        queue_mode = self.batched
+        crashed = self._apply_crash_flags(now)
+        routers = list(self.routers.values())
+        floodfills = self.floodfill_hashes()
+        queues: Optional[Dict[int, Tuple[NetDbStore, List[RouterInfo]]]] = (
+            {} if queue_mode else None
+        )
+        delivered = 0
+        publishers = 0
+        publishers_acked = 0
+        store_attempts = 0
+        store_acks = 0
+        store_drops = 0
+        store_retries = 0
+        retry_latency = 0.0
+        max_attempts = FLOOD_REDUNDANCY + plan.store_retry_budget
+
+        for router in routers:
+            if router.hash in crashed:
+                continue  # a crashed floodfill is offline: no publish
+            info = router.routerinfo(now)
+            if queue_mode:
+                queue = queues.get(router.dir_index)
+                if queue is None:
+                    queues[router.dir_index] = (router.store, [info])
+                else:
+                    queue[1].append(info)
+                if router.floodfill:
+                    router.known_floodfills.add(router.hash)
+            else:
+                router.learn(info)
+            if not floodfills:
+                continue
+            publishers += 1
+            known_ffs = [h for h in router.known_floodfills if h in self.routers]
+            candidates = known_ffs if known_ffs else floodfills
+            target_key = routing_key(info.hash, now)
+            ranked = select_closest(target_key, candidates, max_attempts, now)
+            required = min(FLOOD_REDUNDANCY, len(ranked))
+            acks = 0
+            attempts = 0
+            received: Set[bytes] = set()
+            for target_hash in ranked:
+                if acks >= FLOOD_REDUNDANCY:
+                    break
+                attempts += 1
+                acked, n_delivered, n_dropped = self._attempt_store_faulty(
+                    router, info, target_hash, now, queues, received
+                )
+                delivered += n_delivered
+                store_drops += n_dropped
+                if acked:
+                    acks += 1
+            store_attempts += attempts
+            store_acks += acks
+            retries = max(0, attempts - FLOOD_REDUNDANCY)
+            if retries:
+                store_retries += retries
+                for k in range(1, retries + 1):
+                    retry_latency += plan.backoff_base_seconds * (2.0 ** (k - 1))
+            if required and acks >= required:
+                publishers_acked += 1
+
+        if queue_mode:
+            for store, queued in queues.values():
+                store.store_routerinfos_batch(queued)
+
+        self.messages_delivered += delivered
+
+        live_ffs = [h for h in floodfills if h not in crashed]
+        coverage = 0.0
+        if live_ffs and routers:
+            live_set = set(live_ffs)
+            live_count = len(live_set)
+            coverage = sum(
+                len(live_set.intersection(router.known_floodfills)) / live_count
+                for router in routers
+            ) / len(routers)
+        self.fault_metrics.record_publish_round(
+            sim_time=now,
+            publishers=publishers,
+            publishers_acked=publishers_acked,
+            store_attempts=store_attempts,
+            store_acks=store_acks,
+            store_drops=store_drops,
+            store_retries=store_retries,
+            retry_latency_seconds=retry_latency,
+            crashed_floodfills=len(crashed),
+            netdb_coverage=coverage,
+        )
+        return delivered
+
+    def _attempt_store_faulty(
+        self,
+        publisher: SimulatedRouter,
+        info: RouterInfo,
+        target_hash: bytes,
+        now: float,
+        queues: Optional[Dict[int, Tuple[NetDbStore, List[RouterInfo]]]],
+        received: Set[bytes],
+    ) -> Tuple[bool, int, int]:
+        """One direct store attempt (plus flood propagation) under faults.
+
+        Returns ``(acked, messages_delivered, drops)``.  ``queues`` is the
+        batched plane's per-store delivery queues (None on the legacy
+        plane, which writes immediately); ``received`` tracks targets that
+        already hold this round's copy of ``info``, reproducing the
+        immediate-write freshness decision for queued writes.
+        """
+        faults = self.faults
+        target = self.routers.get(target_hash)
+        if target is None or target.floodfill_state is None:
+            return False, 0, 0
+        pub_hash = info.identity._hash
+        if target is publisher:
+            # Local write: can't be dropped, is always stale (the
+            # self-learn this round already holds today's info), never
+            # floods — but it is a live acknowledgement.
+            if queues is None:
+                message = DatabaseStoreMessage(
+                    from_hash=pub_hash, entry=info, reply_token=1
+                )
+                target.floodfill_state.handle_store(message, now)
+            else:
+                queue = queues.get(target.dir_index)
+                if queue is None:
+                    queues[target.dir_index] = (target.store, [info])
+                else:
+                    queue[1].append(info)
+            received.add(target_hash)
+            return True, 1, 0
+        if faults.crashed(target_hash, now):
+            return False, 0, 0
+        if faults.message_dropped(publisher.hash, target_hash, now, CHANNEL_STORE):
+            target.store.stats.stores_dropped += 1
+            return False, 0, 1
+        delivered = 1
+        drops = 0
+        state = target.floodfill_state
+        if queues is None:
+            message = DatabaseStoreMessage(
+                from_hash=publisher.hash, entry=info, reply_token=1
+            )
+            result = state.handle_store(message, now)
+            flood_targets: Sequence[bytes] = result.flooded_to
+        else:
+            existing = target.store._routerinfos.get(pub_hash)
+            fresh = target_hash not in received and (
+                existing is None or existing.published_at < now
+            )
+            queue = queues.get(target.dir_index)
+            if queue is None:
+                queues[target.dir_index] = (target.store, [info])
+            else:
+                queue[1].append(info)
+            flood_targets = state.flood_targets(pub_hash, now) if fresh else ()
+        if info.is_floodfill:
+            target.known_floodfills.add(pub_hash)
+        received.add(target_hash)
+        for neighbour_hash in flood_targets:
+            neighbour = self.routers.get(neighbour_hash)
+            if neighbour is None or neighbour.floodfill_state is None:
+                continue
+            if faults.crashed(neighbour_hash, now):
+                continue
+            if faults.message_dropped(
+                target_hash, neighbour_hash, now, CHANNEL_STORE
+            ):
+                neighbour.store.stats.stores_dropped += 1
+                drops += 1
+                continue
+            delivered += 1
+            if queues is None:
+                flood_message = DatabaseStoreMessage(
+                    from_hash=target_hash, entry=info, reply_token=0
+                )
+                neighbour.floodfill_state.handle_store(flood_message, now)
+            else:
+                queue = queues.get(neighbour.dir_index)
+                if queue is None:
+                    queues[neighbour.dir_index] = (neighbour.store, [info])
+                else:
+                    queue[1].append(info)
+            if info.is_floodfill:
+                neighbour.known_floodfills.add(pub_hash)
+            received.add(neighbour_hash)
+        return True, delivered, drops
 
     # ------------------------------------------------------------------ #
     # Batched message plane
@@ -987,6 +1269,9 @@ class I2PNetwork:
 
     def _explore_legacy(self, router_hash: bytes, lookups: int = 3) -> int:
         """Reference per-message exploration loop (the equivalence oracle)."""
+        faults = self.faults
+        if faults is not None and faults.crashed(router_hash, self.clock.now):
+            return 0  # a crashed floodfill does not explore
         router = self.routers[router_hash]
         # Sampling from a sorted candidate list keeps the draw independent
         # of set iteration order (which varies with insertion history and
@@ -1002,6 +1287,13 @@ class I2PNetwork:
             target = self.routers[target_hash]
             if target.floodfill_state is None:
                 continue
+            if faults is not None and (
+                faults.crashed(target_hash, self.clock.now)
+                or faults.message_dropped(
+                    router_hash, target_hash, self.clock.now, CHANNEL_EXPLORE
+                )
+            ):
+                continue  # request lost or target down: no reply
             # Take the first 200 known hashes straight off the store instead
             # of copying the whole netDb into a fresh set per lookup.
             message = DatabaseLookupMessage(
@@ -1057,6 +1349,9 @@ class I2PNetwork:
         :meth:`FloodfillRouterState.exploration_infos`, which matches the
         DLM handler's reply list element for element.
         """
+        faults = self.faults
+        if faults is not None and faults.crashed(router_hash, self.clock.now):
+            return 0  # a crashed floodfill does not explore
         router = self.routers[router_hash]
         view = self._floodfill_view(router)
         floodfills = view.alive_hashes
@@ -1080,6 +1375,13 @@ class I2PNetwork:
             target = self.routers[target_hash]
             if target.floodfill_state is None:
                 continue
+            if faults is not None and (
+                faults.crashed(target_hash, self.clock.now)
+                or faults.message_dropped(
+                    router_hash, target_hash, self.clock.now, CHANNEL_EXPLORE
+                )
+            ):
+                continue  # request lost or target down: no reply
             excludes = self._explore_exclude_set(router)
             response = target.floodfill_state.exploration_infos(excludes, 16)
             sent += 1
@@ -1106,6 +1408,8 @@ class I2PNetwork:
         self, requester_hash: bytes, key: bytes, max_iterations: int = 8
     ) -> Optional[RouterInfo]:
         """Iterative RouterInfo lookup through floodfill routers."""
+        if self.faults is not None:
+            return self._lookup_routerinfo_faulty(requester_hash, key, max_iterations)
         requester = self.routers[requester_hash]
         local = requester.store.get_routerinfo(key)
         if local is not None:
@@ -1144,6 +1448,85 @@ class I2PNetwork:
                 candidates.extend(
                     h for h in response.closer_hashes if h in self.routers
                 )
+        return None
+
+    def _lookup_routerinfo_faulty(
+        self, requester_hash: bytes, key: bytes, max_iterations: int
+    ) -> Optional[RouterInfo]:
+        """RouterInfo lookup with timeouts, retries, and latency metrics.
+
+        A query to a crashed floodfill, or one whose request/reply is
+        dropped, *times out*: the iteration is consumed, the target stays
+        excluded, and ``lookup_timeout_seconds`` of latency accrues.
+        When a walk exhausts its iterations, the requester falls back to
+        exploration (learning fresh floodfills) and retries the walk, up
+        to ``lookup_retry_budget`` times with exponential backoff.  Every
+        lookup records one outcome in the degradation metrics.
+        """
+        faults = self.faults
+        assert faults is not None
+        plan = faults.plan
+        metrics = self.fault_metrics
+        now = self.clock.now
+        requester = self.routers[requester_hash]
+        local = requester.store.get_routerinfo(key)
+        if local is not None:
+            metrics.note_lookup(True, 0, 0.0)
+            return local
+        queried: Set[bytes] = set()
+        latency = 0.0
+        rounds_used = 0
+        for attempt in range(1 + plan.lookup_retry_budget):
+            if attempt:
+                latency += plan.backoff_base_seconds * (2.0 ** (attempt - 1))
+                self.explore(requester_hash, lookups=3)
+                hit = requester.store.get_routerinfo(key)
+                if hit is not None:
+                    metrics.note_lookup(True, rounds_used, latency)
+                    return hit
+            candidates = [h for h in requester.known_floodfills if h in self.routers]
+            if not candidates:
+                candidates = self.floodfill_hashes()
+            for _ in range(max_iterations):
+                remaining = [h for h in candidates if h not in queried]
+                if not remaining:
+                    break
+                target_key = routing_key(key, now)
+                ordered = select_closest(target_key, remaining, 1, now)
+                if not ordered:
+                    break
+                target_hash = ordered[0]
+                queried.add(target_hash)
+                target = self.routers.get(target_hash)
+                if target is None or target.floodfill_state is None:
+                    continue
+                rounds_used += 1
+                if faults.crashed(target_hash, now) or faults.message_dropped(
+                    requester_hash, target_hash, now, CHANNEL_LOOKUP
+                ):
+                    latency += plan.lookup_timeout_seconds
+                    metrics.note_lookup_timeout()
+                    continue
+                latency += plan.hop_seconds
+                message = DatabaseLookupMessage(
+                    from_hash=requester_hash,
+                    key=key,
+                    lookup_type=LookupType.ROUTERINFO,
+                    exclude_hashes=tuple(queried),
+                )
+                response = target.floodfill_state.handle_lookup(message, now)
+                self.messages_delivered += 1
+                if isinstance(response, DatabaseStoreMessage):
+                    info = response.entry
+                    assert isinstance(info, RouterInfo)
+                    requester.learn(info)
+                    metrics.note_lookup(True, rounds_used, latency)
+                    return info
+                if hasattr(response, "closer_hashes"):
+                    candidates.extend(
+                        h for h in response.closer_hashes if h in self.routers
+                    )
+        metrics.note_lookup(False, rounds_used, latency)
         return None
 
     # ------------------------------------------------------------------ #

@@ -64,6 +64,8 @@ class ReseedServer:
     #: Router hash -> position in ``known_routerinfos`` (incremental sync).
     _positions: Dict[bytes, int] = field(default_factory=dict)
     requests_served: int = 0
+    #: Requests refused while the server was blocked (reseed outages).
+    requests_blocked: int = 0
 
     def __post_init__(self) -> None:
         if self.known_routerinfos and not self._positions:
@@ -113,6 +115,7 @@ class ReseedServer:
         trivial harvesting (Section 4).  A blocked server serves nothing.
         """
         if self.blocked:
+            self.requests_blocked += 1
             return []
         self.requests_served += 1
         if source_ip in self._served:
@@ -178,6 +181,7 @@ def bootstrap(
     blocked = 0
     for server in chosen:
         if server.blocked:
+            server.requests_blocked += 1
             blocked += 1
             continue
         for info in server.serve(source_ip, rng):

@@ -34,6 +34,9 @@ class TestRegistry:
             "monitor_fraction_sweep",
             "country_blocking",
             "reseed_denial",
+            "floodfill-takedown",
+            "reseed-outage",
+            "lossy-network",
         } <= names
 
     def test_every_spec_has_a_description(self):
@@ -186,3 +189,41 @@ class TestRunScenarioValidation:
     def test_days_override_rejected_for_dayless_kinds(self):
         with pytest.raises(ValueError, match="no day horizon"):
             run_scenario("reseed_denial", scale=0.02, seed=46, days=30)
+
+    def test_tiny_router_count_rejected(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            run_scenario("floodfill-takedown", router_count=1)
+
+
+class TestFaultInjectionScenarios:
+    def test_floodfill_takedown_curve_drops_and_recovers(self):
+        result = run_scenario("floodfill-takedown", seed=2018, router_count=60)
+        figure = result.figures["scenario_fault_injection"]
+        success = figure.get("publish success ratio")
+        summary = result.summaries["fault_injection"]
+        # Healthy before the window, degraded inside, recovered after
+        # (the spec's window is rounds 8-16 of 24).
+        assert all(y == 1.0 for _, y in success.points[:8])
+        assert summary["publish_success_final"] == 1.0
+        assert summary["router_count"] == 60
+        coverage = figure.get("netDb coverage")
+        assert all(0.0 < y <= 1.0 for _, y in coverage.points)
+
+    def test_fault_scenarios_are_reproducible(self):
+        results = [
+            run_scenario("lossy-network", seed=7, router_count=50) for _ in range(2)
+        ]
+        series = [
+            r.figures["scenario_fault_injection"].get("publish success ratio").points
+            for r in results
+        ]
+        assert series[0] == series[1]
+        assert (
+            results[0].summaries["fault_injection"]
+            == results[1].summaries["fault_injection"]
+        )
+
+    def test_router_count_override_applies_to_fault_kind(self):
+        result = run_scenario("lossy-network", seed=7, router_count=40)
+        assert result.spec.router_count == 40
+        assert result.summaries["fault_injection"]["router_count"] == 40

@@ -227,3 +227,46 @@ class TestCorruptArchives:
         (tmp_path / "cafecafe.npz").write_bytes(b"PK\x03\x04" + b"\x00" * 64)
         entries = exposure_cache.cache_entries(tmp_path)
         assert entries and entries[0]["error"] == "unreadable"
+
+    def test_evict_corrupt_warns_and_removes(self, tmp_path, caplog):
+        import logging
+
+        bad = tmp_path / "deadbeef.npz"
+        bad.write_bytes(b"junk")
+        with caplog.at_level(logging.WARNING, logger="repro.sim.exposure_cache"):
+            assert exposure_cache.evict_corrupt(bad, ValueError("boom"))
+        assert not bad.exists()
+        assert any(
+            "evicting corrupt exposure cache file" in record.message
+            and "boom" in record.message
+            for record in caplog.records
+        )
+
+    def test_evict_corrupt_tolerates_a_missing_file(self, tmp_path):
+        assert not exposure_cache.evict_corrupt(
+            tmp_path / "gone.npz", OSError("torn")
+        )
+
+    def test_corrupt_file_is_warned_evicted_and_regenerated(self, tmp_path, caplog):
+        """End to end: a corrupt file at the cache path triggers a warning,
+        gets deleted, and the rebuild writes a healthy replacement that the
+        next engine restores from disk."""
+        import logging
+
+        config, obs_seed = _key()
+        path = exposure_cache.cache_path(tmp_path, config, obs_seed)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"PK\x03\x04" + b"\x00" * 64)
+        engine = ExposureEngine(cache_dir=tmp_path)
+        with caplog.at_level(logging.WARNING, logger="repro.sim.exposure_cache"):
+            engine.get(config, obs_seed, days=2)
+        assert any(
+            "evicting corrupt exposure cache file" in record.message
+            for record in caplog.records
+        )
+        # The rebuild overwrote the evicted file with a loadable archive.
+        assert path.is_file()
+        assert exposure_cache.read_meta(path)["days"] >= 2
+        fresh = ExposureEngine(cache_dir=tmp_path)
+        fresh.get(config, obs_seed, days=2)
+        assert fresh.disk_hits == 1 and fresh.misses == 0

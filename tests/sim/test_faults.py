@@ -1,0 +1,368 @@
+"""Fault-injection plane tests (``sim/faults.py`` + network integration).
+
+The two load-bearing properties of the design get dedicated coverage:
+
+* **Zero-fault exactness** — an all-zero :class:`FaultPlan` normalises to
+  no injector at all, so the fault-free plane (including replay) is
+  byte-identical to a network that never attached a plan.
+* **Deterministic degradation** — the same plan and seed reproduce the
+  exact same per-round curve across runs *and* across the batched and
+  legacy message planes (fault coins are stateless, order-independent).
+"""
+
+import pytest
+
+from repro.netdb.routerinfo import BandwidthTier
+from repro.sim.directory import region_of_hash
+from repro.sim.faults import (
+    CHANNEL_LOOKUP,
+    CHANNEL_STORE,
+    CrashWindow,
+    FaultInjector,
+    FaultPlan,
+    LinkBlackout,
+    ReseedOutage,
+    measure_degradation,
+    scenario_fault_plan,
+)
+from repro.sim.network import I2PNetwork
+
+ROUND_SECONDS = 900.0  # 0.25 simulated hours, the measurement default
+
+
+def _takedown_plan(start_round=3, end_round=7, fraction=0.5, seed=7):
+    return scenario_fault_plan(
+        {
+            "crash_fraction": fraction,
+            "outage_start_round": start_round,
+            "outage_end_round": end_round,
+            "fault_seed": seed,
+        },
+        round_seconds=ROUND_SECONDS,
+    )
+
+
+class TestFaultPlanValidation:
+    def test_defaults_are_noop(self):
+        plan = FaultPlan()
+        assert plan.is_noop
+
+    def test_any_fault_source_clears_noop(self):
+        assert not FaultPlan(drop_probability=0.1).is_noop
+        assert not FaultPlan(floodfill_crashes=(CrashWindow(0.0, 10.0),)).is_noop
+        assert not FaultPlan(reseed_outages=(ReseedOutage(0.0, 10.0),)).is_noop
+        assert not FaultPlan(link_blackouts=(LinkBlackout(0.0, 10.0),)).is_noop
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError, match="drop_probability"):
+            FaultPlan(drop_probability=1.5)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError, match="end after it starts"):
+            CrashWindow(start=10.0, end=10.0)
+
+    def test_zero_fraction_rejected(self):
+        with pytest.raises(ValueError, match="fraction"):
+            ReseedOutage(start=0.0, end=1.0, fraction=0.0)
+
+    def test_blackout_region_must_fit_plan(self):
+        with pytest.raises(ValueError, match="region out of range"):
+            FaultPlan(link_blackouts=(LinkBlackout(0.0, 1.0, region=4),), regions=4)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="retry budgets"):
+            FaultPlan(store_retry_budget=-1)
+
+    def test_shifted_moves_every_window(self):
+        plan = FaultPlan(
+            floodfill_crashes=(CrashWindow(0.0, 10.0, 0.5),),
+            reseed_outages=(ReseedOutage(5.0, 6.0),),
+            link_blackouts=(LinkBlackout(1.0, 2.0, region=1),),
+        )
+        moved = plan.shifted(100.0)
+        assert moved.floodfill_crashes[0].start == 100.0
+        assert moved.floodfill_crashes[0].end == 110.0
+        assert moved.floodfill_crashes[0].fraction == 0.5
+        assert moved.reseed_outages[0].start == 105.0
+        assert moved.link_blackouts[0].end == 102.0
+        assert moved.link_blackouts[0].region == 1
+
+
+class TestFaultInjectorDeterminism:
+    def test_coins_are_instance_independent(self):
+        plan = FaultPlan(seed=11, drop_probability=0.5)
+        a, b = FaultInjector(plan), FaultInjector(plan)
+        for i in range(64):
+            src, dst = bytes([i] * 32), bytes([255 - i] * 32)
+            assert a.message_dropped(src, dst, 900.0, CHANNEL_STORE) == (
+                b.message_dropped(src, dst, 900.0, CHANNEL_STORE)
+            )
+
+    def test_seed_changes_the_coins(self):
+        flips = []
+        for seed in (1, 2):
+            injector = FaultInjector(FaultPlan(seed=seed, drop_probability=0.5))
+            flips.append(
+                tuple(
+                    injector.message_dropped(
+                        bytes([i] * 32), bytes([i + 1] * 32), 0.0, CHANNEL_STORE
+                    )
+                    for i in range(64)
+                )
+            )
+        assert flips[0] != flips[1]
+
+    def test_channels_are_independent(self):
+        injector = FaultInjector(FaultPlan(seed=3, drop_probability=0.5))
+        src, dst = bytes(32), bytes([1] * 32)
+        store = [
+            injector.message_dropped(src, dst, float(t), CHANNEL_STORE)
+            for t in range(64)
+        ]
+        lookup = [
+            injector.message_dropped(src, dst, float(t), CHANNEL_LOOKUP)
+            for t in range(64)
+        ]
+        assert store != lookup
+
+    def test_crash_window_boundaries(self):
+        plan = FaultPlan(floodfill_crashes=(CrashWindow(10.0, 20.0, fraction=1.0),))
+        injector = FaultInjector(plan)
+        router = bytes([7] * 32)
+        assert not injector.crashed(router, 9.9)
+        assert injector.crashed(router, 10.0)
+        assert injector.crashed(router, 19.9)
+        assert not injector.crashed(router, 20.0)
+
+    def test_partial_crash_fraction_is_per_router_stable(self):
+        plan = FaultPlan(seed=5, floodfill_crashes=(CrashWindow(0.0, 100.0, 0.5),))
+        injector = FaultInjector(plan)
+        routers = [bytes([i] * 32) for i in range(32)]
+        first = [injector.crashed(r, 1.0) for r in routers]
+        second = [injector.crashed(r, 50.0) for r in routers]
+        assert first == second  # same window, same verdicts at any instant
+        assert any(first) and not all(first)
+
+    def test_reseed_outage_blocks_by_hostname(self):
+        plan = FaultPlan(reseed_outages=(ReseedOutage(0.0, 10.0, fraction=1.0),))
+        injector = FaultInjector(plan)
+        assert injector.reseed_blocked("reseed.example", 5.0)
+        assert not injector.reseed_blocked("reseed.example", 10.0)
+
+    def test_blackout_cuts_only_border_links(self):
+        plan = FaultPlan(
+            link_blackouts=(LinkBlackout(0.0, 10.0, region=0),), regions=2
+        )
+        injector = FaultInjector(plan)
+        inside = next(
+            bytes([i] * 32) for i in range(64) if region_of_hash(bytes([i] * 32), 2) == 0
+        )
+        inside2 = next(
+            bytes([i] * 32)
+            for i in range(64, 128)
+            if region_of_hash(bytes([i] * 32), 2) == 0
+        )
+        outside = next(
+            bytes([i] * 32) for i in range(64) if region_of_hash(bytes([i] * 32), 2) == 1
+        )
+        outside2 = next(
+            bytes([i] * 32)
+            for i in range(64, 128)
+            if region_of_hash(bytes([i] * 32), 2) == 1
+        )
+        # Exactly one endpoint in the cut region: dropped, either direction.
+        assert injector.message_dropped(inside, outside, 5.0, CHANNEL_STORE)
+        assert injector.message_dropped(outside, inside, 5.0, CHANNEL_STORE)
+        # Intra-region and fully-outside traffic still flows.
+        assert not injector.message_dropped(inside, inside2, 5.0, CHANNEL_STORE)
+        assert not injector.message_dropped(outside, outside2, 5.0, CHANNEL_STORE)
+        # The window closes: everything flows again.
+        assert not injector.message_dropped(inside, outside, 10.0, CHANNEL_STORE)
+
+    def test_extreme_drop_probabilities(self):
+        never = FaultInjector(FaultPlan(drop_probability=0.0, seed=1))
+        always = FaultInjector(FaultPlan(drop_probability=1.0, seed=1))
+        src, dst = bytes(32), bytes([9] * 32)
+        assert not never.message_dropped(src, dst, 0.0, CHANNEL_STORE)
+        assert always.message_dropped(src, dst, 0.0, CHANNEL_STORE)
+
+
+class TestZeroFaultNormalisation:
+    def test_noop_plan_attaches_no_injector(self):
+        net = I2PNetwork(seed=3, fault_plan=FaultPlan())
+        assert net.fault_plan is not None
+        assert net.faults is None
+
+    def test_real_plan_attaches_and_detaches(self):
+        net = I2PNetwork(seed=3)
+        net.set_fault_plan(FaultPlan(drop_probability=0.5))
+        assert net.faults is not None
+        net.set_fault_plan(None)
+        assert net.faults is None and net.fault_plan is None
+
+    def test_measure_degradation_rejects_noop_plan(self):
+        with pytest.raises(ValueError, match="no-op"):
+            measure_degradation(FaultPlan(), router_count=10, rounds=2)
+
+
+class TestDeterministicDegradation:
+    def test_same_seed_reproduces_the_exact_curve(self):
+        plan = _takedown_plan()
+        curves = [
+            measure_degradation(plan, router_count=60, rounds=8).curve()
+            for _ in range(2)
+        ]
+        assert curves[0] == curves[1]
+
+    def test_batched_and_legacy_planes_agree(self):
+        plan = _takedown_plan()
+        batched = measure_degradation(plan, router_count=60, rounds=8, batched=True)
+        legacy = measure_degradation(plan, router_count=60, rounds=8, batched=False)
+        assert batched.curve() == legacy.curve()
+
+    def test_lossy_planes_agree_including_lookups(self):
+        plan = FaultPlan(seed=13, drop_probability=0.25)
+        batched = measure_degradation(
+            plan, router_count=50, rounds=6, lookup_probes=6, batched=True
+        )
+        legacy = measure_degradation(
+            plan, router_count=50, rounds=6, lookup_probes=6, batched=False
+        )
+        assert batched.curve() == legacy.curve()
+        assert sum(s.store_drops for s in batched.samples) > 0
+
+
+class TestFloodfillTakedown:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return measure_degradation(_takedown_plan(), router_count=60, rounds=10)
+
+    def test_success_drops_inside_the_window_and_recovers(self, result):
+        ratios = [s.publish_success_ratio for s in result.samples]
+        assert all(r == 1.0 for r in ratios[:3])  # healthy before
+        assert min(ratios[3:7]) < 1.0  # visibly degraded during
+        assert all(r == 1.0 for r in ratios[7:])  # recovered after
+
+    def test_crash_flags_follow_the_window(self, result):
+        crashed = [s.crashed_floodfills for s in result.samples]
+        assert crashed[0] == 0
+        assert max(crashed[3:7]) > 0
+        assert crashed[-1] == 0
+
+    def test_retries_only_spent_while_degraded(self, result):
+        retries = [s.store_retries for s in result.samples]
+        assert sum(retries[3:7]) > 0
+        assert sum(retries[:3]) == 0 and sum(retries[7:]) == 0
+
+    def test_summary_scalars(self, result):
+        summary = result.summary()
+        assert summary["publish_success_min"] < 1.0
+        assert summary["publish_success_final"] == 1.0
+        assert 0 < summary["degraded_rounds"] <= 4
+        assert summary["store_retries_total"] > 0
+
+
+class TestReseedOutage:
+    def test_joiners_fail_to_bootstrap_during_the_outage(self):
+        plan = scenario_fault_plan(
+            {
+                "reseed_fraction": 1.0,
+                "outage_start_round": 2,
+                "outage_end_round": 5,
+            },
+            round_seconds=ROUND_SECONDS,
+        )
+        result = measure_degradation(
+            plan, router_count=40, rounds=7, joiners_per_round=2, lookup_probes=0
+        )
+        samples = result.samples
+        assert all(s.bootstrap_attempts == 2 for s in samples)
+        # Every bootstrap succeeds outside the window, none inside it.
+        for sample in samples[:2] + samples[5:]:
+            assert sample.bootstrap_successes == sample.bootstrap_attempts
+        for sample in samples[2:5]:
+            assert sample.bootstrap_successes == 0
+
+
+class TestLossyNetwork:
+    def test_drops_are_recorded_and_absorbed(self):
+        plan = FaultPlan(seed=21, drop_probability=0.2)
+        result = measure_degradation(plan, router_count=50, rounds=6, lookup_probes=8)
+        summary = result.summary()
+        assert summary["store_drops_total"] > 0
+        assert summary["store_retries_total"] > 0
+        # Retries absorb a 20% loss most of the time.
+        assert summary["publish_success_mean"] > 0.6
+
+    def test_lookups_time_out_but_mostly_recover(self):
+        """Network lookups (no local hit) under heavy loss: some queries
+        time out, the retry/exploration fallback still recovers most."""
+        net = I2PNetwork(seed=5)
+        for _ in range(5):
+            net.add_router(floodfill=True, bandwidth_tier=BandwidthTier.O)
+        routers = net.batch_add_routers(35)
+        net.run_convergence_rounds(rounds=2)
+        net.set_fault_plan(FaultPlan(seed=21, drop_probability=0.4))
+        requester = routers[0]
+        successes = 0
+        for target in routers[1:21]:
+            requester.store.remove_routerinfo(target.hash)
+            if net.lookup_routerinfo(requester.hash, target.hash) is not None:
+                successes += 1
+        metrics = net.fault_metrics
+        assert metrics._lookup_timeouts > 0
+        assert successes > 10
+        # Timeouts and hops show up as modelled latency.
+        assert metrics._lookup_latency_sum > 0.0
+
+
+class TestScenarioFaultPlan:
+    def test_round_windows_convert_to_seconds(self):
+        plan = scenario_fault_plan(
+            {"crash_fraction": 0.5, "outage_start_round": 8, "outage_end_round": 16},
+            round_seconds=ROUND_SECONDS,
+        )
+        window = plan.floodfill_crashes[0]
+        assert window.start == 8 * ROUND_SECONDS
+        assert window.end == 16 * ROUND_SECONDS
+        assert window.fraction == 0.5
+
+    def test_unspecified_faults_stay_off(self):
+        plan = scenario_fault_plan(
+            {"drop_probability": 0.2}, round_seconds=ROUND_SECONDS
+        )
+        assert plan.drop_probability == 0.2
+        assert not plan.floodfill_crashes
+        assert not plan.reseed_outages
+        assert not plan.link_blackouts
+
+    def test_region_counts_cover_the_network(self):
+        plan = scenario_fault_plan(
+            {"blackout_region": 1, "outage_start_round": 1, "outage_end_round": 2},
+            round_seconds=ROUND_SECONDS,
+        )
+        result = measure_degradation(plan, router_count=40, rounds=3, lookup_probes=0)
+        assert sum(result.region_counts) == 40
+        assert len(result.region_counts) == plan.regions
+
+
+class TestCrashedFloodfillBehaviour:
+    def test_crashed_floodfill_times_out_lookups(self):
+        net = I2PNetwork(seed=9)
+        ff = net.add_router(floodfill=True, bandwidth_tier=BandwidthTier.O)
+        target = net.add_router(do_bootstrap=False)
+        requester = net.add_router(do_bootstrap=False)
+        net.run_convergence_rounds(rounds=2)
+        # Sanity: reachable while healthy.
+        assert net.lookup_routerinfo(requester.hash, target.hash) is not None
+        net.set_fault_plan(
+            FaultPlan(
+                floodfill_crashes=(CrashWindow(0.0, net.clock.now + 1.0),),
+                lookup_retry_budget=0,
+            )
+        )
+        # Not in the requester's local store and the only floodfill is
+        # down: the lookup must fail (timeouts), not crash.
+        requester.store.remove_routerinfo(target.hash)
+        assert net.lookup_routerinfo(requester.hash, target.hash) is None
+        assert net.fault_metrics._lookup_timeouts > 0

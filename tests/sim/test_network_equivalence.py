@@ -17,13 +17,14 @@ invalidate it.
 import pytest
 
 from repro.netdb.routerinfo import BandwidthTier
+from repro.sim.faults import FaultPlan
 from repro.sim.network import I2PNetwork
 
 
-def _build_mixed(batched: bool, seed: int = 15) -> I2PNetwork:
+def _build_mixed(batched: bool, seed: int = 15, fault_plan=None) -> I2PNetwork:
     """A small heterogeneous network: O-tier floodfills added one by one,
     an L-tier batch, a hidden router, and a late N-tier floodfill batch."""
-    net = I2PNetwork(seed=seed, batched=batched)
+    net = I2PNetwork(seed=seed, batched=batched, fault_plan=fault_plan)
     for _ in range(6):
         net.add_router(floodfill=True, bandwidth_tier=BandwidthTier.O)
     net.batch_add_routers(20, bandwidth_tier=BandwidthTier.L)
@@ -203,6 +204,65 @@ class TestSteadyStateChurn:
         routers = net.batch_add_routers(300)
         ips = {router.ip for router in routers}
         assert len(ips) == 300
+
+
+class TestZeroFaultPlanEquivalence:
+    """An all-zero FaultPlan must be indistinguishable from no plan at
+    all: identical netDb end states, replay fast path untouched."""
+
+    @pytest.mark.parametrize("batched", [True, False])
+    def test_noop_plan_is_byte_identical(self, batched):
+        plain = _build_mixed(batched)
+        faulted = _build_mixed(batched, fault_plan=FaultPlan())
+        for net in (plain, faulted):
+            net.run_convergence_rounds(rounds=3)
+            for _ in range(3):
+                net.clock.advance_hours(0.25)
+                net.publish_all()
+        assert faulted.faults is None  # noop plans never build an injector
+        assert _netdb_state(plain) == _netdb_state(faulted)
+
+    def test_noop_plan_keeps_the_replay_fast_path(self):
+        net = _build_mixed(True, fault_plan=FaultPlan())
+        net.run_convergence_rounds(rounds=3)
+        for _ in range(4):
+            net.clock.advance_hours(0.25)
+            net.publish_all()
+        assert net.plane_stats["replay_rounds"] >= 2
+
+    def test_attaching_a_noop_plan_mid_run_changes_nothing(self):
+        plain = _build_mixed(True)
+        faulted = _build_mixed(True)
+        for net in (plain, faulted):
+            net.run_convergence_rounds(rounds=2)
+        faulted.set_fault_plan(FaultPlan())
+        for net in (plain, faulted):
+            net.clock.advance_hours(0.25)
+            net.publish_all()
+        assert _netdb_state(plain) == _netdb_state(faulted)
+
+    def test_detaching_a_real_plan_clears_the_replay_cache(self):
+        """set_fault_plan must invalidate memoised replay state in both
+        directions — stale fault-free structure must never replay under a
+        plan, nor vice versa."""
+        net = _build_mixed(True)
+        net.run_convergence_rounds(rounds=3)
+        for _ in range(3):
+            net.clock.advance_hours(0.25)
+            net.publish_all()
+        assert net.plane_stats["replay_rounds"] >= 1
+        net.set_fault_plan(FaultPlan(drop_probability=0.01, seed=4))
+        assert net._replay is None
+        net.clock.advance_hours(0.25)
+        net.publish_all()
+        net.set_fault_plan(None)
+        assert net._replay is None
+        replays_before = net.plane_stats["replay_rounds"]
+        # The fault-free plane resumes and reaches replay again.
+        for _ in range(4):
+            net.clock.advance_hours(0.25)
+            net.publish_all()
+        assert net.plane_stats["replay_rounds"] > replays_before
 
 
 @pytest.mark.parametrize("seed", [15, 99])

@@ -103,11 +103,20 @@ class TestScenariosCommand:
             "monitor_fraction_sweep",
             "country_blocking",
             "reseed_denial",
+            "floodfill-takedown",
+            "reseed-outage",
+            "lossy-network",
         ):
             assert name in captured
-        # At least seven registered specs are announced in the header.
+        # At least ten registered specs are announced in the header.
         first_line = captured.splitlines()[0]
-        assert int(first_line.split()[0]) >= 7
+        assert int(first_line.split()[0]) >= 10
+
+    def test_scenarios_footer_documents_fault_plans(self, capsys):
+        assert main(["scenarios"]) == 0
+        captured = capsys.readouterr().out
+        assert "FaultPlan" in captured
+        assert "crash_fraction" in captured
 
 
 class TestRunCommand:
@@ -189,6 +198,13 @@ class TestRunCommandErrors:
         assert exit_code == 2
         assert "no simulated-network size" in captured.err
 
+    @pytest.mark.parametrize("count", ["0", "-5", "1"])
+    def test_run_non_positive_router_count_fails_cleanly(self, capsys, count):
+        exit_code = main(["run", "netdb-scale", "--router-count", count])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert captured.err.strip() == "router count must be at least 2"
+
 
 class TestRunNetDbScale:
     def test_parser_accepts_router_count(self):
@@ -228,3 +244,27 @@ class TestRunNetDbScale:
         assert main(["run", "netdb-scale", "--router-count", "30"]) == 0
         capsys.readouterr()
         assert not list(tmp_path.glob("*.pstats"))
+
+
+class TestRunFaultInjection:
+    def test_run_pinned_floodfill_takedown(self, capsys):
+        exit_code = main(["run", "floodfill-takedown", "--router-count", "40"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "scenario floodfill-takedown" in captured
+        assert "scenario_fault_injection" in captured
+        assert "publish success ratio" in captured
+        assert "netDb coverage" in captured
+        assert "publish_success_min" in captured
+
+    def test_run_pinned_lossy_network(self, capsys):
+        exit_code = main(["run", "lossy-network", "--router-count", "40"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "store_drops_total" in captured
+
+    def test_days_override_rejected_for_fault_scenarios(self, capsys):
+        exit_code = main(["run", "lossy-network", "--days", "3"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "no day horizon" in captured.err
