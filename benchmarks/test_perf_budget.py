@@ -35,13 +35,24 @@ root with:
 * ``accumulator_bytes`` / ``accumulator_peak_bytes`` — the observation
   log's columnar accumulator footprint (current and high-water), i.e. the
   working set of every streamed analysis;
-* ``peak_rss_kib`` — process-wide peak resident set size (``ru_maxrss``).
+* ``peak_rss_kib`` — process-wide peak resident set size (``ru_maxrss``);
+* ``exposure_backend`` — the backend the main campaign entry ran on
+  (always ``in_memory``; the out-of-core numbers live under
+  ``memory_budget``);
+* ``memory_budget`` — three single-campaign subprocess runs through
+  ``python -m repro.memory_budget`` (``ru_maxrss`` is process-wide, so a
+  clean peak needs a fresh process each): the scale-1.0 in-memory
+  reference, a scale-1.0 out-of-core run whose summary digest must equal
+  the reference's (cross-backend byte identity at full scale), and the
+  scale-``REPRO_BENCH_MEMORY_SCALE`` (default 10) out-of-core run whose
+  peak RSS must stay under the fixed ``MEMORY_BUDGET_MIB`` ceiling.
 
 The wall-clock assertions are deliberately loose sanity floors (CI
 machines vary), **except** the peer-days/sec regression guard: if the
 committed ``BENCH_campaign.json`` recorded a throughput more than 20 %
-above the current run, the benchmark fails loudly — the trajectory from PR
-to PR must stay monotone on comparable hardware.
+above the current run's best-of-``CAMPAIGN_REPETITIONS``, the benchmark
+fails loudly — the trajectory from PR to PR must stay monotone on
+comparable hardware.
 """
 
 import json
@@ -58,7 +69,25 @@ from repro.sim.population import reset_snapshot_allocations, snapshot_allocation
 
 BENCH_DAYS = 10
 BENCH_SCALE = 1.0
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
+
+#: Scale of the out-of-core memory-budget run (env-overridable so shared
+#: CI runners can use a smaller multiple of the paper's population).
+MEMORY_BUDGET_SCALE = float(os.environ.get("REPRO_BENCH_MEMORY_SCALE", "10"))
+
+#: Peak-RSS ceiling (MiB) for the out-of-core campaign at
+#: MEMORY_BUDGET_SCALE.  544 = 2x the scale-1.0 in-memory campaign peak
+#: committed before the out-of-core store landed (BENCH schema v5:
+#: 272 MiB) — a fixed budget, because the live scale-1.0 peak keeps
+#: dropping (172 MiB as of schema v6) and would silently tighten a
+#: relative gate.  Override alongside REPRO_BENCH_MEMORY_SCALE when
+#: benchmarking a different population multiple.
+MEMORY_BUDGET_MIB = float(os.environ.get("REPRO_BENCH_MEMORY_BUDGET_MIB", "544"))
+
+#: Repetitions of the scale-1.0 campaign timing; the best run feeds the
+#: throughput entry and the regression guard (noise — a busy runner, a
+#: heap fragmented by earlier suite tests — only ever slows a run down).
+CAMPAIGN_REPETITIONS = 3
 
 #: Allowed relative slowdown of a publish round with a no-op FaultPlan
 #: attached (the disabled-fault path must stay on the fast path).
@@ -99,17 +128,20 @@ def _previous_payload():
 
 
 def _bench_campaign():
-    reset_snapshot_allocations()
-    start = time.perf_counter()
-    result = run_main_campaign(
-        days=BENCH_DAYS,
-        scale=BENCH_SCALE,
-        seed=2018,
-        collect_daily_ips=True,
-        include_victim_client=True,
-        engine=ExposureEngine(),  # cold: measures the uncached path
-    )
-    wall = time.perf_counter() - start
+    wall = None
+    for _ in range(CAMPAIGN_REPETITIONS):
+        reset_snapshot_allocations()
+        start = time.perf_counter()
+        result = run_main_campaign(
+            days=BENCH_DAYS,
+            scale=BENCH_SCALE,
+            seed=2018,
+            collect_daily_ips=True,
+            include_victim_client=True,
+            engine=ExposureEngine(),  # cold: measures the uncached path
+        )
+        elapsed = time.perf_counter() - start
+        wall = elapsed if wall is None else min(wall, elapsed)
     peer_days = int(sum(result.daily_online_population))
     acc_now, acc_peak = result.log.accumulator_memory_bytes()
     return {
@@ -128,6 +160,69 @@ def _bench_campaign():
         "accumulator_peak_bytes": acc_peak,
         "peak_rss_kib": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
         // (1024 if sys.platform == "darwin" else 1),
+        "exposure_backend": "in_memory",
+    }
+
+
+def _run_memory_budget(extra_args):
+    """One campaign in a fresh subprocess via ``repro.memory_budget``."""
+    import subprocess
+
+    command = [
+        sys.executable,
+        "-m",
+        "repro.memory_budget",
+        "--days",
+        str(BENCH_DAYS),
+        "--seed",
+        "2018",
+        *extra_args,
+    ]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(_REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    completed = subprocess.run(
+        command, capture_output=True, text=True, env=env, timeout=1800
+    )
+    assert completed.returncode == 0, (
+        f"memory-budget run {' '.join(extra_args)} failed:\n"
+        f"{completed.stdout}\n{completed.stderr}"
+    )
+    return json.loads(completed.stdout)
+
+
+def _bench_memory_budget(tmp_dir):
+    reference = _run_memory_budget(
+        ["--scale", "1.0", "--backend", "in-memory"]
+    )
+    ooc_full_scale = _run_memory_budget(
+        [
+            "--scale",
+            "1.0",
+            "--backend",
+            "out-of-core",
+            "--cache-dir",
+            os.path.join(tmp_dir, "scale1"),
+        ]
+    )
+    ooc_large = _run_memory_budget(
+        [
+            "--scale",
+            str(MEMORY_BUDGET_SCALE),
+            "--backend",
+            "out-of-core",
+            "--cache-dir",
+            os.path.join(tmp_dir, "large"),
+        ]
+    )
+    return {
+        "memory_budget": {
+            "reference_in_memory": reference,
+            "out_of_core_scale1": ooc_full_scale,
+            "out_of_core_large": ooc_large,
+            "budget_mib": MEMORY_BUDGET_MIB,
+        }
     }
 
 
@@ -233,12 +328,17 @@ def _bench_fault_overhead():
     }
 
 
-def test_perf_budget():
+def test_perf_budget(tmp_path):
     previous = _previous_payload()
     payload = {
         "generated_by": "benchmarks/test_perf_budget.py",
         "schema_version": SCHEMA_VERSION,
     }
+    # Memory-budget subprocesses run FIRST: a forked/spawned child counts
+    # the parent's resident pages toward its own ru_maxrss until exec, so
+    # spawning from a post-campaign pytest process (~0.5 GiB) would floor
+    # every child's "peak" at the parent's size.
+    payload.update(_bench_memory_budget(str(tmp_path)))
     payload.update(_bench_campaign())
     payload.update(_bench_figure_suite())
     payload.update(_bench_network())
@@ -272,16 +372,18 @@ def test_perf_budget():
     )
 
     # Regression guard against the committed trajectory (>20% is a failure,
-    # not a warning).  Hardware-relative, so runs on machines unrelated to
-    # the one that committed the baseline (e.g. shared CI runners) may opt
-    # out; the dedicated benchmark job and local development keep it on.
+    # not a warning; best-of-{CAMPAIGN_REPETITIONS} keeps it off the noise
+    # floor).  Hardware-relative, so runs on machines unrelated to the one
+    # that committed the baseline (e.g. shared CI runners) may opt out;
+    # the dedicated benchmark job and local development keep it on.
     skip_guard = bool(os.environ.get("REPRO_BENCH_SKIP_REGRESSION_GUARD"))
     baseline = None if skip_guard else previous.get("campaign_peer_days_per_second")
     if baseline:
         floor = (1.0 - REGRESSION_TOLERANCE) * float(baseline)
         assert payload["campaign_peer_days_per_second"] >= floor, (
-            f"campaign throughput regressed more than "
-            f"{REGRESSION_TOLERANCE:.0%}: {payload['campaign_peer_days_per_second']}"
+            f"in-memory campaign throughput regressed more than "
+            f"{REGRESSION_TOLERANCE:.0%}: "
+            f"{payload['campaign_peer_days_per_second']}"
             f" peer-days/s vs committed {baseline} (floor {floor:.1f})"
         )
 
@@ -317,6 +419,27 @@ def test_perf_budget():
             f"(budget {1.0 + FAULT_OVERHEAD_TOLERANCE:.2f}x) — the zero-fault "
             f"plane is no longer free"
         )
+
+    # Out-of-core acceptance.  Byte identity first: restoring the exposure
+    # from a sharded bundle must reproduce the in-memory campaign summary
+    # bit for bit at full scale.
+    budget = payload["memory_budget"]
+    assert (
+        budget["out_of_core_scale1"]["summary_sha256"]
+        == budget["reference_in_memory"]["summary_sha256"]
+    ), "out-of-core scale-1.0 campaign summary diverged from the in-memory run"
+    # Memory gate: the large out-of-core campaign (10x the paper's
+    # population by default) must peak below the fixed MEMORY_BUDGET_MIB
+    # ceiling — the streamed windows, not the population multiple, bound
+    # the working set (an in-memory run at the same scale peaks ~1140 MiB).
+    large_peak = budget["out_of_core_large"]["peak_rss_kib"]
+    assert large_peak < MEMORY_BUDGET_MIB * 1024, (
+        f"scale-{MEMORY_BUDGET_SCALE:g} out-of-core campaign peaked at "
+        f"{large_peak / 1024:.0f} MiB, over the {MEMORY_BUDGET_MIB:.0f} MiB "
+        f"budget"
+    )
+    # And the large run must still be making real progress, not thrashing.
+    assert budget["out_of_core_large"]["peer_days_per_second"] > 10_000
 
     # Persist only after every assertion passed: a failing run must not
     # replace the committed baseline (or a re-run would silently ratchet

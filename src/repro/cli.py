@@ -25,13 +25,19 @@ The subcommands mirror the stages of the paper plus the scenario registry:
     Execute any registered scenario through the declarative engine.
 
 ``repro cache ls|clear``
-    Inspect / empty the on-disk npz exposure cache that lets repeated CLI
-    runs reuse paper-scale populations across processes.
+    Inspect / empty the on-disk exposure cache (sharded mmap-friendly
+    bundles) that lets repeated CLI runs reuse paper-scale populations
+    across processes.  ``ls --json`` emits machine-readable output.
 
 Every campaign-running command consults the exposure cache directory
 (``--cache-dir``, the ``REPRO_CACHE_DIR`` environment variable, or
 ``~/.cache/repro/exposure`` by default; ``--no-cache`` disables), so a
 second run of the same scenario skips the population rebuild entirely.
+``--exposure-backend out-of-core`` streams cache misses straight to a
+disk bundle instead of materialising the whole day range in RAM (the
+backend for 10-100x paper-scale campaigns); ``--cache-max-bytes``
+bounds the cache directory with LRU eviction, and ``--cache-shard-days``
+tunes the bundle's streaming granularity.
 
 Installed as the ``repro`` console script (see ``pyproject.toml``), and also
 runnable as ``python -m repro.cli``.
@@ -102,6 +108,32 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the on-disk exposure cache for this run",
     )
+    parser.add_argument(
+        "--exposure-backend",
+        choices=("in-memory", "out-of-core"),
+        default=None,
+        help="how cache misses are built: 'in-memory' materialises the whole "
+        "day range in RAM, 'out-of-core' streams it to a sharded disk bundle "
+        "(bounded peak RSS; needs the cache enabled).  Default: "
+        "$REPRO_EXPOSURE_BACKEND or in-memory",
+    )
+    parser.add_argument(
+        "--cache-max-bytes",
+        type=str,
+        default=None,
+        metavar="SIZE",
+        help="LRU byte budget for the cache directory, e.g. '2G', '500M', "
+        "'1.5GiB' (least-recently-used bundles are evicted after each "
+        "save).  Default: $REPRO_CACHE_MAX_BYTES or unlimited",
+    )
+    parser.add_argument(
+        "--cache-shard-days",
+        type=int,
+        default=None,
+        metavar="N",
+        help="days per on-disk bundle shard (streaming granularity; default: "
+        "$REPRO_CACHE_SHARD_DAYS or 8)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     measure = subparsers.add_parser(
@@ -167,6 +199,11 @@ def build_parser() -> argparse.ArgumentParser:
         "cache", help="inspect or empty the on-disk exposure cache"
     )
     cache.add_argument("action", choices=("ls", "clear"))
+    cache.add_argument(
+        "--json",
+        action="store_true",
+        help="emit `cache ls` output as machine-readable JSON",
+    )
     return parser
 
 
@@ -183,7 +220,24 @@ def _resolve_cache_dir(args: argparse.Namespace) -> Optional[Path]:
 
 
 def _make_engine(args: argparse.Namespace) -> ExposureEngine:
-    return ExposureEngine(cache_dir=_resolve_cache_dir(args))
+    from .sim.exposure import parse_byte_size
+
+    backend = args.exposure_backend or os.environ.get(
+        "REPRO_EXPOSURE_BACKEND", "in-memory"
+    )
+    max_bytes = None
+    if args.cache_max_bytes is not None:
+        max_bytes = parse_byte_size(args.cache_max_bytes, "--cache-max-bytes")
+    engine = ExposureEngine(
+        cache_dir=_resolve_cache_dir(args),
+        backend=backend,
+        max_bytes=max_bytes,
+        shard_days=args.cache_shard_days,
+    )
+    # Cache writes run off the critical path; main() joins them on exit so
+    # an in-process caller (tests, notebooks) sees a settled cache dir.
+    args._engine = engine
+    return engine
 
 
 def _export_figures(figures: Sequence[FigureData], export_dir: Path) -> List[Path]:
@@ -401,24 +455,39 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         return 2
     if args.action == "clear":
         removed = exposure_cache.clear_cache(cache_dir)
-        print(f"removed {removed} cache file(s) from {cache_dir}")
+        print(f"removed {removed} cache entr(y/ies) from {cache_dir}")
         return 0
     entries = exposure_cache.cache_entries(cache_dir)
-    total_mb = sum(int(entry["bytes"]) for entry in entries) / 1e6
+    total_bytes = sum(int(entry["bytes"]) for entry in entries)
+    if getattr(args, "json", False):
+        import json as _json
+
+        payload = {
+            "cache_dir": str(cache_dir),
+            "total_bytes": total_bytes,
+            "entries": [
+                {key: value for key, value in entry.items() if key != "path"}
+                for entry in entries
+            ],
+        }
+        print(_json.dumps(payload, indent=2, sort_keys=True, default=str))
+        return 0
     print(
         f"exposure cache at {cache_dir}: {len(entries)} entr(y/ies), "
-        f"{total_mb:.1f} MB total (no automatic eviction - use `repro cache "
-        f"clear` to reclaim)"
+        f"{exposure_cache.human_bytes(total_bytes)} total (LRU eviction via "
+        f"--cache-max-bytes / $REPRO_CACHE_MAX_BYTES; `repro cache clear` "
+        f"reclaims everything)"
     )
     for entry in entries:
+        size = exposure_cache.human_bytes(int(entry["bytes"]))
         if "error" in entry:
-            print(f"  {entry['digest']}  <{entry['error']}>")
+            print(f"  {entry['digest']}  <{entry['error']}>  ({size})")
             continue
-        size_mb = int(entry["bytes"]) / 1e6
         print(
-            f"  {entry['digest']}  days={entry['days']} peers={entry['peers']} "
+            f"  {entry['digest']}  days={entry['days']} "
+            f"shard_days={entry['shard_days']} peers={entry['peers']} "
             f"daily={entry['daily_population']} seed={entry['seed']} "
-            f"({size_mb:.1f} MB)"
+            f"({size})"
         )
     return 0
 
@@ -470,7 +539,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if handler is None:
         parser.error(f"unknown command {args.command!r}")
         return 2
-    return handler(args)
+    try:
+        return handler(args)
+    finally:
+        engine = getattr(args, "_engine", None)
+        if engine is not None:
+            engine.flush()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -225,21 +225,32 @@ class MeasurementCampaign:
         all_specs = list(monitor_specs)
         if self.victim is not None:
             all_specs.append(self.victim.spec)
-        self.exposure.prefetch_masks(all_specs, days, workers=self._mask_workers)
-        for day in range(days):
-            view = self.exposure.view(day)
-            masks = self.exposure.fleet_day_masks(monitor_specs, day)
-            for monitor, mask in zip(self.monitors, masks):
-                monitor.record_day(view, mask)
-            cumulative_union_by_day.append(
-                ObservationModel.cumulative_union_sizes_from_masks(masks)
+        # Disk-backed exposures advertise a shard size; in-memory ones
+        # report 0 and the loop below degenerates to one shard covering
+        # the whole campaign (identical behaviour to the pre-sharded
+        # code path).  Streaming shard-by-shard keeps only one window of
+        # day columns and masks resident at a time.
+        shard = getattr(self.exposure, "day_shard_size", 0) or days
+        for start in range(0, days, shard):
+            stop = min(start + shard, days)
+            self.exposure.prefetch_masks(
+                all_specs, stop, workers=self._mask_workers, start_day=start
             )
-            union_mask = np.logical_or.reduce(masks, axis=0)
-            self.log.record_day(view, union_mask)
-            if self.victim is not None:
-                self.victim.record_day(
-                    view, self.exposure.monitor_day_mask(self.victim.spec, day)
+            for day in range(start, stop):
+                view = self.exposure.view(day)
+                masks = self.exposure.fleet_day_masks(monitor_specs, day)
+                for monitor, mask in zip(self.monitors, masks):
+                    monitor.record_day(view, mask)
+                cumulative_union_by_day.append(
+                    ObservationModel.cumulative_union_sizes_from_masks(masks)
                 )
+                union_mask = np.logical_or.reduce(masks, axis=0)
+                self.log.record_day(view, union_mask)
+                if self.victim is not None:
+                    self.victim.record_day(
+                        view, self.exposure.monitor_day_mask(self.victim.spec, day)
+                    )
+            self.exposure.release_day_state(stop)
         return CampaignResult(
             config=self.config,
             population=self.population,

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -77,11 +77,30 @@ class DailyIpSets(Sequence):
     ) -> None:
         self._items.append((ip_array, ipv6_array, packed_mask, count))
 
+    def append_lazy(
+        self,
+        loader: Callable[[], Tuple[np.ndarray, np.ndarray]],
+        packed_mask: np.ndarray,
+        count: int,
+    ) -> None:
+        """Deferred entry for *streamed* (disk-backed) day views.
+
+        ``loader`` re-reads the day's IP/IPv6 arrays from the exposure
+        bundle on materialisation, so recording a day pins only the
+        bit-packed mask — not the decoded address columns — and a
+        100×-scale campaign's IP sets cost disk reads, not resident RAM.
+        """
+        self._items.append((loader, packed_mask, count))
+
     def _materialise(self, index: int) -> Set[str]:
         item = self._items[index]
         if isinstance(item, set):
             return item
-        ip_array, ipv6_array, packed_mask, count = item  # type: ignore[misc]
+        if len(item) == 3:  # type: ignore[arg-type]
+            loader, packed_mask, count = item  # type: ignore[misc]
+            ip_array, ipv6_array = loader()
+        else:
+            ip_array, ipv6_array, packed_mask, count = item  # type: ignore[misc]
         mask = np.unpackbits(packed_mask, count=count).view(bool)
         ips: Set[str] = set(ip_array[mask].tolist())
         ipv6 = ipv6_array[mask]
@@ -204,9 +223,15 @@ class MonitoringRouter:
         self.daily_observed_counts.append(int(observed_global.size))
         if self.collect_daily_ips:
             selection = mask & cols.valid_ip
-            self.daily_ip_sets.append_deferred(
-                cols.ip, cols.ipv6, np.packbits(selection), cols.count
-            )
+            loader = getattr(view, "address_loader", None)
+            if loader is not None:
+                self.daily_ip_sets.append_lazy(
+                    loader, np.packbits(selection), cols.count
+                )
+            else:
+                self.daily_ip_sets.append_deferred(
+                    cols.ip, cols.ipv6, np.packbits(selection), cols.count
+                )
         if self.collect_daily_peers:
             self.daily_peer_sets.append(set(cols.peer_ids[mask].tolist()))
 

@@ -27,7 +27,7 @@ trimmed to the live ``size``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -46,6 +46,7 @@ __all__ = [
     "VIS_FLAPPING",
     "TIER_ORDER",
     "PeerColumns",
+    "MemmapPeerColumns",
     "DayColumns",
 ]
 
@@ -66,16 +67,30 @@ _TIER_CODE: Dict[BandwidthTier, int] = {tier: i for i, tier in enumerate(TIER_OR
 
 
 class PeerColumns:
-    """Growable struct-of-arrays store over the global peer index."""
+    """Growable struct-of-arrays store over the global peer index.
 
-    def __init__(self, horizon_days: int, initial_capacity: int = 1024) -> None:
+    With ``retain_records=False`` the per-peer ``PeerRecord`` objects are
+    *not* kept after their columns are extracted — the dominant RAM cost of
+    a paper-scale population.  Lean stores cannot materialise row-oriented
+    snapshots (``records`` stays empty), which the streamed analyses never
+    need; the out-of-core exposure build uses this mode.
+    """
+
+    def __init__(
+        self,
+        horizon_days: int,
+        initial_capacity: int = 1024,
+        retain_records: bool = True,
+    ) -> None:
         if horizon_days <= 0:
             raise ValueError("horizon_days must be positive")
         self.horizon_days = horizon_days
         self.size = 0
         self._capacity = max(16, initial_capacity)
+        self.retain_records = retain_records
         #: The row-oriented records, index-aligned with the columns.  Shared
-        #: with :class:`~repro.sim.population.I2PPopulation.peers`.
+        #: with :class:`~repro.sim.population.I2PPopulation.peers`.  Empty
+        #: when ``retain_records`` is off.
         self.records: List["PeerRecord"] = []
         self._allocate(self._capacity)
 
@@ -143,7 +158,8 @@ class PeerColumns:
             raise ValueError(
                 f"record index {record.index} does not match column row {i}"
             )
-        self.records.append(record)
+        if self.retain_records:
+            self.records.append(record)
         self._peer_ids[i] = record.peer_id
         self._activity[i] = record.activity
         self._base_visibility[i] = record.base_visibility
@@ -260,6 +276,89 @@ class PeerColumns:
 
     def departures_on(self, day: int) -> int:
         return int(np.count_nonzero(self._leave_day[: self.size] == day))
+
+
+class MemmapPeerColumns(PeerColumns):
+    """A read-only :class:`PeerColumns` whose columns are disk-backed arrays.
+
+    Built by the exposure-cache bundle reader: each column is an
+    ``np.memmap`` over a raw shard file (written once by the population
+    build, mapped read-only thereafter), so restoring a paper-scale store
+    costs page-cache instead of RSS.  Only the columns the streamed
+    analyses read are persisted; touching anything else (presence matrix,
+    current-assignment state, visibility class) raises ``AttributeError``
+    with a pointer at the bundle format.  Peer ids are decoded lazily from
+    the id blob on first access and cached.
+    """
+
+    #: Columns a bundle persists, in on-disk order (name → dtype).
+    STORE_DTYPES: Dict[str, str] = {
+        "tier_code": "int16",
+        "advertised_mask": "uint8",
+        "floodfill": "bool",
+        "join_day": "int32",
+        "port": "int32",
+        "activity": "float64",
+        "base_visibility": "float64",
+    }
+
+    def __init__(
+        self,
+        horizon_days: int,
+        size: int,
+        columns: Dict[str, np.ndarray],
+        peer_id_blob: np.ndarray,
+        peer_id_lengths: np.ndarray,
+    ) -> None:
+        if horizon_days <= 0:
+            raise ValueError("horizon_days must be positive")
+        missing = set(self.STORE_DTYPES) - set(columns)
+        if missing:
+            raise ValueError(f"bundle store is missing columns: {sorted(missing)}")
+        self.horizon_days = horizon_days
+        self.size = int(size)
+        self._capacity = self.size
+        self.retain_records = False
+        self.records: List["PeerRecord"] = []
+        for name in self.STORE_DTYPES:
+            array = columns[name]
+            if array.shape[0] != self.size:
+                raise ValueError(
+                    f"store column {name!r} has {array.shape[0]} rows, "
+                    f"expected {self.size}"
+                )
+            setattr(self, f"_{name}", array)
+        self._id_blob = peer_id_blob
+        self._id_lengths = peer_id_lengths
+        self._decoded_peer_ids: Optional[np.ndarray] = None
+
+    @property
+    def peer_ids(self) -> np.ndarray:
+        if self._decoded_peer_ids is None:
+            blob = bytes(memoryview(self._id_blob))
+            offsets = np.concatenate(
+                ([0], np.cumsum(np.asarray(self._id_lengths, dtype=np.int64)))
+            )
+            decoded = np.empty(self.size, dtype=object)
+            for i in range(self.size):
+                decoded[i] = blob[offsets[i] : offsets[i + 1]]
+            self._decoded_peer_ids = decoded
+        return self._decoded_peer_ids
+
+    def append(self, record, static_ip, assignment):  # pragma: no cover - guard
+        raise RuntimeError("a memmap-backed peer store is read-only")
+
+    def set_assignment(self, index, assignment):  # pragma: no cover - guard
+        raise RuntimeError("a memmap-backed peer store is read-only")
+
+    def __getattr__(self, name: str):
+        # Only reached for attributes never set: a column the bundle format
+        # does not persist.
+        raise AttributeError(
+            f"{type(self).__name__} has no {name!r}: the exposure-cache "
+            f"bundle only persists {sorted(self.STORE_DTYPES)} plus peer "
+            f"ids; rebuild the population for anything else"
+        )
 
 
 @dataclass

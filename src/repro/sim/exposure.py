@@ -54,19 +54,23 @@ because every mask has its own derived seed.
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .columns import DayColumns
 from .observation import DayExposure, MonitorSpec, ObservationModel
 from .population import DayView, I2PPopulation, PopulationConfig
 from .rng import derive_seed
 
 __all__ = [
+    "AUTO_WORKER_MONITOR_CROSSOVER",
     "CachedExposure",
     "ExposureEngine",
     "SharedExposure",
+    "build_out_of_core",
     "default_engine",
     "set_default_engine",
 ]
@@ -139,11 +143,41 @@ def _parse_workers(value: object, source: str) -> int:
     return workers
 
 
-def _env_workers() -> int:
+def _env_workers() -> Optional[int]:
+    """The ``REPRO_EXPOSURE_WORKERS`` override, or ``None`` when unset.
+
+    An explicit value — including ``0`` — always wins over the automatic
+    crossover policy.
+    """
     value = os.environ.get("REPRO_EXPOSURE_WORKERS")
     if value is None or value.strip() == "":
-        return 0
+        return None
     return _parse_workers(value, "REPRO_EXPOSURE_WORKERS")
+
+
+#: Fleet size past which the process-pool fan-out pays for itself on a
+#: multi-core host.  Measured on the 1-CPU reference container (see
+#: ROADMAP): serial per-mask cost is ~0.4 ms (scale 1.0) to ~4 ms
+#: (scale 10) against ~0.10–0.15 s of fixed pool spawn plus ~0.4 ms of
+#: per-task dispatch, so with ≥ 4 effective workers the pool amortises its
+#: spawn once a prefetch covers ≥ 32 monitors; below 2 CPUs it can never
+#: win (measured speedup plateaus at 0.65–0.74×) and stays off.
+AUTO_WORKER_MONITOR_CROSSOVER = 32
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _auto_workers(monitor_count: int) -> int:
+    """Workers the crossover policy picks for a fleet of ``monitor_count``."""
+    cpus = _available_cpus()
+    if cpus < 2 or monitor_count < AUTO_WORKER_MONITOR_CROSSOVER:
+        return 0
+    return min(cpus, 8)
 
 
 class SharedExposure:
@@ -240,28 +274,35 @@ class SharedExposure:
         days: int,
         workers: Optional[int] = None,
         min_tasks_per_worker: int = 4,
+        start_day: int = 0,
     ) -> None:
-        """Compute (and cache) all ``(spec, day)`` masks, optionally in a
-        process pool.
+        """Compute (and cache) the ``(spec, day)`` masks for days
+        ``[start_day, days)``, optionally in a process pool.
 
-        ``workers`` defaults to the ``REPRO_EXPOSURE_WORKERS`` environment
-        variable (0 = serial).  Results are bit-for-bit identical to the
-        serial path — each mask has its own derived seed — so the pool is a
-        pure wall-time optimisation for large fleets.  Any pool failure
-        falls back to serial computation.  A non-integer or negative worker
-        count (explicit or via the environment variable) raises
-        ``ValueError`` up front.
+        With ``workers=None`` the ``REPRO_EXPOSURE_WORKERS`` environment
+        variable wins when set (0 = serial); otherwise the measured
+        crossover policy decides — the pool switches on automatically for
+        fleets of ≥ :data:`AUTO_WORKER_MONITOR_CROSSOVER` monitors when at
+        least two CPUs are available.  Results are bit-for-bit identical to
+        the serial path — each mask has its own derived seed — so the pool
+        is a pure wall-time optimisation for large fleets.  Any pool
+        failure falls back to serial computation.  A non-integer or
+        negative worker count (explicit or via the environment variable)
+        raises ``ValueError`` up front.
+
+        ``start_day`` lets streamed consumers prefetch one day-range shard
+        at a time without re-deriving masks they already released.
         """
-        workers = (
-            _env_workers()
-            if workers is None
-            else _parse_workers(workers, "workers")
-        )
+        if workers is None:
+            env = _env_workers()
+            workers = _auto_workers(len(specs)) if env is None else env
+        else:
+            workers = _parse_workers(workers, "workers")
         self.ensure_days(days)
         pending: List[Tuple[MonitorSpec, int]] = []
         for spec in specs:
             key = _monitor_key(spec)
-            for day in range(days):
+            for day in range(start_day, days):
                 if (key, day) not in self._masks:
                     pending.append((spec, day))
         if not pending:
@@ -278,7 +319,10 @@ class SharedExposure:
     def _prefetch_pool(
         self, pending: Sequence[Tuple[MonitorSpec, int]], days: int, workers: int
     ) -> None:
+        import multiprocessing
         from concurrent.futures import ProcessPoolExecutor
+
+        global _WORKER_EXPOSURES
 
         payload = {
             day: (
@@ -292,13 +336,21 @@ class SharedExposure:
             (self.observation_seed, spec.name, spec.mode.value, float(spec.shared_kbps), day)
             for spec, day in pending
         ]
-        with ProcessPoolExecutor(
-            max_workers=workers, initializer=_pool_init, initargs=(payload,)
-        ) as pool:
-            for name, mode_value, kbps, day, packed, count in pool.map(
-                _pool_compute, tasks, chunksize=max(1, len(tasks) // (workers * 4))
-            ):
-                self._masks[((name, mode_value, kbps), day)] = (packed, count)
+        if "fork" in multiprocessing.get_all_start_methods():
+            # Forked workers inherit the payload copy-on-write through the
+            # module global — no per-worker pickling of the day arrays.
+            _WORKER_EXPOSURES = payload
+            pool_kwargs = {"mp_context": multiprocessing.get_context("fork")}
+        else:  # pragma: no cover - spawn-only platforms
+            pool_kwargs = {"initializer": _pool_init, "initargs": (payload,)}
+        try:
+            with ProcessPoolExecutor(max_workers=workers, **pool_kwargs) as pool:
+                for name, mode_value, kbps, day, packed, count in pool.map(
+                    _pool_compute, tasks, chunksize=max(1, len(tasks) // (workers * 4))
+                ):
+                    self._masks[((name, mode_value, kbps), day)] = (packed, count)
+        finally:
+            _WORKER_EXPOSURES = {}
 
     # ------------------------------------------------------------------ #
     # Unions / coverage helpers
@@ -314,62 +366,332 @@ class SharedExposure:
             self.fleet_day_masks(specs, day)
         )
 
+    # ------------------------------------------------------------------ #
+    # Streaming hooks (real work only in CachedExposure)
+    # ------------------------------------------------------------------ #
+    @property
+    def day_shard_size(self) -> int:
+        """Days per shard for streamed iteration; 0 = everything in RAM.
+
+        In-memory exposures report 0 so consumers process the whole
+        horizon as one shard and *keep* every view and mask — sharing day
+        state across experiments is the engine's core feature.  Disk-backed
+        entries report their bundle's shard size so campaigns iterate (and
+        release) shard by shard.
+        """
+        return 0
+
+    def release_day_state(self, before_day: int) -> None:
+        """Drop per-day state for days ``< before_day`` (no-op in RAM).
+
+        Disk-backed exposures use this to keep the resident window at one
+        shard; everything released is recomputed/re-read on demand, so
+        calling it never changes results — only memory.
+        """
+
+
+class _LazyDays(Sequence):
+    """Sequence façade over a bundle's per-day state, decoded on demand."""
+
+    def __init__(self, count: int, fetch: Callable[[int], object]) -> None:
+        self._count = count
+        self._fetch = fetch
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __getitem__(self, index: Union[int, slice]):
+        if isinstance(index, slice):
+            return [self._fetch(i) for i in range(*index.indices(self._count))]
+        if index < 0:
+            index += self._count
+        if not 0 <= index < self._count:
+            raise IndexError("day index out of range")
+        return self._fetch(index)
+
 
 class CachedExposure(SharedExposure):
-    """A read-only :class:`SharedExposure` restored from the npz disk cache.
+    """A read-only :class:`SharedExposure` streaming from a disk bundle.
 
-    Day state comes fully materialised from the archive (see
-    :mod:`repro.sim.exposure_cache` for the format); per-monitor masks are
-    recomputed on demand from the restored exposure draws, bit-identically
-    to a freshly built entry.  Restored entries cannot be extended — the
-    population behind them is an array-only stub — so asking for more days
-    than were persisted raises ``RuntimeError`` (the engine reacts by
-    rebuilding from scratch).
+    Day state lives in the bundle's day-range shards (see
+    :mod:`repro.sim.exposure_cache` for the format) and is decoded lazily:
+    ``views[day]`` / ``exposure(day)`` materialise one day at a time
+    through a small decoded-day window, and :meth:`release_day_state`
+    drops the window plus the underlying shard mappings as streamed
+    consumers move on — so a paper-scale campaign's resident set tracks
+    one shard, not the horizon.  Per-monitor masks are recomputed on
+    demand from the persisted exposure draws, bit-identically to a freshly
+    built entry.  Restored entries cannot be extended — the population
+    behind them is an array-only stub — so asking for more days than were
+    persisted raises ``RuntimeError`` (the engine reacts by rebuilding
+    from scratch).
     """
+
+    #: Decoded days kept at once: the day being recorded plus a little
+    #: slack for consumers that look back one day.
+    _DAY_WINDOW = 3
 
     def __init__(
         self,
         population_config: PopulationConfig,
         observation_seed: int,
         population,
-        views: List[DayView],
-        exposures: List["DayExposure"],
+        reader,
     ) -> None:
         self.population_config = population_config
         self.observation_seed = observation_seed
         self.population = population
-        self.views = list(views)
-        self._exposures = list(exposures)
+        self._reader = reader
+        self.views = _LazyDays(reader.days, lambda day: self._day_state(day)[0])
+        self._exposures = _LazyDays(
+            reader.days, lambda day: self._day_state(day)[1]
+        )
         self._masks = {}
+        self._day_cache: "OrderedDict[int, Tuple[DayView, DayExposure]]" = (
+            OrderedDict()
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def days_materialised(self) -> int:
+        return self._reader.days
+
+    @property
+    def day_shard_size(self) -> int:
+        return int(self._reader.shard_days)
 
     def ensure_days(self, days: int) -> None:
-        if days > len(self.views):
+        if days > self._reader.days:
             raise RuntimeError(
                 f"this exposure was restored from the disk cache with only "
-                f"{len(self.views)} day(s) materialised and cannot be "
+                f"{self._reader.days} day(s) materialised and cannot be "
                 f"extended to {days}; rebuild through an ExposureEngine"
             )
+
+    def daily_online(self, days: int) -> List[int]:
+        self.ensure_days(days)
+        return list(self._reader.online[:days])
+
+    def release_day_state(self, before_day: int) -> None:
+        for day in [d for d in self._day_cache if d < before_day]:
+            del self._day_cache[day]
+        for key in [k for k in self._masks if k[1] < before_day]:
+            del self._masks[key]
+        self._reader.release_before(before_day)
+
+    # ------------------------------------------------------------------ #
+    def _day_state(self, day: int) -> Tuple[DayView, DayExposure]:
+        cached = self._day_cache.get(day)
+        if cached is not None:
+            self._day_cache.move_to_end(day)
+            return cached
+        self.ensure_days(day + 1)
+        reader = self._reader
+        store = self.population.columns
+        from .exposure_cache import _decode_strings
+
+        indices = np.asarray(reader.day_array(day, "indices"))
+        day_columns = DayColumns(
+            day=day,
+            columns=store,
+            indices=indices,
+            peer_ids=store.peer_ids[indices],
+            activity=np.asarray(store.activity[indices]),
+            base_visibility=np.asarray(store.base_visibility[indices]),
+            tier_code=np.asarray(store.tier_code[indices]),
+            floodfill=np.asarray(store.floodfill[indices]),
+            reachable=np.asarray(reader.day_array(day, "reachable")),
+            firewalled=np.asarray(reader.day_array(day, "firewalled")),
+            hidden=np.asarray(reader.day_array(day, "hidden")),
+            valid_ip=np.asarray(reader.day_array(day, "valid_ip")),
+            new_today=np.asarray(store.join_day[indices]) == day,
+            port=np.asarray(store.port[indices]),
+            ip=_decode_strings(np.asarray(reader.day_array(day, "ip"))),
+            ipv6=_decode_strings(np.asarray(reader.day_array(day, "ipv6"))),
+            country=_decode_strings(np.asarray(reader.day_array(day, "country"))),
+            asn=np.asarray(reader.day_array(day, "asn")),
+            version=np.asarray(reader.day_array(day, "version")),
+        )
+        view = DayView(
+            day=day,
+            new_arrivals=reader.new_arrivals[day],
+            departures=reader.departures[day],
+            columns=day_columns,
+        )
+        # Streamed monitors defer IP-set materialisation through this hook
+        # instead of pinning the day's decoded address arrays (see
+        # core.monitor.DailyIpSets.append_lazy).
+        view.address_loader = lambda: (
+            _decode_strings(np.asarray(reader.day_array(day, "ip"))),
+            _decode_strings(np.asarray(reader.day_array(day, "ipv6"))),
+        )
+        draw = DayExposure(
+            flood_exposed=np.asarray(reader.day_array(day, "flood")),
+            tunnel_exposed=np.asarray(reader.day_array(day, "tunnel")),
+            visibility=np.asarray(reader.day_array(day, "visibility")),
+        )
+        self._day_cache[day] = (view, draw)
+        while len(self._day_cache) > self._DAY_WINDOW:
+            self._day_cache.popitem(last=False)
+        return view, draw
+
+
+def build_out_of_core(
+    population_config: PopulationConfig,
+    observation_seed: int,
+    days: int,
+    directory,
+    shard_days: Optional[int] = None,
+) -> CachedExposure:
+    """Build an exposure straight to a disk bundle and stream it back.
+
+    The population is built *lean* (no row-oriented records) and every
+    materialised day is encoded and flushed to the bundle immediately, so
+    peak RSS is the mutable population plus one day of encode buffers —
+    never the full day state.  The resulting entry is byte-identical to an
+    in-memory build saved and restored: both paths draw from the same
+    substreams in the same order (locked in by tests).
+    """
+    from . import exposure_cache
+
+    if days <= 0:
+        raise ValueError("days must be positive")
+    if days > population_config.horizon_days:
+        raise ValueError(
+            f"{days} days exceed the population horizon "
+            f"{population_config.horizon_days}"
+        )
+    population = I2PPopulation(config=population_config, retain_records=False)
+    exposure_rng = np.random.default_rng(derive_seed(observation_seed, "exposure"))
+    writer = exposure_cache.BundleWriter(
+        directory,
+        population_config,
+        observation_seed,
+        shard_days=exposure_cache.DEFAULT_SHARD_DAYS
+        if shard_days is None
+        else shard_days,
+    )
+    try:
+        for day in range(days):
+            view = population.day_view(day)
+            draw = ObservationModel.draw_day_exposure(view, exposure_rng)
+            writer.add_day(view, draw)
+        writer.write_store(population.columns)
+        path = writer.finalise()
+    except BaseException:
+        writer.abort()
+        raise
+    del population
+    return exposure_cache.load_exposure(path)
+
+
+def _env_max_bytes() -> Optional[int]:
+    value = os.environ.get("REPRO_CACHE_MAX_BYTES")
+    if value is None or value.strip() == "":
+        return None
+    return parse_byte_size(value, "REPRO_CACHE_MAX_BYTES")
+
+
+def parse_byte_size(value: object, source: str) -> int:
+    """``'512M'`` / ``'2GiB'`` / ``'1048576'`` → bytes (binary units)."""
+    text = str(value).strip()
+    multiplier = 1
+    suffixes = {"k": 1024, "m": 1024**2, "g": 1024**3, "t": 1024**4}
+    lowered = text.lower()
+    for ending in ("ib", "b"):
+        if lowered.endswith(ending) and len(lowered) > len(ending):
+            candidate = lowered[: -len(ending)]
+            if candidate and candidate[-1] in suffixes:
+                lowered = candidate
+            break
+    if lowered and lowered[-1] in suffixes:
+        multiplier = suffixes[lowered[-1]]
+        lowered = lowered[:-1]
+    try:
+        count = float(lowered)
+    except ValueError:
+        raise ValueError(
+            f"{source} must be a byte count (number with optional K/M/G/T "
+            f"suffix, e.g. 512M or 1.5G); got {value!r}"
+        ) from None
+    if count < 0:
+        raise ValueError(f"{source} must be non-negative; got {value!r}")
+    return int(count * multiplier)
+
+
+def _env_shard_days() -> int:
+    value = os.environ.get("REPRO_CACHE_SHARD_DAYS")
+    if value is None or value.strip() == "":
+        from .exposure_cache import DEFAULT_SHARD_DAYS
+
+        return DEFAULT_SHARD_DAYS
+    try:
+        days = int(value)
+    except ValueError:
+        days = 0
+    if days <= 0:
+        raise ValueError(
+            f"REPRO_CACHE_SHARD_DAYS must be a positive integer; got {value!r}"
+        )
+    return days
 
 
 class ExposureEngine:
     """LRU cache of :class:`SharedExposure` entries, optionally disk-backed.
 
-    With ``cache_dir`` set, entries are persisted as compressed npz files
-    keyed by a digest of ``(population config, observation seed)`` (see
+    With ``cache_dir`` set, entries are persisted as sharded bundles keyed
+    by a digest of ``(population config, observation seed)`` (see
     :mod:`repro.sim.exposure_cache`), and ``get`` consults the directory
     before building a population — so repeated CLI runs across *processes*
     reuse paper-scale populations.  Disk entries holding at least the
-    requested number of days are loaded read-only; shorter ones are
-    rebuilt and overwritten with the longer day range.
+    requested number of days are loaded read-only (streaming from disk);
+    shorter ones are rebuilt and replaced with the longer day range.
+
+    ``backend`` picks how a cache miss is built: ``"in_memory"`` (the
+    default) materialises the whole day range in RAM, ``"out_of_core"``
+    streams it straight to a disk bundle through a lean population build,
+    bounding peak RSS to roughly the mutable population — the backend for
+    10–100× paper-scale campaigns (requires ``cache_dir``).
+
+    First-run persistence is off the critical path: saves run on a
+    background thread (``background_writes=False`` restores synchronous
+    writes); :meth:`flush` joins any writes still in flight.  ``max_bytes``
+    (or ``REPRO_CACHE_MAX_BYTES``) bounds the cache directory with
+    least-recently-used eviction after each save.
     """
 
+    BACKENDS = ("in_memory", "out_of_core")
+
     def __init__(
-        self, capacity: int = 4, cache_dir: Optional["os.PathLike"] = None
+        self,
+        capacity: int = 4,
+        cache_dir: Optional["os.PathLike"] = None,
+        backend: str = "in_memory",
+        max_bytes: Optional[int] = None,
+        shard_days: Optional[int] = None,
+        background_writes: bool = True,
     ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
+        backend = str(backend).replace("-", "_")
+        if backend not in self.BACKENDS:
+            raise ValueError(
+                f"unknown exposure backend {backend!r}; pick one of "
+                f"{'/'.join(self.BACKENDS)}"
+            )
         self.capacity = capacity
         self.cache_dir = None if cache_dir is None else str(cache_dir)
+        if backend == "out_of_core" and self.cache_dir is None:
+            raise ValueError(
+                "the out-of-core exposure backend streams through the disk "
+                "cache and needs cache_dir (drop --no-cache / set --cache-dir)"
+            )
+        self.backend = backend
+        self.max_bytes = _env_max_bytes() if max_bytes is None else int(max_bytes)
+        self.shard_days = _env_shard_days() if shard_days is None else int(shard_days)
+        if self.shard_days <= 0:
+            raise ValueError("shard_days must be positive")
+        self.background_writes = background_writes
         self._entries: "OrderedDict[Tuple[PopulationConfig, int], SharedExposure]" = (
             OrderedDict()
         )
@@ -378,6 +700,10 @@ class ExposureEngine:
         self.disk_hits = 0
         #: Days already persisted per key (avoids rewriting unchanged files).
         self._persisted_days: Dict[Tuple[PopulationConfig, int], int] = {}
+        #: In-flight background saves per key: (thread, days being saved).
+        self._pending: Dict[
+            Tuple[PopulationConfig, int], Tuple[threading.Thread, int]
+        ] = {}
 
     def get(
         self,
@@ -403,7 +729,12 @@ class ExposureEngine:
             entry = self._load_from_disk(population_config, observation_seed, needed)
         if entry is None:
             self.misses += 1
-            entry = SharedExposure(population_config, observation_seed)
+            if self.backend == "out_of_core":
+                entry = self._build_out_of_core(
+                    population_config, observation_seed, needed
+                )
+            else:
+                entry = SharedExposure(population_config, observation_seed)
         else:
             self.hits += 1
         self._entries[key] = entry
@@ -418,6 +749,33 @@ class ExposureEngine:
     # ------------------------------------------------------------------ #
     # Disk cache
     # ------------------------------------------------------------------ #
+    def _build_out_of_core(
+        self,
+        population_config: PopulationConfig,
+        observation_seed: int,
+        needed_days: int,
+    ) -> "CachedExposure":
+        days = needed_days if needed_days > 0 else population_config.horizon_days
+        entry = build_out_of_core(
+            population_config,
+            observation_seed,
+            days,
+            self.cache_dir,
+            shard_days=self.shard_days,
+        )
+        key = (population_config, observation_seed)
+        self._persisted_days[key] = entry.days_materialised
+        if self.max_bytes is not None:
+            from . import exposure_cache
+
+            try:
+                exposure_cache.enforce_cache_budget(
+                    self.cache_dir, self.max_bytes, protect=entry._reader.path
+                )
+            except OSError:  # pragma: no cover - cache dir raced away
+                pass
+        return entry
+
     def _load_from_disk(
         self,
         population_config: PopulationConfig,
@@ -428,10 +786,16 @@ class ExposureEngine:
             return None
         from . import exposure_cache
 
+        key = (population_config, observation_seed)
+        pending = self._pending.get(key)
+        if pending is not None:
+            # A background save of this very key may still be in flight —
+            # the on-disk state is unreadable-by-design until it lands.
+            pending[0].join()
         path = exposure_cache.cache_path(
             self.cache_dir, population_config, observation_seed
         )
-        if not path.is_file():
+        if not (path / "meta.json").is_file():
             return None
         try:
             # Peek the meta record first: rejecting a too-short file must
@@ -461,13 +825,60 @@ class ExposureEngine:
         days = entry.days_materialised
         if days <= 0 or days <= self._persisted_days.get(key, 0):
             return
+        pending = self._pending.get(key)
+        if pending is not None:
+            if pending[0].is_alive() and pending[1] >= days:
+                return
+            pending[0].join()  # serialise writes of one key
+            if days <= self._persisted_days.get(key, 0):
+                return
+        if not self.background_writes:
+            self._persist_now(key, entry, days)
+            return
+        thread = threading.Thread(
+            target=self._persist_now,
+            args=(key, entry, days),
+            name="repro-exposure-persist",
+        )
+        self._pending[key] = (thread, days)
+        thread.start()
+
+    def _persist_now(
+        self, key: Tuple[PopulationConfig, int], entry: SharedExposure, days: int
+    ) -> None:
+        """Write one entry's bundle (runs on the persist thread).
+
+        Day state is prefix-stable and ``entry.views`` only ever grows, so
+        snapshotting ``days`` up front keeps the write consistent even
+        while the main thread extends the same entry.
+        """
         from . import exposure_cache
 
         try:
-            exposure_cache.save_exposure(entry, self.cache_dir)
+            path = exposure_cache.save_exposure(
+                entry, self.cache_dir, shard_days=self.shard_days
+            )
         except OSError:  # cache dir unwritable: stay in-memory only
             return
-        self._persisted_days[key] = days
+        if days > self._persisted_days.get(key, 0):
+            self._persisted_days[key] = days
+        if self.max_bytes is not None:
+            try:
+                exposure_cache.enforce_cache_budget(
+                    self.cache_dir, self.max_bytes, protect=path
+                )
+            except OSError:  # pragma: no cover - cache dir raced away
+                pass
+
+    def flush(self) -> None:
+        """Join background cache writes still in flight (idempotent)."""
+        for thread, _days in list(self._pending.values()):
+            thread.join()
+        self._pending = {
+            key: value
+            for key, value in self._pending.items()
+            if value[0].is_alive()
+        }
 
     def __len__(self) -> int:
         return len(self._entries)

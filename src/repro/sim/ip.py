@@ -26,9 +26,14 @@ from .geo import AutonomousSystem, GeoRegistry
 __all__ = ["AddressProfile", "IpAssignment", "IpAssignmentManager"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IpAssignment:
-    """One IP address lease: the address plus where it resolves to."""
+    """One IP address lease: the address plus where it resolves to.
+
+    Slotted: a paper-scale population holds ~2.5 of these per peer
+    (current + history), so the per-instance ``__dict__`` would cost
+    hundreds of MiB at 10× scale.
+    """
 
     ip: str
     asn: int
@@ -36,7 +41,7 @@ class IpAssignment:
     ipv6: Optional[str] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class AddressProfile:
     """How a peer's public address evolves over time.
 
@@ -84,11 +89,21 @@ class IpAssignmentManager:
     #: addresses over the campaign — the paper's 460-peer group).
     EXTREME_NOMAD_FRACTION = 0.5
 
-    def __init__(self, registry: GeoRegistry, rng: random.Random) -> None:
+    def __init__(
+        self,
+        registry: GeoRegistry,
+        rng: random.Random,
+        retain_history: bool = True,
+    ) -> None:
         self._registry = registry
         self._rng = rng
         self._profiles: Dict[bytes, AddressProfile] = {}
         self._current: Dict[bytes, IpAssignment] = {}
+        #: Per-peer past leases.  ``retain_history=False`` (lean population
+        #: builds) skips the appends entirely — no RNG draw depends on the
+        #: history, so churn stays bit-identical while the retired
+        #: ``IpAssignment`` objects become garbage immediately.
+        self.retain_history = retain_history
         self._history: Dict[bytes, List[IpAssignment]] = {}
         self._host_counters: Dict[int, int] = {}
 
@@ -164,7 +179,8 @@ class IpAssignmentManager:
         self._profiles[peer_id] = profile
         assignment = self._allocate_in_as(asys)
         self._current[peer_id] = assignment
-        self._history[peer_id] = [assignment]
+        if self.retain_history:
+            self._history[peer_id] = [assignment]
         return assignment
 
     #: Dynamic-lease rotation intervals (days), heavy-tailed.
@@ -258,7 +274,8 @@ class IpAssignmentManager:
             self._profiles[peer_id] = profile
             assignment = self._allocate_in_as(asys)
             self._current[peer_id] = assignment
-            self._history[peer_id] = [assignment]
+            if self.retain_history:
+                self._history[peer_id] = [assignment]
             assignments.append(assignment)
         return assignments
 
@@ -287,7 +304,8 @@ class IpAssignmentManager:
             asn = profile.home_asn
         assignment = self._allocate_in_as(self._registry.autonomous_system(asn))
         self._current[peer_id] = assignment
-        self._history[peer_id].append(assignment)
+        if self.retain_history:
+            self._history[peer_id].append(assignment)
         return assignment
 
     def maybe_rotate_many(
@@ -306,7 +324,7 @@ class IpAssignmentManager:
         rng_random = rng.random
         profiles = self._profiles
         current = self._current
-        history = self._history
+        history = self._history if self.retain_history else None
         autonomous_system = self._registry.autonomous_system
         changed: List[Tuple[int, IpAssignment]] = []
         for position, peer_id in enumerate(peer_ids):
@@ -322,7 +340,8 @@ class IpAssignmentManager:
                 asn = profile.home_asn
             assignment = self._allocate_in_as(autonomous_system(asn))
             current[peer_id] = assignment
-            history[peer_id].append(assignment)
+            if history is not None:
+                history[peer_id].append(assignment)
             changed.append((position, assignment))
         return changed
 
@@ -333,7 +352,8 @@ class IpAssignmentManager:
             self._registry.autonomous_system(profile.home_asn)
         )
         self._current[peer_id] = assignment
-        self._history[peer_id].append(assignment)
+        if self.retain_history:
+            self._history[peer_id].append(assignment)
         return assignment
 
     # ------------------------------------------------------------------ #
@@ -345,18 +365,26 @@ class IpAssignmentManager:
     def profile(self, peer_id: bytes) -> AddressProfile:
         return self._profiles[peer_id]
 
+    def _require_history(self, peer_id: bytes) -> List[IpAssignment]:
+        if not self.retain_history:
+            raise RuntimeError(
+                "address history is not retained by a lean "
+                "(retain_history=False) assignment manager"
+            )
+        return self._history[peer_id]
+
     def history(self, peer_id: bytes) -> List[IpAssignment]:
-        return list(self._history[peer_id])
+        return list(self._require_history(peer_id))
 
     def address_count(self, peer_id: bytes) -> int:
         """Distinct IPv4 addresses the peer has held so far."""
-        return len({a.ip for a in self._history[peer_id]})
+        return len({a.ip for a in self._require_history(peer_id)})
 
     def asn_count(self, peer_id: bytes) -> int:
-        return len({a.asn for a in self._history[peer_id]})
+        return len({a.asn for a in self._require_history(peer_id)})
 
     def country_count(self, peer_id: bytes) -> int:
-        return len({a.country_code for a in self._history[peer_id]})
+        return len({a.country_code for a in self._require_history(peer_id)})
 
     def all_peer_ids(self) -> List[bytes]:
         return list(self._profiles.keys())

@@ -281,8 +281,16 @@ class I2PPopulation:
         registry: Optional[GeoRegistry] = None,
         churn_model: Optional[ChurnModel] = None,
         bandwidth_model: Optional[BandwidthModel] = None,
+        retain_records: bool = True,
     ) -> None:
         self.config = config or PopulationConfig()
+        #: Lean mode for the out-of-core exposure build: per-peer
+        #: ``PeerRecord`` objects (and the id → record map) are dropped as
+        #: soon as their columns are extracted.  Every RNG draw is
+        #: unchanged, so lean and full populations are byte-identical
+        #: column for column; only row-oriented access (``peers``,
+        #: ``peer()``, snapshot materialisation) is unavailable.
+        self.retain_records = retain_records
         self.registry = registry or default_registry()
         self.streams = SeededStreams(self.config.seed)
         self._churn_rng = self.streams.python("churn")
@@ -291,13 +299,16 @@ class I2PPopulation:
         self._day_rng = self.streams.python("daily")
         self.churn_model = churn_model or ChurnModel(rng=self._churn_rng)
         self.bandwidth_model = bandwidth_model or BandwidthModel()
-        self.ip_manager = IpAssignmentManager(self.registry, self._ip_rng)
+        self.ip_manager = IpAssignmentManager(
+            self.registry, self._ip_rng, retain_history=retain_records
+        )
 
         self._columns = PeerColumns(
             horizon_days=self.config.horizon_days,
             initial_capacity=max(
                 1024, int(self.config.target_daily_population * 1.6)
             ),
+            retain_records=retain_records,
         )
         #: Row-oriented records, index-aligned with the columns (the list is
         #: shared with :attr:`PeerColumns.records`).
@@ -309,9 +320,12 @@ class I2PPopulation:
 
         self._bootstrap_initial_population()
         #: Poisson arrival rate that keeps the daily population stable.
+        #: (``columns.size`` == the identity count whether or not records
+        #: are retained, so lean populations draw identically.)
         self._arrival_rate = max(
             1.0,
-            len(self.peers) / max(1.0, self.churn_model.expected_lifetime_days()),
+            self._columns.size
+            / max(1.0, self.churn_model.expected_lifetime_days()),
         )
 
     @property
@@ -416,7 +430,8 @@ class I2PPopulation:
             static_ip=profile.change_interval_days == float("inf"),
             assignment=assignment,
         )
-        self._peers_by_id[record.peer_id] = record
+        if self.retain_records:
+            self._peers_by_id[record.peer_id] = record
         return record
 
     def _bootstrap_initial_population(self) -> None:
@@ -546,7 +561,8 @@ class I2PPopulation:
                 static_ip=profile.change_interval_days == float("inf"),
                 assignment=assignment,
             )
-            self._peers_by_id[record.peer_id] = record
+            if self.retain_records:
+                self._peers_by_id[record.peer_id] = record
 
     def _sample_visibility_classes_batch(
         self, poor: np.ndarray, rolls: np.ndarray
@@ -728,11 +744,16 @@ class I2PPopulation:
     # Introspection
     # ------------------------------------------------------------------ #
     def peer(self, peer_id: bytes) -> PeerRecord:
+        if not self.retain_records:
+            raise RuntimeError(
+                "row-oriented peer access is unavailable on a lean "
+                "(retain_records=False) population"
+            )
         return self._peers_by_id[peer_id]
 
     def total_identities(self) -> int:
         """All identities created so far (members past and present)."""
-        return len(self.peers)
+        return self._columns.size
 
     def estimated_network_size(self) -> int:
         """The model's own notion of the daily active population."""

@@ -1,4 +1,7 @@
-"""Tests for the on-disk npz exposure cache (``sim/exposure_cache.py``)."""
+"""Tests for the sharded on-disk exposure bundle (``sim/exposure_cache.py``)."""
+
+import json
+import logging
 
 import numpy as np
 import pytest
@@ -35,13 +38,39 @@ class TestDigest:
         assert len(digests) == 3
 
 
+class TestBundleLayout:
+    def test_bundle_is_a_directory_with_meta_store_and_shards(self, tmp_path):
+        config, obs_seed = _key()
+        exposure = ExposureEngine().get(config, obs_seed, days=3)
+        path = exposure_cache.save_exposure(exposure, tmp_path, shard_days=2)
+        assert path.is_dir()
+        meta = exposure_cache.read_meta(path)
+        assert meta["format_version"] == exposure_cache.FORMAT_VERSION
+        assert meta["days"] == 3
+        assert meta["shard_days"] == 2
+        assert (path / "store").is_dir()
+        # days 0-1 in the first shard, day 2 in the second
+        assert (path / "days-00000").is_dir()
+        assert (path / "days-00002").is_dir()
+        assert len(meta["online"]) == 3
+
+    def test_no_temp_directories_left_behind(self, tmp_path):
+        config, obs_seed = _key()
+        exposure = ExposureEngine().get(config, obs_seed, days=2)
+        exposure_cache.save_exposure(exposure, tmp_path)
+        leftovers = [
+            p for p in tmp_path.iterdir() if p.name.startswith(".exposure-")
+        ]
+        assert leftovers == []
+
+
 class TestRoundTrip:
     def test_save_load_roundtrip_arrays(self, tmp_path):
         config, obs_seed = _key()
         engine = ExposureEngine()
         exposure = engine.get(config, obs_seed, days=3)
         path = exposure_cache.save_exposure(exposure, tmp_path)
-        assert path.is_file()
+        assert path.is_dir()
 
         restored = exposure_cache.load_exposure(path)
         assert isinstance(restored, CachedExposure)
@@ -64,6 +93,19 @@ class TestRoundTrip:
                 exposure.views[day].columns.peer_ids.tolist()
                 == restored.views[day].columns.peer_ids.tolist()
             )
+
+    def test_roundtrip_across_shard_boundaries(self, tmp_path):
+        config, obs_seed = _key(days=7)
+        exposure = ExposureEngine().get(config, obs_seed, days=7)
+        path = exposure_cache.save_exposure(exposure, tmp_path, shard_days=3)
+        restored = exposure_cache.load_exposure(path)
+        assert restored.day_shard_size == 3
+        # Access out of order so the reader's shard window has to rotate.
+        for day in (6, 0, 4, 2, 5, 1, 3):
+            original = exposure.views[day].columns
+            loaded = restored.views[day].columns
+            np.testing.assert_array_equal(original.indices, loaded.indices)
+            assert original.ip.tolist() == loaded.ip.tolist()
 
     def test_restored_masks_are_bit_identical(self, tmp_path):
         from repro.sim.observation import MonitorMode, MonitorSpec
@@ -96,13 +138,39 @@ class TestRoundTrip:
             restored.population.day_view(0)
         assert restored.population.total_identities() == exposure.population.columns.size
 
+    def test_restored_store_is_read_only(self, tmp_path):
+        config, obs_seed = _key()
+        exposure = ExposureEngine().get(config, obs_seed, days=1)
+        restored = exposure_cache.load_exposure(
+            exposure_cache.save_exposure(exposure, tmp_path)
+        )
+        with pytest.raises(RuntimeError, match="read-only"):
+            restored.population.columns.append(object(), None, None)
+
+    def test_release_day_state_keeps_later_days_readable(self, tmp_path):
+        config, obs_seed = _key(days=6)
+        exposure = ExposureEngine().get(config, obs_seed, days=6)
+        restored = exposure_cache.load_exposure(
+            exposure_cache.save_exposure(exposure, tmp_path, shard_days=2)
+        )
+        _ = restored.views[0], restored.views[1]
+        restored.release_day_state(2)
+        # Released days can still be re-read (from disk), later days too.
+        np.testing.assert_array_equal(
+            exposure.views[1].columns.indices, restored.views[1].columns.indices
+        )
+        np.testing.assert_array_equal(
+            exposure.views[5].columns.indices, restored.views[5].columns.indices
+        )
+
 
 class TestEngineIntegration:
     def test_second_engine_loads_from_disk_and_skips_build(self, tmp_path):
         first = ExposureEngine(cache_dir=tmp_path)
         result_fresh = run_main_campaign(days=4, scale=0.02, seed=5, engine=first)
         assert first.misses == 1 and first.disk_hits == 0
-        assert list(tmp_path.glob("*.npz"))
+        first.flush()
+        assert [p for p in tmp_path.iterdir() if exposure_cache._is_bundle(p)]
 
         second = ExposureEngine(cache_dir=tmp_path)
         result_cached = run_main_campaign(days=4, scale=0.02, seed=5, engine=second)
@@ -127,6 +195,7 @@ class TestEngineIntegration:
         absent PeerRecord objects)."""
         first = ExposureEngine(cache_dir=tmp_path)
         fresh = run_main_campaign(days=3, scale=0.02, seed=6, engine=first)
+        first.flush()
         second = ExposureEngine(cache_dir=tmp_path)
         cached = run_main_campaign(days=3, scale=0.02, seed=6, engine=second)
         assert second.disk_hits == 1
@@ -146,6 +215,7 @@ class TestEngineIntegration:
         config, obs_seed = _key(days=6)
         short_engine = ExposureEngine(cache_dir=tmp_path)
         short_engine.get(config, obs_seed, days=2)
+        short_engine.flush()
 
         long_engine = ExposureEngine(cache_dir=tmp_path)
         entry = long_engine.get(config, obs_seed, days=5)
@@ -153,15 +223,18 @@ class TestEngineIntegration:
         assert long_engine.misses == 1 and long_engine.disk_hits == 0
         assert not isinstance(entry, CachedExposure)
         assert entry.days_materialised >= 5
+        long_engine.flush()
 
-        # The overwritten file now serves the longer request.
+        # The overwritten bundle now serves the longer request.
         third = ExposureEngine(cache_dir=tmp_path)
         third.get(config, obs_seed, days=5)
         assert third.disk_hits == 1
 
     def test_in_memory_restored_entry_rebuilds_on_longer_request(self, tmp_path):
         config, obs_seed = _key(days=6)
-        ExposureEngine(cache_dir=tmp_path).get(config, obs_seed, days=2)
+        seeder = ExposureEngine(cache_dir=tmp_path)
+        seeder.get(config, obs_seed, days=2)
+        seeder.flush()
         engine = ExposureEngine(cache_dir=tmp_path)
         restored = engine.get(config, obs_seed, days=2)
         assert isinstance(restored, CachedExposure)
@@ -169,11 +242,11 @@ class TestEngineIntegration:
         assert not isinstance(rebuilt, CachedExposure)
         assert rebuilt.days_materialised >= 4
 
-    def test_corrupt_cache_file_is_a_miss(self, tmp_path):
+    def test_corrupt_meta_is_a_miss(self, tmp_path):
         config, obs_seed = _key()
         path = exposure_cache.cache_path(tmp_path, config, obs_seed)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_bytes(b"not an npz archive")
+        path.mkdir(parents=True)
+        (path / "meta.json").write_text("not json {")
         engine = ExposureEngine(cache_dir=tmp_path)
         entry = engine.get(config, obs_seed, days=2)
         assert engine.misses == 1 and engine.disk_hits == 0
@@ -182,7 +255,82 @@ class TestEngineIntegration:
     def test_engine_without_cache_dir_writes_nothing(self, tmp_path):
         config, obs_seed = _key()
         ExposureEngine().get(config, obs_seed, days=2)
-        assert not list(tmp_path.glob("*.npz"))
+        assert not list(tmp_path.iterdir())
+
+    def test_synchronous_writes_land_before_get_returns(self, tmp_path):
+        config, obs_seed = _key()
+        engine = ExposureEngine(cache_dir=tmp_path, background_writes=False)
+        engine.get(config, obs_seed, days=2)
+        path = exposure_cache.cache_path(tmp_path, config, obs_seed)
+        assert exposure_cache._is_bundle(path)
+
+    def test_background_write_is_joined_by_same_engine_reload(self, tmp_path):
+        """An engine that just scheduled a background save must not race
+        itself when the entry is evicted from RAM and re-requested."""
+        config, obs_seed = _key()
+        engine = ExposureEngine(cache_dir=tmp_path, capacity=1)
+        engine.get(config, obs_seed, days=2)
+        # Evict the in-memory entry while the save may still be in flight.
+        other_config, other_seed = _key(seed=3)
+        engine.get(other_config, other_seed, days=1)
+        engine.get(config, obs_seed, days=2)
+        assert engine.disk_hits == 1
+
+    def test_flush_is_idempotent(self, tmp_path):
+        engine = ExposureEngine(cache_dir=tmp_path)
+        config, obs_seed = _key()
+        engine.get(config, obs_seed, days=1)
+        engine.flush()
+        engine.flush()
+        assert exposure_cache._is_bundle(
+            exposure_cache.cache_path(tmp_path, config, obs_seed)
+        )
+
+
+class TestOutOfCoreBackend:
+    def test_out_of_core_requires_cache_dir(self):
+        with pytest.raises(ValueError, match="cache_dir"):
+            ExposureEngine(backend="out_of_core")
+
+    def test_unknown_backend_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown exposure backend"):
+            ExposureEngine(backend="ram")
+
+    def test_hyphenated_backend_name_is_accepted(self, tmp_path):
+        engine = ExposureEngine(cache_dir=tmp_path, backend="out-of-core")
+        assert engine.backend == "out_of_core"
+
+    def test_miss_builds_a_streamed_entry(self, tmp_path):
+        config, obs_seed = _key(days=5)
+        engine = ExposureEngine(
+            cache_dir=tmp_path, backend="out_of_core", shard_days=2
+        )
+        entry = engine.get(config, obs_seed, days=5)
+        assert isinstance(entry, CachedExposure)
+        assert entry.days_materialised == 5
+        assert engine.misses == 1
+        # The bundle landed on disk as part of the build itself.
+        assert exposure_cache._is_bundle(
+            exposure_cache.cache_path(tmp_path, config, obs_seed)
+        )
+
+    def test_out_of_core_matches_in_memory_bit_for_bit(self, tmp_path):
+        config, obs_seed = _key(days=5)
+        mem = ExposureEngine().get(config, obs_seed, days=5)
+        ooc = ExposureEngine(
+            cache_dir=tmp_path, backend="out_of_core", shard_days=2
+        ).get(config, obs_seed, days=5)
+        for day in range(5):
+            a, b = mem.views[day].columns, ooc.views[day].columns
+            np.testing.assert_array_equal(a.indices, b.indices)
+            np.testing.assert_array_equal(a.firewalled, b.firewalled)
+            np.testing.assert_array_equal(a.tier_code, b.tier_code)
+            assert a.ip.tolist() == b.ip.tolist()
+            assert a.peer_ids.tolist() == b.peer_ids.tolist()
+            np.testing.assert_array_equal(
+                np.asarray(mem._exposures[day].visibility),
+                np.asarray(ooc._exposures[day].visibility),
+            )
 
 
 class TestCacheMaintenance:
@@ -196,76 +344,193 @@ class TestCacheMaintenance:
         assert entry["days"] == 2
         assert entry["peers"] == exposure.population.columns.size
         assert entry["seed"] == config.seed
+        assert entry["bytes"] > 0
         assert exposure_cache.clear_cache(tmp_path) == 1
         assert exposure_cache.cache_entries(tmp_path) == []
 
-    def test_cache_entries_flags_unreadable_files(self, tmp_path):
-        (tmp_path / "deadbeef.npz").write_bytes(b"junk")
+    def test_cache_entries_flags_unreadable_bundles(self, tmp_path):
+        bad = tmp_path / "deadbeef"
+        bad.mkdir()
+        (bad / "meta.json").write_text("junk {")
         entries = exposure_cache.cache_entries(tmp_path)
         assert entries and entries[0]["error"] == "unreadable"
+
+    def test_cache_entries_flags_legacy_npz(self, tmp_path):
+        (tmp_path / "cafecafe.npz").write_bytes(b"PK\x03\x04" + b"\x00" * 64)
+        entries = exposure_cache.cache_entries(tmp_path)
+        assert entries and entries[0]["error"] == "legacy v1 archive"
+
+    def test_clear_cache_sweeps_legacy_and_temp_dirs(self, tmp_path):
+        (tmp_path / "cafecafe.npz").write_bytes(b"junk")
+        stale = tmp_path / ".exposure-leftover"
+        stale.mkdir()
+        (stale / "partial.bin").write_bytes(b"\x00")
+        assert exposure_cache.clear_cache(tmp_path) == 1
+        assert not (tmp_path / "cafecafe.npz").exists()
+        assert not stale.exists()
 
     def test_missing_directory_is_empty(self, tmp_path):
         missing = tmp_path / "nope"
         assert exposure_cache.cache_entries(missing) == []
         assert exposure_cache.clear_cache(missing) == 0
 
+    def test_human_bytes(self):
+        assert exposure_cache.human_bytes(512) == "512 B"
+        assert exposure_cache.human_bytes(2048) == "2.0 KiB"
+        assert exposure_cache.human_bytes(5 * 1024**2) == "5.0 MiB"
+        assert exposure_cache.human_bytes(3 * 1024**3) == "3.0 GiB"
 
-class TestCorruptArchives:
-    def test_truncated_zip_is_a_miss_not_a_crash(self, tmp_path):
-        """A file with a valid PK magic but garbage body (e.g. a torn copy)
-        must degrade to a rebuild, not raise zipfile.BadZipFile."""
+
+class TestCacheBudget:
+    def _bundle(self, directory, seed):
+        config, obs_seed = _key(seed=seed)
+        exposure = ExposureEngine().get(config, obs_seed, days=1)
+        return exposure_cache.save_exposure(exposure, directory)
+
+    def test_oldest_entries_are_evicted_first(self, tmp_path, caplog):
+        import os
+        import time
+
+        first = self._bundle(tmp_path, seed=1)
+        second = self._bundle(tmp_path, seed=2)
+        # Make the first bundle decisively older than the second.
+        old = time.time() - 10_000
+        os.utime(first / "meta.json", (old, old))
+        budget = exposure_cache.bundle_size(second) + 1
+        with caplog.at_level(logging.INFO, logger="repro.sim.exposure_cache"):
+            evicted = exposure_cache.enforce_cache_budget(tmp_path, budget)
+        assert evicted == [first]
+        assert not first.exists()
+        assert second.exists()
+        assert any("evicted" in record.message for record in caplog.records)
+
+    def test_protected_entry_survives_even_over_budget(self, tmp_path):
+        bundle = self._bundle(tmp_path, seed=1)
+        evicted = exposure_cache.enforce_cache_budget(tmp_path, 1, protect=bundle)
+        assert evicted == []
+        assert bundle.exists()
+
+    def test_budget_large_enough_evicts_nothing(self, tmp_path):
+        bundle = self._bundle(tmp_path, seed=1)
+        assert exposure_cache.enforce_cache_budget(tmp_path, 10 * 1024**3) == []
+        assert bundle.exists()
+
+    def test_loading_bumps_recency(self, tmp_path):
+        import os
+        import time
+
+        bundle = self._bundle(tmp_path, seed=1)
+        old = time.time() - 10_000
+        os.utime(bundle / "meta.json", (old, old))
+        before = exposure_cache._bundle_recency(bundle)
+        exposure_cache.load_exposure(bundle)
+        assert exposure_cache._bundle_recency(bundle) > before
+
+    def test_engine_enforces_budget_after_save(self, tmp_path):
+        config_a, seed_a = _key(seed=1)
+        config_b, seed_b = _key(seed=2)
+        probe = ExposureEngine(cache_dir=tmp_path, background_writes=False)
+        probe.get(config_a, seed_a, days=1)
+        bundle_bytes = exposure_cache.bundle_size(
+            exposure_cache.cache_path(tmp_path, config_a, seed_a)
+        )
+        exposure_cache.clear_cache(tmp_path)
+
+        engine = ExposureEngine(
+            cache_dir=tmp_path,
+            background_writes=False,
+            max_bytes=int(bundle_bytes * 1.5),
+        )
+        engine.get(config_a, seed_a, days=1)
+        engine.get(config_b, seed_b, days=1)
+        bundles = [p for p in tmp_path.iterdir() if exposure_cache._is_bundle(p)]
+        # Only the most recent bundle fits the budget.
+        assert len(bundles) == 1
+        assert bundles[0] == exposure_cache.cache_path(tmp_path, config_b, seed_b)
+
+
+class TestCorruptBundles:
+    def test_truncated_shard_is_a_miss_not_a_crash(self, tmp_path):
+        """A bundle with a torn shard file (e.g. a killed copy) must degrade
+        to a rebuild, not raise on load."""
         config, obs_seed = _key()
+        engine = ExposureEngine(cache_dir=tmp_path, background_writes=False)
+        engine.get(config, obs_seed, days=2)
         path = exposure_cache.cache_path(tmp_path, config, obs_seed)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_bytes(b"PK\x03\x04" + b"\x00" * 64)
-        engine = ExposureEngine(cache_dir=tmp_path)
-        entry = engine.get(config, obs_seed, days=2)
-        assert engine.misses == 1 and engine.disk_hits == 0
+        shard_file = path / "days-00000" / "indices.bin"
+        shard_file.write_bytes(shard_file.read_bytes()[:-4])
+
+        fresh = ExposureEngine(cache_dir=tmp_path)
+        entry = fresh.get(config, obs_seed, days=2)
+        assert fresh.misses == 1 and fresh.disk_hits == 0
         assert entry.days_materialised >= 2
 
-    def test_cache_entries_survive_truncated_zip(self, tmp_path):
-        (tmp_path / "cafecafe.npz").write_bytes(b"PK\x03\x04" + b"\x00" * 64)
-        entries = exposure_cache.cache_entries(tmp_path)
-        assert entries and entries[0]["error"] == "unreadable"
+    def test_missing_store_file_is_a_miss(self, tmp_path):
+        config, obs_seed = _key()
+        ExposureEngine(cache_dir=tmp_path, background_writes=False).get(
+            config, obs_seed, days=2
+        )
+        path = exposure_cache.cache_path(tmp_path, config, obs_seed)
+        (path / "store" / "tier_code.bin").unlink()
+        fresh = ExposureEngine(cache_dir=tmp_path)
+        entry = fresh.get(config, obs_seed, days=2)
+        assert fresh.misses == 1 and fresh.disk_hits == 0
+        assert entry.days_materialised >= 2
+
+    def test_stale_format_version_is_a_miss(self, tmp_path):
+        config, obs_seed = _key()
+        ExposureEngine(cache_dir=tmp_path, background_writes=False).get(
+            config, obs_seed, days=2
+        )
+        path = exposure_cache.cache_path(tmp_path, config, obs_seed)
+        meta = exposure_cache.read_meta(path)
+        meta["format_version"] = 1
+        (path / "meta.json").write_text(json.dumps(meta))
+        fresh = ExposureEngine(cache_dir=tmp_path)
+        fresh.get(config, obs_seed, days=2)
+        assert fresh.misses == 1 and fresh.disk_hits == 0
 
     def test_evict_corrupt_warns_and_removes(self, tmp_path, caplog):
-        import logging
-
-        bad = tmp_path / "deadbeef.npz"
-        bad.write_bytes(b"junk")
+        bad = tmp_path / "deadbeef"
+        bad.mkdir()
+        (bad / "meta.json").write_text("junk")
+        (bad / "store").mkdir()
+        (bad / "store" / "x.bin").write_bytes(b"\x00")
         with caplog.at_level(logging.WARNING, logger="repro.sim.exposure_cache"):
             assert exposure_cache.evict_corrupt(bad, ValueError("boom"))
         assert not bad.exists()
         assert any(
-            "evicting corrupt exposure cache file" in record.message
+            "evicting corrupt exposure cache entry" in record.message
             and "boom" in record.message
             for record in caplog.records
         )
 
-    def test_evict_corrupt_tolerates_a_missing_file(self, tmp_path):
+    def test_evict_corrupt_tolerates_a_missing_entry(self, tmp_path):
         assert not exposure_cache.evict_corrupt(
-            tmp_path / "gone.npz", OSError("torn")
+            tmp_path / "gone", OSError("torn")
         )
 
-    def test_corrupt_file_is_warned_evicted_and_regenerated(self, tmp_path, caplog):
-        """End to end: a corrupt file at the cache path triggers a warning,
+    def test_corrupt_bundle_is_warned_evicted_and_regenerated(self, tmp_path, caplog):
+        """End to end: a corrupt bundle at the cache path triggers a warning,
         gets deleted, and the rebuild writes a healthy replacement that the
         next engine restores from disk."""
-        import logging
-
         config, obs_seed = _key()
+        ExposureEngine(cache_dir=tmp_path, background_writes=False).get(
+            config, obs_seed, days=2
+        )
         path = exposure_cache.cache_path(tmp_path, config, obs_seed)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_bytes(b"PK\x03\x04" + b"\x00" * 64)
-        engine = ExposureEngine(cache_dir=tmp_path)
+        shard_file = path / "days-00000" / "indices.bin"
+        shard_file.write_bytes(b"\x00" * 3)
+
+        engine = ExposureEngine(cache_dir=tmp_path, background_writes=False)
         with caplog.at_level(logging.WARNING, logger="repro.sim.exposure_cache"):
             engine.get(config, obs_seed, days=2)
         assert any(
-            "evicting corrupt exposure cache file" in record.message
+            "evicting corrupt exposure cache entry" in record.message
             for record in caplog.records
         )
-        # The rebuild overwrote the evicted file with a loadable archive.
-        assert path.is_file()
+        # The rebuild overwrote the evicted bundle with a loadable one.
+        assert exposure_cache._is_bundle(path)
         assert exposure_cache.read_meta(path)["days"] >= 2
         fresh = ExposureEngine(cache_dir=tmp_path)
         fresh.get(config, obs_seed, days=2)

@@ -159,7 +159,7 @@ class TestCacheCommandAndReuse:
         assert "1 entr" in listing
         assert "days=2" in listing
         assert main(["cache", "clear"]) == 0
-        assert "removed 1 cache file(s)" in capsys.readouterr().out
+        assert "removed 1 cache entr(y/ies)" in capsys.readouterr().out
         assert main(["cache", "ls"]) == 0
         assert "0 entr" in capsys.readouterr().out
 
@@ -170,6 +170,85 @@ class TestCacheCommandAndReuse:
         assert main(["cache", "ls"]) == 0
         assert "0 entr" in capsys.readouterr().out
         assert main(["--no-cache", "cache", "ls"]) == 2
+
+    def test_cache_ls_uses_human_readable_sizes(self, capsys):
+        assert main(["--scale", "0.01", "run", "bandwidth_sweep", "--days", "2"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "ls"]) == 0
+        listing = capsys.readouterr().out
+        # Entry and total sizes are printed in binary units, not raw bytes.
+        assert "KiB" in listing or "MiB" in listing
+
+    def test_cache_ls_json(self, capsys):
+        assert main(["--scale", "0.01", "run", "bandwidth_sweep", "--days", "2"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "ls", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total_bytes"] > 0
+        assert len(payload["entries"]) == 1
+        entry = payload["entries"][0]
+        assert entry["days"] == 2
+        assert entry["bytes"] > 0
+        assert "path" not in entry
+
+
+class TestExposureBackendFlag:
+    def test_out_of_core_backend_runs_and_caches(self, capsys):
+        argv = [
+            "--scale",
+            "0.01",
+            "--exposure-backend",
+            "out-of-core",
+            "run",
+            "bandwidth_sweep",
+            "--days",
+            "2",
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(["cache", "ls"]) == 0
+        assert "1 entr" in capsys.readouterr().out
+
+    def test_out_of_core_with_no_cache_is_rejected(self, capsys):
+        argv = [
+            "--no-cache",
+            "--exposure-backend",
+            "out-of-core",
+            "run",
+            "bandwidth_sweep",
+            "--days",
+            "2",
+        ]
+        with pytest.raises(ValueError, match="cache_dir"):
+            main(argv)
+
+    def test_backend_env_variable_is_honoured(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_EXPOSURE_BACKEND", "out-of-core")
+        assert main(["--scale", "0.01", "run", "bandwidth_sweep", "--days", "2"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "ls"]) == 0
+        assert "1 entr" in capsys.readouterr().out
+
+    def test_cache_max_bytes_flag_is_parsed(self, capsys):
+        argv = [
+            "--scale",
+            "0.01",
+            "--cache-max-bytes",
+            "10G",
+            "run",
+            "bandwidth_sweep",
+            "--days",
+            "2",
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(["cache", "ls"]) == 0
+        assert "1 entr" in capsys.readouterr().out
+
+    def test_bad_cache_max_bytes_is_rejected(self):
+        argv = ["--cache-max-bytes", "lots", "run", "bandwidth_sweep", "--days", "2"]
+        with pytest.raises(ValueError, match="cache-max-bytes"):
+            main(argv)
 
 
 class TestSuiteMaxRouters:
