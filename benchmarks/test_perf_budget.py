@@ -39,6 +39,13 @@ root with:
 * ``exposure_backend`` — the backend the main campaign entry ran on
   (always ``in_memory``; the out-of-core numbers live under
   ``memory_budget``);
+* ``enrichment`` — the geo/ASN enrichment plane's batched lookup
+  throughput (``resolve_ints`` over one million uniformly random IPv4
+  addresses, best of three) for the synthetic provider and for a compiled
+  sorted-range database, which must agree element-for-element; the
+  range-DB path carries a hard ≥ 1M lookups/sec floor and the same > 20 %
+  regression guard as the campaign throughput, plus the hybrid cache's
+  hit ratio on a hot re-lookup mix;
 * ``memory_budget`` — three single-campaign subprocess runs through
   ``python -m repro.memory_budget`` (``ru_maxrss`` is process-wide, so a
   clean peak needs a fresh process each): the scale-1.0 in-memory
@@ -69,7 +76,7 @@ from repro.sim.population import reset_snapshot_allocations, snapshot_allocation
 
 BENCH_DAYS = 10
 BENCH_SCALE = 1.0
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 #: Scale of the out-of-core memory-budget run (env-overridable so shared
 #: CI runners can use a smaller multiple of the paper's population).
@@ -262,6 +269,82 @@ def _bench_figure_suite():
     }
 
 
+#: Batch size of the enrichment lookup benchmark and repetitions per
+#: provider (best-of, like the campaign timing: noise only slows runs).
+ENRICHMENT_BATCH = 1_000_000
+ENRICHMENT_REPETITIONS = 3
+
+#: Hard floor on batched range-DB lookups (the PR 9 acceptance bar).
+ENRICHMENT_MIN_LOOKUPS_PER_SECOND = 1_000_000
+
+
+def _bench_enrichment(tmp_dir):
+    """Batched geo/ASN lookups: synthetic registry vs compiled range DB.
+
+    Both providers resolve the same one million uniformly random IPv4
+    addresses through their vectorised ``resolve_ints`` path; the answers
+    must agree element-for-element (the cross-provider equivalence the
+    enrichment plane promises).  A hot re-lookup mix through the hybrid
+    cache reports the scalar path's hit ratio.
+    """
+    import numpy as np
+
+    from repro.enrichment import (
+        HybridCacheProvider,
+        RangeDbProvider,
+        SyntheticProvider,
+        compile_range_db,
+        int_to_ipv4,
+        rows_from_registry,
+    )
+    from repro.sim.geo import default_registry
+
+    registry = default_registry()
+    synthetic = SyntheticProvider(registry)
+    db_path = os.path.join(tmp_dir, "bench_geo.db")
+    compile_range_db(rows_from_registry(registry), db_path)
+    range_db = RangeDbProvider(db_path)
+
+    rng = np.random.default_rng(2018)
+    addrs = rng.integers(0, 2**32, size=ENRICHMENT_BATCH, dtype=np.uint32)
+
+    def best_rate(provider):
+        wall = None
+        answers = None
+        for _ in range(ENRICHMENT_REPETITIONS):
+            start = time.perf_counter()
+            answers = provider.resolve_ints(addrs)
+            elapsed = time.perf_counter() - start
+            wall = elapsed if wall is None else min(wall, elapsed)
+        return answers, addrs.size / wall
+
+    synthetic_answers, synthetic_rate = best_rate(synthetic)
+    range_db_answers, range_db_rate = best_rate(range_db)
+    assert np.array_equal(synthetic_answers, range_db_answers), (
+        "synthetic and range-DB providers disagree on batched lookups"
+    )
+
+    # Hybrid-cache hit ratio on a hot working set: 64 addresses looked up
+    # 2048 times round-robin — everything past the first pass is a memory
+    # hit, so the ratio lands just under 1 (64/2048 misses).
+    cache = HybridCacheProvider(range_db, capacity=512)
+    hot = [int_to_ipv4(int(addr)) for addr in addrs[:64]]
+    for index in range(2048):
+        cache.lookup(hot[index % len(hot)])
+    stats = cache.stats.as_dict()
+    range_db.close()
+    return {
+        "enrichment": {
+            "batch_size": ENRICHMENT_BATCH,
+            "synthetic_lookups_per_second": round(synthetic_rate, 1),
+            "range_db_lookups_per_second": round(range_db_rate, 1),
+            "cache_hit_ratio": round(stats["hit_ratio"], 4),
+            "cache_memory_hits": stats["memory_hits"],
+            "cache_misses": stats["misses"],
+        }
+    }
+
+
 def _netdb_counts():
     """The throughput curve's router-count axis (env-overridable)."""
     raw = os.environ.get("REPRO_BENCH_NETDB_COUNTS", "")
@@ -340,6 +423,7 @@ def test_perf_budget(tmp_path):
     # every child's "peak" at the parent's size.
     payload.update(_bench_memory_budget(str(tmp_path)))
     payload.update(_bench_campaign())
+    payload.update(_bench_enrichment(str(tmp_path)))
     payload.update(_bench_figure_suite())
     payload.update(_bench_network())
     payload.update(_bench_fault_overhead())
@@ -407,6 +491,35 @@ def test_perf_budget(tmp_path):
             f"netDb publish throughput (300 routers) regressed more than "
             f"{REGRESSION_TOLERANCE:.0%}: {current_300} msgs/s vs committed "
             f"{baseline_300} (floor {floor:.1f})"
+        )
+
+    # Enrichment plane: the batched range-DB path must stay above the hard
+    # 1M lookups/sec floor (machine-independent by a wide margin — the
+    # vectorised searchsorted path runs tens of millions per second), the
+    # hot-set cache must actually cache, and throughput joins the same
+    # hardware-relative regression guard as the campaign numbers.
+    enrichment = payload["enrichment"]
+    assert (
+        enrichment["range_db_lookups_per_second"]
+        >= ENRICHMENT_MIN_LOOKUPS_PER_SECOND
+    ), (
+        f"batched range-DB lookups fell below the "
+        f"{ENRICHMENT_MIN_LOOKUPS_PER_SECOND:,}/s floor: "
+        f"{enrichment['range_db_lookups_per_second']:,.0f}/s"
+    )
+    assert enrichment["cache_hit_ratio"] > 0.9
+    baseline_enrichment = (
+        None
+        if skip_guard
+        else previous.get("enrichment", {}).get("range_db_lookups_per_second")
+    )
+    if baseline_enrichment:
+        floor = (1.0 - REGRESSION_TOLERANCE) * float(baseline_enrichment)
+        assert enrichment["range_db_lookups_per_second"] >= floor, (
+            f"batched range-DB lookup throughput regressed more than "
+            f"{REGRESSION_TOLERANCE:.0%}: "
+            f"{enrichment['range_db_lookups_per_second']:,.0f}/s vs committed "
+            f"{baseline_enrichment:,.0f}/s (floor {floor:,.0f}/s)"
         )
 
     # A network with a no-op FaultPlan attached must publish as fast as one

@@ -29,6 +29,16 @@ The subcommands mirror the stages of the paper plus the scenario registry:
     bundles) that lets repeated CLI runs reuse paper-scale populations
     across processes.  ``ls --json`` emits machine-readable output.
 
+``repro geo build-db|lookup``
+    The enrichment plane's tooling: compile a CSV/JSON range table into
+    the binary sorted-range geo database, and resolve one address through
+    the active provider + cache cascade (reporting which tier answered).
+
+Every analysis resolves geography through the pluggable enrichment
+provider: ``--geo-provider synthetic`` (default, the calibrated registry)
+or ``--geo-provider range-db --geo-db PATH`` (a compiled database; also
+``REPRO_GEO_PROVIDER`` / ``REPRO_GEO_DB``).
+
 Every campaign-running command consults the exposure cache directory
 (``--cache-dir``, the ``REPRO_CACHE_DIR`` environment variable, or
 ``~/.cache/repro/exposure`` by default; ``--no-cache`` disables), so a
@@ -134,6 +144,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="days per on-disk bundle shard (streaming granularity; default: "
         "$REPRO_CACHE_SHARD_DAYS or 8)",
     )
+    parser.add_argument(
+        "--geo-provider",
+        choices=("synthetic", "range-db"),
+        default=None,
+        help="geo/ASN enrichment provider every analysis resolves through "
+        "(default: $REPRO_GEO_PROVIDER, or synthetic; range-db needs "
+        "--geo-db)",
+    )
+    parser.add_argument(
+        "--geo-db",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="compiled sorted-range geo database for --geo-provider range-db "
+        "(default: $REPRO_GEO_DB; build one with `repro geo build-db`)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     measure = subparsers.add_parser(
@@ -203,6 +229,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit `cache ls` output as machine-readable JSON",
+    )
+
+    geo = subparsers.add_parser(
+        "geo", help="enrichment-plane tooling: compile and query geo databases"
+    )
+    geo_sub = geo.add_subparsers(dest="geo_action", required=True)
+    build_db = geo_sub.add_parser(
+        "build-db",
+        help="compile a CSV/JSON range table into the binary geo database",
+    )
+    build_db.add_argument("input", type=Path, help="range table (CSV or JSON)")
+    build_db.add_argument("output", type=Path, help="database file to write")
+    build_db.add_argument(
+        "--format",
+        choices=("csv", "json"),
+        default=None,
+        help="input format (default: by file extension)",
+    )
+    lookup = geo_sub.add_parser(
+        "lookup",
+        help="resolve one IP through the active provider + cache cascade",
+    )
+    lookup.add_argument("ip", help="the address to resolve")
+    lookup.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the resolution as machine-readable JSON",
     )
     return parser
 
@@ -492,6 +545,63 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_geo(args: argparse.Namespace) -> int:
+    from .enrichment import (
+        HybridCacheProvider,
+        compile_range_db,
+        get_active_provider,
+        ipv4_to_int,
+        load_rows,
+    )
+
+    if args.geo_action == "build-db":
+        try:
+            rows = load_rows(args.input, args.format)
+            stats = compile_range_db(rows, args.output)
+        except (OSError, ValueError) as error:
+            print(error.args[0] if error.args else str(error), file=sys.stderr)
+            return 2
+        print(
+            f"compiled {stats['ranges']} range(s) from {stats['source_rows']} "
+            f"source row(s) ({stats['countries']} countries, "
+            f"{stats['bytes']} bytes) -> {args.output}"
+        )
+        return 0
+
+    # lookup: one-line exit-2 validation in the `repro run` style.
+    ip = args.ip.strip()
+    if ipv4_to_int(ip) is None and ":" not in ip:
+        print(f"not a valid IP address: {args.ip!r}", file=sys.stderr)
+        return 2
+    provider = get_active_provider()
+    # Front the provider with the hybrid cache so repeated CLI lookups show
+    # the memory/disk tiers; the disk tier lives next to the exposure cache.
+    cache_dir = _resolve_cache_dir(args)
+    disk_path = (
+        cache_dir / "geo_lookup_cache.json" if cache_dir is not None else None
+    )
+    cache = HybridCacheProvider(provider, capacity=1024, disk_path=disk_path)
+    enrichment, tier = cache.lookup_with_tier(ip)
+    cache.flush()
+    if args.json:
+        import json as _json
+
+        payload = dict(enrichment.as_dict())
+        payload["provider"] = provider.name
+        payload["tier"] = tier
+        print(_json.dumps(payload, sort_keys=True))
+        return 0
+    country = enrichment.country or "??"
+    prefix = enrichment.prefix or "-"
+    print(
+        f"{ip} -> country={country} asn={enrichment.asn} prefix={prefix} "
+        f"(provider={provider.name}, tier={tier})"
+    )
+    if not enrichment.known:
+        print("address is outside the provider's tables (sentinel ASN 0)")
+    return 0
+
+
 def _cmd_censor(args: argparse.Namespace) -> int:
     engine = _make_engine(args)
     result = run_main_campaign(
@@ -524,6 +634,8 @@ def _cmd_censor(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    from .enrichment import build_provider, set_active_provider
+
     parser = build_parser()
     args = parser.parse_args(argv)
     commands = {
@@ -534,14 +646,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "scenarios": _cmd_scenarios,
         "run": _cmd_run,
         "cache": _cmd_cache,
+        "geo": _cmd_geo,
     }
     handler = commands.get(args.command)
     if handler is None:
         parser.error(f"unknown command {args.command!r}")
         return 2
+    provider = None
+    building_db = args.command == "geo" and args.geo_action == "build-db"
+    if not building_db:
+        # Install the session-active enrichment provider before dispatch so
+        # every analysis resolves through it; selection errors are usage
+        # errors (one line, exit 2), like `repro run`'s validation.
+        try:
+            provider = build_provider(
+                args.geo_provider,
+                str(args.geo_db) if args.geo_db is not None else None,
+            )
+        except ValueError as error:
+            print(error.args[0] if error.args else str(error), file=sys.stderr)
+            return 2
+        set_active_provider(provider)
     try:
         return handler(args)
     finally:
+        if not building_db:
+            set_active_provider(None)
+            close = getattr(provider, "close", None)
+            if close is not None:
+                close()
         engine = getattr(args, "_engine", None)
         if engine is not None:
             engine.flush()

@@ -20,19 +20,27 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from ..analysis.series import FigureData
-from ..sim.geo import GeoRegistry, default_registry
+from ..enrichment.base import GeoProvider, ipv4_to_int
+from ..enrichment.provider import resolve_provider
+from ..enrichment.radix import PrefixIndex
+from ..sim.geo import GeoRegistry
 from .campaign import CampaignResult
 from .monitor import MonitoringRouter
 
 __all__ = [
     "BlockingAssessment",
+    "CensorProfile",
     "blocking_rate",
     "censor_blacklist",
     "victim_known_ips",
     "blocking_assessment",
     "blocking_curve",
     "country_blocking_curve",
+    "censor_profiles",
+    "prefix_blocking_curve",
 ]
 
 
@@ -197,6 +205,7 @@ def country_blocking_curve(
     evaluation_day: Optional[int] = None,
     victim_history_days: int = 2,
     registry: Optional[GeoRegistry] = None,
+    provider: Optional[GeoProvider] = None,
 ) -> FigureData:
     """Country-level (GeoIP) blocking: netDb loss under national address blocks.
 
@@ -213,7 +222,7 @@ def country_blocking_curve(
         raise ValueError("at least one country is required")
     if evaluation_day is None:
         evaluation_day = len(result.log.daily) - 1
-    registry = registry or default_registry()
+    geo = resolve_provider(registry, provider)
     victim_ips = victim_known_ips(result.victim, evaluation_day, victim_history_days)
     figure = FigureData(
         figure_id="scenario_country_blocking",
@@ -224,7 +233,7 @@ def country_blocking_curve(
     per_country = figure.new_series("single country")
     cumulative = figure.new_series("cumulative block")
     country_of: Dict[str, Optional[str]] = {
-        ip: registry.resolve_country(ip) for ip in victim_ips
+        ip: geo.lookup(ip).country for ip in victim_ips
     }
     total = len(victim_ips)
     blocked_cumulative: Set[str] = set()
@@ -239,6 +248,110 @@ def country_blocking_curve(
         "countries by rank: "
         + " ".join(f"{rank}:{code}" for rank, code in enumerate(countries, start=1))
     )
+    figure.add_note(
+        f"victim netDb: {total} peer IPs (evaluation day {evaluation_day + 1})"
+    )
+    return figure
+
+
+# --------------------------------------------------------------------------- #
+# Prefix-granular censorship (the enrichment plane's blocking model)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CensorProfile:
+    """One national censor's block policy: a set of CIDR prefixes.
+
+    Real-world blocking operates at announcement granularity — a censor
+    null-routes or filters the prefixes originating in (or serving) its
+    jurisdiction, not individual addresses.  The profile carries the
+    prefixes the enrichment provider attributes to the censor's country.
+    """
+
+    country: str
+    prefixes: Tuple[str, ...]
+
+    @property
+    def prefix_count(self) -> int:
+        return len(self.prefixes)
+
+
+def censor_profiles(
+    countries: Sequence[str],
+    registry: Optional[GeoRegistry] = None,
+    provider: Optional[GeoProvider] = None,
+) -> List[CensorProfile]:
+    """Per-country censor profiles from the enrichment provider's tables."""
+    if not countries:
+        raise ValueError("at least one country is required")
+    geo = resolve_provider(registry, provider)
+    return [
+        CensorProfile(country=country, prefixes=geo.country_prefixes(country))
+        for country in countries
+    ]
+
+
+def prefix_blocking_curve(
+    result: CampaignResult,
+    countries: Sequence[str],
+    evaluation_day: Optional[int] = None,
+    victim_history_days: int = 2,
+    registry: Optional[GeoRegistry] = None,
+    provider: Optional[GeoProvider] = None,
+) -> FigureData:
+    """Victim netDb loss under prefix-granular censorship.
+
+    The prefix-level analogue of :func:`country_blocking_curve`: each
+    censor blocks the CIDR prefixes its country originates (its
+    :class:`CensorProfile`), and membership is evaluated with the
+    longest-prefix-match index over the victim's known peer addresses.
+    The x axis is the *cumulative number of blocked prefixes* as censors
+    join the blocking coalition in the given order; the two series report
+    each censor's own coverage and the coalition's combined coverage of
+    the victim's netDb.
+    """
+    if result.victim is None:
+        raise ValueError("the campaign was run without a victim client")
+    if evaluation_day is None:
+        evaluation_day = len(result.log.daily) - 1
+    profiles = censor_profiles(countries, registry, provider)
+    victim_ips = victim_known_ips(result.victim, evaluation_day, victim_history_days)
+    total = len(victim_ips)
+    # IPv6 addresses fall outside an IPv4 prefix block: they stay reachable
+    # and only contribute to the denominator.
+    addr_values = [
+        value
+        for value in (ipv4_to_int(ip) for ip in sorted(victim_ips))
+        if value is not None
+    ]
+    addrs = np.asarray(addr_values, dtype=np.uint32)
+
+    figure = FigureData(
+        figure_id="scenario_prefix_blocking",
+        title="Victim netDb loss under prefix-granular censorship",
+        x_label="prefixes blocked (cumulative)",
+        y_label="victim netDb IPs blocked (%)",
+    )
+    per_censor = figure.new_series("single censor")
+    cumulative = figure.new_series("cumulative block")
+    blocked = np.zeros(addrs.size, dtype=bool)
+    prefix_cursor = 0
+    labels: List[str] = []
+    for rank, profile in enumerate(profiles, start=1):
+        if profile.prefixes and addrs.size:
+            index = PrefixIndex((prefix, 1) for prefix in profile.prefixes)
+            own = index.lookup_batch(addrs) != 0
+        else:
+            own = np.zeros(addrs.size, dtype=bool)
+        blocked |= own
+        prefix_cursor += profile.prefix_count
+        per_censor.add(
+            prefix_cursor, (int(own.sum()) / total * 100.0) if total else 0.0
+        )
+        cumulative.add(
+            prefix_cursor, (int(blocked.sum()) / total * 100.0) if total else 0.0
+        )
+        labels.append(f"{rank}:{profile.country}({profile.prefix_count})")
+    figure.add_note("censors by rank (prefixes): " + " ".join(labels))
     figure.add_note(
         f"victim netDb: {total} peer IPs (evaluation day {evaluation_day + 1})"
     )

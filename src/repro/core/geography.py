@@ -22,7 +22,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis.series import FigureData
-from ..sim.geo import GeoRegistry, PRESS_FREEDOM_HIDDEN_THRESHOLD, default_registry
+from ..enrichment.base import GeoProvider
+from ..enrichment.provider import resolve_provider
+from ..sim.geo import GeoRegistry, PRESS_FREEDOM_HIDDEN_THRESHOLD
 from .monitor import ObservationLog
 
 __all__ = [
@@ -152,16 +154,23 @@ def asn_span_figure(log: ObservationLog, max_asns: int = 10) -> FigureData:
 
 
 def press_freedom_summary(
-    log: ObservationLog, registry: Optional[GeoRegistry] = None
+    log: ObservationLog,
+    registry: Optional[GeoRegistry] = None,
+    provider: Optional[GeoProvider] = None,
 ) -> Dict[str, object]:
-    """Peers observed in countries with poor press-freedom scores (>50)."""
-    registry = registry or default_registry()
+    """Peers observed in countries with poor press-freedom scores (>50).
+
+    Scores come from the enrichment provider, so a swapped geo database
+    changes this summary (and everything built on it) consistently.
+    """
+    provider = resolve_provider(registry, provider)
     counts = country_distribution(log)
     poor: Dict[str, int] = {}
     for country, count in counts.items():
-        if not registry.has_country(country):
+        score = provider.press_freedom_score(country)
+        if score is None:
             continue
-        if registry.country(country).press_freedom_score > PRESS_FREEDOM_HIDDEN_THRESHOLD:
+        if score > PRESS_FREEDOM_HIDDEN_THRESHOLD:
             poor[country] = count
     ordered = sorted(poor.items(), key=lambda item: item[1], reverse=True)
     return {
@@ -172,10 +181,11 @@ def press_freedom_summary(
 
 
 def summarize_geography(
-    log: ObservationLog, registry: Optional[GeoRegistry] = None
+    log: ObservationLog,
+    registry: Optional[GeoRegistry] = None,
+    provider: Optional[GeoProvider] = None,
 ) -> GeographicSummary:
     """The headline geographic numbers used by reports and tests."""
-    registry = registry or default_registry()
     counts = country_distribution(log)
     if not counts:
         raise ValueError("no known-IP peers with resolvable countries")
@@ -183,7 +193,7 @@ def summarize_geography(
     most_common = counts.most_common()
     top6 = sum(count for _, count in most_common[:6])
     top20 = sum(count for _, count in most_common[:20])
-    press = press_freedom_summary(log, registry)
+    press = press_freedom_summary(log, registry, provider)
     return GeographicSummary(
         countries_observed=len(counts),
         top_country=most_common[0][0],

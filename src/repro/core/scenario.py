@@ -43,6 +43,11 @@ Execution templates (``ScenarioSpec.kind``)
 ``country_blocking``
     What-if: country-level (GeoIP) blocking — how much of a stable
     client's netDb do national address blocks remove?
+``prefix_blocking``
+    What-if: prefix-granular censorship — each national censor blocks the
+    CIDR prefixes the enrichment provider attributes to its country, and
+    membership is longest-prefix-match over the victim's netDb
+    (``repro run prefix-blocking``, honouring ``--geo-provider``).
 ``reseed_denial``
     What-if: a cohort of *new* clients under reseed-server denial, with
     and without manual ``i2pseeds.su3`` rescue (Section 6.1).
@@ -74,7 +79,7 @@ import numpy as np
 from ..analysis.series import FigureData
 from ..sim.exposure import ExposureEngine
 from ..sim.observation import standard_monitor_fleet
-from .blocking import blocking_curve, country_blocking_curve
+from .blocking import blocking_curve, country_blocking_curve, prefix_blocking_curve
 from .bridges import bridge_pool_summary, bridge_survival_curve
 from .campaign import (
     MONITOR_BANDWIDTH_KBPS,
@@ -502,6 +507,47 @@ def _execute_country_blocking(
         ANALYSES[name](result, out)
 
 
+def _execute_prefix_blocking(
+    spec: ScenarioSpec,
+    out: ScenarioResult,
+    scale: float,
+    seed: int,
+    days: int,
+    engine: ExposureEngine,
+) -> None:
+    """What-if: prefix-granular censorship via the enrichment provider.
+
+    Censor countries come from ``spec.params`` or default to the top
+    observed countries; each censor's blocked-prefix set comes from the
+    session-active enrichment provider (``--geo-provider``/``--geo-db``),
+    so swapping in a compiled range database changes the censor profiles
+    and the curve consistently.
+    """
+    from .blocking import censor_profiles
+
+    config = _campaign_config(spec, scale, seed, days, None)
+    result = MeasurementCampaign(config, engine=engine).run()
+    out.campaign = result
+    countries = spec.params.get("countries")
+    if not countries:
+        ranked = country_distribution(result.log).most_common(
+            int(spec.params.get("top_n", 6))
+        )
+        countries = tuple(code for code, _ in ranked)
+    countries = tuple(countries)
+    out.add_figure(prefix_blocking_curve(result, countries))
+    profiles = censor_profiles(countries)
+    out.summaries["prefix_blocking"] = {
+        "countries": countries,
+        "prefix_counts": {
+            profile.country: profile.prefix_count for profile in profiles
+        },
+        "total_prefixes": sum(profile.prefix_count for profile in profiles),
+    }
+    for name in spec.analyses:
+        ANALYSES[name](result, out)
+
+
 def _execute_reseed_denial(
     spec: ScenarioSpec,
     out: ScenarioResult,
@@ -681,6 +727,7 @@ _EXECUTORS: Dict[
     "suite": _execute_suite,
     "monitor_fraction": _execute_monitor_fraction,
     "country_blocking": _execute_country_blocking,
+    "prefix_blocking": _execute_prefix_blocking,
     "reseed_denial": _execute_reseed_denial,
     "netdb_scale": _execute_netdb_scale,
     "fault_injection": _execute_fault_injection,
@@ -840,6 +887,18 @@ register_scenario(
         days=10,
         # The GeoIP censor needs no fleet blacklists — only the victim's
         # netDb, and the victim client always collects daily IPs.
+        include_victim=True,
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="prefix-blocking",
+        description="What-if: prefix-granular censorship - victim netDb "
+        "loss as national censors block their CIDR prefixes (enrichment "
+        "provider supplies the censor profiles)",
+        kind="prefix_blocking",
+        days=10,
+        # Like the GeoIP censor: only the victim's netDb is consumed.
         include_victim=True,
     )
 )

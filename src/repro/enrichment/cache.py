@@ -1,0 +1,193 @@
+"""Hybrid in-memory LRU + on-disk enrichment cache.
+
+A real deployment resolving millions of observed addresses against an
+offline database keeps a small hot cache in memory and spills the long
+tail to disk (the same two-tier shape as the exposure store's LRU +
+sharded bundles).  :class:`HybridCacheProvider` fronts any
+:class:`~repro.enrichment.base.GeoProvider` with that cascade:
+
+* **memory** — an ``OrderedDict`` LRU of :class:`Enrichment` records;
+* **disk** — a JSON table of records evicted from (or flushed out of)
+  memory, loaded lazily and published atomically on :meth:`flush`;
+* **provider** — the wrapped backend, consulted on a full miss.
+
+Every tier transition is counted (:class:`CacheStats`), and
+``lookup_with_tier`` reports which tier answered — surfaced by
+``repro geo lookup`` and the BENCH ``enrichment`` section.
+
+The vectorised ``resolve_ints`` hot path deliberately bypasses the cache
+and hits the backend directly: a NumPy binary search over mmap'd columns
+is faster than any per-address dict probe.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .base import Enrichment, GeoProvider
+
+__all__ = ["CacheStats", "HybridCacheProvider"]
+
+_TIER_MEMORY = "memory"
+_TIER_DISK = "disk"
+_TIER_PROVIDER = "provider"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for the two cache tiers."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.memory_hits + self.disk_hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.lookups
+        if not total:
+            return 0.0
+        return (self.memory_hits + self.disk_hits) / total
+
+    def as_dict(self) -> Dict[str, Union[int, float]]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_ratio": self.hit_ratio,
+        }
+
+
+class HybridCacheProvider(GeoProvider):
+    """LRU-in-memory + JSON-on-disk cache in front of another provider."""
+
+    name = "hybrid-cache"
+
+    def __init__(
+        self,
+        inner: GeoProvider,
+        capacity: int = 4096,
+        disk_path: Optional[Union[str, Path]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be positive: {capacity}")
+        self.inner = inner
+        self.capacity = capacity
+        self.disk_path = Path(disk_path) if disk_path is not None else None
+        self.stats = CacheStats()
+        self._memory: "OrderedDict[str, Enrichment]" = OrderedDict()
+        self._disk: Optional[Dict[str, Enrichment]] = None
+        self._disk_dirty = False
+
+    # ------------------------------------------------------------------ #
+    # Disk tier
+    # ------------------------------------------------------------------ #
+    def _disk_table(self) -> Dict[str, Enrichment]:
+        if self._disk is None:
+            table: Dict[str, Enrichment] = {}
+            if self.disk_path is not None and self.disk_path.exists():
+                try:
+                    payload = json.loads(self.disk_path.read_text())
+                except (OSError, ValueError):
+                    payload = {}
+                for ip, entry in payload.items():
+                    if not isinstance(entry, dict):
+                        continue
+                    table[ip] = Enrichment(
+                        ip=ip,
+                        country=entry.get("country"),
+                        asn=int(entry.get("asn", 0)),
+                        prefix=entry.get("prefix"),
+                    )
+            self._disk = table
+        return self._disk
+
+    def flush(self, include_memory: bool = True) -> None:
+        """Persist the disk tier (atomic tmp + replace); no-op when clean.
+
+        ``include_memory`` also spills the current memory tier to disk, so
+        a short-lived process (one ``repro geo lookup``) leaves its
+        resolutions behind for the next invocation's disk tier.
+        """
+        if self.disk_path is None:
+            return
+        table = self._disk_table()
+        if include_memory:
+            for ip, entry in self._memory.items():
+                if table.get(ip) != entry:
+                    table[ip] = entry
+                    self._disk_dirty = True
+        if not self._disk_dirty:
+            return
+        payload = {
+            ip: {"country": e.country, "asn": e.asn, "prefix": e.prefix}
+            for ip, e in sorted(table.items())
+        }
+        self.disk_path.parent.mkdir(parents=True, exist_ok=True)
+        temp = self.disk_path.with_name(self.disk_path.name + ".tmp")
+        temp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(temp, self.disk_path)
+        self._disk_dirty = False
+
+    # ------------------------------------------------------------------ #
+    # Cascade
+    # ------------------------------------------------------------------ #
+    def _remember(self, enrichment: Enrichment) -> None:
+        memory = self._memory
+        memory[enrichment.ip] = enrichment
+        memory.move_to_end(enrichment.ip)
+        while len(memory) > self.capacity:
+            _, evicted = memory.popitem(last=False)
+            self.stats.evictions += 1
+            self._disk_table()[evicted.ip] = evicted
+            self._disk_dirty = True
+
+    def lookup_with_tier(self, ip: str) -> Tuple[Enrichment, str]:
+        """Resolve and report which tier answered (memory/disk/provider)."""
+        cached = self._memory.get(ip)
+        if cached is not None:
+            self.stats.memory_hits += 1
+            self._memory.move_to_end(ip)
+            return cached, _TIER_MEMORY
+        from_disk = self._disk_table().get(ip)
+        if from_disk is not None:
+            self.stats.disk_hits += 1
+            self._remember(from_disk)
+            return from_disk, _TIER_DISK
+        self.stats.misses += 1
+        resolved = self.inner.lookup(ip)
+        self._remember(resolved)
+        return resolved, _TIER_PROVIDER
+
+    def lookup(self, ip: str) -> Enrichment:
+        return self.lookup_with_tier(ip)[0]
+
+    def lookup_batch(self, ips: Sequence[str]) -> List[Enrichment]:
+        return [self.lookup(ip) for ip in ips]
+
+    def resolve_ints(self, addrs: np.ndarray) -> np.ndarray:
+        return self.inner.resolve_ints(addrs)
+
+    # ------------------------------------------------------------------ #
+    # Metadata passthrough
+    # ------------------------------------------------------------------ #
+    def press_freedom_score(self, country_code: str) -> Optional[float]:
+        return self.inner.press_freedom_score(country_code)
+
+    def country_prefixes(self, country_code: str) -> Tuple[str, ...]:
+        return self.inner.country_prefixes(country_code)
+
+    def countries(self) -> Tuple[str, ...]:
+        return self.inner.countries()

@@ -1,0 +1,121 @@
+"""Provider construction and the session-active provider.
+
+Analyses default to a module-level *active provider* so scenario executor
+signatures stay untouched: the CLI (or a test) installs a provider once,
+every downstream consumer (`press_freedom_summary`, the blocking curves,
+`repro geo lookup`) resolves through it, and the default — when nothing was
+installed — is a cached :class:`SyntheticProvider` over the calibrated
+registry, i.e. the historical behaviour.
+
+Selection knobs (CLI flags override the environment):
+
+* ``--geo-provider`` / ``REPRO_GEO_PROVIDER`` — ``synthetic`` (default) or
+  ``range-db``;
+* ``--geo-db`` / ``REPRO_GEO_DB`` — path to a compiled range database
+  (required for, and implies, ``range-db``).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from .base import GeoProvider
+from .rangedb import RangeDbProvider
+from .synthetic import SyntheticProvider
+
+__all__ = [
+    "PROVIDER_KINDS",
+    "build_provider",
+    "default_provider",
+    "get_active_provider",
+    "resolve_provider",
+    "set_active_provider",
+    "use_provider",
+]
+
+#: Environment knobs mirrored by the CLI flags.
+ENV_PROVIDER = "REPRO_GEO_PROVIDER"
+ENV_DB = "REPRO_GEO_DB"
+
+PROVIDER_KINDS = ("synthetic", "range-db")
+
+_default: Optional[SyntheticProvider] = None
+_active: Optional[GeoProvider] = None
+
+
+def default_provider() -> SyntheticProvider:
+    """The cached synthetic provider over the calibrated default registry."""
+    global _default
+    if _default is None:
+        _default = SyntheticProvider()
+    return _default
+
+
+def build_provider(
+    kind: Optional[str] = None, db_path: Optional[str] = None
+) -> GeoProvider:
+    """Build a provider from explicit choices, falling back to the env.
+
+    Raises ``ValueError`` with a one-line message (the CLI's exit-2 style)
+    for unknown kinds, a missing ``--geo-db`` with ``range-db``, or an
+    unreadable/invalid database file.
+    """
+    if kind is None:
+        kind = os.environ.get(ENV_PROVIDER, "").strip() or None
+    if db_path is None:
+        db_path = os.environ.get(ENV_DB, "").strip() or None
+    if kind is None:
+        kind = "range-db" if db_path else "synthetic"
+    if kind not in PROVIDER_KINDS:
+        raise ValueError(
+            f"unknown geo provider {kind!r} (choose from: {', '.join(PROVIDER_KINDS)})"
+        )
+    if kind == "synthetic":
+        return default_provider()
+    if not db_path:
+        raise ValueError(
+            "the range-db geo provider needs a database: pass --geo-db PATH "
+            f"or set {ENV_DB} (compile one with 'repro geo build-db')"
+        )
+    if not os.path.exists(db_path):
+        raise ValueError(f"geo database not found: {db_path}")
+    return RangeDbProvider(db_path)
+
+
+def resolve_provider(registry=None, provider: Optional[GeoProvider] = None) -> GeoProvider:
+    """The provider an analysis should resolve through.
+
+    An explicit ``provider`` wins; a legacy ``registry`` argument is
+    wrapped in a :class:`SyntheticProvider` (backwards compatibility for
+    callers that still pass a :class:`~repro.sim.geo.GeoRegistry`);
+    otherwise the session-active provider answers.
+    """
+    if provider is not None:
+        return provider
+    if registry is not None:
+        return SyntheticProvider(registry)
+    return get_active_provider()
+
+
+def get_active_provider() -> GeoProvider:
+    """The provider analyses resolve through (default: synthetic)."""
+    return _active if _active is not None else default_provider()
+
+
+def set_active_provider(provider: Optional[GeoProvider]) -> None:
+    """Install the session-active provider (``None`` restores the default)."""
+    global _active
+    _active = provider
+
+
+@contextmanager
+def use_provider(provider: Optional[GeoProvider]) -> Iterator[GeoProvider]:
+    """Temporarily install a provider (test/CLI scoping helper)."""
+    previous = _active
+    set_active_provider(provider)
+    try:
+        yield get_active_provider()
+    finally:
+        set_active_provider(previous)

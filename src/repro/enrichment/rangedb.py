@@ -1,0 +1,471 @@
+"""Compact sorted-range geo/ASN database: compiler + mmap reader.
+
+The offline-database provider in the spirit of the GeoLite2 readers: a
+single binary file of sorted, non-overlapping IPv4 ranges, each mapping to
+``(country, asn)``, read back through one ``mmap`` so lookups are a binary
+search over zero-copy column views (the same shape as the exposure store's
+bundle columns).  The compiler (``repro geo build-db``) accepts the range
+tables real tooling exports — CSV rows or a JSON list — and:
+
+* validates (well-formed addresses/CIDRs, ``start <= end``, 2-letter
+  country codes, 32-bit ASNs) and **rejects overlapping ranges**;
+* **coalesces adjacent ranges** with identical ``(country, asn)`` so a
+  table exported prefix-by-prefix collapses back to its covering ranges;
+* records each range's CIDR prefix length when the range is exactly one
+  prefix (for ``Enrichment.prefix`` reporting), and an optional per-country
+  press-freedom score table for the censorship analyses;
+* publishes atomically (temp file + one ``os.replace``).
+
+File layout (all little-endian)::
+
+    magic "RPGEODB1" | u16 version | u16 country_count | u32 range_count
+    country codes      country_count x 2 ascii bytes  (padded to 4 bytes)
+    country scores     country_count x f32            (NaN = unknown)
+    starts             range_count x u32   (inclusive)
+    ends               range_count x u32   (inclusive)
+    asns               range_count x u32
+    country_idx        range_count x u16
+    prefix_len         range_count x u8    (0 = range is not one CIDR)
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+import mmap
+import os
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .base import (
+    SENTINEL_ASN,
+    Enrichment,
+    GeoProvider,
+    int_to_ipv4,
+    ipv4_to_int,
+    parse_prefix,
+    prefix_string,
+    split_range_to_prefixes,
+)
+
+__all__ = [
+    "RangeRow",
+    "RangeDbProvider",
+    "compile_range_db",
+    "load_rows",
+    "rows_from_registry",
+]
+
+_MAGIC = b"RPGEODB1"
+_VERSION = 1
+_HEADER = struct.Struct("<8sHHI")
+_MAX_IPV4 = 0xFFFFFFFF
+
+
+@dataclass(frozen=True, slots=True)
+class RangeRow:
+    """One source row for the compiler: an inclusive IPv4 range."""
+
+    start: int
+    end: int
+    country: str
+    asn: int
+    press_freedom_score: Optional[float] = None
+
+    def validate(self) -> "RangeRow":
+        if not 0 <= self.start <= _MAX_IPV4 or not 0 <= self.end <= _MAX_IPV4:
+            raise ValueError(
+                f"range outside the IPv4 space: {self.start}-{self.end}"
+            )
+        if self.start > self.end:
+            raise ValueError(
+                f"range start {int_to_ipv4(self.start)} exceeds end "
+                f"{int_to_ipv4(self.end)}"
+            )
+        if len(self.country) != 2 or not self.country.isascii():
+            raise ValueError(f"country must be a 2-letter code: {self.country!r}")
+        if not 0 <= self.asn <= _MAX_IPV4:
+            raise ValueError(f"ASN out of range: {self.asn}")
+        return self
+
+
+# --------------------------------------------------------------------------- #
+# Source-table parsing
+# --------------------------------------------------------------------------- #
+def _parse_address_or_int(text: str, what: str) -> int:
+    value = ipv4_to_int(text)
+    if value is None:
+        try:
+            value = int(text)
+        except ValueError:
+            raise ValueError(f"{what} is neither an IPv4 address nor an integer: {text!r}") from None
+    if not 0 <= value <= _MAX_IPV4:
+        raise ValueError(f"{what} outside the IPv4 space: {text!r}")
+    return value
+
+
+def _row_from_mapping(entry: Dict[str, object], where: str) -> RangeRow:
+    country = str(entry.get("country", "")).strip().upper()
+    try:
+        asn = int(entry.get("asn", SENTINEL_ASN))  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise ValueError(f"{where}: ASN is not an integer: {entry.get('asn')!r}") from None
+    score = entry.get("press_freedom_score")
+    score_value = float(score) if score is not None else None
+    if "prefix" in entry and entry["prefix"]:
+        network, length = parse_prefix(str(entry["prefix"]))
+        span = 1 << (32 - length)
+        return RangeRow(network, network + span - 1, country, asn, score_value).validate()
+    if "start" not in entry or "end" not in entry:
+        raise ValueError(f"{where}: needs either 'prefix' or 'start'+'end'")
+    start = _parse_address_or_int(str(entry["start"]), f"{where}: start")
+    end = _parse_address_or_int(str(entry["end"]), f"{where}: end")
+    return RangeRow(start, end, country, asn, score_value).validate()
+
+
+def parse_rows_csv(text: str) -> List[RangeRow]:
+    """Parse CSV range rows.
+
+    Columns (header optional, order fixed without one):
+    ``start,end,country,asn[,press_freedom_score]`` where ``start`` may be
+    a CIDR prefix (then ``end`` is omitted/shifted via the header form).
+    With a header, a ``prefix`` column replaces ``start``/``end``.
+    """
+    rows: List[RangeRow] = []
+    reader = csv.reader(io.StringIO(text))
+    records = [record for record in reader if record and any(cell.strip() for cell in record)]
+    if not records:
+        return rows
+    header: Optional[List[str]] = None
+    first = [cell.strip().lower() for cell in records[0]]
+    if "country" in first and ("prefix" in first or "start" in first):
+        header = first
+        records = records[1:]
+    for line_no, record in enumerate(records, start=2 if header else 1):
+        where = f"row {line_no}"
+        if header is not None:
+            entry = {
+                name: cell.strip()
+                for name, cell in zip(header, record)
+                if cell.strip()
+            }
+            rows.append(_row_from_mapping(entry, where))
+            continue
+        cells = [cell.strip() for cell in record]
+        if len(cells) == 3 and "/" in cells[0]:
+            rows.append(_row_from_mapping(
+                {"prefix": cells[0], "country": cells[1], "asn": cells[2]}, where
+            ))
+            continue
+        if len(cells) < 4:
+            raise ValueError(
+                f"{where}: expected start,end,country,asn (or prefix,country,asn)"
+            )
+        entry = {"start": cells[0], "end": cells[1], "country": cells[2], "asn": cells[3]}
+        if len(cells) > 4 and cells[4]:
+            entry["press_freedom_score"] = cells[4]
+        rows.append(_row_from_mapping(entry, where))
+    return rows
+
+
+def parse_rows_json(text: str) -> List[RangeRow]:
+    """Parse a JSON list of ``{prefix|start+end, country, asn, ...}`` rows."""
+    payload = json.loads(text)
+    if not isinstance(payload, list):
+        raise ValueError("JSON range table must be a list of row objects")
+    rows: List[RangeRow] = []
+    for position, entry in enumerate(payload):
+        if not isinstance(entry, dict):
+            raise ValueError(f"row {position}: expected an object")
+        rows.append(_row_from_mapping(entry, f"row {position}"))
+    return rows
+
+
+def load_rows(path: Union[str, Path], fmt: Optional[str] = None) -> List[RangeRow]:
+    """Load compiler rows from a CSV or JSON table (format by extension)."""
+    path = Path(path)
+    if fmt is None:
+        fmt = "json" if path.suffix.lower() == ".json" else "csv"
+    if fmt not in ("csv", "json"):
+        raise ValueError(f"unknown range-table format {fmt!r} (csv or json)")
+    text = path.read_text()
+    return parse_rows_json(text) if fmt == "json" else parse_rows_csv(text)
+
+
+def rows_from_registry(registry) -> List[RangeRow]:
+    """Export a :class:`~repro.sim.geo.GeoRegistry` as compiler rows.
+
+    One /16 range per registered AS, with the registry's press-freedom
+    scores attached — compiling these yields a range DB that resolves
+    exactly like the synthetic provider (the cross-provider equivalence
+    fixture used by tests, the benchmark, and the CI geo-smoke job).
+    Duplicate prefixes keep the last AS, matching the registry's own
+    prefix→ASN table construction.
+    """
+    by_prefix: Dict[Tuple[int, int], object] = {}
+    for asys in registry.autonomous_systems:
+        by_prefix[asys.ipv4_prefix] = asys
+    rows: List[RangeRow] = []
+    for (first, second), asys in by_prefix.items():
+        start = (first << 24) | (second << 16)
+        country = registry.country(asys.country_code)
+        rows.append(
+            RangeRow(
+                start=start,
+                end=start + 0xFFFF,
+                country=asys.country_code,
+                asn=asys.asn,
+                press_freedom_score=country.press_freedom_score,
+            )
+        )
+    rows.sort(key=lambda row: row.start)
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Compiler
+# --------------------------------------------------------------------------- #
+def _cidr_length(start: int, end: int) -> int:
+    """Prefix length if ``[start, end]`` is exactly one CIDR block, else 0."""
+    span = end - start + 1
+    if span & (span - 1):
+        return 0
+    length = 33 - span.bit_length()
+    if length and start & ((1 << (32 - length)) - 1):
+        return 0
+    if length == 0 and start != 0:
+        return 0
+    return length
+
+
+def compile_range_db(
+    rows: Sequence[RangeRow], path: Union[str, Path]
+) -> Dict[str, int]:
+    """Sort, validate, coalesce and write the binary range database.
+
+    Returns compiler statistics: source rows, coalesced ranges written,
+    countries, and the output size in bytes.  Raises ``ValueError`` on an
+    empty table or overlapping ranges (named by address so the offending
+    source row is findable).
+    """
+    if not rows:
+        raise ValueError("a range database needs at least one range")
+    ordered = sorted((row.validate() for row in rows), key=lambda r: (r.start, r.end))
+
+    coalesced: List[RangeRow] = []
+    scores: Dict[str, float] = {}
+    for row in ordered:
+        if row.press_freedom_score is not None and not math.isnan(row.press_freedom_score):
+            scores.setdefault(row.country, row.press_freedom_score)
+        if coalesced:
+            previous = coalesced[-1]
+            if row.start <= previous.end:
+                raise ValueError(
+                    f"overlapping ranges: {int_to_ipv4(previous.start)}-"
+                    f"{int_to_ipv4(previous.end)} and {int_to_ipv4(row.start)}-"
+                    f"{int_to_ipv4(row.end)}"
+                )
+            if (
+                row.start == previous.end + 1
+                and row.country == previous.country
+                and row.asn == previous.asn
+            ):
+                coalesced[-1] = RangeRow(
+                    previous.start, row.end, previous.country, previous.asn,
+                    previous.press_freedom_score,
+                )
+                continue
+        coalesced.append(row)
+
+    countries = sorted({row.country for row in coalesced})
+    country_index = {code: position for position, code in enumerate(countries)}
+
+    starts = np.asarray([row.start for row in coalesced], dtype="<u4")
+    ends = np.asarray([row.end for row in coalesced], dtype="<u4")
+    asns = np.asarray([row.asn for row in coalesced], dtype="<u4")
+    country_idx = np.asarray(
+        [country_index[row.country] for row in coalesced], dtype="<u2"
+    )
+    prefix_len = np.asarray(
+        [_cidr_length(row.start, row.end) for row in coalesced], dtype="u1"
+    )
+    score_table = np.asarray(
+        [scores.get(code, float("nan")) for code in countries], dtype="<f4"
+    )
+
+    blob = bytearray()
+    blob += _HEADER.pack(_MAGIC, _VERSION, len(countries), len(coalesced))
+    country_bytes = b"".join(code.encode("ascii") for code in countries)
+    blob += country_bytes
+    if len(country_bytes) % 4:
+        blob += b"\x00" * (4 - len(country_bytes) % 4)
+    for column in (score_table, starts, ends, asns, country_idx, prefix_len):
+        blob += column.tobytes()
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temp = path.with_name(path.name + ".tmp")
+    temp.write_bytes(bytes(blob))
+    os.replace(temp, path)
+    return {
+        "source_rows": len(rows),
+        "ranges": len(coalesced),
+        "countries": len(countries),
+        "bytes": len(blob),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Reader / provider
+# --------------------------------------------------------------------------- #
+class RangeDbProvider(GeoProvider):
+    """mmap-backed reader over a compiled sorted-range database.
+
+    IPv4 lookups are one ``searchsorted`` over the zero-copy ``starts``
+    column plus an inclusion check against ``ends``; IPv6 (and malformed)
+    addresses resolve to *unknown* — a real deployment would pair this DB
+    with a v6 table, which the format version field leaves room for.
+    """
+
+    name = "range-db"
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        with open(self.path, "rb") as handle:
+            self._mmap = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        buffer = self._mmap
+        if len(buffer) < _HEADER.size:
+            raise ValueError(f"{self.path}: truncated range database header")
+        magic, version, country_count, range_count = _HEADER.unpack_from(buffer, 0)
+        if magic != _MAGIC:
+            raise ValueError(f"{self.path}: not a range database (bad magic)")
+        if version != _VERSION:
+            raise ValueError(
+                f"{self.path}: unsupported range-db version {version} "
+                f"(expected {_VERSION})"
+            )
+        if range_count == 0:
+            raise ValueError(f"{self.path}: empty range database")
+        offset = _HEADER.size
+        raw_codes = bytes(buffer[offset : offset + 2 * country_count])
+        if len(raw_codes) != 2 * country_count:
+            raise ValueError(f"{self.path}: truncated country table")
+        self._country_codes: Tuple[str, ...] = tuple(
+            raw_codes[i : i + 2].decode("ascii") for i in range(0, len(raw_codes), 2)
+        )
+        offset += 2 * country_count
+        if offset % 4:
+            offset += 4 - offset % 4
+
+        def column(dtype: str, count: int) -> np.ndarray:
+            nonlocal offset
+            nbytes = np.dtype(dtype).itemsize * count
+            if offset + nbytes > len(buffer):
+                raise ValueError(f"{self.path}: truncated column data")
+            array = np.frombuffer(buffer, dtype=dtype, count=count, offset=offset)
+            offset += nbytes
+            return array
+
+        self._scores = column("<f4", country_count)
+        self._starts = column("<u4", range_count)
+        self._ends = column("<u4", range_count)
+        self._asns = column("<u4", range_count)
+        self._country_idx = column("<u2", range_count)
+        self._prefix_len = column("u1", range_count)
+        if offset > len(buffer):
+            raise ValueError(f"{self.path}: truncated range database")
+
+    def close(self) -> None:
+        """Release the mapping (best-effort).
+
+        The column attributes are zero-copy views into the mmap, so they
+        must be dropped before the map can close; if a caller still holds
+        a view the close is deferred to garbage collection.
+        """
+        for name in (
+            "_scores", "_starts", "_ends", "_asns", "_country_idx", "_prefix_len"
+        ):
+            if hasattr(self, name):
+                delattr(self, name)
+        try:
+            self._mmap.close()
+        except BufferError:
+            pass
+
+    def __len__(self) -> int:
+        return int(self._starts.size)
+
+    # ------------------------------------------------------------------ #
+    # Resolution
+    # ------------------------------------------------------------------ #
+    def _row_for(self, value: int) -> int:
+        """Index of the range containing ``value``, or -1."""
+        position = int(np.searchsorted(self._starts, value, side="right")) - 1
+        if position < 0 or value > int(self._ends[position]):
+            return -1
+        return position
+
+    def _enrichment_for_row(self, ip: str, row: int) -> Enrichment:
+        length = int(self._prefix_len[row])
+        prefix = (
+            prefix_string(int(self._starts[row]), length) if length else None
+        )
+        return Enrichment(
+            ip=ip,
+            country=self._country_codes[int(self._country_idx[row])],
+            asn=int(self._asns[row]),
+            prefix=prefix,
+        )
+
+    def lookup(self, ip: str) -> Enrichment:
+        value = ipv4_to_int(ip)
+        if value is None:
+            return Enrichment(ip=ip, country=None, asn=SENTINEL_ASN, prefix=None)
+        row = self._row_for(value)
+        if row < 0:
+            return Enrichment(ip=ip, country=None, asn=SENTINEL_ASN, prefix=None)
+        return self._enrichment_for_row(ip, row)
+
+    def lookup_batch(self, ips: Sequence[str]) -> List[Enrichment]:
+        return [self.lookup(ip) for ip in ips]
+
+    def resolve_ints(self, addrs: np.ndarray) -> np.ndarray:
+        flat = np.ascontiguousarray(addrs, dtype=np.uint32)
+        positions = np.searchsorted(self._starts, flat, side="right") - 1
+        clipped = np.maximum(positions, 0)
+        inside = (positions >= 0) & (flat <= self._ends[clipped])
+        return np.where(inside, self._asns[clipped], np.uint32(SENTINEL_ASN))
+
+    # ------------------------------------------------------------------ #
+    # Country metadata
+    # ------------------------------------------------------------------ #
+    def countries(self) -> Tuple[str, ...]:
+        return self._country_codes
+
+    def press_freedom_score(self, country_code: str) -> Optional[float]:
+        try:
+            position = self._country_codes.index(country_code)
+        except ValueError:
+            return None
+        score = float(self._scores[position])
+        return None if math.isnan(score) else score
+
+    def country_prefixes(self, country_code: str) -> Tuple[str, ...]:
+        try:
+            position = self._country_codes.index(country_code)
+        except ValueError:
+            return ()
+        rows = np.nonzero(self._country_idx == position)[0]
+        prefixes: List[Tuple[int, int]] = []
+        for row in rows.tolist():
+            prefixes.extend(
+                split_range_to_prefixes(int(self._starts[row]), int(self._ends[row]))
+            )
+        prefixes.sort()
+        return tuple(prefix_string(network, length) for network, length in prefixes)

@@ -1,0 +1,98 @@
+"""Synthetic enrichment provider: the GeoRegistry behind the new interface.
+
+The default provider.  It answers exactly like the historical direct
+``registry.resolve`` path — same countries, same ASNs, same unknowns — so
+campaigns run with it are byte-identical to pre-enrichment-plane runs at a
+fixed seed (locked in by the cross-provider equivalence tests).  On top of
+the historical answers it reports the originating /16 prefix and exposes
+the country metadata (press-freedom scores, per-country prefix sets) the
+censorship analyses consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..sim.geo import GeoRegistry, default_registry
+from .base import Enrichment, GeoProvider, SENTINEL_ASN, ipv4_to_int, prefix_string
+from .radix import PrefixIndex
+
+__all__ = ["SyntheticProvider"]
+
+
+class SyntheticProvider(GeoProvider):
+    """Wraps a :class:`~repro.sim.geo.GeoRegistry` as a :class:`GeoProvider`."""
+
+    name = "synthetic"
+
+    def __init__(self, registry: Optional[GeoRegistry] = None) -> None:
+        self.registry = registry if registry is not None else default_registry()
+        self._index: Optional[PrefixIndex] = None
+        self._prefix_owner: Optional[Dict[Tuple[int, int], object]] = None
+
+    # ------------------------------------------------------------------ #
+    # Internal tables
+    # ------------------------------------------------------------------ #
+    def _owners(self) -> Dict[Tuple[int, int], object]:
+        """/16 prefix → owning AS, replicating the registry's last-wins map."""
+        if self._prefix_owner is None:
+            owners: Dict[Tuple[int, int], object] = {}
+            for asys in self.registry.autonomous_systems:
+                owners[asys.ipv4_prefix] = asys
+            self._prefix_owner = owners
+        return self._prefix_owner
+
+    def prefix_index(self) -> PrefixIndex:
+        """Lazy pyasn-style LPM index over the registry's /16 prefixes.
+
+        Powers the vectorised :meth:`resolve_ints` hot path; scalar lookups
+        keep using the registry's own dict so the historical answers (IPv6
+        included) are authoritative.
+        """
+        if self._index is None:
+            self._index = PrefixIndex(
+                (
+                    prefix_string((first << 24) | (second << 16), 16),
+                    asys.asn,
+                )
+                for (first, second), asys in self._owners().items()
+            )
+        return self._index
+
+    # ------------------------------------------------------------------ #
+    # Resolution
+    # ------------------------------------------------------------------ #
+    def lookup(self, ip: str) -> Enrichment:
+        resolved = self.registry.resolve(ip)
+        if resolved is None:
+            return Enrichment(ip=ip, country=None, asn=SENTINEL_ASN, prefix=None)
+        country, asn = resolved
+        prefix: Optional[str] = None
+        value = ipv4_to_int(ip)
+        if value is not None:
+            prefix = prefix_string(value & 0xFFFF0000, 16)
+        return Enrichment(ip=ip, country=country, asn=asn, prefix=prefix)
+
+    def resolve_ints(self, addrs: np.ndarray) -> np.ndarray:
+        return self.prefix_index().lookup_batch(addrs)
+
+    # ------------------------------------------------------------------ #
+    # Country metadata
+    # ------------------------------------------------------------------ #
+    def press_freedom_score(self, country_code: str) -> Optional[float]:
+        if not self.registry.has_country(country_code):
+            return None
+        return self.registry.country(country_code).press_freedom_score
+
+    def country_prefixes(self, country_code: str) -> Tuple[str, ...]:
+        prefixes: List[Tuple[int, int]] = []
+        for (first, second), asys in self._owners().items():
+            if asys.country_code == country_code:
+                prefixes.append(((first << 24) | (second << 16), 16))
+        prefixes.sort()
+        return tuple(prefix_string(network, length) for network, length in prefixes)
+
+    def countries(self) -> Tuple[str, ...]:
+        return tuple(sorted(country.code for country in self.registry.countries))

@@ -26,6 +26,26 @@ from .geo import AutonomousSystem, GeoRegistry
 __all__ = ["AddressProfile", "IpAssignment", "IpAssignmentManager"]
 
 
+#: One shared string per /16 — every profile in an AS points at the same
+#: object, so recording the prefix costs one slot pointer per peer, not a
+#: fresh ~60-byte string (the scale-10 memory gate rides on this).
+_PREFIX_STRINGS: dict = {}
+
+
+def _home_prefix(asys: AutonomousSystem) -> str:
+    """The /16 CIDR prefix an AS allocates its synthetic addresses from.
+
+    Derived from the already-sampled AS, so recording it draws no RNG —
+    populations stay bit-identical with or without the enrichment plane.
+    """
+    key = asys.ipv4_prefix
+    prefix = _PREFIX_STRINGS.get(key)
+    if prefix is None:
+        prefix = f"{key[0]}.{key[1]}.0.0/16"
+        _PREFIX_STRINGS[key] = prefix
+    return prefix
+
+
 @dataclass(frozen=True, slots=True)
 class IpAssignment:
     """One IP address lease: the address plus where it resolves to.
@@ -57,6 +77,10 @@ class AddressProfile:
         different AS (and possibly country) — the VPN/Tor-operated profile.
     nomad_as_pool:
         The ASes a nomadic peer hops between.
+    home_prefix:
+        The originating CIDR prefix of the home AS (the /16 its addresses
+        are allocated from) — the enrichment plane's prefix-granular
+        blocking analyses key on this.
     """
 
     home_asn: int
@@ -64,6 +88,7 @@ class AddressProfile:
     change_interval_days: float
     nomadic: bool = False
     nomad_as_pool: Tuple[int, ...] = ()
+    home_prefix: str = ""
 
 
 class IpAssignmentManager:
@@ -175,6 +200,7 @@ class IpAssignmentManager:
             change_interval_days=change_interval,
             nomadic=nomadic,
             nomad_as_pool=nomad_pool,
+            home_prefix=_home_prefix(asys),
         )
         self._profiles[peer_id] = profile
         assignment = self._allocate_in_as(asys)
@@ -270,6 +296,7 @@ class IpAssignmentManager:
                 change_interval_days=float(intervals[i]),
                 nomadic=bool(nomadic[i]),
                 nomad_as_pool=pools.get(i, ()),
+                home_prefix=_home_prefix(asys),
             )
             self._profiles[peer_id] = profile
             assignment = self._allocate_in_as(asys)

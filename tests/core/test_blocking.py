@@ -144,3 +144,64 @@ class TestBlockingCurveIncrementalSemantics:
         ).get("1 day")
         assert points[0][1] == ascending.y_at(6)
         assert points[1][1] == ascending.y_at(1)
+
+
+class TestPrefixBlockingCurve:
+    """Prefix-granular censorship (the PR 9 enrichment-plane scenario)."""
+
+    def test_curve_shape_and_monotonicity(self, small_campaign):
+        from repro.core.blocking import prefix_blocking_curve
+
+        figure = prefix_blocking_curve(small_campaign, ("US", "RU", "GB"))
+        assert figure.figure_id == "scenario_prefix_blocking"
+        cumulative = figure.get("cumulative block")
+        single = figure.get("single censor")
+        assert len(cumulative.points) == len(single.points) == 3
+        assert cumulative.is_monotonic_nondecreasing()
+        assert all(0.0 <= y <= 100.0 for y in cumulative.ys + single.ys)
+        # The coalition blocks at least as much as any member alone.
+        for (_, c), (_, s) in zip(cumulative.points, single.points):
+            assert c >= s - 1e-9
+
+    def test_x_axis_is_cumulative_prefix_count(self, small_campaign):
+        from repro.core.blocking import censor_profiles, prefix_blocking_curve
+
+        countries = ("US", "RU")
+        figure = prefix_blocking_curve(small_campaign, countries)
+        profiles = censor_profiles(countries)
+        running = 0
+        for (x, _), profile in zip(figure.get("cumulative block").points, profiles):
+            running += profile.prefix_count
+            assert x == running
+
+    def test_censor_profiles_use_provider_tables(self):
+        from repro.core.blocking import censor_profiles
+        from repro.enrichment import SyntheticProvider
+        from repro.sim.geo import default_registry
+
+        provider = SyntheticProvider(default_registry())
+        (profile,) = censor_profiles(("US",), provider=provider)
+        assert profile.country == "US"
+        assert profile.prefixes == provider.country_prefixes("US")
+        assert profile.prefix_count == len(profile.prefixes)
+
+    def test_empty_countries_rejected(self):
+        from repro.core.blocking import censor_profiles
+
+        with pytest.raises(ValueError, match="at least one country"):
+            censor_profiles(())
+
+    def test_requires_victim(self):
+        from repro.core.blocking import prefix_blocking_curve
+
+        result = run_main_campaign(days=2, scale=0.01, include_victim_client=False)
+        with pytest.raises(ValueError):
+            prefix_blocking_curve(result, ("US",))
+
+    def test_note_documents_censor_ranks(self, small_campaign):
+        from repro.core.blocking import prefix_blocking_curve
+
+        figure = prefix_blocking_curve(small_campaign, ("US", "RU"))
+        notes = " ".join(figure.notes)
+        assert "censors by rank" in notes
+        assert "US" in notes

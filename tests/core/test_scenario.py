@@ -33,6 +33,7 @@ class TestRegistry:
             "figure_suite",
             "monitor_fraction_sweep",
             "country_blocking",
+            "prefix-blocking",
             "reseed_denial",
             "floodfill-takedown",
             "reseed-outage",
@@ -155,6 +156,33 @@ class TestWhatIfScenarios:
         result = run_scenario(spec, scale=0.02, seed=45, days=3)
         assert result.summaries["country_blocking"]["countries"] == ("US", "RU")
         assert len(result.figures["scenario_country_blocking"].get("single country").points) == 2
+
+    def test_prefix_blocking_cumulative_curve(self):
+        result = run_scenario("prefix-blocking", scale=0.02, seed=45, days=4)
+        figure = result.figures["scenario_prefix_blocking"]
+        cumulative = figure.get("cumulative block")
+        assert cumulative.is_monotonic_nondecreasing()
+        assert all(0.0 <= y <= 100.0 for y in cumulative.ys)
+        single = figure.get("single censor")
+        assert all(c >= s - 1e-9 for (_, c), (_, s) in zip(cumulative.points, single.points))
+        summary = result.summaries["prefix_blocking"]
+        assert summary["countries"]
+        assert len(summary["prefix_counts"]) == len(summary["countries"])
+        assert summary["total_prefixes"] == sum(summary["prefix_counts"].values())
+        # The x axis counts blocked prefixes, not censors.
+        assert cumulative.points[-1][0] == summary["total_prefixes"]
+
+    def test_prefix_blocking_respects_explicit_countries(self):
+        from dataclasses import replace
+
+        spec = replace(
+            get_scenario("prefix-blocking"),
+            name="prefix-blocking-custom",
+            params={"countries": ("US", "RU")},
+        )
+        result = run_scenario(spec, scale=0.02, seed=45, days=3)
+        assert result.summaries["prefix_blocking"]["countries"] == ("US", "RU")
+        assert len(result.figures["scenario_prefix_blocking"].get("single censor").points) == 2
 
     def test_reseed_denial_cohort(self):
         result = run_scenario("reseed_denial", scale=0.02, seed=46)

@@ -1,0 +1,141 @@
+"""Hybrid memory+disk cache tier tests."""
+
+import numpy as np
+import pytest
+
+from repro.enrichment import (
+    Enrichment,
+    GeoProvider,
+    HybridCacheProvider,
+    SENTINEL_ASN,
+)
+
+
+class CountingProvider(GeoProvider):
+    """Test double: counts lookups, answers deterministically."""
+
+    name = "counting"
+
+    def __init__(self):
+        self.calls = 0
+
+    def lookup(self, ip):
+        self.calls += 1
+        last = int(ip.rsplit(".", 1)[-1])
+        return Enrichment(ip=ip, country="US", asn=last, prefix=f"{ip}/32")
+
+
+class TestCascade:
+    def test_memory_hit_after_first_lookup(self):
+        cache = HybridCacheProvider(CountingProvider(), capacity=8)
+        first, tier1 = cache.lookup_with_tier("10.0.0.1")
+        second, tier2 = cache.lookup_with_tier("10.0.0.1")
+        assert (tier1, tier2) == ("provider", "memory")
+        assert first == second
+        assert cache.inner.calls == 1
+        assert cache.stats.memory_hits == 1
+        assert cache.stats.misses == 1
+
+    def test_lru_evicts_to_disk_and_promotes_back(self, tmp_path):
+        cache = HybridCacheProvider(
+            CountingProvider(), capacity=2, disk_path=tmp_path / "cache.json"
+        )
+        for ip in ("10.0.0.1", "10.0.0.2", "10.0.0.3"):
+            cache.lookup(ip)
+        assert cache.stats.evictions == 1  # .1 was pushed out
+        _, tier = cache.lookup_with_tier("10.0.0.1")
+        assert tier == "disk"
+        # Promotion back into memory: the next hit is a memory hit.
+        _, tier = cache.lookup_with_tier("10.0.0.1")
+        assert tier == "memory"
+        assert cache.inner.calls == 3
+
+    def test_lru_recency_order(self):
+        cache = HybridCacheProvider(CountingProvider(), capacity=2)
+        cache.lookup("10.0.0.1")
+        cache.lookup("10.0.0.2")
+        cache.lookup("10.0.0.1")  # refresh .1
+        cache.lookup("10.0.0.3")  # evicts .2, not .1
+        _, tier = cache.lookup_with_tier("10.0.0.1")
+        assert tier == "memory"
+
+    def test_flush_persists_across_instances(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = HybridCacheProvider(CountingProvider(), capacity=8, disk_path=path)
+        cache.lookup("10.0.0.7")
+        cache.flush()
+        assert path.exists()
+
+        fresh = HybridCacheProvider(CountingProvider(), capacity=8, disk_path=path)
+        enrichment, tier = fresh.lookup_with_tier("10.0.0.7")
+        assert tier == "disk"
+        assert enrichment.asn == 7
+        assert fresh.inner.calls == 0
+
+    def test_corrupt_disk_cache_is_ignored(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{not json")
+        cache = HybridCacheProvider(CountingProvider(), capacity=8, disk_path=path)
+        _, tier = cache.lookup_with_tier("10.0.0.1")
+        assert tier == "provider"
+
+    def test_stats_hit_ratio(self):
+        cache = HybridCacheProvider(CountingProvider(), capacity=8)
+        assert cache.stats.hit_ratio == 0.0
+        cache.lookup("10.0.0.1")
+        cache.lookup("10.0.0.1")
+        cache.lookup("10.0.0.1")
+        assert cache.stats.lookups == 3
+        assert cache.stats.hit_ratio == pytest.approx(2 / 3)
+        payload = cache.stats.as_dict()
+        assert payload["memory_hits"] == 2
+        assert payload["misses"] == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HybridCacheProvider(CountingProvider(), capacity=0)
+
+
+class TestPassthrough:
+    def test_resolve_ints_bypasses_cache(self):
+        class IntProvider(CountingProvider):
+            def resolve_ints(self, addrs):
+                return np.asarray(addrs, dtype=np.uint32) % 7
+
+        cache = HybridCacheProvider(IntProvider(), capacity=8)
+        out = cache.resolve_ints(np.array([14, 15], dtype=np.uint32))
+        assert out.tolist() == [0, 1]
+        assert cache.stats.lookups == 0  # the batch path never touches tiers
+
+    def test_metadata_delegates_to_inner(self):
+        class MetaProvider(CountingProvider):
+            def press_freedom_score(self, code):
+                return 42.0
+
+            def country_prefixes(self, code):
+                return ("10.0.0.0/8",)
+
+            def countries(self):
+                return ("US",)
+
+        cache = HybridCacheProvider(MetaProvider(), capacity=8)
+        assert cache.press_freedom_score("US") == 42.0
+        assert cache.country_prefixes("US") == ("10.0.0.0/8",)
+        assert cache.countries() == ("US",)
+
+    def test_unknown_results_are_cached_too(self):
+        class UnknownProvider(GeoProvider):
+            name = "unknown"
+
+            def __init__(self):
+                self.calls = 0
+
+            def lookup(self, ip):
+                self.calls += 1
+                return Enrichment(ip=ip, country=None, asn=SENTINEL_ASN, prefix=None)
+
+        cache = HybridCacheProvider(UnknownProvider(), capacity=8)
+        cache.lookup("203.0.113.1")
+        _, tier = cache.lookup_with_tier("203.0.113.1")
+        assert tier == "memory"
+        assert cache.inner.calls == 1

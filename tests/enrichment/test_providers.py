@@ -1,0 +1,145 @@
+"""Provider construction, the active-provider plumbing, and the synthetic
+provider's fidelity to the registry."""
+
+import numpy as np
+import pytest
+
+from repro.enrichment import (
+    SENTINEL_ASN,
+    RangeDbProvider,
+    SyntheticProvider,
+    build_provider,
+    compile_range_db,
+    default_provider,
+    get_active_provider,
+    rows_from_registry,
+    set_active_provider,
+    use_provider,
+)
+from repro.sim.geo import default_registry
+
+
+@pytest.fixture(autouse=True)
+def _clean_active_provider():
+    set_active_provider(None)
+    yield
+    set_active_provider(None)
+
+
+@pytest.fixture()
+def range_db_path(tmp_path):
+    path = tmp_path / "geo.db"
+    compile_range_db(rows_from_registry(default_registry()), path)
+    return path
+
+
+class TestSyntheticProvider:
+    def test_matches_registry_resolution(self):
+        registry = default_registry()
+        provider = SyntheticProvider(registry)
+        for asys in registry.autonomous_systems[:25]:
+            ip = asys.ipv4_for(3)
+            enrichment = provider.lookup(ip)
+            expected = registry.resolve(ip)
+            assert (enrichment.country, enrichment.asn) == expected
+            assert enrichment.prefix == (
+                f"{asys.ipv4_prefix[0]}.{asys.ipv4_prefix[1]}.0.0/16"
+            )
+
+    def test_ipv6_resolution_matches_registry(self):
+        registry = default_registry()
+        provider = SyntheticProvider(registry)
+        asys = registry.autonomous_system(7922)
+        ip = asys.ipv6_for(5)
+        enrichment = provider.lookup(ip)
+        assert (enrichment.country, enrichment.asn) == registry.resolve(ip)
+        assert enrichment.prefix is None  # no IPv4 prefix for a v6 address
+
+    def test_unknown_space(self):
+        provider = SyntheticProvider(default_registry())
+        missing = provider.lookup("203.0.113.1")
+        assert missing.asn == SENTINEL_ASN
+        assert missing.country is None
+
+    def test_press_freedom_scores(self):
+        registry = default_registry()
+        provider = SyntheticProvider(registry)
+        assert provider.press_freedom_score("CN") == registry.country(
+            "CN"
+        ).press_freedom_score
+        assert provider.press_freedom_score("XX") is None
+
+    def test_country_prefixes_round_trip(self):
+        registry = default_registry()
+        provider = SyntheticProvider(registry)
+        for prefix in provider.country_prefixes("US"):
+            assert provider.lookup(prefix.split("/")[0]).country == "US"
+
+
+class TestCrossProviderAgreement:
+    def test_range_db_matches_synthetic_on_batches(self, range_db_path):
+        synthetic = SyntheticProvider(default_registry())
+        range_db = RangeDbProvider(range_db_path)
+        rng = np.random.default_rng(2018)
+        addrs = rng.integers(0, 2**32, size=50_000, dtype=np.uint32)
+        assert np.array_equal(
+            synthetic.resolve_ints(addrs), range_db.resolve_ints(addrs)
+        )
+
+    def test_range_db_matches_synthetic_country_prefixes(self, range_db_path):
+        synthetic = SyntheticProvider(default_registry())
+        range_db = RangeDbProvider(range_db_path)
+        for code in ("US", "CN", "RU", "SG", "TR"):
+            assert synthetic.country_prefixes(code) == range_db.country_prefixes(code)
+
+
+class TestBuildProvider:
+    def test_default_is_synthetic(self):
+        provider = build_provider()
+        assert provider.name == "synthetic"
+        assert provider is default_provider()
+
+    def test_env_selects_range_db(self, range_db_path, monkeypatch):
+        monkeypatch.setenv("REPRO_GEO_PROVIDER", "range-db")
+        monkeypatch.setenv("REPRO_GEO_DB", str(range_db_path))
+        provider = build_provider()
+        assert provider.name == "range-db"
+
+    def test_db_path_alone_implies_range_db(self, range_db_path):
+        assert build_provider(db_path=str(range_db_path)).name == "range-db"
+
+    def test_explicit_kind_beats_env(self, range_db_path, monkeypatch):
+        monkeypatch.setenv("REPRO_GEO_PROVIDER", "range-db")
+        monkeypatch.setenv("REPRO_GEO_DB", str(range_db_path))
+        assert build_provider(kind="synthetic").name == "synthetic"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown geo provider"):
+            build_provider(kind="mmdb")
+
+    def test_range_db_without_path_rejected(self):
+        with pytest.raises(ValueError, match="--geo-db"):
+            build_provider(kind="range-db")
+
+    def test_missing_db_file_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="not found"):
+            build_provider(kind="range-db", db_path=str(tmp_path / "absent.db"))
+
+
+class TestActiveProvider:
+    def test_default_active_provider_is_synthetic(self):
+        assert get_active_provider().name == "synthetic"
+
+    def test_set_and_reset(self, range_db_path):
+        provider = RangeDbProvider(range_db_path)
+        set_active_provider(provider)
+        assert get_active_provider() is provider
+        set_active_provider(None)
+        assert get_active_provider().name == "synthetic"
+
+    def test_use_provider_restores_previous(self, range_db_path):
+        provider = RangeDbProvider(range_db_path)
+        with use_provider(provider) as active:
+            assert active is provider
+            assert get_active_provider() is provider
+        assert get_active_provider().name == "synthetic"

@@ -1,0 +1,108 @@
+"""Edge-case tests for the longest-prefix-match index (PR 9 satellite).
+
+The contract under test: overlapping prefixes resolve to the *longest*
+match, gaps resolve to the sentinel ASN 0, /32 host routes and the /0
+default route both work, and ``lookup_batch`` is deterministically
+identical to per-address ``lookup``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.enrichment import SENTINEL_ASN, PrefixIndex, ipv4_to_int
+
+
+class TestLongestPrefixWins:
+    def test_nested_prefixes(self):
+        index = PrefixIndex(
+            [("10.0.0.0/8", 100), ("10.1.0.0/16", 200), ("10.1.2.0/24", 300)]
+        )
+        assert index.lookup("10.1.2.3") == (300, "10.1.2.0/24")
+        assert index.lookup("10.1.9.9") == (200, "10.1.0.0/16")
+        assert index.lookup("10.9.9.9") == (100, "10.0.0.0/8")
+
+    def test_host_route_beats_covering_prefix(self):
+        index = PrefixIndex([("192.0.2.0/24", 1), ("192.0.2.55/32", 2)])
+        assert index.lookup("192.0.2.55") == (2, "192.0.2.55/32")
+        assert index.lookup("192.0.2.54") == (1, "192.0.2.0/24")
+
+    def test_default_route(self):
+        index = PrefixIndex([("0.0.0.0/0", 9), ("203.0.113.0/24", 5)])
+        assert index.lookup("8.8.8.8") == (9, "0.0.0.0/0")
+        assert index.lookup("203.0.113.1") == (5, "203.0.113.0/24")
+
+
+class TestGapsAndUnknowns:
+    def test_gap_resolves_to_sentinel(self):
+        index = PrefixIndex([("10.0.0.0/16", 1), ("10.2.0.0/16", 2)])
+        assert index.lookup("10.1.0.1") == (SENTINEL_ASN, None)
+
+    def test_empty_index(self):
+        index = PrefixIndex([])
+        assert len(index) == 0
+        assert index.lookup("1.2.3.4") == (SENTINEL_ASN, None)
+        assert index.lookup_batch(np.array([1, 2, 3], dtype=np.uint32)).tolist() == [
+            0,
+            0,
+            0,
+        ]
+
+    def test_non_ipv4_string_is_unknown(self):
+        index = PrefixIndex([("10.0.0.0/8", 1)])
+        assert index.lookup("not-an-ip") == (SENTINEL_ASN, None)
+        assert index.lookup("2a01:db8::1") == (SENTINEL_ASN, None)
+
+
+class TestConstruction:
+    def test_duplicate_prefix_keeps_last(self):
+        index = PrefixIndex([("10.0.0.0/8", 1), ("10.0.0.0/8", 2)])
+        assert len(index) == 1
+        assert index.lookup("10.0.0.1") == (2, "10.0.0.0/8")
+
+    def test_host_bits_are_canonicalised(self):
+        index = PrefixIndex([("10.1.2.3/16", 7)])
+        assert index.lookup("10.1.200.200") == (7, "10.1.0.0/16")
+
+    def test_bad_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            PrefixIndex([("10.0.0.0", 1)])
+        with pytest.raises(ValueError):
+            PrefixIndex([("10.0.0.0/33", 1)])
+        with pytest.raises(ValueError):
+            PrefixIndex([("10.0.0.999/8", 1)])
+
+    def test_bad_asn_rejected(self):
+        with pytest.raises(ValueError):
+            PrefixIndex([("10.0.0.0/8", -1)])
+        with pytest.raises(ValueError):
+            PrefixIndex([("10.0.0.0/8", 1 << 32)])
+
+    def test_integer_lookup_matches_string_lookup(self):
+        index = PrefixIndex([("10.1.0.0/16", 42)])
+        assert index.lookup(ipv4_to_int("10.1.2.3")) == index.lookup("10.1.2.3")
+
+
+class TestBatchDeterminism:
+    def test_batch_matches_scalar_on_fuzzed_addresses(self):
+        rng = np.random.default_rng(2018)
+        entries = []
+        for length in (0, 8, 12, 16, 24, 28, 32):
+            for _ in range(8):
+                network = int(rng.integers(0, 2**32, dtype=np.uint64))
+                entries.append(
+                    (f"{network >> 24 & 255}.{network >> 16 & 255}."
+                     f"{network >> 8 & 255}.{network & 255}/{length}",
+                     int(rng.integers(1, 70000)))
+                )
+        index = PrefixIndex(entries)
+        addrs = rng.integers(0, 2**32, size=5000, dtype=np.uint32)
+        batch = index.lookup_batch(addrs)
+        scalar = np.array(
+            [index.lookup(int(a))[0] for a in addrs], dtype=np.uint32
+        )
+        assert np.array_equal(batch, scalar)
+
+    def test_batch_accepts_plain_sequences(self):
+        index = PrefixIndex([("10.0.0.0/8", 5)])
+        out = index.lookup_batch([ipv4_to_int("10.1.1.1"), ipv4_to_int("11.0.0.1")])
+        assert out.tolist() == [5, 0]

@@ -1,0 +1,215 @@
+"""Compiler + mmap-reader tests for the sorted-range geo database."""
+
+import numpy as np
+import pytest
+
+from repro.enrichment import (
+    SENTINEL_ASN,
+    RangeDbProvider,
+    RangeRow,
+    compile_range_db,
+    ipv4_to_int,
+    load_rows,
+    rows_from_registry,
+    split_range_to_prefixes,
+)
+from repro.enrichment.rangedb import parse_rows_csv, parse_rows_json
+from repro.sim.geo import default_registry
+
+
+def _row(start, end, country="US", asn=1, score=None):
+    return RangeRow(ipv4_to_int(start), ipv4_to_int(end), country, asn, score)
+
+
+class TestCompiler:
+    def test_adjacent_same_owner_ranges_coalesce(self, tmp_path):
+        rows = [
+            _row("10.0.0.0", "10.0.255.255", "US", 7),
+            _row("10.1.0.0", "10.1.255.255", "US", 7),
+            _row("10.2.0.0", "10.2.255.255", "US", 8),
+        ]
+        stats = compile_range_db(rows, tmp_path / "geo.db")
+        assert stats["source_rows"] == 3
+        assert stats["ranges"] == 2  # first two merge, third differs by ASN
+        db = RangeDbProvider(tmp_path / "geo.db")
+        assert db.lookup("10.0.5.5").asn == 7
+        assert db.lookup("10.1.5.5").asn == 7
+        assert db.lookup("10.2.5.5").asn == 8
+
+    def test_adjacent_different_country_does_not_coalesce(self, tmp_path):
+        rows = [
+            _row("10.0.0.0", "10.0.255.255", "US", 7),
+            _row("10.1.0.0", "10.1.255.255", "CA", 7),
+        ]
+        stats = compile_range_db(rows, tmp_path / "geo.db")
+        assert stats["ranges"] == 2
+
+    def test_overlap_rejected(self, tmp_path):
+        rows = [
+            _row("10.0.0.0", "10.0.255.255"),
+            _row("10.0.128.0", "10.1.255.255"),
+        ]
+        with pytest.raises(ValueError, match="overlapping"):
+            compile_range_db(rows, tmp_path / "geo.db")
+
+    def test_empty_table_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            compile_range_db([], tmp_path / "geo.db")
+
+    def test_invalid_rows_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="exceeds end"):
+            compile_range_db([_row("10.1.0.0", "10.0.0.0")], tmp_path / "geo.db")
+        with pytest.raises(ValueError, match="country"):
+            compile_range_db(
+                [RangeRow(0, 10, "USA", 1)], tmp_path / "geo.db"
+            )
+
+    def test_exact_cidr_range_records_prefix(self, tmp_path):
+        rows = [
+            _row("10.0.0.0", "10.0.255.255", "US", 1),  # one /16
+            _row("10.2.0.0", "10.2.0.100", "US", 2),  # not a single CIDR
+        ]
+        compile_range_db(rows, tmp_path / "geo.db")
+        db = RangeDbProvider(tmp_path / "geo.db")
+        assert db.lookup("10.0.1.2").prefix == "10.0.0.0/16"
+        assert db.lookup("10.2.0.50").prefix is None
+        assert db.lookup("10.2.0.50").asn == 2
+
+
+class TestReader:
+    def test_gap_resolves_to_unknown(self, tmp_path):
+        compile_range_db(
+            [_row("10.0.0.0", "10.0.255.255", "US", 1)], tmp_path / "geo.db"
+        )
+        db = RangeDbProvider(tmp_path / "geo.db")
+        missing = db.lookup("11.0.0.1")
+        assert missing.asn == SENTINEL_ASN
+        assert missing.country is None
+        assert not missing.known
+
+    def test_resolve_ints_matches_scalar(self, tmp_path):
+        rows = rows_from_registry(default_registry())
+        compile_range_db(rows, tmp_path / "geo.db")
+        db = RangeDbProvider(tmp_path / "geo.db")
+        rng = np.random.default_rng(99)
+        addrs = rng.integers(0, 2**32, size=3000, dtype=np.uint32)
+        batch = db.resolve_ints(addrs)
+        from repro.enrichment import int_to_ipv4
+
+        scalar = np.array(
+            [db.lookup(int_to_ipv4(int(a))).asn for a in addrs], dtype=np.uint32
+        )
+        assert np.array_equal(batch, scalar)
+
+    def test_country_metadata(self, tmp_path):
+        rows = [
+            _row("10.0.0.0", "10.0.255.255", "CN", 4134, 78.3),
+            _row("20.0.0.0", "20.0.255.255", "US", 7922, 23.7),
+        ]
+        compile_range_db(rows, tmp_path / "geo.db")
+        db = RangeDbProvider(tmp_path / "geo.db")
+        assert db.countries() == ("CN", "US")
+        assert db.press_freedom_score("CN") == pytest.approx(78.3)
+        assert db.press_freedom_score("XX") is None
+        assert db.country_prefixes("CN") == ("10.0.0.0/16",)
+
+    def test_country_prefixes_split_non_cidr_ranges(self, tmp_path):
+        compile_range_db(
+            [_row("10.0.0.0", "10.0.0.11", "US", 1)], tmp_path / "geo.db"
+        )
+        db = RangeDbProvider(tmp_path / "geo.db")
+        start, end = ipv4_to_int("10.0.0.0"), ipv4_to_int("10.0.0.11")
+        expected = split_range_to_prefixes(start, end)
+        assert db.country_prefixes("US") == tuple(
+            f"10.0.0.{network & 255}/{length}" for network, length in expected
+        )
+
+    def test_ipv6_and_garbage_are_unknown(self, tmp_path):
+        compile_range_db([_row("10.0.0.0", "10.0.0.255")], tmp_path / "geo.db")
+        db = RangeDbProvider(tmp_path / "geo.db")
+        assert db.lookup("2a01:db8::1").asn == SENTINEL_ASN
+        assert db.lookup("bogus").asn == SENTINEL_ASN
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "geo.db"
+        path.write_bytes(b"NOTADB00" + b"\x00" * 64)
+        with pytest.raises(ValueError, match="magic"):
+            RangeDbProvider(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "geo.db"
+        compile_range_db([_row("10.0.0.0", "10.0.0.255")], path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 4])
+        with pytest.raises(ValueError, match="truncated"):
+            RangeDbProvider(path)
+
+
+class TestSourceParsing:
+    def test_csv_with_header_and_prefix_column(self):
+        rows = parse_rows_csv(
+            "prefix,country,asn,press_freedom_score\n"
+            "10.0.0.0/16,US,7922,23.7\n"
+            "10.1.0.0/16,CN,4134,78.3\n"
+        )
+        assert len(rows) == 2
+        assert rows[0].country == "US"
+        assert rows[0].end - rows[0].start == 0xFFFF
+        assert rows[1].press_freedom_score == pytest.approx(78.3)
+
+    def test_headerless_csv_start_end_form(self):
+        rows = parse_rows_csv("10.0.0.0,10.0.0.255,US,1\n")
+        assert rows[0].start == ipv4_to_int("10.0.0.0")
+        assert rows[0].end == ipv4_to_int("10.0.0.255")
+
+    def test_headerless_csv_prefix_form(self):
+        rows = parse_rows_csv("10.0.0.0/24,US,1\n")
+        assert rows[0].end - rows[0].start == 255
+
+    def test_json_rows(self):
+        rows = parse_rows_json(
+            '[{"prefix": "10.0.0.0/16", "country": "us", "asn": 7},'
+            ' {"start": "10.1.0.0", "end": "10.1.0.255", "country": "CA",'
+            '  "asn": 8, "press_freedom_score": 15.3}]'
+        )
+        assert rows[0].country == "US"  # codes are upper-cased
+        assert rows[1].press_freedom_score == pytest.approx(15.3)
+
+    def test_json_must_be_a_list(self):
+        with pytest.raises(ValueError, match="list"):
+            parse_rows_json('{"prefix": "10.0.0.0/16"}')
+
+    def test_malformed_rows_rejected(self):
+        with pytest.raises(ValueError):
+            parse_rows_csv("10.0.0.0,US\n")
+        with pytest.raises(ValueError):
+            parse_rows_csv("nonsense,more,US,1\n")
+
+    def test_load_rows_by_extension(self, tmp_path):
+        csv_path = tmp_path / "rows.csv"
+        csv_path.write_text("10.0.0.0/16,US,1\n")
+        json_path = tmp_path / "rows.json"
+        json_path.write_text('[{"prefix": "10.0.0.0/16", "country": "US", "asn": 1}]')
+        assert load_rows(csv_path) == load_rows(json_path)
+        with pytest.raises(ValueError, match="format"):
+            load_rows(csv_path, "xml")
+
+
+class TestRegistryExport:
+    def test_rows_cover_every_registry_prefix(self):
+        registry = default_registry()
+        rows = rows_from_registry(registry)
+        prefixes = {(row.start >> 24, (row.start >> 16) & 255) for row in rows}
+        assert prefixes == {
+            asys.ipv4_prefix for asys in registry.autonomous_systems
+        }
+
+    def test_duplicate_prefixes_keep_last_as(self, tmp_path):
+        # The registry's own prefix->ASN dict keeps the last AS registered
+        # for a prefix; the exported rows must replicate that so the range
+        # DB resolves identically.
+        registry = default_registry()
+        rows = {row.start: row for row in rows_from_registry(registry)}
+        for (first, second), asn in registry._prefix_to_asn.items():
+            start = (first << 24) | (second << 16)
+            assert rows[start].asn == asn

@@ -347,3 +347,111 @@ class TestRunFaultInjection:
         captured = capsys.readouterr()
         assert exit_code == 2
         assert "no day horizon" in captured.err
+
+
+class TestGeoCommand:
+    """``repro geo build-db`` / ``repro geo lookup`` and the provider flags."""
+
+    @pytest.fixture()
+    def compiled_db(self, tmp_path):
+        from repro.enrichment import compile_range_db, rows_from_registry
+        from repro.sim.geo import default_registry
+
+        path = tmp_path / "registry.db"
+        compile_range_db(rows_from_registry(default_registry()), path)
+        return path
+
+    def test_build_db_from_csv(self, capsys, tmp_path):
+        source = tmp_path / "rows.csv"
+        source.write_text("prefix,country,asn\n10.0.0.0/16,US,7922\n10.1.0.0/16,CN,4134\n")
+        output = tmp_path / "geo.db"
+        exit_code = main(["geo", "build-db", str(source), str(output)])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert output.exists()
+        assert "compiled 2 range(s) from 2 source row(s)" in captured
+
+    def test_build_db_rejects_malformed_source(self, capsys, tmp_path):
+        source = tmp_path / "rows.csv"
+        source.write_text("not,a,valid,row,at,all\n")
+        exit_code = main(["geo", "build-db", str(source), str(tmp_path / "geo.db")])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "\n" not in captured.err.strip()
+
+    def test_lookup_default_synthetic_provider(self, capsys):
+        exit_code = main(["geo", "lookup", "24.0.1.1"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "country=US" in captured
+        assert "asn=7922" in captured
+        assert "prefix=24.0.0.0/16" in captured
+        assert "provider=synthetic" in captured
+
+    def test_lookup_json_payload(self, capsys, compiled_db):
+        exit_code = main(
+            ["--geo-db", str(compiled_db), "geo", "lookup", "24.0.1.1", "--json"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        payload = json.loads(captured)
+        assert payload["country"] == "US"
+        assert payload["asn"] == 7922
+        assert payload["prefix"] == "24.0.0.0/16"
+        assert payload["provider"] == "range-db"
+        assert payload["tier"] in {"provider", "memory", "disk"}
+
+    def test_lookup_hits_disk_cache_on_second_invocation(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["geo", "lookup", "24.0.1.1", "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(["geo", "lookup", "24.0.1.1", "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first["tier"] == "provider"
+        assert second["tier"] == "disk"
+        assert (first["country"], first["asn"]) == (second["country"], second["asn"])
+
+    def test_lookup_invalid_ip_fails_cleanly(self, capsys):
+        exit_code = main(["geo", "lookup", "not-an-ip"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "not a valid IP address" in captured.err
+
+    def test_range_db_without_database_fails_cleanly(self, capsys):
+        exit_code = main(["--geo-provider", "range-db", "geo", "lookup", "24.0.1.1"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "--geo-db" in captured.err
+
+    def test_missing_database_file_fails_cleanly(self, capsys, tmp_path):
+        exit_code = main(
+            ["--geo-db", str(tmp_path / "absent.db"), "geo", "lookup", "24.0.1.1"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "not found" in captured.err
+
+    def test_run_prefix_blocking_scenario(self, capsys):
+        exit_code = main(
+            ["--scale", "0.02", "--seed", "41", "run", "prefix-blocking", "--days", "3"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "scenario_prefix_blocking" in captured
+        assert "censors by rank" in captured
+        assert "total_prefixes" in captured
+
+    def test_run_prefix_blocking_with_range_db_matches_synthetic(self, capsys, compiled_db):
+        # --no-cache keeps the cache-statistics footer identical between runs.
+        base_args = ["--scale", "0.02", "--seed", "41", "--no-cache"]
+        assert main(base_args + ["run", "prefix-blocking", "--days", "3"]) == 0
+        synthetic_out = capsys.readouterr().out
+        assert (
+            main(
+                base_args
+                + ["--geo-db", str(compiled_db), "run", "prefix-blocking", "--days", "3"]
+            )
+            == 0
+        )
+        range_db_out = capsys.readouterr().out
+        assert synthetic_out == range_db_out
