@@ -46,6 +46,14 @@ root with:
   range-DB path carries a hard ≥ 1M lookups/sec floor and the same > 20 %
   regression guard as the campaign throughput, plus the hybrid cache's
   hit ratio on a hot re-lookup mix;
+* ``campaign_service`` — a four-job ``monitor_fraction_sweep`` grid (one
+  exposure digest) through the campaign service's planner + queue + runner
+  versus the same four jobs as standalone ``run_scenario`` calls with cold
+  engines.  ``grid_speedup`` (Σ standalone wall / grid wall) carries a hard
+  ≥ 1.5× floor — the digest-grouped queue must amortise the shared
+  ``SharedExposure`` build — and joins the > 20 % regression guard;
+  ``queue_overhead_seconds_per_job`` isolates the claim/persist/commit cost
+  the service adds around each job;
 * ``memory_budget`` — three single-campaign subprocess runs through
   ``python -m repro.memory_budget`` (``ru_maxrss`` is process-wide, so a
   clean peak needs a fresh process each): the scale-1.0 in-memory
@@ -76,7 +84,7 @@ from repro.sim.population import reset_snapshot_allocations, snapshot_allocation
 
 BENCH_DAYS = 10
 BENCH_SCALE = 1.0
-SCHEMA_VERSION = 7
+SCHEMA_VERSION = 8
 
 #: Scale of the out-of-core memory-budget run (env-overridable so shared
 #: CI runners can use a smaller multiple of the paper's population).
@@ -345,6 +353,92 @@ def _bench_enrichment(tmp_dir):
     }
 
 
+#: Hard floor on the campaign service's grid-vs-standalone speedup: a
+#: four-job, one-digest grid amortises its shared exposure build, so even
+#: with queue/persist overhead it must beat four cold standalone runs by
+#: a wide margin.  The ratio compares two timings from the same process on
+#: the same machine, so unlike the wall-clock ceilings it is not
+#: hardware-relative.
+GRID_SPEEDUP_FLOOR = 1.5
+
+
+def _bench_campaign_service(tmp_dir):
+    """A digest-grouped 4-job grid vs the same jobs run standalone.
+
+    The grid side goes through the full service stack — planner, SQLite
+    queue claims, result-store persistence, telemetry — with one in-memory
+    exposure engine; the standalone side calls ``run_scenario`` four times
+    with a cold engine each (what a user scripting ``repro run`` in a loop
+    would pay).  Telemetry proves the grid built its ``SharedExposure``
+    exactly once.
+    """
+    from repro.core import run_scenario
+    from repro.service import (
+        GridAxis,
+        GridSpec,
+        JobQueue,
+        Telemetry,
+        execute_grid,
+        plan_grid,
+        read_events,
+    )
+
+    spec = GridSpec(
+        scenario="monitor_fraction_sweep",
+        axes=(
+            GridAxis(
+                "params.fractions",
+                ((0.2, 0.5), (0.3, 0.6), (0.4, 0.8), (0.5, 1.0)),
+            ),
+        ),
+        scale=BENCH_SCALE,
+        seed=2018,
+        days=BENCH_DAYS,
+    )
+    plan = plan_grid(spec)
+    assert len(plan.shared_digests) == 1  # the whole grid shares one build
+    db_path = os.path.join(tmp_dir, "bench_service.sqlite")
+    trace_path = os.path.join(tmp_dir, "bench_service.telemetry.jsonl")
+    with JobQueue(db_path) as queue:
+        queue.enqueue_plan(plan)
+    start = time.perf_counter()
+    with Telemetry(trace_path) as telemetry:
+        outcome = execute_grid(
+            db_path, plan.grid_id, ExposureEngine, telemetry=telemetry
+        )
+    grid_wall = time.perf_counter() - start
+    assert outcome.done == len(plan.jobs)
+    builds = sum(
+        int(record["builds"])
+        for record in read_events(trace_path)
+        if record.get("name") == "exposure.cache"
+    )
+
+    standalone_wall = 0.0
+    for job in plan.jobs:
+        start = time.perf_counter()
+        run_scenario(
+            job.resolved_spec(),
+            scale=job.scale,
+            seed=job.seed,
+            engine=ExposureEngine(),  # cold: each run pays the full build
+        )
+        standalone_wall += time.perf_counter() - start
+
+    in_job = sum(outcome.job_wall_seconds.values())
+    overhead_per_job = max(0.0, grid_wall - in_job) / len(plan.jobs)
+    return {
+        "campaign_service": {
+            "grid_jobs": len(plan.jobs),
+            "grid_exposure_builds": builds,
+            "grid_wall_seconds": round(grid_wall, 3),
+            "standalone_wall_seconds": round(standalone_wall, 3),
+            "grid_speedup": round(standalone_wall / grid_wall, 3),
+            "queue_overhead_seconds_per_job": round(overhead_per_job, 4),
+        }
+    }
+
+
 def _netdb_counts():
     """The throughput curve's router-count axis (env-overridable)."""
     raw = os.environ.get("REPRO_BENCH_NETDB_COUNTS", "")
@@ -425,6 +519,7 @@ def test_perf_budget(tmp_path):
     payload.update(_bench_campaign())
     payload.update(_bench_enrichment(str(tmp_path)))
     payload.update(_bench_figure_suite())
+    payload.update(_bench_campaign_service(str(tmp_path)))
     payload.update(_bench_network())
     payload.update(_bench_fault_overhead())
     payload["figure_suite_to_campaign_ratio"] = round(
@@ -520,6 +615,31 @@ def test_perf_budget(tmp_path):
             f"{REGRESSION_TOLERANCE:.0%}: "
             f"{enrichment['range_db_lookups_per_second']:,.0f}/s vs committed "
             f"{baseline_enrichment:,.0f}/s (floor {floor:,.0f}/s)"
+        )
+
+    # Campaign service: the digest-grouped grid must have built its shared
+    # exposure exactly once and beaten four cold standalone runs by the
+    # hard floor.  The speedup is a same-machine ratio, so the floor holds
+    # everywhere; the trajectory additionally joins the regression guard.
+    service = payload["campaign_service"]
+    assert service["grid_exposure_builds"] == 1, (
+        f"the one-digest grid built its SharedExposure "
+        f"{service['grid_exposure_builds']} times instead of once"
+    )
+    assert service["grid_speedup"] >= GRID_SPEEDUP_FLOOR, (
+        f"grid run sped up standalone runs only "
+        f"{service['grid_speedup']:.2f}x (floor {GRID_SPEEDUP_FLOOR:.1f}x) — "
+        f"the queue/persist overhead is eating the shared-exposure win"
+    )
+    baseline_speedup = (
+        None if skip_guard else previous.get("campaign_service", {}).get("grid_speedup")
+    )
+    if baseline_speedup:
+        floor = (1.0 - REGRESSION_TOLERANCE) * float(baseline_speedup)
+        assert service["grid_speedup"] >= floor, (
+            f"campaign-service grid speedup regressed more than "
+            f"{REGRESSION_TOLERANCE:.0%}: {service['grid_speedup']:.2f}x vs "
+            f"committed {baseline_speedup:.2f}x (floor {floor:.2f}x)"
         )
 
     # A network with a no-op FaultPlan attached must publish as fast as one

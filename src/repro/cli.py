@@ -34,6 +34,27 @@ The subcommands mirror the stages of the paper plus the scenario registry:
     the binary sorted-range geo database, and resolve one address through
     the active provider + cache cascade (reporting which tier answered).
 
+``repro grid plan|run|resume``
+    The campaign service: expand a registered scenario times axes of
+    overrides (``--axis days=5,10 --axis params.fractions=0.2:0.5,0.3:0.9``)
+    into a persistent job queue, grouped by exposure digest so every job
+    sharing a population streams from ONE ``SharedExposure`` build; run
+    it, interrupt it, resume it — finished jobs are never re-executed,
+    failed jobs retry up to their budget then park in the dead-letter
+    table.  State lives in one SQLite file (``--service-db`` /
+    ``$REPRO_SERVICE_DB``); ``--workers`` / ``$REPRO_GRID_WORKERS`` runs
+    digest groups concurrently.
+
+``repro jobs ls``
+    Queue state per job (pending/running/done/failed + attempts), plus
+    the dead-letter table with each poison job's traceback.
+
+``repro results ls|show|export``
+    The durable result store: per-run scalar summaries and figure series,
+    content-addressed and deduplicated.  ``export`` emits canonical JSON
+    whose bytes depend only on what was computed — never on execution
+    order, retries, or interrupts.
+
 Every analysis resolves geography through the pluggable enrichment
 provider: ``--geo-provider synthetic`` (default, the calibrated registry)
 or ``--geo-provider range-db --geo-db PATH`` (a compiled database; also
@@ -58,9 +79,12 @@ from __future__ import annotations
 import argparse
 import os
 import random
+import signal
 import sys
+import threading
+from contextlib import contextmanager
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Callable, Iterator, List, Optional, Sequence, TypeVar
 
 from .analysis.export import write_figure_csv, write_figure_json
 from .analysis.series import FigureData
@@ -160,6 +184,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="compiled sorted-range geo database for --geo-provider range-db "
         "(default: $REPRO_GEO_DB; build one with `repro geo build-db`)",
     )
+    parser.add_argument(
+        "--service-db",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="SQLite file holding the campaign service's job queue + result "
+        "store (default: $REPRO_SERVICE_DB or service.sqlite next to the "
+        "exposure cache)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     measure = subparsers.add_parser(
@@ -257,35 +290,230 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the resolution as machine-readable JSON",
     )
+
+    grid = subparsers.add_parser(
+        "grid",
+        help="plan and execute scenario grids through the persistent job queue",
+    )
+    grid_sub = grid.add_subparsers(dest="grid_action", required=True)
+    grid_plan = grid_sub.add_parser(
+        "plan",
+        help="expand a scenario x axes into a digest-grouped job queue",
+        description="Expand one registered scenario times axes of overrides "
+        "into concrete jobs, grouped by exposure-cache digest so every job "
+        "sharing a population builds its SharedExposure once.  Replanning "
+        "an identical grid is a no-op; finished jobs keep their state.",
+    )
+    grid_plan.add_argument(
+        "scenario", help="a registered scenario name (see `repro scenarios`)"
+    )
+    grid_plan.add_argument(
+        "--axis",
+        action="append",
+        default=[],
+        metavar="KEY=V1,V2",
+        help="one sweep dimension: days, scale, seed, or params.<name>; "
+        "commas separate points, colons build tuple values "
+        "(e.g. params.fractions=0.2:0.5,0.3:0.9); repeatable",
+    )
+    grid_plan.add_argument(
+        "--days", type=int, default=None, help="base day-horizon override"
+    )
+    grid_plan.add_argument(
+        "--retry-budget",
+        type=int,
+        default=3,
+        metavar="N",
+        help="attempts before a failing job parks in the dead-letter table",
+    )
+    grid_plan.add_argument(
+        "--json", action="store_true", help="emit the plan as JSON"
+    )
+    for action, title in (("run", "execute"), ("resume", "resume")):
+        sub = grid_sub.add_parser(
+            action,
+            help=f"{title} a planned grid (claim -> run -> persist, "
+            "crash-safe)",
+        )
+        sub.add_argument(
+            "grid_id",
+            nargs="?",
+            default=None,
+            help="grid to execute (default: the most recently planned)",
+        )
+        sub.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            metavar="N",
+            help="concurrent digest-group workers, each with its own "
+            "exposure engine (default: $REPRO_GRID_WORKERS or 1)",
+        )
+        sub.add_argument(
+            "--max-jobs",
+            type=int,
+            default=None,
+            metavar="N",
+            help="stop after claiming this many jobs (the rest stay queued)",
+        )
+        sub.add_argument(
+            "--backoff",
+            type=float,
+            default=0.5,
+            metavar="SECONDS",
+            help="retry backoff base (doubles per attempt)",
+        )
+        sub.add_argument(
+            "--telemetry",
+            type=Path,
+            default=None,
+            metavar="PATH",
+            help="JSON-lines span/event trace (default: "
+            "<service-db>.telemetry.jsonl)",
+        )
+
+    jobs = subparsers.add_parser(
+        "jobs", help="inspect the job queue and the dead-letter table"
+    )
+    jobs.add_argument("action", choices=("ls",))
+    jobs.add_argument(
+        "--grid", default=None, metavar="GRID_ID", help="restrict to one grid"
+    )
+    jobs.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    results = subparsers.add_parser(
+        "results", help="inspect and export the durable result store"
+    )
+    results_sub = results.add_subparsers(dest="results_action", required=True)
+    results_ls = results_sub.add_parser("ls", help="list recorded runs")
+    results_ls.add_argument(
+        "--grid", default=None, metavar="GRID_ID", help="restrict to one grid"
+    )
+    results_ls.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    results_show = results_sub.add_parser(
+        "show", help="print one run's scalar summaries (and figures with --json)"
+    )
+    results_show.add_argument(
+        "ref", help="run id, unique id prefix, or grid-unique job name"
+    )
+    results_show.add_argument(
+        "--json", action="store_true", help="dump the full run as JSON"
+    )
+    results_export = results_sub.add_parser(
+        "export",
+        help="canonical JSON of every run (bytes depend only on results)",
+    )
+    results_export.add_argument(
+        "--grid", default=None, metavar="GRID_ID", help="restrict to one grid"
+    )
+    results_export.add_argument(
+        "--out", type=Path, default=None, metavar="PATH",
+        help="write to a file instead of stdout",
+    )
     return parser
+
+
+_T = TypeVar("_T")
+
+
+def resolve_option(
+    flag_value: Optional[_T],
+    env: str,
+    default: Optional[_T] = None,
+    parse: Optional[Callable[[str], _T]] = None,
+) -> Optional[_T]:
+    """One precedence rule for every CLI-flag/env-twin pair.
+
+    An explicit flag wins; otherwise a non-blank environment variable
+    (``parse`` converts its string — flags arrive already converted by
+    argparse); otherwise the default.  Every twin in this module routes
+    through here so the precedence cannot drift per option.
+    """
+    if flag_value is not None:
+        return flag_value
+    raw = os.environ.get(env)
+    if raw is not None and raw.strip() != "":
+        return parse(raw) if parse is not None else raw  # type: ignore[return-value]
+    return default
+
+
+def _parse_shard_days(raw: str) -> int:
+    try:
+        days = int(raw)
+    except ValueError:
+        days = 0
+    if days <= 0:
+        raise ValueError(
+            f"REPRO_CACHE_SHARD_DAYS must be a positive integer; got {raw!r}"
+        )
+    return days
+
+
+def _parse_workers(raw: str) -> int:
+    try:
+        workers = int(raw)
+    except ValueError:
+        workers = 0
+    if workers <= 0:
+        raise ValueError(
+            f"REPRO_GRID_WORKERS must be a positive integer; got {raw!r}"
+        )
+    return workers
 
 
 def _resolve_cache_dir(args: argparse.Namespace) -> Optional[Path]:
     """The exposure cache directory this invocation uses (None = disabled)."""
     if args.no_cache:
         return None
-    if args.cache_dir is not None:
-        return args.cache_dir
-    env = os.environ.get("REPRO_CACHE_DIR")
-    if env:
-        return Path(env)
-    return Path.home() / ".cache" / "repro" / "exposure"
+    return resolve_option(
+        args.cache_dir,
+        "REPRO_CACHE_DIR",
+        default=Path.home() / ".cache" / "repro" / "exposure",
+        parse=Path,
+    )
+
+
+def _resolve_service_db(args: argparse.Namespace) -> Path:
+    """The campaign-service SQLite file (queue + result store)."""
+    cache_dir = _resolve_cache_dir(args)
+    base = cache_dir.parent if cache_dir is not None else (
+        Path.home() / ".cache" / "repro"
+    )
+    resolved = resolve_option(
+        args.service_db,
+        "REPRO_SERVICE_DB",
+        default=base / "service.sqlite",
+        parse=Path,
+    )
+    assert resolved is not None
+    return resolved
 
 
 def _make_engine(args: argparse.Namespace) -> ExposureEngine:
     from .sim.exposure import parse_byte_size
 
-    backend = args.exposure_backend or os.environ.get(
-        "REPRO_EXPOSURE_BACKEND", "in-memory"
+    backend = resolve_option(
+        args.exposure_backend, "REPRO_EXPOSURE_BACKEND", default="in-memory"
     )
-    max_bytes = None
-    if args.cache_max_bytes is not None:
-        max_bytes = parse_byte_size(args.cache_max_bytes, "--cache-max-bytes")
+    max_bytes = resolve_option(
+        None
+        if args.cache_max_bytes is None
+        else parse_byte_size(args.cache_max_bytes, "--cache-max-bytes"),
+        "REPRO_CACHE_MAX_BYTES",
+        parse=lambda raw: parse_byte_size(raw, "REPRO_CACHE_MAX_BYTES"),
+    )
+    shard_days = resolve_option(
+        args.cache_shard_days, "REPRO_CACHE_SHARD_DAYS", parse=_parse_shard_days
+    )
     engine = ExposureEngine(
         cache_dir=_resolve_cache_dir(args),
         backend=backend,
         max_bytes=max_bytes,
-        shard_days=args.cache_shard_days,
+        shard_days=shard_days,
     )
     # Cache writes run off the critical path; main() joins them on exit so
     # an in-process caller (tests, notebooks) sees a settled cache dir.
@@ -602,6 +830,255 @@ def _cmd_geo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _engine_factory(args: argparse.Namespace) -> Callable[[], ExposureEngine]:
+    """Per-worker engine builder for grid runs (the runner flushes them)."""
+
+    def build() -> ExposureEngine:
+        from .sim.exposure import parse_byte_size
+
+        backend = resolve_option(
+            args.exposure_backend, "REPRO_EXPOSURE_BACKEND", default="in-memory"
+        )
+        max_bytes = resolve_option(
+            None
+            if args.cache_max_bytes is None
+            else parse_byte_size(args.cache_max_bytes, "--cache-max-bytes"),
+            "REPRO_CACHE_MAX_BYTES",
+            parse=lambda raw: parse_byte_size(raw, "REPRO_CACHE_MAX_BYTES"),
+        )
+        shard_days = resolve_option(
+            args.cache_shard_days,
+            "REPRO_CACHE_SHARD_DAYS",
+            parse=_parse_shard_days,
+        )
+        return ExposureEngine(
+            cache_dir=_resolve_cache_dir(args),
+            backend=backend,
+            max_bytes=max_bytes,
+            shard_days=shard_days,
+        )
+
+    return build
+
+
+def _usage_error(error: BaseException) -> int:
+    print(error.args[0] if error.args else str(error), file=sys.stderr)
+    return 2
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .service import (
+        GridSpec,
+        JobQueue,
+        Telemetry,
+        execute_grid,
+        parse_axis,
+        plan_grid,
+    )
+
+    db_path = _resolve_service_db(args)
+
+    if args.grid_action == "plan":
+        try:
+            axes = tuple(parse_axis(text) for text in args.axis)
+            spec = GridSpec(
+                scenario=args.scenario,
+                axes=axes,
+                scale=args.scale,
+                seed=args.seed,
+                days=args.days,
+                retry_budget=args.retry_budget,
+            )
+            plan = plan_grid(spec)
+        except (KeyError, ValueError, TypeError) as error:
+            return _usage_error(error)
+        with JobQueue(db_path) as queue:
+            try:
+                stats = queue.enqueue_plan(plan)
+            except ValueError as error:
+                return _usage_error(error)
+        if args.json:
+            payload = {
+                "grid_id": plan.grid_id,
+                "jobs": [job.as_dict() for job in plan.jobs],
+                "groups": [
+                    {"digest": digest, "jobs": [job.name for job in group]}
+                    for digest, group in plan.groups
+                ],
+                "inserted": stats["inserted"],
+                "service_db": str(db_path),
+            }
+            print(_json.dumps(payload, indent=2, sort_keys=True, default=str))
+            return 0
+        shared = plan.shared_digests
+        print(
+            f"planned grid {plan.grid_id}: {len(plan.jobs)} job(s) in "
+            f"{len(plan.groups)} exposure group(s) "
+            f"({stats['inserted']} newly queued) -> {db_path}"
+        )
+        for digest, group in plan.groups:
+            label = digest if digest is not None else "(no shared exposure)"
+            print(f"  {label}: {', '.join(job.name for job in group)}")
+        if shared:
+            print(
+                f"{len(shared)} shared SharedExposure build(s) amortised "
+                f"across the grid"
+            )
+        print(f"run it with: repro grid run {plan.grid_id}")
+        return 0
+
+    # run / resume
+    with JobQueue(db_path) as queue:
+        grid_id = args.grid_id or queue.latest_grid_id()
+        if grid_id is None:
+            print("no grids planned yet; start with `repro grid plan`", file=sys.stderr)
+            return 2
+        try:
+            queue.grid_spec(grid_id)
+        except KeyError as error:
+            return _usage_error(error)
+    try:
+        workers = resolve_option(
+            args.workers, "REPRO_GRID_WORKERS", default=1, parse=_parse_workers
+        )
+        assert workers is not None
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+    except ValueError as error:
+        return _usage_error(error)
+    telemetry_path = args.telemetry or db_path.with_suffix(".telemetry.jsonl")
+    telemetry = Telemetry(telemetry_path)
+    try:
+        outcome = execute_grid(
+            str(db_path),
+            grid_id,
+            engine_factory=_engine_factory(args),
+            telemetry=telemetry,
+            workers=workers,
+            max_jobs=args.max_jobs,
+            backoff_base=args.backoff,
+            progress=print,
+        )
+    finally:
+        telemetry.close()
+    with JobQueue(db_path) as queue:
+        counts = queue.counts(grid_id)
+    print(
+        f"grid {grid_id}: {outcome.done} job(s) finished this invocation "
+        f"({outcome.retried} retried, {outcome.dead_lettered} dead-lettered) "
+        f"in {outcome.wall_seconds:.1f}s; queue now "
+        + ", ".join(f"{counts[state]} {state}" for state in sorted(counts))
+    )
+    print(
+        f"exposure cache: {outcome.exposure_builds} population build(s), "
+        f"{outcome.exposure_hits} cache hit(s), "
+        f"{outcome.exposure_disk_hits} disk hit(s)"
+    )
+    print(f"telemetry: {telemetry_path}")
+    complete = counts["pending"] == 0 and counts["running"] == 0 and counts["failed"] == 0
+    return 0 if complete else 1
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .service import JobQueue
+
+    db_path = _resolve_service_db(args)
+    with JobQueue(db_path) as queue:
+        rows = queue.list_jobs(args.grid)
+        dead = queue.dead_letter_jobs(args.grid)
+    if args.json:
+        print(
+            _json.dumps(
+                {"jobs": rows, "dead_letter": dead},
+                indent=2,
+                sort_keys=True,
+                default=str,
+            )
+        )
+        return 0
+    if not rows:
+        print("no jobs queued")
+        return 0
+    print(f"{len(rows)} job(s) in {db_path}:")
+    for row in rows:
+        state = f"{row['state']}"
+        attempts = f"{row['attempts']}/{row['retry_budget']}"
+        print(
+            f"  [{state:<7}] {row['grid_id']} :: {row['name']} "
+            f"(attempts {attempts})"
+        )
+    if dead:
+        print(f"\n{len(dead)} dead-letter job(s):")
+        for row in dead:
+            last_line = str(row["traceback"]).strip().splitlines()[-1]
+            print(
+                f"  {row['grid_id']} :: {row['name']} "
+                f"(after {row['attempts']} attempt(s)): {last_line}"
+            )
+    return 0
+
+
+def _cmd_results(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .service import ResultStore
+
+    db_path = _resolve_service_db(args)
+    with ResultStore(db_path) as store:
+        if args.results_action == "ls":
+            runs = store.runs(args.grid)
+            if args.json:
+                print(_json.dumps(runs, indent=2, sort_keys=True, default=str))
+                return 0
+            if not runs:
+                print("no results recorded")
+                return 0
+            print(f"{len(runs)} recorded run(s) in {db_path}:")
+            for run in runs:
+                label = run["job_name"] or run["scenario"]
+                grid = run["grid_id"] or "-"
+                print(
+                    f"  {run['run_id']}  {run['scenario']:<24} {grid} :: "
+                    f"{label} (scale={run['scale']:g} seed={run['seed']})"
+                )
+            return 0
+        if args.results_action == "show":
+            try:
+                run = store.get_run(args.ref)
+            except KeyError as error:
+                return _usage_error(error)
+            if args.json:
+                print(_json.dumps(run, indent=2, sort_keys=True, default=str))
+                return 0
+            print(
+                f"run {run['run_id']}: {run['scenario']} "
+                f"(grid={run['grid_id'] or '-'} job={run['job_name'] or '-'} "
+                f"scale={run['scale']:g} seed={run['seed']} "
+                f"digest={run['exposure_digest'] or '-'})"
+            )
+            for name, summary in sorted(run["summary"].items()):
+                print()
+                print(format_kv({str(k): v for k, v in summary.items()}, title=name))
+            figures = run["series"]["figures"]
+            if figures:
+                print(f"\nfigure series: {', '.join(sorted(figures))}")
+            return 0
+        # export
+        payload = store.export_bytes(args.grid)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_bytes(payload)
+        print(f"exported {len(payload)} canonical bytes -> {args.out}")
+    else:
+        sys.stdout.write(payload.decode("utf-8"))
+        sys.stdout.write("\n")
+    return 0
+
+
 def _cmd_censor(args: argparse.Namespace) -> int:
     engine = _make_engine(args)
     result = run_main_campaign(
@@ -633,6 +1110,36 @@ def _cmd_censor(args: argparse.Namespace) -> int:
     return 0
 
 
+@contextmanager
+def _terminate_via_system_exit() -> Iterator[None]:
+    """Route SIGINT/SIGTERM through ``SystemExit`` for the dialog's duration.
+
+    The default SIGTERM disposition kills the process without unwinding the
+    stack, so ``main()``'s ``finally:`` — which joins the exposure engine's
+    background bundle writes — never ran on an interrupted grid run,
+    leaving stale ``.exposure-*`` temp dirs behind.  Raising ``SystemExit``
+    (exit code 128+signum, the shell convention) instead lets every
+    ``finally:`` fire: engines flush, the in-flight job is un-claimed, the
+    provider closes.  Only the main thread may install handlers; in-process
+    callers on other threads (tests, notebooks) skip the install.
+    """
+    installed = {}
+    def _raise_exit(signum: int, frame: object) -> None:
+        raise SystemExit(128 + signum)
+
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                installed[signum] = signal.signal(signum, _raise_exit)
+            except (ValueError, OSError):  # pragma: no cover - exotic hosts
+                pass
+    try:
+        yield
+    finally:
+        for signum, previous in installed.items():
+            signal.signal(signum, previous)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     from .enrichment import build_provider, set_active_provider
 
@@ -647,6 +1154,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _cmd_run,
         "cache": _cmd_cache,
         "geo": _cmd_geo,
+        "grid": _cmd_grid,
+        "jobs": _cmd_jobs,
+        "results": _cmd_results,
     }
     handler = commands.get(args.command)
     if handler is None:
@@ -660,15 +1170,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # errors (one line, exit 2), like `repro run`'s validation.
         try:
             provider = build_provider(
-                args.geo_provider,
-                str(args.geo_db) if args.geo_db is not None else None,
+                resolve_option(args.geo_provider, "REPRO_GEO_PROVIDER"),
+                resolve_option(
+                    None if args.geo_db is None else str(args.geo_db),
+                    "REPRO_GEO_DB",
+                ),
             )
         except ValueError as error:
             print(error.args[0] if error.args else str(error), file=sys.stderr)
             return 2
         set_active_provider(provider)
     try:
-        return handler(args)
+        with _terminate_via_system_exit():
+            return handler(args)
     finally:
         if not building_db:
             set_active_provider(None)

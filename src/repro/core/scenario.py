@@ -122,6 +122,7 @@ __all__ = [
     "list_scenarios",
     "resolve_scenario",
     "run_scenario",
+    "scenario_exposure_digest",
 ]
 
 
@@ -181,6 +182,11 @@ class ScenarioResult:
     campaign: Optional[CampaignResult] = None
     suite: Optional[FigureSuiteResult] = None
     engine: Optional[ExposureEngine] = None
+    #: The exposure-cache digest this run resolved through (None for
+    #: message-level kinds that never touch the exposure plane).  The
+    #: campaign service's grid planner groups jobs on this value so every
+    #: job sharing a population streams from one ``SharedExposure`` build.
+    exposure_digest: Optional[str] = None
 
     def add_figure(self, figure: FigureData) -> None:
         self.figures[figure.figure_id] = figure
@@ -741,6 +747,45 @@ _EXECUTORS: Dict[
 #: ``--router-count`` override is rejected for the others).
 _ROUTER_COUNT_KINDS = {"netdb_scale", "fault_injection"}
 
+#: Kinds whose executor resolves a shared exposure.  Everything else is
+#: message-level (or builds its own private population) and has no
+#: exposure-cache digest.
+_EXPOSURE_KINDS = {
+    "campaign",
+    "mode_switch",
+    "bandwidth_sweep",
+    "router_sweep",
+    "suite",
+    "monitor_fraction",
+    "country_blocking",
+    "prefix_blocking",
+}
+
+
+def scenario_exposure_digest(
+    scenario: object, scale: float = 1.0, seed: int = 2018
+) -> Optional[str]:
+    """The exposure-cache digest ``run_scenario`` will resolve through.
+
+    Every exposure-consuming executor keys the cache on
+    ``scaled_population_config(scale, days=D, seed=seed)`` plus the derived
+    observation seed, where ``D`` is the spec's day horizon (``mode_switch``
+    runs ``2 x days_per_mode`` days).  Reporting that digest *before*
+    execution lets the campaign service plan a grid as digest groups —
+    every job in a group shares one ``SharedExposure`` build.  Returns
+    ``None`` for kinds that never touch the exposure plane.
+    """
+    from ..sim.exposure_cache import exposure_digest
+
+    spec = resolve_scenario(scenario)
+    if spec.kind not in _EXPOSURE_KINDS:
+        return None
+    days = spec.days
+    if spec.kind == "mode_switch":
+        days = 2 * int(spec.params.get("days_per_mode", max(1, spec.days // 2)))
+    config = scaled_population_config(scale, days=days, seed=seed)
+    return exposure_digest(config, campaign_observation_seed(seed))
+
 
 def resolve_scenario(
     scenario: object,
@@ -800,7 +845,13 @@ def run_scenario(
     spec = resolve_scenario(scenario, days, router_count)
     if engine is None:
         engine = ExposureEngine(cache_dir=cache_dir)
-    out = ScenarioResult(spec=spec, scale=scale, seed=seed, engine=engine)
+    out = ScenarioResult(
+        spec=spec,
+        scale=scale,
+        seed=seed,
+        engine=engine,
+        exposure_digest=scenario_exposure_digest(spec, scale=scale, seed=seed),
+    )
     _EXECUTORS[spec.kind](spec, out, scale, seed, spec.days, engine)
     return out
 

@@ -1,0 +1,48 @@
+"""Campaign service: plan, queue, execute, and persist scenario grids.
+
+The paper's headline results are parameter *sweeps*; this package turns a
+sweep into a durable campaign instead of N ad-hoc ``repro run`` calls:
+
+* :mod:`repro.service.grid` — declarative :class:`GridSpec` expansion into
+  concrete jobs, grouped by exposure-cache digest so each shared
+  ``SharedExposure`` is built exactly once per grid;
+* :mod:`repro.service.queue` — SQLite-backed persistent job queue with
+  crash-safe claims, retry budgets with exponential backoff, and a
+  dead-letter table for poison jobs;
+* :mod:`repro.service.store` — durable result store with content-addressed
+  payload dedup and deterministic run ids (resume is idempotent);
+* :mod:`repro.service.telemetry` — structured JSON-lines span/event traces
+  attached to every job row;
+* :mod:`repro.service.runner` — the worker loop behind
+  ``repro grid run|resume`` tying the four layers together.
+
+All state lives in one SQLite file (``--service-db`` /
+``$REPRO_SERVICE_DB``, defaulting next to the exposure cache), so a
+campaign survives interrupts, crashes, and process restarts.
+"""
+
+from .grid import GridAxis, GridJob, GridPlan, GridSpec, parse_axis, plan_grid
+from .queue import ClaimedJob, JobQueue
+from .runner import GridRunResult, execute_grid
+from .store import ResultStore, canonical_json, summary_payload
+from .telemetry import Telemetry, count_events, read_events, span_seconds
+
+__all__ = [
+    "GridAxis",
+    "GridJob",
+    "GridPlan",
+    "GridSpec",
+    "parse_axis",
+    "plan_grid",
+    "ClaimedJob",
+    "JobQueue",
+    "GridRunResult",
+    "execute_grid",
+    "ResultStore",
+    "canonical_json",
+    "summary_payload",
+    "Telemetry",
+    "count_events",
+    "read_events",
+    "span_seconds",
+]

@@ -1,0 +1,293 @@
+"""Durable result store: run metadata, scalar summaries, figure series.
+
+Replaces loose per-run JSON files with two SQLite tables in the service
+database:
+
+* ``payloads`` — content-addressed blobs: the canonical-JSON encoding of a
+  result's scalar summaries or figure series, keyed by its SHA-256.  Two
+  jobs producing identical output (the common case when a sweep point is
+  insensitive to one axis) share one row.
+* ``runs`` — one row per executed job, with a *deterministic* run id
+  hashed from the job's identity (grid, name, scenario, scale/seed/days,
+  params).  Re-recording the same job replaces its row, which is what
+  makes an interrupted-then-resumed grid end byte-identical to an
+  uninterrupted one.
+
+Canonical JSON (sorted keys, tight separators, ``default=str``) is the
+single encoding used for hashing, storage, and ``repro results export`` —
+so "byte-identical results" is a meaningful, testable property: the export
+of a store never depends on insertion order or wall-clock, only on what
+was computed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..core.scenario import ScenarioResult
+from .grid import GridJob
+
+__all__ = [
+    "ResultStore",
+    "canonical_json",
+    "summary_payload",
+    "series_payload",
+    "run_id_for",
+]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS payloads (
+    sha256  TEXT PRIMARY KEY,
+    kind    TEXT NOT NULL,
+    payload TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    run_id          TEXT PRIMARY KEY,
+    grid_id         TEXT,
+    job_name        TEXT,
+    scenario        TEXT NOT NULL,
+    kind            TEXT NOT NULL,
+    scale           REAL NOT NULL,
+    seed            INTEGER NOT NULL,
+    days            INTEGER,
+    params_json     TEXT NOT NULL,
+    exposure_digest TEXT,
+    summary_sha     TEXT NOT NULL REFERENCES payloads(sha256),
+    series_sha      TEXT NOT NULL REFERENCES payloads(sha256),
+    wall_seconds    REAL,
+    created_at      REAL NOT NULL
+);
+"""
+
+
+def canonical_json(payload: object) -> str:
+    """The one JSON encoding results are hashed, stored, and exported in."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def summary_payload(result: ScenarioResult) -> Dict[str, object]:
+    """The scalar-summary payload: exactly ``result.summaries``."""
+    return {name: dict(values) for name, values in sorted(result.summaries.items())}
+
+
+def series_payload(result: ScenarioResult) -> Dict[str, object]:
+    """Figure series + notes + rendered tables — the plottable remainder."""
+    figures: Dict[str, object] = {}
+    for figure_id in sorted(result.figures):
+        figure = result.figures[figure_id]
+        figures[figure_id] = {
+            "title": figure.title,
+            "x_label": figure.x_label,
+            "y_label": figure.y_label,
+            "series": {
+                name: [list(point) for point in series.points]
+                for name, series in sorted(figure.series.items())
+            },
+            "notes": list(figure.notes),
+        }
+    return {
+        "figures": figures,
+        "tables": {name: result.tables[name] for name in sorted(result.tables)},
+    }
+
+
+def run_id_for(
+    scenario: str,
+    scale: float,
+    seed: int,
+    days: Optional[int],
+    params_json: str,
+    grid_id: Optional[str] = None,
+    job_name: Optional[str] = None,
+) -> str:
+    """Deterministic run id: the same job always lands on the same row."""
+    identity = canonical_json(
+        {
+            "grid_id": grid_id,
+            "job_name": job_name,
+            "scenario": scenario,
+            "scale": scale,
+            "seed": seed,
+            "days": days,
+            "params": params_json,
+        }
+    )
+    return hashlib.sha256(identity.encode("utf-8")).hexdigest()[:16]
+
+
+class ResultStore:
+    """Runs + content-addressed payloads over one SQLite file."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = str(path)
+        Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(self.path, timeout=30.0)
+        self._conn.row_factory = sqlite3.Row
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute("PRAGMA busy_timeout=30000")
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- write side -------------------------------------------------------- #
+    def _put_payload(self, kind: str, payload: object) -> str:
+        text = canonical_json(payload)
+        sha = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        self._conn.execute(
+            "INSERT OR IGNORE INTO payloads (sha256, kind, payload) VALUES (?, ?, ?)",
+            (sha, kind, text),
+        )
+        return sha
+
+    def record_result(
+        self,
+        result: ScenarioResult,
+        grid_id: Optional[str] = None,
+        job: Optional[GridJob] = None,
+        wall_seconds: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> str:
+        """Persist one scenario result; returns its deterministic run id."""
+        now = time.time() if now is None else now
+        if job is not None:
+            scenario = job.scenario
+            days: Optional[int] = job.days
+            params_json = canonical_json(dict(job.params))
+            job_name: Optional[str] = job.name
+        else:
+            scenario = result.spec.name
+            days = None
+            params_json = canonical_json({})
+            job_name = None
+        run_id = run_id_for(
+            scenario,
+            result.scale,
+            result.seed,
+            days,
+            params_json,
+            grid_id=grid_id,
+            job_name=job_name,
+        )
+        with self._conn:
+            summary_sha = self._put_payload("summary", summary_payload(result))
+            series_sha = self._put_payload("series", series_payload(result))
+            self._conn.execute(
+                "INSERT OR REPLACE INTO runs "
+                "(run_id, grid_id, job_name, scenario, kind, scale, seed, days, "
+                "params_json, exposure_digest, summary_sha, series_sha, "
+                "wall_seconds, created_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    run_id,
+                    grid_id,
+                    job_name,
+                    scenario,
+                    result.spec.kind,
+                    result.scale,
+                    result.seed,
+                    days,
+                    params_json,
+                    result.exposure_digest,
+                    summary_sha,
+                    series_sha,
+                    wall_seconds,
+                    now,
+                ),
+            )
+        return run_id
+
+    # -- read side --------------------------------------------------------- #
+    def runs(self, grid_id: Optional[str] = None) -> List[Dict[str, object]]:
+        query = (
+            "SELECT run_id, grid_id, job_name, scenario, kind, scale, seed, "
+            "days, params_json, exposure_digest, summary_sha, series_sha, "
+            "wall_seconds, created_at FROM runs"
+        )
+        args: List[object] = []
+        if grid_id is not None:
+            query += " WHERE grid_id = ?"
+            args.append(grid_id)
+        query += " ORDER BY run_id"
+        return [dict(row) for row in self._conn.execute(query, args)]
+
+    def payload(self, sha: str) -> object:
+        row = self._conn.execute(
+            "SELECT payload FROM payloads WHERE sha256 = ?", (sha,)
+        ).fetchone()
+        if row is None:
+            raise KeyError(f"no payload with sha {sha!r}")
+        return json.loads(row["payload"])
+
+    def payload_text(self, sha: str) -> str:
+        row = self._conn.execute(
+            "SELECT payload FROM payloads WHERE sha256 = ?", (sha,)
+        ).fetchone()
+        if row is None:
+            raise KeyError(f"no payload with sha {sha!r}")
+        return row["payload"]
+
+    def get_run(self, ref: str) -> Dict[str, object]:
+        """One run by id, unique id prefix, or (grid-unique) job name."""
+        rows = self._conn.execute(
+            "SELECT * FROM runs WHERE run_id = ? OR run_id LIKE ? OR job_name = ? "
+            "ORDER BY run_id",
+            (ref, ref + "%", ref),
+        ).fetchall()
+        if not rows:
+            raise KeyError(f"no run matching {ref!r}")
+        if len(rows) > 1:
+            matches = ", ".join(row["run_id"] for row in rows)
+            raise KeyError(f"ambiguous run {ref!r}: matches {matches}")
+        run = dict(rows[0])
+        run["summary"] = self.payload(run["summary_sha"])
+        run["series"] = self.payload(run["series_sha"])
+        return run
+
+    def payload_count(self) -> int:
+        row = self._conn.execute("SELECT COUNT(*) AS n FROM payloads").fetchone()
+        return int(row["n"])
+
+    # -- export ------------------------------------------------------------ #
+    def export(self, grid_id: Optional[str] = None) -> Dict[str, object]:
+        """Everything computed, minus volatile fields (timestamps, wall).
+
+        Keyed and ordered by deterministic run id, with payloads inlined,
+        so two stores that computed the same results export the same bytes
+        regardless of execution order, retries, or interruptions.
+        """
+        exported = []
+        for run in self.runs(grid_id):
+            exported.append(
+                {
+                    "run_id": run["run_id"],
+                    "grid_id": run["grid_id"],
+                    "job_name": run["job_name"],
+                    "scenario": run["scenario"],
+                    "kind": run["kind"],
+                    "scale": run["scale"],
+                    "seed": run["seed"],
+                    "days": run["days"],
+                    "params": json.loads(str(run["params_json"])),
+                    "exposure_digest": run["exposure_digest"],
+                    "summary": self.payload(str(run["summary_sha"])),
+                    "series": self.payload(str(run["series_sha"])),
+                }
+            )
+        return {"format": 1, "runs": exported}
+
+    def export_bytes(self, grid_id: Optional[str] = None) -> bytes:
+        return canonical_json(self.export(grid_id)).encode("utf-8")

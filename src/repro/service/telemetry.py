@@ -1,0 +1,184 @@
+"""Structured run telemetry: JSON-lines span/event tracing.
+
+Every campaign-service job emits a small, append-only trace:
+
+* **events** — point-in-time facts (``job.done``, ``job.retry``,
+  ``job.dead_letter``, ``exposure.cache`` counter deltas);
+* **spans** — timed phases (``job``, ``phase:resolve``, ``phase:execute``,
+  ``phase:persist``) written as a ``span_start`` / ``span_end`` pair that
+  shares a process-unique span id.
+
+The sink is one JSON-lines file (one object per line, ``sort_keys`` so the
+stream diffs cleanly), appended under a lock so several worker threads can
+share a :class:`Telemetry` instance.  A ``path=None`` telemetry is a no-op
+sink — library callers never need to guard their instrumentation.
+
+The job queue stores each job's root span id on the job row, so a trace
+can be joined back to the queue (and the other way around) by id alone.
+:func:`read_events` / :func:`count_events` / :func:`span_seconds` are the
+read side used by tests, CI gates, and the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+__all__ = [
+    "Telemetry",
+    "read_events",
+    "count_events",
+    "span_seconds",
+]
+
+
+class Telemetry:
+    """Append-only JSON-lines span/event writer (thread-safe, optional)."""
+
+    def __init__(
+        self,
+        path: Union[str, Path, None],
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.path: Optional[str] = None if path is None else str(path)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._span_counter = 0
+        self._handle = None
+        if self.path is not None:
+            Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+
+    # -- write side -------------------------------------------------------- #
+    def _write(self, record: Dict[str, object]) -> None:
+        if self._handle is None:
+            return
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            self._handle.write(line + "\n")
+            # Flush per record: an interrupted run must leave every
+            # already-emitted line on disk for the resume path to count.
+            self._handle.flush()
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Record a point-in-time event."""
+        self._write(
+            {"ts": round(self._clock(), 6), "type": "event", "name": name, **attrs}
+        )
+
+    def _next_span_id(self) -> str:
+        with self._lock:
+            self._span_counter += 1
+            counter = self._span_counter
+        return f"span-{os.getpid()}-{counter}"
+
+    def span_start(self, name: str, **attrs: object) -> str:
+        """Open a span explicitly; pair with :meth:`span_end`."""
+        span_id = self._next_span_id()
+        self._write(
+            {
+                "ts": round(self._clock(), 6),
+                "type": "span_start",
+                "name": name,
+                "span": span_id,
+                **attrs,
+            }
+        )
+        return span_id
+
+    def span_end(
+        self, name: str, span_id: str, status: str = "ok", **attrs: object
+    ) -> None:
+        self._write(
+            {
+                "ts": round(self._clock(), 6),
+                "type": "span_end",
+                "name": name,
+                "span": span_id,
+                "status": status,
+                **attrs,
+            }
+        )
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[str]:
+        """Timed span: emits start/end records around the ``with`` body.
+
+        Exceptions propagate (the end record carries ``status="error"`` and
+        the exception type); the duration lands on the end record.
+        """
+        span_id = self.span_start(name, **attrs)
+        start = self._clock()
+        status = "ok"
+        error: Optional[str] = None
+        try:
+            yield span_id
+        except BaseException as exc:
+            status = "error"
+            error = type(exc).__name__
+            raise
+        finally:
+            extra: Dict[str, object] = {
+                "seconds": round(self._clock() - start, 6)
+            }
+            if error is not None:
+                extra["error"] = error
+            self.span_end(name, span_id, status=status, **extra)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "Telemetry":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# -- read side (tests, CI gates, benchmarks) ------------------------------- #
+def read_events(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Parse a telemetry JSONL file (missing file = empty trace)."""
+    records: List[Dict[str, object]] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+    except FileNotFoundError:
+        pass
+    return records
+
+
+def count_events(
+    records: List[Dict[str, object]], name: str, **match: object
+) -> int:
+    """How many records carry this name and match every given attribute."""
+    total = 0
+    for record in records:
+        if record.get("name") != name:
+            continue
+        if all(record.get(key) == value for key, value in match.items()):
+            total += 1
+    return total
+
+
+def span_seconds(
+    records: List[Dict[str, object]], name: str
+) -> List[float]:
+    """Durations of every completed span with this name, in file order."""
+    return [
+        float(record["seconds"])
+        for record in records
+        if record.get("type") == "span_end"
+        and record.get("name") == name
+        and "seconds" in record
+    ]

@@ -1,0 +1,192 @@
+"""Kill-and-resume integration: hard-interrupt a real `repro grid run`.
+
+These tests drive the installed CLI in subprocesses (not in-process calls)
+so the SIGTERM handler, the queue's crash-safe claims, and the exposure
+engine's flush-on-interrupt are exercised exactly as a user would hit them.
+"""
+
+import json
+import os
+import signal
+import sqlite3
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+AXIS = "params.fractions=0.2:0.5,0.3:0.6,0.4:0.8,0.5:1"
+
+
+def service_env(tmp_path, tag, **extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_CACHE_DIR"] = str(tmp_path / tag / "exposure-cache")
+    env["REPRO_SERVICE_DB"] = str(tmp_path / tag / "service.sqlite")
+    env.pop("REPRO_GRID_JOB_DELAY", None)
+    env.pop("REPRO_GRID_WORKERS", None)
+    env.update(extra)
+    return env
+
+
+def repro(args, env, **kwargs):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+        **kwargs,
+    )
+
+
+def plan_sweep(env, extra_args=()):
+    proc = repro(
+        [
+            "--scale", "0.02",
+            "grid", "plan", "monitor_fraction_sweep",
+            "--axis", AXIS,
+            "--days", "2",
+            *extra_args,
+        ],
+        env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc
+
+
+def job_states(db_path):
+    with sqlite3.connect(db_path) as conn:
+        rows = conn.execute(
+            "SELECT name, state, attempts, run_id FROM jobs ORDER BY name"
+        ).fetchall()
+    return {name: {"state": state, "attempts": attempts, "run_id": run_id}
+            for name, state, attempts, run_id in rows}
+
+
+def export_bytes(env):
+    proc = repro(["results", "export"], env)
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout.encode("utf-8")
+
+
+def telemetry_records(env):
+    path = Path(env["REPRO_SERVICE_DB"]).with_suffix(".telemetry.jsonl")
+    records = []
+    if path.exists():
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if line.strip():
+                records.append(json.loads(line))
+    return records
+
+
+def test_sigterm_mid_grid_then_resume_matches_uninterrupted_run(tmp_path):
+    env = service_env(tmp_path, "killed", REPRO_GRID_JOB_DELAY="0.8")
+    plan_sweep(env)
+    db_path = env["REPRO_SERVICE_DB"]
+
+    runner = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "grid", "run"],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        # Wait until at least one job finished, then pull the plug while a
+        # later job is still mid-execution (each sleeps 0.8s via the hook).
+        deadline = time.time() + 120
+        while time.time() < deadline:
+            done = sum(
+                1 for row in job_states(db_path).values() if row["state"] == "done"
+            )
+            if done >= 1:
+                break
+            time.sleep(0.02)
+        else:
+            runner.kill()
+            pytest.fail("no job finished within 120s")
+        runner.send_signal(signal.SIGTERM)
+        runner.wait(timeout=60)
+    finally:
+        if runner.poll() is None:
+            runner.kill()
+            runner.wait(timeout=30)
+
+    assert runner.returncode == 128 + signal.SIGTERM  # graceful SystemExit path
+
+    states = job_states(db_path)
+    finished_before = {n for n, row in states.items() if row["state"] == "done"}
+    assert finished_before, "expected at least one finished job before the kill"
+    assert len(finished_before) < 4, "kill landed too late to interrupt the grid"
+    # The in-flight job was un-claimed with its attempt refunded; nothing is
+    # left running and nothing was dead-lettered by the interrupt.
+    assert all(row["state"] in ("done", "pending") for row in states.values())
+    # flush-on-interrupt: no half-written exposure bundles survive the kill.
+    cache_dir = Path(env["REPRO_CACHE_DIR"])
+    stale = list(cache_dir.glob(".exposure-*")) if cache_dir.exists() else []
+    assert stale == []
+
+    resume = repro(["grid", "resume"], service_env(tmp_path, "killed"))
+    assert resume.returncode == 0, resume.stderr
+
+    after = job_states(db_path)
+    assert all(row["state"] == "done" for row in after.values())
+    # Jobs finished before the kill were not re-executed: same run id, same
+    # attempt count, and exactly one job.done trace line per job overall.
+    for name in finished_before:
+        assert after[name] == states[name]
+    records = telemetry_records(env)
+    done_per_job = {}
+    for record in records:
+        if record.get("name") == "job.done":
+            done_per_job[record["job"]] = done_per_job.get(record["job"], 0) + 1
+    assert done_per_job == {name: 1 for name in after}
+    # The shared exposure was built exactly once across both invocations.
+    builds = sum(
+        int(record["builds"])
+        for record in records
+        if record.get("name") == "exposure.cache"
+    )
+    assert builds == 1
+
+    # Byte-identity: the interrupted-then-resumed store exports the same
+    # canonical bytes as one uninterrupted run in fresh directories.
+    ref_env = service_env(tmp_path, "reference")
+    plan_sweep(ref_env)
+    ref_run = repro(["grid", "run"], ref_env)
+    assert ref_run.returncode == 0, ref_run.stderr
+    assert export_bytes(env) == export_bytes(ref_env)
+
+
+def test_retry_exhausted_job_parks_in_dead_letter_via_cli(tmp_path):
+    env = service_env(tmp_path, "poison")
+    proc = repro(
+        [
+            "--scale", "0.02",
+            "grid", "plan", "monitor_fraction_sweep",
+            "--axis", "params.fractions=0.2:0.5,2:3",
+            "--days", "2",
+            "--retry-budget", "2",
+        ],
+        env,
+    )
+    assert proc.returncode == 0, proc.stderr
+
+    run = repro(["grid", "run", "--backoff", "0"], env)
+    assert run.returncode == 1  # queue did not drain clean
+
+    jobs = repro(["jobs", "ls", "--json"], env)
+    assert jobs.returncode == 0, jobs.stderr
+    payload = json.loads(jobs.stdout)
+    dead = payload["dead_letter"]
+    assert len(dead) == 1
+    assert dead[0]["attempts"] == 2
+    assert "fractions must lie in (0, 1]" in dead[0]["traceback"]
+    assert dead[0]["name"] == "params.fractions=2:3"
+    by_name = {row["name"]: row for row in payload["jobs"]}
+    assert by_name["params.fractions=0.2:0.5"]["state"] == "done"
+    assert by_name["params.fractions=2:3"]["state"] == "failed"

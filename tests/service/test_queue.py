@@ -1,0 +1,153 @@
+"""Job queue: claims, retries, dead-lettering, recovery, idempotent plans."""
+
+import pytest
+
+from repro.service import GridAxis, GridSpec, JobQueue, plan_grid
+
+
+@pytest.fixture()
+def plan():
+    return plan_grid(
+        GridSpec(
+            scenario="monitor_fraction_sweep",
+            axes=(
+                GridAxis("days", (2, 3)),
+                GridAxis("params.fractions", ((0.5,), (1.0,))),
+            ),
+            scale=0.02,
+            retry_budget=2,
+        )
+    )
+
+
+@pytest.fixture()
+def queue(tmp_path, plan):
+    q = JobQueue(tmp_path / "service.sqlite")
+    q.enqueue_plan(plan)
+    yield q
+    q.close()
+
+
+class TestPlanning:
+    def test_enqueue_is_idempotent(self, queue, plan):
+        stats = queue.enqueue_plan(plan)
+        assert stats == {"jobs": 4, "inserted": 0}
+        assert queue.counts(plan.grid_id)["pending"] == 4
+
+    def test_replan_preserves_finished_state(self, queue, plan):
+        claimed = queue.claim_next("w", grid_id=plan.grid_id)
+        queue.mark_done(claimed.id, "run-1")
+        queue.enqueue_plan(plan)
+        counts = queue.counts(plan.grid_id)
+        assert counts["done"] == 1 and counts["pending"] == 3
+
+    def test_grid_spec_roundtrip_and_unknown_grid(self, queue, plan):
+        assert queue.grid_spec(plan.grid_id) == plan.spec
+        with pytest.raises(KeyError, match="unknown grid"):
+            queue.grid_spec("nope")
+        assert queue.latest_grid_id() == plan.grid_id
+
+
+class TestClaiming:
+    def test_claims_follow_group_order(self, queue, plan):
+        order = [queue.claim_next("w", grid_id=plan.grid_id).job.name for _ in range(4)]
+        assert order == [job.name for job in plan.jobs]
+
+    def test_claim_marks_running_and_counts_attempt(self, queue, plan):
+        claimed = queue.claim_next("worker-a", grid_id=plan.grid_id)
+        assert claimed.attempts == 1
+        row = queue.list_jobs(plan.grid_id)[0]
+        assert row["state"] == "running"
+        assert row["claimed_by"] == "worker-a"
+
+    def test_two_connections_never_claim_the_same_job(self, tmp_path, plan):
+        path = tmp_path / "service.sqlite"
+        with JobQueue(path) as a:
+            a.enqueue_plan(plan)
+            with JobQueue(path) as b:
+                names = set()
+                for q in (a, b, a, b):
+                    names.add(q.claim_next("w", grid_id=plan.grid_id).job.name)
+        assert len(names) == 4
+
+    def test_digest_filter_scopes_the_claim(self, queue, plan):
+        digest = plan.jobs[-1].digest
+        claimed = queue.claim_next("w", grid_id=plan.grid_id, digest=digest)
+        assert claimed.job.digest == digest
+        assert claimed.job.name == plan.jobs[2].name
+
+    def test_drained_queue_claims_none(self, queue, plan):
+        for _ in range(4):
+            queue.mark_done(queue.claim_next("w").id, "r")
+        assert queue.claim_next("w") is None
+        assert queue.next_eligible_at(plan.grid_id) is None
+
+
+class TestRetriesAndDeadLetter:
+    def test_failure_backs_off_then_dead_letters(self, queue, plan):
+        claimed = queue.claim_next("w", grid_id=plan.grid_id, now=100.0)
+        outcome = queue.mark_failed(claimed.id, "Traceback: boom", backoff_base=0.5, now=101.0)
+        assert outcome == "retry"
+        # Backing off: not eligible at now, eligible at not_before.
+        assert queue.claim_next("w", grid_id=plan.grid_id, digest=claimed.job.digest, now=101.0).job.name != claimed.job.name
+        # Within its digest group the failed job is the only pending one.
+        assert queue.next_eligible_at(plan.grid_id, claimed.job.digest) == pytest.approx(101.5)
+        again = queue.claim_next("w", grid_id=plan.grid_id, now=102.0)
+        assert again.job.name == claimed.job.name
+        assert again.attempts == 2
+        outcome = queue.mark_failed(again.id, "Traceback: boom again", now=103.0)
+        assert outcome == "dead_letter"
+        dead = queue.dead_letter_jobs(plan.grid_id)
+        assert len(dead) == 1
+        assert dead[0]["name"] == claimed.job.name
+        assert dead[0]["attempts"] == 2
+        assert "boom again" in dead[0]["traceback"]
+        assert queue.counts(plan.grid_id)["failed"] == 1
+
+    def test_done_clears_error_and_stores_run_id(self, queue, plan):
+        claimed = queue.claim_next("w")
+        queue.mark_failed(claimed.id, "tb", backoff_base=0.0, now=1.0)
+        again = queue.claim_next("w", now=2.0)
+        queue.mark_done(again.id, "run-xyz")
+        row = queue.list_jobs(plan.grid_id)[0]
+        assert row["state"] == "done"
+        assert row["run_id"] == "run-xyz"
+        assert row["error"] is None
+
+
+class TestRecovery:
+    def test_interrupt_refunds_the_attempt(self, queue, plan):
+        claimed = queue.claim_next("w")
+        queue.mark_interrupted(claimed.id)
+        row = queue.list_jobs(plan.grid_id)[0]
+        assert row["state"] == "pending"
+        assert row["attempts"] == 0
+        assert row["claimed_by"] is None
+
+    def test_recover_stale_keeps_the_attempt_spent(self, queue, plan):
+        queue.claim_next("w")
+        queue.claim_next("w")
+        assert queue.recover_stale(plan.grid_id) == 2
+        rows = queue.list_jobs(plan.grid_id)
+        assert all(row["state"] == "pending" for row in rows)
+        assert sum(row["attempts"] for row in rows) == 2
+
+    def test_span_id_lands_on_the_job_row(self, queue, plan):
+        claimed = queue.claim_next("w")
+        queue.set_span(claimed.id, "span-1-2")
+        assert queue.list_jobs(plan.grid_id)[0]["span_id"] == "span-1-2"
+
+
+class TestGroupKeys:
+    def test_solo_jobs_get_unique_group_keys(self, tmp_path):
+        plan = plan_grid(GridSpec(scenario="reseed_denial", scale=0.02))
+        with JobQueue(tmp_path / "s.sqlite") as queue:
+            queue.enqueue_plan(plan)
+            digests = queue.pending_digests(plan.grid_id)
+        assert digests == ["solo:base"]
+
+    def test_pending_digests_in_group_order(self, queue, plan):
+        assert queue.pending_digests(plan.grid_id) == [
+            plan.jobs[0].digest,
+            plan.jobs[2].digest,
+        ]

@@ -1,0 +1,134 @@
+"""Result store: content-addressed dedup, deterministic ids, stable export."""
+
+import pytest
+
+from repro.analysis.series import FigureData
+from repro.core import get_scenario
+from repro.core.scenario import ScenarioResult
+from repro.service import GridJob, ResultStore
+from repro.service.store import canonical_json, summary_payload
+
+
+def make_result(value=1.0, seed=1):
+    figure = FigureData(
+        figure_id="fig", title="t", x_label="x", y_label="y"
+    )
+    figure.new_series("s").add(0.5, value)
+    figure.add_note("note")
+    return ScenarioResult(
+        spec=get_scenario("monitor_fraction_sweep"),
+        scale=0.02,
+        seed=seed,
+        figures={"fig": figure},
+        summaries={"metrics": {"coverage": value, "n": 3}},
+        tables={"table": "rendered"},
+        exposure_digest="digest-abc",
+    )
+
+
+def make_job(name="cell", seed=1):
+    return GridJob(
+        name=name,
+        scenario="monitor_fraction_sweep",
+        scale=0.02,
+        seed=seed,
+        days=2,
+        params=(("fractions", (0.5,)),),
+    )
+
+
+class TestRecording:
+    def test_identical_payloads_deduplicate(self, tmp_path):
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            store.record_result(make_result(), grid_id="g", job=make_job("a"))
+            store.record_result(make_result(), grid_id="g", job=make_job("b"))
+            # Two runs, but the summary and series blobs are shared.
+            assert len(store.runs()) == 2
+            assert store.payload_count() == 2
+
+    def test_rerecording_replaces_not_duplicates(self, tmp_path):
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            first = store.record_result(
+                make_result(), grid_id="g", job=make_job(), now=1.0
+            )
+            second = store.record_result(
+                make_result(), grid_id="g", job=make_job(), now=2.0
+            )
+            assert first == second
+            assert len(store.runs()) == 1
+
+    def test_run_id_deterministic_across_stores(self, tmp_path):
+        with ResultStore(tmp_path / "a.sqlite") as a:
+            id_a = a.record_result(make_result(), grid_id="g", job=make_job())
+        with ResultStore(tmp_path / "b.sqlite") as b:
+            id_b = b.record_result(make_result(), grid_id="g", job=make_job())
+        assert id_a == id_b
+
+    def test_standalone_results_record_without_a_job(self, tmp_path):
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            run_id = store.record_result(make_result())
+            run = store.get_run(run_id)
+            assert run["grid_id"] is None
+            assert run["scenario"] == "monitor_fraction_sweep"
+            assert run["summary"] == {"metrics": {"coverage": 1.0, "n": 3}}
+
+    def test_summary_payload_is_exactly_the_scalar_summaries(self):
+        result = make_result(value=2.5)
+        assert canonical_json(summary_payload(result)) == canonical_json(
+            {"metrics": {"coverage": 2.5, "n": 3}}
+        )
+
+
+class TestLookup:
+    def test_get_run_by_prefix_and_name(self, tmp_path):
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            run_id = store.record_result(make_result(), grid_id="g", job=make_job())
+            assert store.get_run(run_id[:6])["run_id"] == run_id
+            assert store.get_run("cell")["run_id"] == run_id
+            with pytest.raises(KeyError, match="no run matching"):
+                store.get_run("zz-not-here")
+
+    def test_ambiguous_prefix_rejected(self, tmp_path):
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            store.record_result(make_result(1.0), grid_id="g", job=make_job("a"))
+            store.record_result(make_result(2.0), grid_id="g", job=make_job("b", seed=2))
+            with pytest.raises(KeyError, match="ambiguous|no run"):
+                store.get_run("")
+
+    def test_missing_payload_raises(self, tmp_path):
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            with pytest.raises(KeyError, match="no payload"):
+                store.payload("0" * 64)
+
+
+class TestExport:
+    def test_export_independent_of_insertion_order(self, tmp_path):
+        jobs = [make_job("a"), make_job("b", seed=2)]
+        results = [make_result(1.0), make_result(2.0, seed=2)]
+        with ResultStore(tmp_path / "fwd.sqlite") as fwd:
+            for job, result in zip(jobs, results):
+                fwd.record_result(result, grid_id="g", job=job, now=1.0)
+            forward = fwd.export_bytes()
+        with ResultStore(tmp_path / "rev.sqlite") as rev:
+            for job, result in zip(reversed(jobs), reversed(results)):
+                rev.record_result(result, grid_id="g", job=job, now=99.0)
+            backward = rev.export_bytes()
+        assert forward == backward
+
+    def test_export_excludes_volatile_fields(self, tmp_path):
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            store.record_result(
+                make_result(), grid_id="g", job=make_job(), wall_seconds=1.23, now=5.0
+            )
+            text = store.export_bytes().decode("utf-8")
+        assert "wall_seconds" not in text
+        assert "created_at" not in text
+
+    def test_export_scopes_to_grid(self, tmp_path):
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            store.record_result(make_result(), grid_id="g1", job=make_job("a"))
+            store.record_result(
+                make_result(seed=2), grid_id="g2", job=make_job("b", seed=2)
+            )
+            assert len(store.export("g1")["runs"]) == 1
+            assert len(store.export()["runs"]) == 2

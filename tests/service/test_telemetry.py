@@ -1,0 +1,107 @@
+"""Telemetry: JSONL events/spans, no-op sink, read-side helpers."""
+
+import pytest
+
+from repro.service import Telemetry, count_events, read_events, span_seconds
+
+
+class FakeClock:
+    def __init__(self, start=100.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestWriting:
+    def test_events_append_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Telemetry(path, clock=FakeClock()) as telemetry:
+            telemetry.event("job.done", job="a", run_id="r1")
+            telemetry.event("job.done", job="b", run_id="r2")
+        records = read_events(path)
+        assert [r["name"] for r in records] == ["job.done", "job.done"]
+        assert records[0] == {
+            "ts": 100.0,
+            "type": "event",
+            "name": "job.done",
+            "job": "a",
+            "run_id": "r1",
+        }
+
+    def test_span_context_manager_times_the_body(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        clock = FakeClock()
+        with Telemetry(path, clock=clock) as telemetry:
+            with telemetry.span("phase:execute", job="a") as span_id:
+                clock.advance(2.5)
+        start, end = read_events(path)
+        assert start["type"] == "span_start" and end["type"] == "span_end"
+        assert start["span"] == end["span"] == span_id
+        assert end["status"] == "ok"
+        assert end["seconds"] == pytest.approx(2.5)
+
+    def test_span_error_status_and_propagation(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Telemetry(path) as telemetry:
+            with pytest.raises(ValueError):
+                with telemetry.span("phase:execute"):
+                    raise ValueError("boom")
+        end = read_events(path)[-1]
+        assert end["status"] == "error"
+        assert end["error"] == "ValueError"
+
+    def test_explicit_spans_share_unique_ids(self, tmp_path):
+        with Telemetry(tmp_path / "t.jsonl") as telemetry:
+            first = telemetry.span_start("job", job="a")
+            second = telemetry.span_start("job", job="b")
+            telemetry.span_end("job", second)
+            telemetry.span_end("job", first, status="interrupted")
+        assert first != second
+        records = read_events(tmp_path / "t.jsonl")
+        ends = [r for r in records if r["type"] == "span_end"]
+        assert {r["status"] for r in ends} == {"ok", "interrupted"}
+
+    def test_none_path_is_a_noop_sink(self):
+        telemetry = Telemetry(None)
+        telemetry.event("anything")
+        with telemetry.span("phase"):
+            pass
+        telemetry.close()
+
+    def test_interrupted_runs_leave_lines_on_disk(self, tmp_path):
+        # Each line flushes immediately; no close() needed to observe it.
+        path = tmp_path / "trace.jsonl"
+        telemetry = Telemetry(path)
+        telemetry.event("job.interrupted", job="a")
+        assert count_events(read_events(path), "job.interrupted") == 1
+        telemetry.close()
+
+
+class TestReading:
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_events(tmp_path / "absent.jsonl") == []
+
+    def test_count_events_matches_attributes(self, tmp_path):
+        with Telemetry(tmp_path / "t.jsonl") as telemetry:
+            telemetry.event("exposure.cache", digest="d1", builds=1)
+            telemetry.event("exposure.cache", digest="d1", builds=0)
+            telemetry.event("exposure.cache", digest="d2", builds=1)
+        records = read_events(tmp_path / "t.jsonl")
+        assert count_events(records, "exposure.cache") == 3
+        assert count_events(records, "exposure.cache", digest="d1") == 2
+        assert count_events(records, "exposure.cache", digest="d1", builds=1) == 1
+
+    def test_span_seconds_collects_completed_durations(self, tmp_path):
+        clock = FakeClock()
+        with Telemetry(tmp_path / "t.jsonl", clock=clock) as telemetry:
+            with telemetry.span("phase:execute"):
+                clock.advance(1.0)
+            with telemetry.span("phase:execute"):
+                clock.advance(3.0)
+            telemetry.span_start("phase:execute")  # never ended
+        records = read_events(tmp_path / "t.jsonl")
+        assert span_seconds(records, "phase:execute") == pytest.approx([1.0, 3.0])
